@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures at full
+scale, prints the rows/series it produces (so `pytest benchmarks/
+--benchmark-only -s` reproduces the evaluation section), and asserts the
+paper's qualitative shape.  `benchmark.pedantic(..., rounds=1)` is used
+throughout: the experiments are deterministic, multi-second computations
+— we want one timed, reported run, not a statistics loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a block even under pytest's capture (visible with -s or -rA)."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print

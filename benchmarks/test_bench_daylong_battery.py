@@ -1,0 +1,34 @@
+"""Day-long battery bench — the introduction's arithmetic, simulated.
+
+Not a paper figure, but the paper's motivating numbers: heartbeats cost
+"at least 6 % of battery capacity per 10 hours for one app" and the
+3-app standby waste "corresponds to roughly 10 hours of standby time".
+This bench runs a full diurnal 24-hour day on the reference 1700 mAh
+battery and reports eTrain's saving in battery percent.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.daylong import run_daylong
+from repro.sim.battery import GALAXY_S4_BATTERY
+
+
+def test_daylong_battery(benchmark, report):
+    baseline, etrain = run_once(benchmark, run_daylong, seed=0)
+
+    saved = baseline.energy_j - etrain.energy_j
+    report(
+        "24-hour diurnal day, 1700 mAh battery\n"
+        f"  baseline: {baseline.energy_j:8.0f} J = {baseline.battery_pct:5.1f}% "
+        f"battery, delay {baseline.mean_delay_s:.1f} s\n"
+        f"  eTrain:   {etrain.energy_j:8.0f} J = {etrain.battery_pct:5.1f}% "
+        f"battery, delay {etrain.mean_delay_s:.1f} s\n"
+        f"  saved:    {saved:8.0f} J = "
+        f"{GALAXY_S4_BATTERY.percent_used(saved):.1f}% of the battery/day"
+    )
+
+    # Radio activity is a double-digit share of the battery per day.
+    assert baseline.battery_pct > 20.0
+    # eTrain reclaims a double-digit battery percentage.
+    assert GALAXY_S4_BATTERY.percent_used(saved) > 10.0
+    # Delay cost stays within the deadline regime (~1 heartbeat wait).
+    assert etrain.mean_delay_s < 120.0

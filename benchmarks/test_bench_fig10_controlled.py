@@ -1,0 +1,74 @@
+"""Fig. 10 bench — controlled experiments on the simulated device.
+
+Paper: (a) eTrain saves ~45 % of cargo energy at any train count and
+12–33 % of total energy; delay halves from 1 to 3 trains.  (b) Θ from
+0.1 to 0.5 cuts device energy ~30 % while delay rises 48 → 62 s.
+(c) Larger shared deadlines buy more savings.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.summarize import format_table
+from repro.experiments.fig10 import run_fig10a, run_fig10b, run_fig10c
+
+
+def test_fig10a_train_count(benchmark, report):
+    rows = run_once(benchmark, run_fig10a, horizon=7200.0)
+
+    report(
+        format_table(
+            ["trains", "hb energy (J)", "cargo energy (J)", "total (J)", "delay (s)"],
+            [[r.train_count, r.heartbeat_energy_j, r.cargo_energy_j,
+              r.total_energy_j, r.mean_delay_s] for r in rows],
+            title="Fig. 10(a) [paper: ~45% cargo saving; delay halves 1->3 trains]",
+        )
+    )
+
+    null_cargo = rows[0].cargo_energy_j
+    with_trains = rows[1:]
+    # Cargo energy saving vs. unscheduled NULL at every train count.
+    for r in with_trains:
+        assert (null_cargo - r.cargo_energy_j) / null_cargo > 0.3
+    # Heartbeat energy grows with train count.
+    hb = [r.heartbeat_energy_j for r in rows]
+    assert hb == sorted(hb) and hb[0] == 0.0
+    # Delay shrinks substantially from 1 train to 3 trains.
+    assert with_trains[-1].mean_delay_s < 0.7 * with_trains[0].mean_delay_s
+
+
+def test_fig10b_theta_on_device(benchmark, report):
+    thetas = (0.1, 0.2, 0.3, 0.4, 0.5)
+    runs = run_once(benchmark, run_fig10b, thetas, horizon=7200.0)
+
+    report(
+        format_table(
+            ["theta", "total (J)", "delay (s)"],
+            [[t, r.total_energy_j, r.mean_delay_s] for t, r in zip(thetas, runs)],
+            title="Fig. 10(b) [paper: 1200 -> 850 J (~30%), delay 48 -> 62 s]",
+        )
+    )
+
+    # Shape: endpoints — less energy, more delay at theta=0.5 vs 0.1.
+    assert runs[-1].total_energy_j < runs[0].total_energy_j
+    assert runs[-1].mean_delay_s > runs[0].mean_delay_s
+    # Delay monotone across the sweep.
+    delays = [r.mean_delay_s for r in runs]
+    assert delays == sorted(delays)
+
+
+def test_fig10c_deadline_sweep(benchmark, report):
+    deadlines = (10.0, 30.0, 60.0, 120.0, 180.0)
+    pairs = run_once(benchmark, run_fig10c, deadlines, horizon=7200.0)
+
+    report(
+        format_table(
+            ["deadline (s)", "total (J)", "delay (s)"],
+            [[d, r.total_energy_j, r.mean_delay_s] for d, r in pairs],
+            title="Fig. 10(c) [paper: larger deadline -> more energy saving]",
+        )
+    )
+
+    energies = [r.total_energy_j for _, r in pairs]
+    # Larger deadlines never cost more, and the extremes differ clearly.
+    for a, b in zip(energies, energies[1:]):
+        assert b <= a * 1.03
+    assert energies[-1] < 0.9 * energies[0]

@@ -1,0 +1,48 @@
+"""Fig. 1 bench — 4-hour standby energy vs. number of IM apps.
+
+Paper: with 3 IM apps on 3G, ~87 % of the ~2000 J standby budget goes to
+heartbeat transmissions; Fig. 1(b) shows ~once-a-minute merged heartbeat
+traffic from the three apps.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.summarize import format_table
+from repro.experiments.fig1 import run_fig1a, run_fig1b
+
+
+def test_fig1a_standby_energy(benchmark, report):
+    rows = run_once(benchmark, run_fig1a, hours=4.0)
+
+    report(
+        format_table(
+            ["IM apps", "heartbeats", "hb energy (J)", "total (J)", "hb share"],
+            [
+                [r.im_apps, r.heartbeats, r.heartbeat_energy_j, r.total_j,
+                 f"{100 * r.heartbeat_fraction:.0f}%"]
+                for r in rows
+            ],
+            title="Fig. 1(a) [paper: ~2000 J total, ~87% heartbeats at 3 apps]",
+        )
+    )
+
+    # Shape: heartbeat energy grows with app count and dominates standby.
+    energies = [r.heartbeat_energy_j for r in rows]
+    assert energies == sorted(energies) and energies[0] == 0.0
+    assert rows[3].heartbeat_fraction > 0.75
+    # Magnitude: same order as the paper's ~1700-2000 J.
+    assert 800.0 <= rows[3].total_j <= 3000.0
+
+
+def test_fig1b_heartbeat_scatter(benchmark, report):
+    scatter = run_once(benchmark, run_fig1b, hours=4.0)
+    per_app = {}
+    for _, size, app in scatter:
+        per_app.setdefault(app, []).append(size)
+    report(
+        "Fig. 1(b): heartbeats in 4 h — "
+        + ", ".join(f"{app}: {len(sizes)} x {sizes[0]} B" for app, sizes in per_app.items())
+    )
+    # Three apps, paper sizes, ~once-a-minute combined (162 in 4 h).
+    assert set(per_app) == {"qq", "wechat", "whatsapp"}
+    assert len(scatter) > 120
+    assert per_app["qq"][0] == 378

@@ -1,0 +1,30 @@
+"""Fig. 2 bench — the toy piggybacking example.
+
+Paper: five 5-KB emails scattered across one heartbeat cycle vs.
+aggregated onto the second heartbeat; the power trace shows ~40 % of the
+cycle's energy saved.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2_toy_example(benchmark, report):
+    result = run_once(benchmark, run_fig2)
+
+    report(
+        "Fig. 2 [paper: ~40% power-trace saving]\n"
+        f"  scattered:   {result.without_energy_j:7.2f} J extra "
+        f"({result.without_trace.energy():7.2f} J absolute)\n"
+        f"  piggybacked: {result.with_energy_j:7.2f} J extra "
+        f"({result.with_trace.energy():7.2f} J absolute)\n"
+        f"  extra-energy saving: {100 * result.saving_fraction:.0f}%  "
+        f"power-trace saving: {100 * result.absolute_saving_fraction:.0f}%"
+    )
+
+    # Shape: piggybacking wins decisively.
+    assert result.with_energy_j < result.without_energy_j
+    # Magnitude: power-trace saving in the paper's neighbourhood (~40 %).
+    assert 0.25 <= result.absolute_saving_fraction <= 0.55
+    # The scattered case pays roughly one tail per email.
+    assert result.saving_fraction > 0.5

@@ -1,0 +1,32 @@
+"""Fig. 4 bench — power-state transitions around one heartbeat.
+
+Paper (Galaxy S4, TD-SCDMA): IDLE → DCH (transmission + 10 s linger) →
+FACH (7.5 s) → IDLE, with a full tail costing ~10.91 J.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4 import run_fig4
+from repro.radio.power_model import GALAXY_S4_3G
+
+
+def test_fig4_power_state_timeline(benchmark, report):
+    trace, dwells = run_once(benchmark, run_fig4)
+
+    lines = ["Fig. 4 [paper: DCH 10 s, FACH 7.5 s, tail ~10.91 J]"]
+    for d in dwells:
+        lines.append(
+            f"  {d.start:7.2f}-{d.end:7.2f}s {d.state:8s} {1000 * d.power_w:5.0f} mW"
+        )
+    lines.append(f"  full tail energy: {GALAXY_S4_3G.full_tail_energy:.2f} J")
+    report("\n".join(lines))
+
+    labels = [d.state for d in dwells]
+    assert labels == ["IDLE", "DCH(tx)", "DCH", "FACH", "IDLE"]
+    by_label = {d.state: d for d in dwells}
+    assert by_label["DCH"].duration == pytest.approx(10.0)
+    assert by_label["FACH"].duration == pytest.approx(7.5)
+    assert 9.0 <= GALAXY_S4_3G.full_tail_energy <= 11.5
+    # 10 Hz sampling, as the paper's power tool.
+    assert trace.interval == pytest.approx(0.1)

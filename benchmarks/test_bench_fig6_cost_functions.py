@@ -1,0 +1,36 @@
+"""Fig. 6 bench — the delay-cost profile functions f1/f2/f3."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_cost_function_shapes(benchmark, report):
+    curves = run_once(benchmark, run_fig6, deadline=60.0, steps=241)
+
+    lines = ["Fig. 6 [f1 mail, f2 weibo, f3 cloud; deadline 60 s]"]
+    for label, curve in curves.items():
+        picks = [curve.samples[i] for i in (0, 80, 120, 240)]
+        lines.append(
+            f"  {label:11s} " + "  ".join(f"f({d:5.1f})={c:5.2f}" for d, c in picks)
+        )
+    report("\n".join(lines))
+
+    mail = dict(curves["f1 (mail)"].samples)
+    weibo = dict(curves["f2 (weibo)"].samples)
+    cloud = dict(curves["f3 (cloud)"].samples)
+    grid = sorted(mail)
+
+    # f1: exactly zero before the deadline, then (d/D - 1).
+    assert all(mail[d] == 0.0 for d in grid if d <= 60.0)
+    assert mail[180.0] == pytest.approx(2.0)
+    # f2: linear to 1 at the deadline, plateau 2 after.
+    assert weibo[30.0] == pytest.approx(0.5)
+    assert weibo[180.0] == pytest.approx(2.0)
+    # f3: 3x slope after the deadline.
+    assert cloud[180.0] == pytest.approx(7.0)
+    # All non-decreasing.
+    for curve in curves.values():
+        costs = [c for _, c in curve.samples]
+        assert costs == sorted(costs)

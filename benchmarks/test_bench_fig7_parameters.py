@@ -1,0 +1,70 @@
+"""Fig. 7 bench — parameter analysis of the online algorithm.
+
+Paper, panel (a): sweeping Θ from 0 to 3 (k = 20, λ = 0.08) cuts the
+2-hour energy by ~40 % while mean delay grows ~4x (18 → 70 s).
+Panel (b): larger k reaches the same energy at lower delay, with
+diminishing returns past k ≈ 8.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.summarize import format_table
+from repro.experiments.fig7 import run_fig7a, run_fig7b
+from repro.sim.runner import default_scenario
+
+
+def test_fig7a_theta_sweep(benchmark, report):
+    scenario = default_scenario(horizon=7200.0)
+    curve = run_once(benchmark, run_fig7a, scenario)
+
+    report(
+        format_table(
+            ["theta", "energy (J)", "delay (s)", "violations"],
+            [[p.knob, p.energy_j, p.delay_s, p.violation_ratio] for p in curve.points],
+            title="Fig. 7(a) [paper: >1000 J -> ~600 J, delay 18 -> 70 s]",
+        )
+    )
+
+    first, last = curve.points[0], curve.points[-1]
+    # Shape: energy falls, delay rises, monotonically end to end.
+    assert last.energy_j < first.energy_j
+    assert last.delay_s > first.delay_s
+    # Magnitude: a substantial relative energy drop across the sweep
+    # (paper: ~40 %; see EXPERIMENTS.md for why ours is smaller).
+    assert (first.energy_j - last.energy_j) / first.energy_j > 0.2
+    # Near-monotone in between (allow small seed noise).
+    energies = [p.energy_j for p in curve.points]
+    for a, b in zip(energies, energies[1:]):
+        assert b <= a * 1.03
+
+
+def test_fig7b_k_panel(benchmark, report):
+    scenario = default_scenario(horizon=7200.0)
+    panel = run_once(
+        benchmark,
+        run_fig7b,
+        scenario,
+        k_values=(2, 4, 8, 16),
+        theta_values=[0.0, 1.0, 2.0, 3.0],
+    )
+
+    rows = []
+    for k, curve in panel.items():
+        for p in curve.points:
+            rows.append([k, p.knob, p.energy_j, p.delay_s])
+    report(
+        format_table(
+            ["k", "theta", "energy (J)", "delay (s)"],
+            rows,
+            title="Fig. 7(b) [paper: k up -> same energy at less delay; "
+            "diminishing past k=8]",
+        )
+    )
+
+    # At the saturated end (theta=3), larger k gives no worse delay.
+    end_delay = {k: curve.points[-1].delay_s for k, curve in panel.items()}
+    assert end_delay[8] <= end_delay[2] + 1e-6
+    assert end_delay[16] <= end_delay[4] + 1e-6
+    # Diminishing returns: the 8 -> 16 improvement is tiny vs. 2 -> 8.
+    gain_2_to_8 = end_delay[2] - end_delay[8]
+    gain_8_to_16 = end_delay[8] - end_delay[16]
+    assert gain_8_to_16 <= max(gain_2_to_8, 1.0)

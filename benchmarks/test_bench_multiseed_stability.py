@@ -1,0 +1,53 @@
+"""Multi-seed stability bench — the headline result with error bars.
+
+Every other bench runs one seed; this one replicates the eTrain-vs-
+baseline comparison across seeds and asserts the saving is not a lucky
+draw: the 95 % confidence intervals of the two strategies' energies must
+be disjoint.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.multiseed import replicate_strategy
+from repro.baselines.etrain import ETrainStrategy
+from repro.baselines.immediate import ImmediateStrategy
+from repro.core.scheduler import SchedulerConfig
+
+SEEDS = tuple(range(8))
+HORIZON = 3600.0
+
+
+def _replicate_both():
+    baseline = replicate_strategy(
+        lambda scenario: ImmediateStrategy(), seeds=SEEDS, horizon=HORIZON
+    )
+    etrain = replicate_strategy(
+        lambda scenario: ETrainStrategy(
+            scenario.profiles, SchedulerConfig(theta=1.0)
+        ),
+        seeds=SEEDS,
+        horizon=HORIZON,
+    )
+    return baseline, etrain
+
+
+def test_multiseed_saving_is_significant(benchmark, report):
+    baseline, etrain = run_once(benchmark, _replicate_both)
+
+    b = baseline["total_energy_j"]
+    e = etrain["total_energy_j"]
+    report(
+        f"{len(SEEDS)} seeds, {HORIZON:.0f} s horizon\n"
+        f"  baseline energy: {b.mean:7.1f} ± {b.ci95_half_width:5.1f} J\n"
+        f"  eTrain energy:   {e.mean:7.1f} ± {e.ci95_half_width:5.1f} J\n"
+        f"  mean saving:     {b.mean - e.mean:7.1f} J "
+        f"({100 * (1 - e.mean / b.mean):.0f}%)\n"
+        f"  eTrain delay:    {etrain['normalized_delay_s'].mean:5.1f} ± "
+        f"{etrain['normalized_delay_s'].ci95_half_width:4.1f} s"
+    )
+
+    # CI separation: eTrain's upper bound below baseline's lower bound.
+    assert e.mean + e.ci95_half_width < b.mean - b.ci95_half_width
+    # The relative saving is stable: every seed saved.
+    assert e.maximum < b.minimum
+    # Spread sanity: the CI is a small fraction of the mean.
+    assert e.ci95_half_width < 0.25 * e.mean

@@ -1,0 +1,57 @@
+"""Sensitivity benches — eTrain's savings as the environment varies.
+
+Full-scale versions of the cycle / tail / jitter sweeps, with the
+paper-level reading for each: piggybacking needs calm-enough trains to
+beat the heartbeat floor, scales with carrier tail length, and is
+insensitive to alarm jitter (the monitor reacts to observed departures).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.summarize import format_table
+from repro.experiments.sensitivity import (
+    sweep_heartbeat_cycle,
+    sweep_heartbeat_jitter,
+    sweep_tail_length,
+)
+
+
+def _table(title, knob, rows):
+    return format_table(
+        [knob, "baseline (J)", "eTrain (J)", "saving (%)", "delay (s)"],
+        [[r.knob, r.baseline_j, r.etrain_j, r.saving_pct, r.etrain_delay_s]
+         for r in rows],
+        title=title,
+    )
+
+
+def test_sensitivity_heartbeat_cycle(benchmark, report):
+    rows = run_once(benchmark, sweep_heartbeat_cycle, horizon=7200.0)
+    report(_table("Sensitivity: shared heartbeat cycle", "cycle (s)", rows))
+
+    delays = [r.etrain_delay_s for r in rows]
+    savings_pct = [r.saving_pct for r in rows]
+    assert delays == sorted(delays)
+    assert savings_pct == sorted(savings_pct)
+    assert all(r.saving_j > 0 for r in rows)
+
+
+def test_sensitivity_tail_length(benchmark, report):
+    rows = run_once(benchmark, sweep_tail_length, horizon=7200.0)
+    report(_table("Sensitivity: tail-timer scale", "scale", rows))
+
+    base = [r.baseline_j for r in rows]
+    assert base == sorted(base)
+    # Absolute saving grows through the measured operating point.
+    up_to_measured = [r.saving_j for r in rows if r.knob <= 1.0]
+    assert up_to_measured == sorted(up_to_measured)
+    assert all(r.saving_j > 0 for r in rows)
+
+
+def test_sensitivity_heartbeat_jitter(benchmark, report):
+    rows = run_once(benchmark, sweep_heartbeat_jitter, horizon=7200.0)
+    report(_table("Sensitivity: heartbeat jitter", "jitter (s)", rows))
+
+    clean = rows[0]
+    for r in rows[1:]:
+        # Jitter up to a minute erodes savings by well under half.
+        assert r.saving_j > 0.6 * clean.saving_j

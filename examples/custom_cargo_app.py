@@ -1,0 +1,92 @@
+"""Integrating your own delay-tolerant app with eTrain.
+
+The paper's pitch to developers: "add some predefined subclasses of
+BroadcastReceiver provided by eTrain system, and let other logic
+unchanged".  This example builds a podcast-download app with a custom
+delay-cost profile, registers it alongside the stock cargo apps, and
+compares its delivery with and without scheduling.
+
+Covers: custom cost functions (PiecewiseLinearCost), custom profiles,
+the broadcast protocol, and per-app statistics.
+
+Run:  python examples/custom_cargo_app.py
+"""
+
+from repro.android import AndroidSystem, CargoApp, ETrainService, TrainApp
+from repro.core import CargoAppProfile, PiecewiseLinearCost, SchedulerConfig
+from repro.heartbeat.apps import known_train_profile
+
+HORIZON = 2400.0
+
+
+def podcast_profile() -> CargoAppProfile:
+    """Large prefetch downloads: free for 10 minutes, then climbing.
+
+    The piecewise profile expresses "I'd like episodes before the
+    commute, but anytime in the next few minutes is equally fine".
+    """
+    cost = PiecewiseLinearCost(
+        breakpoints=[(0.0, 0.0), (600.0, 0.0), (900.0, 1.0), (1200.0, 4.0)],
+        deadline=900.0,
+    )
+    return CargoAppProfile(
+        app_id="podcasts",
+        cost_function=cost,
+        mean_size_bytes=400_000,
+        min_size_bytes=100_000,
+        deadline=900.0,
+        mean_interarrival=600.0,
+    )
+
+
+class PodcastApp(CargoApp):
+    """A cargo app that queues episode prefetches."""
+
+    def prefetch_episode(self, size_bytes: int):
+        """Submit one episode download request to eTrain."""
+        return self.submit(size_bytes)
+
+
+def run(use_etrain: bool) -> None:
+    system = AndroidSystem()
+    service = ETrainService(system, SchedulerConfig(theta=0.3, k=None))
+
+    train = TrainApp(known_train_profile("wechat"), system)
+    train.start()
+    service.attach_train_app(train)
+
+    podcasts = PodcastApp(podcast_profile(), system, direct_mode=not use_etrain)
+    podcasts.register()
+
+    # Three episodes become available during the run.
+    for when, size in ((120.0, 350_000), (480.0, 500_000), (1500.0, 250_000)):
+        system.alarm_manager.set_exact(
+            when, lambda t, s=size: podcasts.prefetch_episode(s)
+        )
+
+    if use_etrain:
+        service.start()
+    system.run_until(HORIZON)
+    if use_etrain:
+        service.stop()
+
+    label = "with eTrain" if use_etrain else "direct mode"
+    print(f"{label}: {system.total_energy():7.2f} J, "
+          f"{len(system.radio.records)} bursts")
+    for p in podcasts.transmitted:
+        print(f"  episode {p.size_bytes // 1000:3d} KB: "
+              f"available {p.arrival_time:6.1f}s, sent {p.scheduled_time:6.1f}s "
+              f"(waited {p.delay:5.1f}s, cost "
+              f"{podcast_profile().cost_function(p.delay):.2f})")
+    print()
+
+
+def main() -> None:
+    run(use_etrain=False)
+    run(use_etrain=True)
+    print("Episodes ride WeChat's 270-second heartbeats; the piecewise "
+          "profile keeps every wait inside the free region.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — a full reproduction of eTrain (ICDCS 2015).
+
+eTrain piggybacks delay-tolerant mobile data ("cargoes") onto the 3G
+radio tails of IM-app heartbeats ("trains") to minimise cumulative tail
+energy without violating user delay budgets.
+
+Quickstart::
+
+    from repro import quick_run
+    result = quick_run()
+    print(result.summary())
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: delay-cost models, Lyapunov machinery, the
+    online scheduler (Algorithm 1) and offline bounds.
+``repro.radio``
+    3G RRC power-state substrate and tail-energy accounting.
+``repro.heartbeat``
+    Heartbeat generators, known-app registry, monitor and cycle detector.
+``repro.workload`` / ``repro.bandwidth``
+    Synthetic cargo traces, user-behaviour traces, channel models.
+``repro.sim``
+    Slotted simulator, metrics, power-trace extraction.
+``repro.baselines``
+    Immediate baseline, PerES, eTime, TailEnder, periodic batching.
+``repro.android``
+    Simulated Android layer (alarms, broadcasts, Xposed hooks, apps).
+``repro.measurement``
+    Packet capture + cycle analysis + power-monitor emulation.
+``repro.experiments``
+    One module per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    CargoAppProfile,
+    ETrainScheduler,
+    Heartbeat,
+    Packet,
+    SchedulerConfig,
+    TrainAppProfile,
+)
+from repro.radio import GALAXY_S4_3G, PowerModel
+from repro.sim import Scenario, Simulation, SimulationResult, default_scenario, run_strategy
+
+__all__ = [
+    "__version__",
+    "CargoAppProfile",
+    "ETrainScheduler",
+    "Heartbeat",
+    "Packet",
+    "SchedulerConfig",
+    "TrainAppProfile",
+    "GALAXY_S4_3G",
+    "PowerModel",
+    "Scenario",
+    "Simulation",
+    "SimulationResult",
+    "default_scenario",
+    "run_strategy",
+    "quick_run",
+]
+
+
+def quick_run(theta: float = 0.2, horizon: float = 1800.0, seed: int = 0) -> "SimulationResult":
+    """Run eTrain on a small default scenario and return the result."""
+    from repro.baselines import ETrainStrategy
+
+    scenario = default_scenario(seed=seed, horizon=horizon)
+    strategy = ETrainStrategy(scenario.profiles, SchedulerConfig(theta=theta))
+    return run_strategy(strategy, scenario)

@@ -1,0 +1,46 @@
+"""Analysis helpers: metrics, E-D panels, table formatting."""
+
+from repro.analysis.ed_panel import (
+    EDCurve,
+    EDPoint,
+    dominates,
+    interpolate_energy_at_delay,
+    sweep,
+)
+from repro.analysis.metrics import (
+    ComparisonRow,
+    compare_results,
+    energy_saving,
+    relative_saving,
+)
+from repro.analysis.multiseed import (
+    MetricSummary,
+    replicate,
+    replicate_strategy,
+    summarize,
+)
+from repro.analysis.plot import ascii_bars, ascii_scatter
+from repro.analysis.report import generate_report, write_report
+from repro.analysis.summarize import format_mapping, format_table
+
+__all__ = [
+    "EDCurve",
+    "EDPoint",
+    "dominates",
+    "interpolate_energy_at_delay",
+    "sweep",
+    "ComparisonRow",
+    "compare_results",
+    "energy_saving",
+    "relative_saving",
+    "MetricSummary",
+    "replicate",
+    "replicate_strategy",
+    "summarize",
+    "format_mapping",
+    "format_table",
+    "ascii_bars",
+    "ascii_scatter",
+    "generate_report",
+    "write_report",
+]

@@ -1,0 +1,108 @@
+"""E-D panel sweeps (Figs. 7b, 8a).
+
+The paper evaluates strategies on an "E-D panel": each point is the
+(total energy, normalized delay) pair one parameter setting achieves;
+sweeping the strategy's knob (Θ for eTrain, Ω for PerES, V for eTime)
+traces its energy-delay frontier.  Dominance on the panel — less energy
+at equal delay — is the paper's headline comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.baselines.base import TransmissionStrategy
+from repro.sim.results import SimulationResult
+from repro.sim.runner import Scenario, run_strategy
+
+__all__ = ["EDPoint", "EDCurve", "sweep", "interpolate_energy_at_delay", "dominates"]
+
+
+@dataclass(frozen=True)
+class EDPoint:
+    """One (energy, delay) outcome with the knob value that produced it."""
+
+    knob: float
+    energy_j: float
+    delay_s: float
+    violation_ratio: float = 0.0
+
+
+@dataclass
+class EDCurve:
+    """A strategy's energy-delay frontier."""
+
+    label: str
+    points: List[EDPoint]
+
+    def sorted_by_delay(self) -> List[EDPoint]:
+        return sorted(self.points, key=lambda p: p.delay_s)
+
+    @property
+    def min_energy(self) -> float:
+        return min(p.energy_j for p in self.points)
+
+    @property
+    def max_energy(self) -> float:
+        return max(p.energy_j for p in self.points)
+
+
+def sweep(
+    label: str,
+    scenario: Scenario,
+    strategy_factory: Callable[[float], TransmissionStrategy],
+    knob_values: Sequence[float],
+) -> EDCurve:
+    """Run a strategy across knob settings, collecting E-D points."""
+    points: List[EDPoint] = []
+    for knob in knob_values:
+        result = run_strategy(strategy_factory(knob), scenario)
+        points.append(
+            EDPoint(
+                knob=knob,
+                energy_j=result.total_energy,
+                delay_s=result.normalized_delay,
+                violation_ratio=result.deadline_violation_ratio,
+            )
+        )
+    return EDCurve(label=label, points=points)
+
+
+def interpolate_energy_at_delay(curve: EDCurve, delay_s: float) -> Optional[float]:
+    """Energy the curve achieves at a target normalized delay.
+
+    Linear interpolation between the bracketing points (how the paper
+    compares all algorithms "with the same normalized delay as 55
+    seconds"); None when the delay is outside the swept range.
+    """
+    pts = curve.sorted_by_delay()
+    if not pts or delay_s < pts[0].delay_s or delay_s > pts[-1].delay_s:
+        return None
+    for a, b in zip(pts, pts[1:]):
+        if a.delay_s <= delay_s <= b.delay_s:
+            if b.delay_s == a.delay_s:
+                return min(a.energy_j, b.energy_j)
+            frac = (delay_s - a.delay_s) / (b.delay_s - a.delay_s)
+            return a.energy_j + frac * (b.energy_j - a.energy_j)
+    return None
+
+
+def dominates(
+    winner: EDCurve, loser: EDCurve, delays: Sequence[float]
+) -> bool:
+    """Whether ``winner`` uses no more energy at every comparable delay.
+
+    Delays where either curve cannot be interpolated are skipped; at
+    least one comparable delay is required.
+    """
+    compared = 0
+    for d in delays:
+        ew = interpolate_energy_at_delay(winner, d)
+        el = interpolate_energy_at_delay(loser, d)
+        if ew is None or el is None:
+            continue
+        compared += 1
+        if ew > el:
+            return False
+    return compared > 0

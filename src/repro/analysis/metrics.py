@@ -1,0 +1,67 @@
+"""Cross-run metric helpers: savings, comparisons, aggregate tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.sim.results import SimulationResult
+
+__all__ = ["energy_saving", "relative_saving", "ComparisonRow", "compare_results"]
+
+
+def energy_saving(baseline: SimulationResult, candidate: SimulationResult) -> float:
+    """Absolute joules saved by ``candidate`` relative to ``baseline``."""
+    return baseline.total_energy - candidate.total_energy
+
+
+def relative_saving(baseline: SimulationResult, candidate: SimulationResult) -> float:
+    """Fractional saving (0.25 = 25 % less energy than baseline)."""
+    if baseline.total_energy <= 0:
+        return 0.0
+    return energy_saving(baseline, candidate) / baseline.total_energy
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One strategy's headline numbers in a comparison table."""
+
+    strategy: str
+    total_energy_j: float
+    normalized_delay_s: float
+    deadline_violation_ratio: float
+    bursts: int
+    saving_vs_baseline_j: float
+    saving_vs_baseline_pct: float
+
+
+def compare_results(
+    results: Sequence[SimulationResult], baseline_name: str = "baseline"
+) -> List[ComparisonRow]:
+    """Tabulate runs against the named baseline run.
+
+    Raises :class:`ValueError` when no run matches ``baseline_name``.
+    """
+    baseline = next(
+        (r for r in results if r.strategy_name == baseline_name), None
+    )
+    if baseline is None:
+        raise ValueError(
+            f"no result named {baseline_name!r}; got "
+            f"{[r.strategy_name for r in results]}"
+        )
+    rows: List[ComparisonRow] = []
+    for r in results:
+        saving = energy_saving(baseline, r)
+        rows.append(
+            ComparisonRow(
+                strategy=r.strategy_name,
+                total_energy_j=r.total_energy,
+                normalized_delay_s=r.normalized_delay,
+                deadline_violation_ratio=r.deadline_violation_ratio,
+                bursts=r.burst_count,
+                saving_vs_baseline_j=saving,
+                saving_vs_baseline_pct=100.0 * relative_saving(baseline, r),
+            )
+        )
+    return rows

@@ -1,0 +1,100 @@
+"""Multi-seed replication: means, deviations and confidence intervals.
+
+Single-trace results carry seed noise (one Poisson draw, one bandwidth
+trace).  This module reruns a metric across seeds and summarises it, so
+experiments can report ``energy = 862 ± 31 J`` instead of a point
+estimate, and shape assertions can hold on means rather than lucky
+draws.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.baselines.base import TransmissionStrategy
+from repro.sim.results import SimulationResult
+from repro.sim.runner import Scenario, default_scenario, run_strategy
+
+__all__ = ["MetricSummary", "summarize", "replicate", "replicate_strategy"]
+
+#: Two-sided 95 % normal quantile (adequate for the n >= 5 we use).
+_Z95 = 1.96
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregate of one metric over replications."""
+
+    name: str
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    n: int
+
+    @property
+    def ci95_half_width(self) -> float:
+        """Half-width of the normal-approximation 95 % CI of the mean."""
+        if self.n < 2:
+            return 0.0
+        return _Z95 * self.stdev / math.sqrt(self.n)
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.mean:.2f} ± {self.ci95_half_width:.2f} (n={self.n})"
+
+
+def summarize(name: str, values: Sequence[float]) -> MetricSummary:
+    """Summarise raw replicate values."""
+    if not values:
+        raise ValueError("need at least one value")
+    return MetricSummary(
+        name=name,
+        mean=statistics.fmean(values),
+        stdev=statistics.stdev(values) if len(values) > 1 else 0.0,
+        minimum=min(values),
+        maximum=max(values),
+        n=len(values),
+    )
+
+
+def replicate(
+    metric_fn: Callable[[int], Mapping[str, float]],
+    seeds: Sequence[int] = tuple(range(5)),
+) -> Dict[str, MetricSummary]:
+    """Run ``metric_fn(seed)`` per seed and summarise each metric key."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    collected: Dict[str, List[float]] = {}
+    for seed in seeds:
+        metrics = metric_fn(seed)
+        for key, value in metrics.items():
+            collected.setdefault(key, []).append(float(value))
+    return {key: summarize(key, values) for key, values in collected.items()}
+
+
+def replicate_strategy(
+    strategy_factory: Callable[[Scenario], TransmissionStrategy],
+    seeds: Sequence[int] = tuple(range(5)),
+    *,
+    horizon: float = 3600.0,
+    scenario_factory: Optional[Callable[[int], Scenario]] = None,
+) -> Dict[str, MetricSummary]:
+    """Replicate one strategy over fresh scenarios, one per seed.
+
+    ``strategy_factory`` receives the per-seed scenario (profiles and
+    estimators differ per scenario instance).
+    """
+
+    def metric_fn(seed: int) -> Mapping[str, float]:
+        scenario = (
+            scenario_factory(seed)
+            if scenario_factory is not None
+            else default_scenario(seed=seed, horizon=horizon)
+        )
+        result = run_strategy(strategy_factory(scenario), scenario)
+        return result.summary()
+
+    return replicate(metric_fn, seeds)

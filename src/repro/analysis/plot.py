@@ -1,0 +1,93 @@
+"""Dependency-free ASCII plotting for terminal output.
+
+The benchmark and experiment CLIs run in environments without plotting
+libraries; these helpers render the two chart shapes the evaluation
+needs — scatter/line panels (E-D curves, sweeps) and horizontal bar
+charts (energy comparisons) — as plain text.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ascii_bars", "ascii_scatter"]
+
+_MARKERS = "o+x*#@%&"
+
+
+def ascii_bars(
+    items: Mapping[str, float],
+    *,
+    width: int = 50,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart of label → value.
+
+    Values must be non-negative; bars scale to the maximum.
+    """
+    if not items:
+        raise ValueError("nothing to plot")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if any(v < 0 for v in items.values()):
+        raise ValueError("bar values must be >= 0")
+    peak = max(items.values()) or 1.0
+    label_width = max(len(str(k)) for k in items)
+    lines: List[str] = [title] if title else []
+    for label, value in items.items():
+        bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(
+            f"{str(label).ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: Optional[str] = None,
+) -> str:
+    """Multi-series scatter plot on a character grid.
+
+    Each series gets its own marker; a legend maps markers to labels.
+    Points outside the (auto-scaled) range are clamped to the border.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, pts) in zip(_MARKERS * 4, series.items()):
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[min(max(row, 0), height - 1)][min(max(col, 0), width - 1)] = marker
+
+    lines: List[str] = [title] if title else []
+    lines.append(f"{y_hi:10.1f} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:10.1f} +" + "-" * width + "+")
+    lines.append(
+        " " * 12 + f"{x_lo:<12.1f}{xlabel:^{max(0, width - 24)}}{x_hi:>12.1f}"
+    )
+    legend = "  ".join(
+        f"{marker}={label}" for marker, (label, _) in zip(_MARKERS * 4, series.items())
+    )
+    lines.append(" " * 12 + f"[{ylabel} vs {xlabel}]  {legend}")
+    return "\n".join(lines)

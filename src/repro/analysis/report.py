@@ -1,0 +1,92 @@
+"""Full-evaluation report generation (``etrain report``).
+
+Runs every experiment and stitches the outputs into one markdown
+document — a regenerated "evaluation section" for the current code and
+seeds.  Useful for diffing reproduction results across changes.
+"""
+
+from __future__ import annotations
+
+import datetime
+import io
+import time
+from contextlib import redirect_stdout
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import repro
+
+__all__ = ["generate_report", "write_report"]
+
+
+def generate_report(
+    experiment_ids: Optional[Sequence[str]] = None,
+    *,
+    quick: bool = False,
+) -> str:
+    """Run experiments and return the combined markdown report.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Which experiments to include (default: all registered).
+    quick:
+        Forwarded to experiments that support a quick mode.
+    """
+    import inspect
+
+    from repro.experiments import ALL_EXPERIMENTS
+
+    ids = list(experiment_ids) if experiment_ids else list(ALL_EXPERIMENTS)
+    unknown = [i for i in ids if i not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+
+    sections: List[str] = [
+        "# eTrain reproduction report",
+        "",
+        f"- library version: {repro.__version__}",
+        f"- mode: {'quick' if quick else 'full-scale'}",
+        "",
+        "Regenerated evaluation outputs; see EXPERIMENTS.md for the "
+        "paper-vs-measured commentary.",
+    ]
+    for name in ids:
+        module = ALL_EXPERIMENTS[name]
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        main_fn = module.main
+        kwargs = (
+            {"quick": quick}
+            if "quick" in inspect.signature(main_fn).parameters
+            else {}
+        )
+        started = time.perf_counter()
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            main_fn(**kwargs)
+        elapsed = time.perf_counter() - started
+        sections.extend(
+            [
+                "",
+                f"## {name} — {doc}",
+                "",
+                "```",
+                buffer.getvalue().rstrip(),
+                "```",
+                "",
+                f"_({elapsed:.1f}s)_",
+            ]
+        )
+    return "\n".join(sections) + "\n"
+
+
+def write_report(
+    path: Union[str, Path],
+    experiment_ids: Optional[Sequence[str]] = None,
+    *,
+    quick: bool = False,
+) -> Path:
+    """Generate and write the report; returns the output path."""
+    path = Path(path)
+    path.write_text(generate_report(experiment_ids, quick=quick))
+    return path

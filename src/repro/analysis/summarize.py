@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_mapping"]
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are formatted to ``precision`` decimals; everything else via
+    ``str``.  Ragged rows raise :class:`ValueError`.
+    """
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    cells.extend([_fmt(v, precision) for v in row] for row in rows)
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_mapping(
+    mapping: Mapping[str, Any], *, precision: int = 2, title: Optional[str] = None
+) -> str:
+    """Render a key→value mapping as two aligned columns."""
+    if not mapping:
+        return title or ""
+    width = max(len(str(k)) for k in mapping)
+    lines = [title] if title else []
+    for key, value in mapping.items():
+        lines.append(f"{str(key).ljust(width)}  {_fmt(value, precision)}")
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Simulated Android layer: runtime, apps, hooks and the eTrain service."""
+
+from repro.android.alarm import Alarm, AlarmManager
+from repro.android.apps import AdaptiveTrainApp, CargoApp, TrainApp
+from repro.android.broadcast import Actions, BroadcastBus, BroadcastReceiver, Intent
+from repro.android.cargo_apps import (
+    ETrainCloud,
+    ETrainMail,
+    LunaWeibo,
+    WorkloadCargoApp,
+)
+from repro.android.etrain_service import ETrainService
+from repro.android.runtime import AndroidSystem
+from repro.android.xposed import Hook, HookRegistry
+
+__all__ = [
+    "Alarm",
+    "AlarmManager",
+    "AdaptiveTrainApp",
+    "CargoApp",
+    "TrainApp",
+    "Actions",
+    "BroadcastBus",
+    "BroadcastReceiver",
+    "Intent",
+    "ETrainCloud",
+    "ETrainMail",
+    "LunaWeibo",
+    "WorkloadCargoApp",
+    "ETrainService",
+    "AndroidSystem",
+    "Hook",
+    "HookRegistry",
+]

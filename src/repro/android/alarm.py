@@ -1,0 +1,105 @@
+"""Simulated Android ``AlarmManager`` (Sec. V-2).
+
+Train apps schedule their periodic heartbeats with ``AlarmManager`` —
+"designed to generate a system signal at any specific time" — picked up
+by a ``BroadcastReceiver`` that triggers the heartbeat send.  This
+in-process simulation reproduces the API surface eTrain's monitor hooks
+into: alarms are registered against a virtual clock owned by the
+:class:`AndroidSystem` runtime and fire callbacks in time order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["Alarm", "AlarmManager"]
+
+AlarmCallback = Callable[[float], None]
+
+
+@dataclass(order=True)
+class Alarm:
+    """A scheduled (possibly repeating) alarm."""
+
+    trigger_at: float
+    order: int
+    callback: AlarmCallback = field(compare=False)
+    interval: Optional[float] = field(compare=False, default=None)
+    tag: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class AlarmManager:
+    """Time-ordered alarm queue driven by the Android runtime's clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[Alarm] = []
+        self._counter = itertools.count()
+
+    def set_exact(self, trigger_at: float, callback: AlarmCallback, tag: str = "") -> Alarm:
+        """One-shot alarm at an absolute virtual time."""
+        if trigger_at < 0:
+            raise ValueError(f"trigger_at must be >= 0, got {trigger_at}")
+        alarm = Alarm(
+            trigger_at=trigger_at,
+            order=next(self._counter),
+            callback=callback,
+            tag=tag,
+        )
+        heapq.heappush(self._heap, alarm)
+        return alarm
+
+    def set_repeating(
+        self,
+        first_trigger: float,
+        interval: float,
+        callback: AlarmCallback,
+        tag: str = "",
+    ) -> Alarm:
+        """Repeating alarm — how real train apps drive their heartbeats."""
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if first_trigger < 0:
+            raise ValueError(f"first_trigger must be >= 0, got {first_trigger}")
+        alarm = Alarm(
+            trigger_at=first_trigger,
+            order=next(self._counter),
+            callback=callback,
+            interval=interval,
+            tag=tag,
+        )
+        heapq.heappush(self._heap, alarm)
+        return alarm
+
+    def cancel(self, alarm: Alarm) -> None:
+        """Cancel an alarm (it will be skipped when it surfaces)."""
+        alarm.cancelled = True
+
+    def next_trigger_time(self) -> Optional[float]:
+        """Virtual time of the earliest pending alarm (None if idle)."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].trigger_at if self._heap else None
+
+    def fire_due(self, now: float) -> int:
+        """Fire every alarm due at or before ``now``; returns count fired.
+
+        Repeating alarms are re-armed at ``trigger + interval``.  Callbacks
+        receive the alarm's nominal trigger time (not ``now``), matching
+        how heartbeat code uses the alarm timestamp.
+        """
+        fired = 0
+        while self._heap and self._heap[0].trigger_at <= now:
+            alarm = heapq.heappop(self._heap)
+            if alarm.cancelled:
+                continue
+            alarm.callback(alarm.trigger_at)
+            fired += 1
+            if alarm.interval is not None and not alarm.cancelled:
+                alarm.trigger_at += alarm.interval
+                alarm.order = next(self._counter)
+                heapq.heappush(self._heap, alarm)
+        return fired

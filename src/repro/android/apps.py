@@ -1,0 +1,256 @@
+"""App framework for the simulated Android layer: train and cargo apps.
+
+Train apps behave like the real IM apps the measurement study profiled:
+a daemon registers a repeating alarm and sends a heartbeat every cycle,
+whether or not the main app is in the foreground.  Cargo apps talk to
+eTrain exclusively over the broadcast protocol — they register a profile,
+submit transfer requests, and transmit only when eTrain says so.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.android.broadcast import Actions, BroadcastReceiver, Intent
+from repro.android.runtime import AndroidSystem
+from repro.core.packet import Heartbeat, Packet
+from repro.core.profiles import CargoAppProfile, TrainAppProfile
+
+__all__ = ["TrainApp", "AdaptiveTrainApp", "CargoApp"]
+
+
+class TrainApp:
+    """A heartbeat-sending app (WeChat/QQ/WhatsApp analogue).
+
+    The app is oblivious to eTrain: it just arms an ``AlarmManager``
+    repeating alarm and sends a heartbeat each time it fires.  eTrain's
+    monitor attaches an Xposed-style after-hook to
+    :meth:`send_heartbeat` — exactly where the real system hooks.
+    """
+
+    def __init__(self, profile: TrainAppProfile, system: AndroidSystem) -> None:
+        self.profile = profile
+        self.system = system
+        self.sent: List[Heartbeat] = []
+        self._alarm = None
+        self._seq = 0
+
+    @property
+    def app_id(self) -> str:
+        return self.profile.app_id
+
+    @property
+    def running(self) -> bool:
+        return self._alarm is not None
+
+    def start(self) -> None:
+        """Arm the heartbeat daemon (idempotent)."""
+        if self._alarm is not None:
+            return
+        self._alarm = self.system.alarm_manager.set_repeating(
+            first_trigger=self.profile.first_heartbeat,
+            interval=self.profile.cycle,
+            callback=self._on_alarm,
+            tag=f"heartbeat:{self.app_id}",
+        )
+
+    def stop(self) -> None:
+        """Kill the daemon (no more heartbeats)."""
+        if self._alarm is not None:
+            self.system.alarm_manager.cancel(self._alarm)
+            self._alarm = None
+
+    def _on_alarm(self, trigger_time: float) -> None:
+        self.send_heartbeat(trigger_time)
+
+    def send_heartbeat(self, when: float) -> Heartbeat:
+        """Transmit one heartbeat on the device radio.
+
+        This is the method the Xposed hook wraps; returning the heartbeat
+        gives the after-hook everything it needs.
+        """
+        heartbeat = Heartbeat(
+            app_id=self.app_id,
+            seq=self._seq,
+            time=when,
+            size_bytes=self.profile.heartbeat_size_bytes,
+        )
+        self._seq += 1
+        self.system.radio.transmit_heartbeat(heartbeat)
+        self.sent.append(heartbeat)
+        return heartbeat
+
+
+class AdaptiveTrainApp:
+    """A train app with a NetEase-style adaptive heartbeat cycle.
+
+    Real adaptive keep-alive daemons re-arm a one-shot alarm after every
+    heartbeat, computing the next interval from their own schedule —
+    they cannot use ``set_repeating``.  This app does the same, driven
+    by any schedule function (default: the paper's 60 s doubling-every-6
+    up to 480 s).
+
+    eTrain needs no special handling: the Xposed hook on
+    :meth:`send_heartbeat` reports departures regardless of how the
+    alarm was armed, and the monitor's cycle learner simply sees the
+    changing gaps.
+    """
+
+    def __init__(
+        self,
+        app_id: str,
+        system: AndroidSystem,
+        *,
+        heartbeat_size_bytes: int = 120,
+        first_heartbeat: float = 0.0,
+        initial_cycle: float = 60.0,
+        max_cycle: float = 480.0,
+        beats_per_stage: int = 6,
+    ) -> None:
+        if initial_cycle <= 0 or max_cycle < initial_cycle:
+            raise ValueError("need 0 < initial_cycle <= max_cycle")
+        if beats_per_stage < 1:
+            raise ValueError("beats_per_stage must be >= 1")
+        self.app_id = app_id
+        self.system = system
+        self.heartbeat_size_bytes = heartbeat_size_bytes
+        self.first_heartbeat = first_heartbeat
+        self.initial_cycle = initial_cycle
+        self.max_cycle = max_cycle
+        self.beats_per_stage = beats_per_stage
+        self.sent: List[Heartbeat] = []
+        self._seq = 0
+        self._alarm = None
+
+    @property
+    def running(self) -> bool:
+        return self._alarm is not None
+
+    def _cycle_after(self, seq: int) -> float:
+        stage = seq // self.beats_per_stage
+        return min(self.initial_cycle * (2**stage), self.max_cycle)
+
+    def start(self) -> None:
+        """Arm the first one-shot heartbeat alarm (idempotent)."""
+        if self._alarm is not None:
+            return
+        self._alarm = self.system.alarm_manager.set_exact(
+            self.first_heartbeat, self._on_alarm, tag=f"heartbeat:{self.app_id}"
+        )
+
+    def stop(self) -> None:
+        if self._alarm is not None:
+            self.system.alarm_manager.cancel(self._alarm)
+            self._alarm = None
+
+    def _on_alarm(self, trigger_time: float) -> None:
+        self.send_heartbeat(trigger_time)
+        next_in = self._cycle_after(self._seq - 1)
+        self._alarm = self.system.alarm_manager.set_exact(
+            trigger_time + next_in, self._on_alarm, tag=f"heartbeat:{self.app_id}"
+        )
+
+    def send_heartbeat(self, when: float) -> Heartbeat:
+        """Transmit one heartbeat (the hookable method, as on TrainApp)."""
+        heartbeat = Heartbeat(
+            app_id=self.app_id,
+            seq=self._seq,
+            time=when,
+            size_bytes=self.heartbeat_size_bytes,
+        )
+        self._seq += 1
+        self.system.radio.transmit_heartbeat(heartbeat)
+        self.sent.append(heartbeat)
+        return heartbeat
+
+
+class CargoApp(BroadcastReceiver):
+    """A delay-tolerant app integrated with eTrain via broadcasts.
+
+    Lifecycle: :meth:`register` announces the profile; :meth:`submit`
+    hands a transfer request (packet metadata) to eTrain; eTrain later
+    broadcasts a ``TRANSMIT`` intent naming packet ids, and the app
+    performs the actual radio transmission.
+
+    ``direct_mode=True`` models the *unmodified* app — it bypasses eTrain
+    entirely and transmits each packet the instant it is created.  The
+    controlled experiments use it for their "without eTrain" arms.
+    """
+
+    def __init__(
+        self,
+        profile: CargoAppProfile,
+        system: AndroidSystem,
+        *,
+        direct_mode: bool = False,
+    ) -> None:
+        self.profile = profile
+        self.system = system
+        self.direct_mode = direct_mode
+        self.pending: dict = {}
+        self.transmitted: List[Packet] = []
+        self._registered = False
+
+    @property
+    def app_id(self) -> str:
+        return self.profile.app_id
+
+    def register(self) -> None:
+        """Register with eTrain and start listening for decisions.
+
+        No-op in direct mode — an unmodified app never talks to eTrain.
+        """
+        if self._registered or self.direct_mode:
+            return
+        self.system.broadcast.register(Actions.TRANSMIT, self)
+        self.system.broadcast.send_action(Actions.REGISTER, profile=self.profile)
+        self._registered = True
+
+    def submit(
+        self,
+        size_bytes: int,
+        deadline: Optional[float] = None,
+        direction: str = "up",
+    ) -> Packet:
+        """Create a transfer request and submit it to eTrain.
+
+        Returns the packet handle so callers (and tests) can track it.
+        """
+        packet = Packet(
+            app_id=self.app_id,
+            arrival_time=self.system.now,
+            size_bytes=size_bytes,
+            deadline=deadline if deadline is not None else self.profile.deadline,
+            direction=direction,
+        )
+        if self.direct_mode:
+            self.system.radio.transmit_packets(self.system.now, [packet])
+            self.transmitted.append(packet)
+            return packet
+        self.pending[packet.packet_id] = packet
+        self.system.broadcast.send_action(Actions.SUBMIT_REQUEST, packet=packet)
+        return packet
+
+    def on_receive(self, intent: Intent) -> None:
+        """Handle a TRANSMIT decision addressed (possibly) to this app."""
+        if intent.action != Actions.TRANSMIT:
+            return
+        packet_ids = intent.get("packet_ids", ())
+        mine = [self.pending.pop(pid) for pid in packet_ids if pid in self.pending]
+        if not mine:
+            return
+        self.system.radio.transmit_packets(self.system.now, mine)
+        self.transmitted.extend(mine)
+
+    def prefetch(self, size_bytes: int, deadline: Optional[float] = None) -> Packet:
+        """Submit a download request (Sec. V-4's prefetching path).
+
+        Identical to :meth:`submit` except the transfer rides the
+        downlink — eTrain schedules it the same way, the radio just
+        uses the faster downlink rate.
+        """
+        return self.submit(size_bytes, deadline, direction="down")
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.pending)

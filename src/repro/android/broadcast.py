@@ -1,0 +1,102 @@
+"""Simulated Android broadcast bus (Sec. V-1 / V-4).
+
+eTrain talks to cargo apps exclusively through Android's one-to-many
+``Broadcast`` mechanism — cargo apps register predefined
+``BroadcastReceiver`` subclasses; eTrain broadcasts transmission
+decisions; cargo apps broadcast transfer requests.  This module provides
+an in-process bus with intent actions, sticky delivery semantics are not
+modelled (eTrain does not use them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+__all__ = ["Intent", "BroadcastReceiver", "BroadcastBus", "Actions"]
+
+
+class Actions:
+    """Intent action strings used by the eTrain protocol."""
+
+    #: Cargo app → eTrain: register a profile for scheduling service.
+    REGISTER = "repro.etrain.REGISTER"
+    #: Cargo app → eTrain: submit a transfer request (meta-data only).
+    SUBMIT_REQUEST = "repro.etrain.SUBMIT_REQUEST"
+    #: eTrain → cargo app: permission to transmit specific packets now.
+    TRANSMIT = "repro.etrain.TRANSMIT"
+    #: Hook layer → monitor: a train app just sent a heartbeat.
+    HEARTBEAT = "repro.etrain.HEARTBEAT"
+    #: eTrain → cargo apps: scheduler shutting down (no trains running).
+    SCHEDULER_STOPPED = "repro.etrain.SCHEDULER_STOPPED"
+
+
+@dataclass(frozen=True)
+class Intent:
+    """A broadcast message: an action string plus key/value extras."""
+
+    action: str
+    extras: Mapping[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read an extra (like ``Intent.getExtra``)."""
+        return self.extras.get(key, default)
+
+
+class BroadcastReceiver:
+    """Base receiver; subclasses override :meth:`on_receive`.
+
+    Mirrors the paper's integration story: "Developers only need to add
+    some predefined subclasses of BroadcastReceiver provided by eTrain
+    system, and let other logic unchanged."
+    """
+
+    def on_receive(self, intent: Intent) -> None:
+        """Handle a delivered intent.  Default: ignore."""
+
+    def __call__(self, intent: Intent) -> None:
+        self.on_receive(intent)
+
+
+class BroadcastBus:
+    """One-to-many intent delivery keyed by action string."""
+
+    def __init__(self) -> None:
+        self._receivers: Dict[str, List[Callable[[Intent], None]]] = {}
+        self.delivered: int = 0
+
+    def register(self, action: str, receiver: Callable[[Intent], None]) -> None:
+        """Subscribe a receiver (or plain callable) to an action."""
+        self._receivers.setdefault(action, []).append(receiver)
+
+    def unregister(self, action: str, receiver: Callable[[Intent], None]) -> None:
+        """Remove a previously registered receiver."""
+        receivers = self._receivers.get(action, [])
+        try:
+            receivers.remove(receiver)
+        except ValueError:
+            raise KeyError(
+                f"receiver not registered for action {action!r}"
+            ) from None
+
+    def receiver_count(self, action: str) -> int:
+        """How many receivers are subscribed to an action."""
+        return len(self._receivers.get(action, []))
+
+    def send(self, intent: Intent) -> int:
+        """Deliver an intent to every receiver of its action.
+
+        Returns the number of receivers reached.  Delivery is synchronous
+        and in registration order (adequate for the single-threaded
+        simulation; real Android delivery is asynchronous but ordered per
+        receiver).
+        """
+        receivers = list(self._receivers.get(intent.action, []))
+        for receiver in receivers:
+            receiver(intent)
+        self.delivered += len(receivers)
+        return len(receivers)
+
+    def send_action(self, action: str, **extras: Any) -> int:
+        """Convenience: build and send an intent in one call."""
+        return self.send(Intent(action=action, extras=extras))

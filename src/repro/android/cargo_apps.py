@@ -1,0 +1,111 @@
+"""The three cargo apps built for the evaluation (Sec. V-5).
+
+* **Luna Weibo** — full-featured third-party Weibo client; replays
+  recorded user-behaviour traces (upload/refresh events).
+* **eTrain Mail** — email client; Poisson mail sends with
+  truncated-normal sizes.
+* **eTrain Cloud** — cloud-storage sync; infrequent large uploads.
+
+Each app drives its own workload through the Android runtime: arrivals
+are armed as one-shot alarms which call :meth:`CargoApp.submit` at the
+right virtual times, exactly as a user action would.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.android.apps import CargoApp
+from repro.android.runtime import AndroidSystem
+from repro.core.profiles import (
+    CargoAppProfile,
+    cloud_profile,
+    mail_profile,
+    weibo_profile,
+)
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.sizes import TruncatedNormalSize
+from repro.workload.user_traces import BehaviorType, UserTraceRecord
+
+__all__ = ["WorkloadCargoApp", "LunaWeibo", "ETrainMail", "ETrainCloud"]
+
+
+class WorkloadCargoApp(CargoApp):
+    """Cargo app that submits a pre-planned workload via alarms."""
+
+    def schedule_submissions(
+        self, arrivals: Sequence[float], sizes: Sequence[int]
+    ) -> None:
+        """Arm one-shot alarms submitting a packet at each arrival time."""
+        if len(arrivals) != len(sizes):
+            raise ValueError("arrivals and sizes must align")
+        for when, size in zip(arrivals, sizes):
+
+            def submit(trigger_time: float, size_bytes: int = size) -> None:
+                self.submit(size_bytes)
+
+            self.system.alarm_manager.set_exact(
+                when, submit, tag=f"submit:{self.app_id}"
+            )
+
+    def schedule_poisson(self, horizon: float, seed: int = 0) -> int:
+        """Arm a Poisson workload from the app's own profile.
+
+        Returns the number of scheduled submissions.
+        """
+        arrivals = PoissonArrivals(
+            self.profile.mean_interarrival, seed=seed
+        ).arrivals(0.0, horizon)
+        size_model = TruncatedNormalSize(
+            mean=self.profile.mean_size_bytes, minimum=self.profile.min_size_bytes
+        )
+        rng = random.Random(seed + 1)
+        sizes = [size_model.sample(rng) for _ in arrivals]
+        self.schedule_submissions(arrivals, sizes)
+        return len(arrivals)
+
+
+class LunaWeibo(WorkloadCargoApp):
+    """The Weibo client; can replay recorded user-behaviour traces."""
+
+    def __init__(
+        self, system: AndroidSystem, profile: Optional[CargoAppProfile] = None
+    ) -> None:
+        super().__init__(profile if profile is not None else weibo_profile(), system)
+
+    def replay_trace(self, records: Sequence[UserTraceRecord]) -> int:
+        """Arm submissions for every network-generating trace event.
+
+        Returns the number of scheduled submissions.  The replay uses the
+        record times as-is; callers offset traces beforehand if several
+        sessions are concatenated.
+        """
+        network = [
+            r
+            for r in records
+            if r.behavior in (BehaviorType.UPLOAD, BehaviorType.REFRESH)
+            and r.packet_size > 0
+        ]
+        self.schedule_submissions(
+            [r.time for r in network], [r.packet_size for r in network]
+        )
+        return len(network)
+
+
+class ETrainMail(WorkloadCargoApp):
+    """The email client cargo app."""
+
+    def __init__(
+        self, system: AndroidSystem, profile: Optional[CargoAppProfile] = None
+    ) -> None:
+        super().__init__(profile if profile is not None else mail_profile(), system)
+
+
+class ETrainCloud(WorkloadCargoApp):
+    """The cloud-storage sync cargo app (large, very delay-tolerant)."""
+
+    def __init__(
+        self, system: AndroidSystem, profile: Optional[CargoAppProfile] = None
+    ) -> None:
+        super().__init__(profile if profile is not None else cloud_profile(), system)

@@ -1,0 +1,167 @@
+"""The eTrain service: monitor + scheduler + broadcast glued together.
+
+This is the framework-level component of Fig. 5.  It:
+
+* installs Xposed-style after-hooks on every train app's
+  ``send_heartbeat`` so the Heartbeat Monitor learns departure times the
+  instant they happen;
+* hosts the :class:`~repro.core.scheduler.ETrainScheduler` and ticks it
+  once per slot via a repeating alarm;
+* receives cargo registrations and transfer requests over the broadcast
+  bus and publishes transmission decisions the same way;
+* passes requests straight through when no train app is running, so
+  cargo apps never wait indefinitely (Sec. V-3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.android.apps import TrainApp
+from repro.android.broadcast import Actions, Intent
+from repro.android.runtime import AndroidSystem
+from repro.core.packet import Packet
+from repro.core.scheduler import ETrainScheduler, SchedulerConfig
+from repro.heartbeat.monitor import HeartbeatMonitor
+
+__all__ = ["ETrainService"]
+
+
+class ETrainService:
+    """Application-framework service implementing eTrain end to end."""
+
+    def __init__(
+        self,
+        system: AndroidSystem,
+        config: Optional[SchedulerConfig] = None,
+    ) -> None:
+        self.system = system
+        self.config = config if config is not None else SchedulerConfig()
+        self.scheduler = ETrainScheduler([], self.config)
+        self.monitor = HeartbeatMonitor()
+        self.train_apps: List[TrainApp] = []
+        self._heartbeat_this_slot = False
+        self._tick_alarm = None
+        self._started = False
+        self._held: List[Packet] = []  # Q_TX awaiting radio resource
+        system.broadcast.register(Actions.REGISTER, self._on_register)
+        system.broadcast.register(Actions.SUBMIT_REQUEST, self._on_submit)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> None:
+        """Begin slot ticking (idempotent).
+
+        Must be called *after* train apps' daemons are started so that
+        same-instant alarms fire heartbeat-before-tick, letting a tick
+        see its slot's heartbeat flag.
+        """
+        if self._started:
+            return
+        self._tick_alarm = self.system.alarm_manager.set_repeating(
+            first_trigger=0.0,
+            interval=self.config.slot,
+            callback=self._on_tick,
+            tag="etrain:tick",
+        )
+        self._started = True
+
+    def stop(self) -> None:
+        """Stop ticking and flush any waiting packets immediately."""
+        if self._tick_alarm is not None:
+            self.system.alarm_manager.cancel(self._tick_alarm)
+            self._tick_alarm = None
+        self._started = False
+        self.scheduler.flush(self.system.now)
+        self._publish_decisions(force=True)
+        self.system.broadcast.send_action(Actions.SCHEDULER_STOPPED)
+
+    # ------------------------------------------------------------------
+    # train-side integration
+
+    def attach_train_app(self, app) -> None:
+        """Hook a train app's heartbeat sender into the monitor.
+
+        Accepts any object with ``app_id``, ``running`` and a hookable
+        ``send_heartbeat`` — fixed-cycle :class:`TrainApp` and adaptive
+        apps alike.  A declared cycle (from the app's profile, when it
+        has one) skips the monitor's learning phase; adaptive apps are
+        declared without one and learned from observations.
+        """
+        self.train_apps.append(app)
+        cycle = getattr(getattr(app, "profile", None), "cycle", None)
+        self.monitor.declare_app(app.app_id, cycle=cycle)
+
+        def after_send(result, *args, **kwargs) -> None:
+            self.monitor.observe(result.app_id, result.time)
+            self._heartbeat_this_slot = True
+            self.system.broadcast.send_action(
+                Actions.HEARTBEAT, app_id=result.app_id, time=result.time
+            )
+
+        self.system.hooks.hook_after(app, "send_heartbeat", after_send)
+
+    @property
+    def trains_running(self) -> bool:
+        """Whether at least one attached train app is alive."""
+        return any(app.running for app in self.train_apps)
+
+    # ------------------------------------------------------------------
+    # cargo-side integration (broadcast receivers)
+
+    def _on_register(self, intent: Intent) -> None:
+        profile = intent.get("profile")
+        if profile is None:
+            raise ValueError("REGISTER intent missing 'profile' extra")
+        self.scheduler.register_app(profile)
+
+    def _on_submit(self, intent: Intent) -> None:
+        packet: Optional[Packet] = intent.get("packet")
+        if packet is None:
+            raise ValueError("SUBMIT_REQUEST intent missing 'packet' extra")
+        if not self.trains_running or not self._started:
+            # No trains: pass through immediately (Sec. V-3).
+            self.system.broadcast.send_action(
+                Actions.TRANSMIT, packet_ids=(packet.packet_id,)
+            )
+            return
+        self.scheduler.on_packet_arrival(packet)
+
+    # ------------------------------------------------------------------
+    # slot tick
+
+    def _on_tick(self, trigger_time: float) -> None:
+        if not self.trains_running:
+            # Trains died since last tick: drain whatever is queued.
+            self.scheduler.flush(trigger_time)
+            self._publish_decisions(force=True)
+            return
+        heartbeat_slot = self._heartbeat_this_slot
+        self.scheduler.decide(trigger_time, heartbeat_slot)
+        self._heartbeat_this_slot = False
+        self._publish_decisions(force=heartbeat_slot)
+
+    def _radio_warm(self) -> bool:
+        """Whether the radio is active or still lingering in its tail.
+
+        This is Q_TX's "radio resource available" test (Sec. IV): the
+        radio is still in its promoted high-power tail, so an extra
+        burst costs only its transmission energy.  Once the radio is
+        fully demoted to IDLE, transmitting would buy a brand-new tail,
+        so held packets wait for the next heartbeat promotion instead.
+        """
+        radio = self.system.radio
+        if not radio.records:
+            return False
+        return self.system.now < radio.busy_until + radio.power_model.tail_time
+
+    def _publish_decisions(self, force: bool = False) -> None:
+        self._held.extend(self.scheduler.tx_queue.drain())
+        if not self._held:
+            return
+        if force or self._radio_warm():
+            packets, self._held = self._held, []
+            self.system.broadcast.send_action(
+                Actions.TRANSMIT, packet_ids=tuple(p.packet_id for p in packets)
+            )

@@ -1,0 +1,86 @@
+"""Simulated Xposed-style method hooking (Sec. V-2).
+
+The real eTrain locates each train app's heartbeat-sending method (found
+via the AlarmManager/BroadcastReceiver call sites in the decompiled APK)
+and uses the Xposed framework to append a trigger "to the end of the
+train apps' heartbeat sending code" — without modifying the app.
+
+The simulation equivalent: a :class:`HookRegistry` that wraps callables
+on live objects, invoking after-hooks with the original call's arguments
+and result.  The heartbeat monitor installs an after-hook on each train
+app's ``send_heartbeat`` method.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+__all__ = ["Hook", "HookRegistry"]
+
+AfterHook = Callable[..., None]
+
+
+@dataclass
+class Hook:
+    """Handle for one installed hook (used to uninstall)."""
+
+    target: Any
+    method_name: str
+    original: Callable
+    after: AfterHook
+    active: bool = True
+
+
+class HookRegistry:
+    """Installs/uninstalls after-hooks on object methods.
+
+    Only *instance-level* hooking is supported (the simulation hooks app
+    instances, not classes), which keeps the mechanism simple and avoids
+    cross-test leakage.
+    """
+
+    def __init__(self) -> None:
+        self._hooks: List[Hook] = []
+
+    @property
+    def active_hooks(self) -> List[Hook]:
+        return [h for h in self._hooks if h.active]
+
+    def hook_after(self, target: Any, method_name: str, after: AfterHook) -> Hook:
+        """Wrap ``target.method_name`` so ``after`` runs post-call.
+
+        ``after`` is invoked as ``after(result, *args, **kwargs)`` with
+        the original call's result and arguments.  Exceptions raised by
+        the original method propagate and skip the after-hook (a failed
+        heartbeat send must not be reported as sent).
+        """
+        original = getattr(target, method_name)
+        if not callable(original):
+            raise TypeError(f"{method_name!r} of {target!r} is not callable")
+
+        hook = Hook(target=target, method_name=method_name, original=original, after=after)
+
+        @functools.wraps(original)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            result = original(*args, **kwargs)
+            if hook.active:
+                after(result, *args, **kwargs)
+            return result
+
+        setattr(target, method_name, wrapper)
+        self._hooks.append(hook)
+        return hook
+
+    def unhook(self, hook: Hook) -> None:
+        """Restore the original method."""
+        if not hook.active:
+            return
+        setattr(hook.target, hook.method_name, hook.original)
+        hook.active = False
+
+    def unhook_all(self) -> None:
+        """Restore every hooked method (teardown)."""
+        for hook in list(self._hooks):
+            self.unhook(hook)

@@ -1,0 +1,21 @@
+"""Bandwidth substrate: channel models and the synthetic Wuhan trace."""
+
+from repro.bandwidth.models import (
+    BandwidthModel,
+    ConstantBandwidth,
+    MarkovBandwidth,
+    TraceBandwidth,
+)
+from repro.bandwidth.synth import synthesize_regime, wuhan_bandwidth_model, wuhan_trace
+from repro.bandwidth.trace import BandwidthTrace
+
+__all__ = [
+    "BandwidthModel",
+    "ConstantBandwidth",
+    "MarkovBandwidth",
+    "TraceBandwidth",
+    "synthesize_regime",
+    "wuhan_bandwidth_model",
+    "wuhan_trace",
+    "BandwidthTrace",
+]

@@ -1,0 +1,208 @@
+"""Bandwidth processes seen by the radio interface.
+
+eTrain itself is deliberately channel-oblivious (Sec. IV), but the
+*simulator* needs a bandwidth process to turn packet sizes into
+transmission durations, and the PerES/eTime comparators actively estimate
+it.  A model exposes the instantaneous uplink rate and can integrate it to
+answer "how long does a burst of S bytes starting at t take?".
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional, Sequence
+
+__all__ = [
+    "BandwidthModel",
+    "ConstantBandwidth",
+    "TraceBandwidth",
+    "MarkovBandwidth",
+]
+
+
+class BandwidthModel(abc.ABC):
+    """Time-varying uplink bandwidth (bytes/second).
+
+    Downlink rates derive from the uplink via :attr:`downlink_factor`
+    (cellular downlinks run severalfold faster than uplinks); prefetch
+    transfers pass ``direction="down"``.
+    """
+
+    #: Downlink rate = uplink rate × this factor.
+    downlink_factor: float = 3.0
+
+    @abc.abstractmethod
+    def rate_at(self, t: float) -> float:
+        """Instantaneous uplink rate at time ``t`` in bytes/second (>= 0)."""
+
+    def directional_rate_at(self, t: float, direction: str = "up") -> float:
+        """Rate for a given transfer direction at time ``t``."""
+        if direction not in ("up", "down"):
+            raise ValueError(f"direction must be 'up' or 'down', got {direction!r}")
+        rate = self.rate_at(t)
+        return rate * self.downlink_factor if direction == "down" else rate
+
+    def transfer_duration(
+        self,
+        start: float,
+        size_bytes: float,
+        *,
+        direction: str = "up",
+        max_duration: float = 86400.0,
+    ) -> float:
+        """Seconds needed to move ``size_bytes`` starting at ``start``.
+
+        Default implementation integrates :meth:`directional_rate_at` in
+        1-second steps (bandwidth traces are 1 Hz), with sub-second
+        resolution on the partial first/last steps.
+
+        Raises
+        ------
+        RuntimeError
+            If the transfer would not finish within ``max_duration``
+            seconds (e.g. a pathological all-zeros trace).
+        """
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {size_bytes}")
+        if size_bytes == 0:
+            return 0.0
+        remaining = float(size_bytes)
+        t = float(start)
+        deadline = start + max_duration
+        while t < deadline:
+            step_end = math.floor(t) + 1.0
+            if step_end <= t:
+                step_end = t + 1.0
+            rate = max(0.0, self.directional_rate_at(t, direction))
+            span = step_end - t
+            if rate * span >= remaining:
+                return (t + remaining / rate) - start if rate > 0 else (step_end - start)
+            remaining -= rate * span
+            t = step_end
+        raise RuntimeError(
+            f"transfer of {size_bytes} bytes starting at {start} did not "
+            f"finish within {max_duration} s"
+        )
+
+    def mean_rate(self, start: float, end: float, step: float = 1.0) -> float:
+        """Average rate over [start, end) sampled every ``step`` seconds."""
+        if end <= start:
+            raise ValueError("end must be after start")
+        n = max(1, int(round((end - start) / step)))
+        return sum(self.rate_at(start + i * step) for i in range(n)) / n
+
+
+class ConstantBandwidth(BandwidthModel):
+    """Fixed-rate channel, handy for unit tests and analytic checks."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self.rate = float(rate)
+
+    def rate_at(self, t: float) -> float:
+        return self.rate
+
+    def transfer_duration(
+        self,
+        start: float,
+        size_bytes: float,
+        *,
+        direction: str = "up",
+        max_duration: float = 86400.0,
+    ) -> float:
+        if size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {size_bytes}")
+        if size_bytes == 0:
+            return 0.0
+        rate = self.directional_rate_at(start, direction)
+        if rate == 0:
+            raise RuntimeError("zero-bandwidth channel never completes a transfer")
+        duration = size_bytes / rate
+        if duration > max_duration:
+            raise RuntimeError(f"transfer takes {duration} s > max {max_duration} s")
+        return duration
+
+
+class TraceBandwidth(BandwidthModel):
+    """Piecewise-constant rate from 1-Hz samples (the paper's trace format).
+
+    Sample ``i`` applies to ``[start_time + i, start_time + i + 1)``.
+    Outside the trace the rate clamps to the nearest endpoint sample, and
+    ``wrap=True`` instead tiles the trace periodically (useful to extend
+    the 2-hour trace to 4-hour experiments).
+    """
+
+    def __init__(
+        self,
+        samples: Sequence[float],
+        start_time: float = 0.0,
+        *,
+        wrap: bool = False,
+    ) -> None:
+        if not samples:
+            raise ValueError("trace must contain at least one sample")
+        if any(s < 0 for s in samples):
+            raise ValueError("bandwidth samples must be >= 0")
+        self.samples = [float(s) for s in samples]
+        self.start_time = float(start_time)
+        self.wrap = wrap
+
+    @property
+    def duration(self) -> float:
+        """Trace length in seconds."""
+        return float(len(self.samples))
+
+    def rate_at(self, t: float) -> float:
+        idx = int(math.floor(t - self.start_time))
+        if self.wrap:
+            idx %= len(self.samples)
+        else:
+            idx = min(max(idx, 0), len(self.samples) - 1)
+        return self.samples[idx]
+
+
+class MarkovBandwidth(BandwidthModel):
+    """Two-state good/bad Gilbert-style channel, deterministic per seed.
+
+    The chain switches state once per second; within a state the rate is a
+    fixed level.  Used in tests and as a simple stand-in when no trace is
+    loaded.  Rates are materialised lazily but deterministically from the
+    seed, so ``rate_at`` is a pure function of (seed, second).
+    """
+
+    def __init__(
+        self,
+        good_rate: float,
+        bad_rate: float,
+        p_stay_good: float = 0.9,
+        p_stay_bad: float = 0.7,
+        seed: int = 0,
+        max_seconds: int = 1 << 20,
+    ) -> None:
+        if good_rate < bad_rate:
+            raise ValueError("good_rate must be >= bad_rate")
+        if not (0 <= p_stay_good <= 1 and 0 <= p_stay_bad <= 1):
+            raise ValueError("transition probabilities must be in [0, 1]")
+        self.good_rate = float(good_rate)
+        self.bad_rate = float(bad_rate)
+        self.p_stay_good = p_stay_good
+        self.p_stay_bad = p_stay_bad
+        self.seed = seed
+        self.max_seconds = max_seconds
+        self._states: list = [True]  # start in the good state
+        import random
+
+        self._rng = random.Random(seed)
+
+    def _state_at_second(self, sec: int) -> bool:
+        sec = min(max(sec, 0), self.max_seconds)
+        while len(self._states) <= sec:
+            prev = self._states[-1]
+            stay = self.p_stay_good if prev else self.p_stay_bad
+            self._states.append(prev if self._rng.random() < stay else not prev)
+        return self._states[sec]
+
+    def rate_at(self, t: float) -> float:
+        return self.good_rate if self._state_at_second(int(math.floor(t))) else self.bad_rate

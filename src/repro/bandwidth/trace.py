@@ -1,0 +1,103 @@
+"""Bandwidth trace container with CSV (de)serialisation and statistics."""
+
+from __future__ import annotations
+
+import csv
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Union
+
+from repro.bandwidth.models import TraceBandwidth
+
+__all__ = ["BandwidthTrace"]
+
+
+@dataclass
+class BandwidthTrace:
+    """A 1-Hz uplink bandwidth trace (bytes/second per sample).
+
+    The paper's trace-collecting app "measured and recorded the average
+    uplink bandwidth every second" — this container mirrors that format
+    and adds summary statistics plus CSV round-tripping.
+    """
+
+    samples: List[float]
+    description: str = ""
+    start_time: float = 0.0
+    _stats_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("trace must contain at least one sample")
+        if any(s < 0 for s in self.samples):
+            raise ValueError("bandwidth samples must be >= 0")
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def duration(self) -> float:
+        """Trace length in seconds (one sample per second)."""
+        return float(len(self.samples))
+
+    @property
+    def mean(self) -> float:
+        """Mean rate (bytes/second)."""
+        if "mean" not in self._stats_cache:
+            self._stats_cache["mean"] = statistics.fmean(self.samples)
+        return self._stats_cache["mean"]
+
+    @property
+    def median(self) -> float:
+        """Median rate (bytes/second)."""
+        if "median" not in self._stats_cache:
+            self._stats_cache["median"] = statistics.median(self.samples)
+        return self._stats_cache["median"]
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation of the rate."""
+        if "stdev" not in self._stats_cache:
+            self._stats_cache["stdev"] = (
+                statistics.stdev(self.samples) if len(self.samples) > 1 else 0.0
+            )
+        return self._stats_cache["stdev"]
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """stdev / mean — burstiness indicator (0 for a flat trace)."""
+        return self.stdev / self.mean if self.mean > 0 else 0.0
+
+    def outage_fraction(self, threshold: float = 1000.0) -> float:
+        """Fraction of seconds below ``threshold`` bytes/second."""
+        return sum(1 for s in self.samples if s < threshold) / len(self.samples)
+
+    def to_model(self, *, wrap: bool = False) -> TraceBandwidth:
+        """Wrap as a :class:`TraceBandwidth` usable by the simulator."""
+        return TraceBandwidth(self.samples, start_time=self.start_time, wrap=wrap)
+
+    def save_csv(self, path: Union[str, Path]) -> None:
+        """Write ``second,bytes_per_second`` rows (with a header)."""
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["second", "bytes_per_second"])
+            for i, rate in enumerate(self.samples):
+                writer.writerow([i, f"{rate:.3f}"])
+
+    @classmethod
+    def load_csv(cls, path: Union[str, Path], description: str = "") -> "BandwidthTrace":
+        """Read a trace written by :meth:`save_csv`."""
+        path = Path(path)
+        samples: List[float] = []
+        with path.open(newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header is None:
+                raise ValueError(f"{path} is empty")
+            for row in reader:
+                if len(row) < 2:
+                    raise ValueError(f"malformed trace row: {row!r}")
+                samples.append(float(row[1]))
+        return cls(samples=samples, description=description or f"loaded from {path}")

@@ -1,0 +1,24 @@
+"""Transmission strategies: eTrain and every comparator."""
+
+from repro.baselines.adaptive import AdaptiveThetaETrainStrategy
+from repro.baselines.base import BandwidthEstimator, TransmissionStrategy
+from repro.baselines.channel_aware import ChannelAwareETrainStrategy
+from repro.baselines.etime import ETimeStrategy
+from repro.baselines.etrain import ETrainStrategy
+from repro.baselines.fixed_batch import PeriodicBatchStrategy
+from repro.baselines.immediate import ImmediateStrategy
+from repro.baselines.peres import PerESStrategy
+from repro.baselines.tailender import TailEnderStrategy
+
+__all__ = [
+    "AdaptiveThetaETrainStrategy",
+    "BandwidthEstimator",
+    "TransmissionStrategy",
+    "ChannelAwareETrainStrategy",
+    "ETimeStrategy",
+    "ETrainStrategy",
+    "PeriodicBatchStrategy",
+    "ImmediateStrategy",
+    "PerESStrategy",
+    "TailEnderStrategy",
+]

@@ -1,0 +1,118 @@
+"""Common interface all transmission strategies implement.
+
+The simulator drives a strategy one slot at a time: it forwards packet
+arrivals, announces heartbeat slots, and transmits whatever the strategy
+releases.  eTrain, the immediate-send baseline, PerES and eTime all sit
+behind this interface, so every experiment can swap them freely.
+
+Strategies only make decisions for *cargo* packets — heartbeats are
+always transmitted at their departure times, by the simulator, exactly
+as the paper prescribes ("all three scheduling algorithms ... do not
+interfere original heartbeat transmission").
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from repro.core.packet import Packet
+
+__all__ = ["TransmissionStrategy", "BandwidthEstimator"]
+
+
+class BandwidthEstimator:
+    """Noisy, lagged view of the channel for bandwidth-aware strategies.
+
+    PerES and eTime "heavily rely on accurate estimation of instantaneous
+    wireless bandwidth" (Sec. VI-A), which the paper argues is unreliable
+    in practice.  This estimator models that unreliability: it reports
+    the true rate ``lag`` seconds ago, scaled by deterministic
+    multiplicative noise, so experiments can dial estimation quality from
+    perfect (lag=0, noise=0) to poor.
+    """
+
+    def __init__(
+        self,
+        bandwidth,
+        *,
+        lag: float = 2.0,
+        noise: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if lag < 0:
+            raise ValueError(f"lag must be >= 0, got {lag}")
+        if noise < 0:
+            raise ValueError(f"noise must be >= 0, got {noise}")
+        self.bandwidth = bandwidth
+        self.lag = lag
+        self.noise = noise
+        self.seed = seed
+        self._history: List[float] = []
+
+    def estimate(self, now: float) -> float:
+        """Estimated instantaneous rate at ``now`` (bytes/second)."""
+        true = self.bandwidth.rate_at(max(0.0, now - self.lag))
+        if self.noise == 0:
+            return true
+        # Deterministic per-second noise so runs are reproducible.
+        import random
+
+        rng = random.Random((self.seed, int(now)).__hash__())
+        factor = 1.0 + rng.uniform(-self.noise, self.noise)
+        return max(0.0, true * factor)
+
+    def record(self, now: float) -> None:
+        """Log an estimate (strategies tracking running averages call this)."""
+        self._history.append(self.estimate(now))
+
+    def running_average(self, window: int = 120) -> Optional[float]:
+        """Mean of the last ``window`` recorded estimates (None if empty)."""
+        if not self._history:
+            return None
+        tail = self._history[-window:]
+        return sum(tail) / len(tail)
+
+
+class TransmissionStrategy(abc.ABC):
+    """A slot-driven cargo-packet scheduling policy."""
+
+    #: Human-readable strategy name (used in experiment tables).
+    name: str = "strategy"
+
+    #: Decision granularity in seconds.  The engine steps at its own slot
+    #: but only calls :meth:`decide` at multiples of this value.
+    slot: float = 1.0
+
+    #: eTrain's Q_TX semantics (Sec. IV): released packets transmit "as
+    #: soon as possible ... whenever there is radio resource available".
+    #: When True, the simulator transmits a non-heartbeat release
+    #: immediately only if the radio is still in its high-power tail;
+    #: otherwise the release waits in Q_TX for the next heartbeat (the
+    #: next radio promotion).  Channel-timing strategies (PerES, eTime)
+    #: and the baseline promote the radio on demand and leave this False.
+    requires_warm_radio: bool = False
+
+    @abc.abstractmethod
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        """A cargo packet arrived and is available from the next slot."""
+
+    @abc.abstractmethod
+    def decide(self, now: float, heartbeat_present: bool) -> List[Packet]:
+        """Packets to transmit in the slot starting at ``now``.
+
+        ``heartbeat_present`` is True when one or more heartbeats depart
+        within this slot (piggyback opportunity).
+        """
+
+    def flush(self, now: float) -> List[Packet]:
+        """Release every still-held packet (end of simulation).
+
+        Default: nothing held.  Strategies with internal queues override.
+        """
+        return []
+
+    @property
+    def waiting_count(self) -> int:
+        """Packets currently held back by the strategy."""
+        return 0

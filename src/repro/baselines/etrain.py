@@ -1,0 +1,51 @@
+"""eTrain adapted to the common strategy interface.
+
+Thin wrapper around :class:`repro.core.scheduler.ETrainScheduler` so that
+the comparison experiments can run eTrain, PerES, eTime and the baseline
+through one simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.baselines.base import TransmissionStrategy
+from repro.core.packet import Packet
+from repro.core.profiles import CargoAppProfile
+from repro.core.scheduler import ETrainScheduler, SchedulerConfig
+
+__all__ = ["ETrainStrategy"]
+
+
+class ETrainStrategy(TransmissionStrategy):
+    """The paper's online strategy (Algorithm 1) behind the common API."""
+
+    requires_warm_radio = True
+
+    def __init__(
+        self,
+        profiles: Sequence[CargoAppProfile],
+        config: Optional[SchedulerConfig] = None,
+        *,
+        warm_gate: bool = True,
+    ) -> None:
+        self.scheduler = ETrainScheduler(profiles, config)
+        cfg = self.scheduler.config
+        self.name = f"eTrain(theta={cfg.theta}, k={'inf' if cfg.k is None else cfg.k})"
+        self.slot = cfg.slot
+        self.requires_warm_radio = warm_gate
+
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        self.scheduler.on_packet_arrival(packet)
+
+    def decide(self, now: float, heartbeat_present: bool) -> List[Packet]:
+        self.scheduler.decide(now, heartbeat_present)
+        return self.scheduler.tx_queue.drain()
+
+    def flush(self, now: float) -> List[Packet]:
+        self.scheduler.flush(now)
+        return self.scheduler.tx_queue.drain()
+
+    @property
+    def waiting_count(self) -> int:
+        return self.scheduler.waiting_count

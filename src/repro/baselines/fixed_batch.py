@@ -1,0 +1,50 @@
+"""Naive periodic batching — the simplest aggregation comparator.
+
+Transmit everything queued every ``period`` seconds regardless of
+channel, deadlines or heartbeats.  Useful as an ablation point between
+the immediate baseline and eTrain: shows how much of eTrain's win comes
+from *aggregation itself* versus *aligning the batch with heartbeat
+tails*.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.base import TransmissionStrategy
+from repro.core.packet import Packet
+
+__all__ = ["PeriodicBatchStrategy"]
+
+
+class PeriodicBatchStrategy(TransmissionStrategy):
+    """Release the backlog at fixed wall-clock multiples of ``period``."""
+
+    def __init__(self, period: float = 60.0, slot: float = 1.0) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        if slot <= 0:
+            raise ValueError(f"slot must be > 0, got {slot}")
+        self.period = period
+        self.slot = slot
+        self.name = f"periodic({period:g}s)"
+        self._queue: List[Packet] = []
+        self._last_fire = 0.0
+
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        self._queue.append(packet)
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._queue)
+
+    def decide(self, now: float, heartbeat_present: bool) -> List[Packet]:
+        if now - self._last_fire + 1e-9 < self.period:
+            return []
+        self._last_fire = now
+        released, self._queue = self._queue, []
+        return released
+
+    def flush(self, now: float) -> List[Packet]:
+        released, self._queue = self._queue, []
+        return released

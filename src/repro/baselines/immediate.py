@@ -1,0 +1,41 @@
+"""The default baseline: transmit every packet immediately on arrival.
+
+"In baseline, no energy-saving scheduling intelligence is imposed and all
+data is scheduled for transmission immediately after arrival"
+(Sec. VI-A).  Every packet therefore pays its own tail unless another
+transmission happens to follow within the tail window.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.base import TransmissionStrategy
+from repro.core.packet import Packet
+
+__all__ = ["ImmediateStrategy"]
+
+
+class ImmediateStrategy(TransmissionStrategy):
+    """Release each packet in the first slot after it arrives."""
+
+    name = "baseline"
+    slot = 1.0
+
+    def __init__(self) -> None:
+        self._pending: List[Packet] = []
+
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        self._pending.append(packet)
+
+    def decide(self, now: float, heartbeat_present: bool) -> List[Packet]:
+        released, self._pending = self._pending, []
+        return released
+
+    def flush(self, now: float) -> List[Packet]:
+        released, self._pending = self._pending, []
+        return released
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._pending)

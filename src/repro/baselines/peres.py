@@ -1,0 +1,129 @@
+"""PerES-style comparator (Sec. VI-A benchmark, ref. [15]).
+
+PerES schedules smartphone transfers under the Lyapunov framework with a
+*dynamic* control parameter ``V`` that converges so the user's long-run
+delay-cost stays under a bound ``Ω``; unlike eTime it is deadline-aware.
+Structural properties preserved from the paper's description:
+
+* 1-second decision slots;
+* relies on *estimated* instantaneous bandwidth and times transmissions
+  to relatively good channel;
+* deadline-aware — a packet about to violate its deadline forces a
+  release regardless of channel, and the whole backlog rides along
+  (the radio is awake anyway; PerES aggregates per decision);
+* ``V`` adapts multiplicatively toward the performance bound ``Ω``
+  ("PerES is designed with a dynamic V which would converge dynamically
+  according to users' performance cost bound Ω");
+* heartbeat-oblivious — its bursts pay their own tails.
+
+Decision rule each slot: release the backlog iff
+
+    P(t) · (b̂(t) / b̄) ≥ V(t)
+
+or any queued packet would violate its deadline by the next slot.  ``V``
+then updates: if the recent per-packet cost runs above Ω, V shrinks
+(favouring performance); below, V grows (favouring energy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.baselines.base import BandwidthEstimator, TransmissionStrategy
+from repro.core.cost_functions import DelayCostFunction
+from repro.core.packet import Packet
+from repro.core.profiles import CargoAppProfile
+
+__all__ = ["PerESStrategy"]
+
+
+class PerESStrategy(TransmissionStrategy):
+    """Deadline-aware, channel-aware Lyapunov scheduling with dynamic V."""
+
+    #: Multiplicative step of the V adaptation.
+    ETA = 0.05
+    #: Clamp range for V.
+    V_MIN, V_MAX = 1e-3, 1e6
+
+    def __init__(
+        self,
+        profiles: Sequence[CargoAppProfile],
+        estimator: BandwidthEstimator,
+        omega: float = 0.5,
+        v_init: float = 1.0,
+        slot: float = 1.0,
+    ) -> None:
+        if omega < 0:
+            raise ValueError(f"omega must be >= 0, got {omega}")
+        if v_init <= 0:
+            raise ValueError(f"v_init must be > 0, got {v_init}")
+        self.cost_functions: Dict[str, DelayCostFunction] = {
+            p.app_id: p.cost_function for p in profiles
+        }
+        self.deadlines: Dict[str, float] = {p.app_id: p.deadline for p in profiles}
+        self.estimator = estimator
+        self.omega = omega
+        self.v = v_init
+        self.slot = slot
+        self.name = f"PerES(omega={omega:g})"
+        self._queue: List[Packet] = []
+        self._released_costs: List[float] = []
+
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        if packet.app_id not in self.cost_functions:
+            raise KeyError(f"no profile registered for app {packet.app_id!r}")
+        self._queue.append(packet)
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._queue)
+
+    def instantaneous_cost(self, now: float) -> float:
+        """P(t) over the internal queue."""
+        return sum(
+            self.cost_functions[p.app_id](p.delay_at(now)) for p in self._queue
+        )
+
+    def _deadline_pressure(self, now: float) -> bool:
+        """Whether any queued packet is about to violate its deadline."""
+        for p in self._queue:
+            deadline = p.deadline
+            if deadline is None:
+                deadline = self.deadlines.get(p.app_id)
+            if deadline is not None and p.delay_at(now + self.slot) > deadline:
+                return True
+        return False
+
+    def _adapt_v(self) -> None:
+        """Drive V so the running per-packet cost converges to Ω."""
+        if not self._released_costs:
+            return
+        recent = self._released_costs[-50:]
+        average = sum(recent) / len(recent)
+        if average > self.omega:
+            self.v *= 1.0 - self.ETA  # too costly: favour performance
+        else:
+            self.v *= 1.0 + self.ETA  # within budget: favour energy
+        self.v = min(max(self.v, self.V_MIN), self.V_MAX)
+
+    def decide(self, now: float, heartbeat_present: bool) -> List[Packet]:
+        self.estimator.record(now)
+        if not self._queue:
+            return []
+        estimate = self.estimator.estimate(now)
+        average = self.estimator.running_average() or estimate
+        quality = estimate / average if average > 0 else 1.0
+        cost = self.instantaneous_cost(now)
+
+        if cost * quality < self.v and not self._deadline_pressure(now):
+            return []
+        released, self._queue = self._queue, []
+        self._released_costs.extend(
+            self.cost_functions[p.app_id](p.delay_at(now)) for p in released
+        )
+        self._adapt_v()
+        return released
+
+    def flush(self, now: float) -> List[Packet]:
+        released, self._queue = self._queue, []
+        return released

@@ -1,0 +1,87 @@
+"""TailEnder-style deadline batching (related-work extension, ref. [5]).
+
+TailEnder (Balasubramanian et al., IMC'09) is the classic tail-energy
+batcher the paper's introduction builds on: defer each delay-tolerant
+request as long as its deadline allows, and when the earliest deadline
+among queued requests is reached, transmit *everything* queued (newer
+requests ride along for free).  It is channel- and heartbeat-oblivious.
+
+Included as an additional comparator beyond the paper's three: it
+separates the value of batching alone from the value of aligning batches
+with heartbeat tails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.base import TransmissionStrategy
+from repro.core.packet import Packet
+from repro.core.profiles import CargoAppProfile
+
+__all__ = ["TailEnderStrategy"]
+
+
+class TailEnderStrategy(TransmissionStrategy):
+    """Send-everything-when-the-first-deadline-hits batching."""
+
+    slot = 1.0
+
+    def __init__(
+        self,
+        profiles: Sequence[CargoAppProfile] = (),
+        default_deadline: float = 60.0,
+        slack: float = 0.0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        profiles:
+            Used for per-app fallback deadlines when a packet carries none.
+        default_deadline:
+            Deadline for packets of apps without a profile.
+        slack:
+            Seconds *before* the deadline to fire (safety margin); 0
+            releases exactly at the deadline slot.
+        """
+        if default_deadline <= 0:
+            raise ValueError("default_deadline must be > 0")
+        if slack < 0:
+            raise ValueError("slack must be >= 0")
+        self.deadlines: Dict[str, float] = {p.app_id: p.deadline for p in profiles}
+        self.default_deadline = default_deadline
+        self.slack = slack
+        self.name = "TailEnder"
+        self._queue: List[Packet] = []
+
+    def _deadline_of(self, packet: Packet) -> float:
+        if packet.deadline is not None:
+            return packet.deadline
+        return self.deadlines.get(packet.app_id, self.default_deadline)
+
+    def _due_time(self, packet: Packet) -> float:
+        return packet.arrival_time + self._deadline_of(packet) - self.slack
+
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        self._queue.append(packet)
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._queue)
+
+    def earliest_due(self) -> Optional[float]:
+        """When the next batch will fire (None when the queue is empty)."""
+        if not self._queue:
+            return None
+        return min(self._due_time(p) for p in self._queue)
+
+    def decide(self, now: float, heartbeat_present: bool) -> List[Packet]:
+        due = self.earliest_due()
+        if due is None or due > now + self.slot:
+            return []
+        released, self._queue = self._queue, []
+        return released
+
+    def flush(self, now: float) -> List[Packet]:
+        released, self._queue = self._queue, []
+        return released

@@ -1,0 +1,219 @@
+"""Command-line interface: experiments and trace tooling.
+
+Examples::
+
+    etrain list                               # show available experiments
+    etrain fig2                               # toy piggybacking example
+    etrain fig7 --quick                       # shorter horizon
+    etrain all --quick                        # every experiment
+    etrain trace bandwidth --out bw.csv       # synthetic Wuhan 3G trace
+    etrain trace cargo --out pkts.csv --rate 0.08
+    etrain trace users --out users.csv
+    etrain trace capture --out cap.csv --apps qq,netease
+    etrain report --out report.md --quick   # full evaluation report
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from typing import List, Optional
+
+from repro.experiments import ALL_EXPERIMENTS
+
+__all__ = ["main", "build_parser", "run_trace_command"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="etrain",
+        description=(
+            "eTrain (ICDCS 2015) reproduction: regenerate any of the "
+            "paper's tables and figures, or synthesise traces."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help=(
+            "experiment id (e.g. fig7, table1), 'all', 'list', or "
+            "'trace' for trace tooling"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use shorter horizons / coarser sweeps where supported",
+    )
+    return parser
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    """Parser for the ``etrain trace <kind>`` tooling."""
+    parser = argparse.ArgumentParser(
+        prog="etrain trace",
+        description="Synthesise and save the library's trace artefacts.",
+    )
+    sub = parser.add_subparsers(dest="kind", required=True)
+
+    bandwidth = sub.add_parser("bandwidth", help="synthetic Wuhan 3G uplink trace")
+    bandwidth.add_argument("--out", required=True, help="output CSV path")
+    bandwidth.add_argument("--seed", type=int, default=20141208)
+    bandwidth.add_argument("--duration", type=int, default=7200, help="seconds")
+
+    cargo = sub.add_parser("cargo", help="synthetic cargo packet trace")
+    cargo.add_argument("--out", required=True, help="output CSV path")
+    cargo.add_argument("--rate", type=float, default=0.08, help="total packets/s")
+    cargo.add_argument("--horizon", type=float, default=7200.0, help="seconds")
+    cargo.add_argument("--seed", type=int, default=0)
+
+    users = sub.add_parser("users", help="Luna-Weibo user behaviour sessions")
+    users.add_argument("--out", required=True, help="output CSV path")
+    users.add_argument("--seed", type=int, default=0)
+    users.add_argument("--active", type=int, default=15)
+    users.add_argument("--moderate", type=int, default=40)
+    users.add_argument("--inactive", type=int, default=45)
+
+    capture = sub.add_parser("capture", help="idle-traffic packet capture")
+    capture.add_argument("--out", required=True, help="output CSV path")
+    capture.add_argument(
+        "--apps",
+        default="qq,wechat,whatsapp",
+        help="comma-separated train apps (incl. 'netease', 'renren')",
+    )
+    capture.add_argument("--duration", type=float, default=3600.0, help="seconds")
+    return parser
+
+
+def run_trace_command(argv: List[str]) -> int:
+    """Execute ``etrain trace ...``; returns an exit code."""
+    args = build_trace_parser().parse_args(argv)
+
+    if args.kind == "bandwidth":
+        from repro.bandwidth.synth import wuhan_trace
+
+        trace = wuhan_trace(args.seed, duration=args.duration)
+        trace.save_csv(args.out)
+        print(
+            f"wrote {len(trace)} samples to {args.out} "
+            f"(mean {trace.mean / 1000:.1f} KB/s, cv {trace.coefficient_of_variation:.2f})"
+        )
+        return 0
+
+    if args.kind == "cargo":
+        from repro.workload.cargo import profiles_for_total_rate, synthesize_trace
+        from repro.workload.trace_io import save_packets_csv
+
+        profiles = profiles_for_total_rate(args.rate)
+        packets = synthesize_trace(profiles, horizon=args.horizon, seed=args.seed)
+        save_packets_csv(packets, args.out)
+        print(
+            f"wrote {len(packets)} packets to {args.out} "
+            f"(lambda={args.rate}, horizon={args.horizon:.0f}s)"
+        )
+        return 0
+
+    if args.kind == "users":
+        from repro.workload.user_traces import (
+            ActivityClass,
+            generate_user_population,
+            save_trace_csv,
+        )
+
+        population = generate_user_population(
+            {
+                ActivityClass.ACTIVE: args.active,
+                ActivityClass.MODERATE: args.moderate,
+                ActivityClass.INACTIVE: args.inactive,
+            },
+            seed=args.seed,
+        )
+        records = [r for session in population.values() for r in session]
+        records.sort(key=lambda r: (r.user_id, r.time))
+        save_trace_csv(records, args.out)
+        print(
+            f"wrote {len(records)} behaviour records "
+            f"({len(population)} users) to {args.out}"
+        )
+        return 0
+
+    if args.kind == "capture":
+        from repro.heartbeat.apps import make_generator
+        from repro.measurement.capture import capture_idle_traffic
+
+        app_ids = [a.strip() for a in args.apps.split(",") if a.strip()]
+        generators = [make_generator(a) for a in app_ids]
+        capture = capture_idle_traffic(generators, args.duration)
+        capture.save_csv(args.out)
+        print(
+            f"wrote {len(capture)} captured packets for {app_ids} to {args.out}"
+        )
+        return 0
+
+    raise AssertionError(f"unhandled trace kind {args.kind!r}")
+
+
+def _run_one(name: str, quick: bool) -> None:
+    module = ALL_EXPERIMENTS[name]
+    main_fn = module.main
+    # Forward --quick only to experiments whose main() accepts it.
+    if "quick" in inspect.signature(main_fn).parameters:
+        main_fn(quick=quick)
+    else:
+        main_fn()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+
+    if argv and argv[0] == "trace":
+        return run_trace_command(argv[1:])
+
+    if argv and argv[0] == "report":
+        report_parser = argparse.ArgumentParser(prog="etrain report")
+        report_parser.add_argument("--out", required=True, help="output .md path")
+        report_parser.add_argument("--quick", action="store_true")
+        report_parser.add_argument(
+            "--only", default="", help="comma-separated experiment ids"
+        )
+        report_args = report_parser.parse_args(argv[1:])
+        from repro.analysis.report import write_report
+
+        only = [x.strip() for x in report_args.only.split(",") if x.strip()]
+        path = write_report(
+            report_args.out, only or None, quick=report_args.quick
+        )
+        print(f"wrote report to {path}")
+        return 0
+
+    args = build_parser().parse_args(argv)
+    name = args.experiment.lower()
+
+    if name == "list":
+        for key, module in ALL_EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{key:9s} {doc}")
+        return 0
+
+    if name == "all":
+        for key in ALL_EXPERIMENTS:
+            print(f"=== {key} " + "=" * (60 - len(key)))
+            _run_one(key, args.quick)
+            print()
+        return 0
+
+    if name not in ALL_EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    _run_one(name, args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""eTrain's core contribution: models, costs, and the online scheduler."""
+
+from repro.core.cost_functions import (
+    CloudCost,
+    DelayCostFunction,
+    LinearCost,
+    MailCost,
+    PiecewiseLinearCost,
+    StepCost,
+    WeiboCost,
+    ZeroCost,
+)
+from repro.core.lyapunov import (
+    AppDriftState,
+    build_drift_states,
+    greedy_select,
+    lyapunov_value,
+    marginal_gain,
+    objective_value,
+)
+from repro.core.offline import (
+    OfflineSchedule,
+    dp_offline,
+    evaluate_schedule,
+    exhaustive_offline,
+    greedy_offline,
+    local_search_offline,
+)
+from repro.core.packet import Heartbeat, Packet, TransmissionRecord, reset_packet_ids
+from repro.core.profiles import (
+    CargoAppProfile,
+    DEFAULT_CARGO_PROFILES,
+    TrainAppProfile,
+    cloud_profile,
+    mail_profile,
+    weibo_profile,
+)
+from repro.core.queues import TransmissionQueue, WaitingQueue
+from repro.core.scheduler import ETrainScheduler, SchedulerConfig, SchedulerDecision
+
+__all__ = [
+    "CloudCost",
+    "DelayCostFunction",
+    "LinearCost",
+    "MailCost",
+    "PiecewiseLinearCost",
+    "StepCost",
+    "WeiboCost",
+    "ZeroCost",
+    "AppDriftState",
+    "build_drift_states",
+    "greedy_select",
+    "lyapunov_value",
+    "marginal_gain",
+    "objective_value",
+    "OfflineSchedule",
+    "evaluate_schedule",
+    "exhaustive_offline",
+    "greedy_offline",
+    "local_search_offline",
+    "dp_offline",
+    "Heartbeat",
+    "Packet",
+    "TransmissionRecord",
+    "reset_packet_ids",
+    "CargoAppProfile",
+    "DEFAULT_CARGO_PROFILES",
+    "TrainAppProfile",
+    "cloud_profile",
+    "mail_profile",
+    "weibo_profile",
+    "TransmissionQueue",
+    "WaitingQueue",
+    "ETrainScheduler",
+    "SchedulerConfig",
+    "SchedulerDecision",
+]

@@ -1,0 +1,155 @@
+"""Lyapunov-drift machinery behind Algorithm 1 (Sec. IV).
+
+The online strategy maintains the Lyapunov function
+
+    L(t) = ½ Σ_i P_i(t)²,    P_i(t) = Σ_{u ∈ Q_i(t)} φ_u(t − t_a(u)),
+
+and, each slot, selects the packet set Q*(t) maximising the negative
+one-step drift.  Dropping choice-independent terms, the per-app objective
+reduces to (Eq. 7):
+
+    F_i(S_i) = P̄_i(t) · Σ_{u∈S_i} φ̂_u(t) − (Σ_{u∈S_i} φ̂_u(t))² / 2,
+
+with P̄_i(t) = Σ_{u∈Q_i(t)} φ̂_u(t) and speculative cost
+φ̂_u(t) = φ_u(t + 1 − t_a(u)) (the cost the packet would have next slot
+if left behind).  The greedy subgradient step (Eq. 9) adds, in each
+iteration, the packet with the largest marginal gain
+
+    ΔF_i(u | S_i) = (P̄_i(t) − Σ_{q∈S_i} φ̂_q(t)) · φ̂_u(t) − φ̂_u(t)²/2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.packet import Packet
+from repro.core.queues import WaitingQueue
+
+__all__ = [
+    "AppDriftState",
+    "build_drift_states",
+    "marginal_gain",
+    "objective_value",
+    "lyapunov_value",
+    "greedy_select",
+]
+
+
+@dataclass
+class AppDriftState:
+    """Per-app quantities frozen at the start of a slot.
+
+    Attributes
+    ----------
+    app_id:
+        Cargo app this state describes.
+    speculative:
+        φ̂_u(t) per queued packet (same order as ``packets``).
+    packets:
+        The queue contents at the start of the slot.
+    p_bar:
+        P̄_i(t) — sum of all speculative costs.
+    selected_cost:
+        Running Σ_{q ∈ S_i} φ̂_q(t) of the packets already selected
+        from this app by the greedy loop.
+    """
+
+    app_id: str
+    packets: List[Packet]
+    speculative: List[float]
+    p_bar: float = field(init=False)
+    selected_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.packets) != len(self.speculative):
+            raise ValueError("packets and speculative costs must align")
+        self.p_bar = sum(self.speculative)
+
+
+def build_drift_states(
+    queues: Mapping[str, WaitingQueue], now: float, slot: float = 1.0
+) -> Dict[str, AppDriftState]:
+    """Snapshot every waiting queue's drift state at slot start ``now``."""
+    states: Dict[str, AppDriftState] = {}
+    for app_id, queue in queues.items():
+        packets = queue.packets
+        spec = [queue.speculative_cost(p, now, slot) for p in packets]
+        states[app_id] = AppDriftState(app_id=app_id, packets=packets, speculative=spec)
+    return states
+
+
+def marginal_gain(state: AppDriftState, spec_cost: float) -> float:
+    """ΔF_i(u | S_i) for adding a packet with speculative cost ``spec_cost``."""
+    return (state.p_bar - state.selected_cost) * spec_cost - spec_cost**2 / 2.0
+
+
+def objective_value(p_bar: float, selected_costs: Sequence[float]) -> float:
+    """F_i(S_i) = P̄_i · Σφ̂ − (Σφ̂)²/2 for one app's selected set."""
+    s = sum(selected_costs)
+    return p_bar * s - s * s / 2.0
+
+
+def lyapunov_value(instantaneous_costs: Iterable[float]) -> float:
+    """L(t) = ½ Σ_i P_i(t)²."""
+    return 0.5 * sum(c * c for c in instantaneous_costs)
+
+
+def greedy_select(
+    states: Dict[str, AppDriftState],
+    budget: int,
+    *,
+    include_free_riders: bool = False,
+) -> List[Tuple[str, Packet]]:
+    """Greedy subgradient selection of at most ``budget`` packets.
+
+    Repeatedly picks the (app, packet) pair with the highest marginal
+    gain (Eq. 9) until the budget is exhausted or no packet remains with
+    positive gain.  Because the still-unselected mass always covers a
+    candidate's own speculative cost, a pick's gain is at least
+    ``spec²/2`` — so only zero-speculative-cost packets ever have zero
+    gain.
+
+    On heartbeat slots (``include_free_riders=True``) Algorithm 1 keeps
+    looping "while |Q*(t)| ≤ K(t) and |Q(t)| > 0": packets whose cost is
+    still zero (e.g. mail before its deadline) ride along for free —
+    the heartbeat's tail is paid anyway, so transmitting them costs
+    nothing and spares a future tail.  On non-heartbeat slots they stay
+    queued: sending a cost-free packet alone would buy a fresh tail for
+    no drift benefit.
+
+    Returns the selected (app_id, packet) pairs in pick order.  The input
+    states are mutated (selected packets are removed and
+    ``selected_cost`` grows), matching Algorithm 1's in-place updates.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+    picks: List[Tuple[str, Packet]] = []
+    while len(picks) < budget:
+        best_gain = 0.0
+        best: Optional[Tuple[str, int]] = None
+        for app_id, state in states.items():
+            for idx, spec in enumerate(state.speculative):
+                gain = marginal_gain(state, spec)
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (app_id, idx)
+        if best is None:
+            break
+        app_id, idx = best
+        state = states[app_id]
+        packet = state.packets.pop(idx)
+        spec = state.speculative.pop(idx)
+        state.selected_cost += spec
+        picks.append((app_id, packet))
+
+    if include_free_riders:
+        # Oldest-first free riders keep FIFO fairness within each app.
+        for app_id, state in states.items():
+            while len(picks) < budget and state.packets:
+                packet = state.packets.pop(0)
+                state.speculative.pop(0)
+                picks.append((app_id, packet))
+            if len(picks) >= budget:
+                break
+    return picks

@@ -1,0 +1,176 @@
+"""App profiles: what eTrain learns when an app registers for its service.
+
+A cargo app's profile bundles the metadata the eTrain Broadcast module
+receives at registration time (Sec. V-4): its delay-cost function, its
+typical packet sizes, and a nominal deadline.  A train app's profile
+carries its heartbeat cycle and heartbeat size (Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.cost_functions import (
+    CloudCost,
+    DelayCostFunction,
+    MailCost,
+    WeiboCost,
+)
+
+__all__ = [
+    "CargoAppProfile",
+    "TrainAppProfile",
+    "mail_profile",
+    "weibo_profile",
+    "cloud_profile",
+    "DEFAULT_CARGO_PROFILES",
+]
+
+
+@dataclass
+class CargoAppProfile:
+    """Registration metadata of a delay-tolerant cargo app.
+
+    Attributes
+    ----------
+    app_id:
+        Unique identifier.
+    cost_function:
+        φ_u — the delay-cost profile shared by this app's packets.
+    mean_size_bytes / min_size_bytes:
+        Truncated-normal packet-size parameters (mean also used as the
+        distribution minimum's companion; σ defaults to mean/4 in the
+        workload generator).
+    deadline:
+        Nominal relative deadline (seconds); mirrors the cost function's.
+    mean_interarrival:
+        Mean seconds between packet arrivals (Poisson workload).
+    """
+
+    app_id: str
+    cost_function: DelayCostFunction
+    mean_size_bytes: int
+    min_size_bytes: int
+    deadline: float
+    mean_interarrival: float
+
+    def __post_init__(self) -> None:
+        if self.mean_size_bytes <= 0 or self.min_size_bytes <= 0:
+            raise ValueError("packet sizes must be > 0")
+        if self.min_size_bytes > self.mean_size_bytes:
+            raise ValueError("min size cannot exceed mean size")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be > 0")
+        if self.mean_interarrival <= 0:
+            raise ValueError("mean_interarrival must be > 0")
+
+    def with_deadline(self, deadline: float) -> "CargoAppProfile":
+        """Copy of this profile with a rebuilt cost function at ``deadline``.
+
+        Used by the Fig. 10(c) deadline sweep, which varies a shared
+        deadline across all cargo apps.
+        """
+        new_cost = type(self.cost_function)(deadline)  # type: ignore[call-arg]
+        return CargoAppProfile(
+            app_id=self.app_id,
+            cost_function=new_cost,
+            mean_size_bytes=self.mean_size_bytes,
+            min_size_bytes=self.min_size_bytes,
+            deadline=deadline,
+            mean_interarrival=self.mean_interarrival,
+        )
+
+    def with_interarrival(self, mean_interarrival: float) -> "CargoAppProfile":
+        """Copy with a different Poisson mean inter-arrival time."""
+        return CargoAppProfile(
+            app_id=self.app_id,
+            cost_function=self.cost_function,
+            mean_size_bytes=self.mean_size_bytes,
+            min_size_bytes=self.min_size_bytes,
+            deadline=self.deadline,
+            mean_interarrival=mean_interarrival,
+        )
+
+
+@dataclass(frozen=True)
+class TrainAppProfile:
+    """A heartbeat-sending app as the scheduler sees it.
+
+    Attributes
+    ----------
+    app_id:
+        Identifier (e.g. ``"qq"``).
+    cycle:
+        Heartbeat period in seconds (``cycle_i``); for apps with adaptive
+        cycles (NetEase) this is the *initial* cycle and the generator in
+        :mod:`repro.heartbeat.generators` handles the schedule.
+    heartbeat_size_bytes:
+        Size of each heartbeat message.
+    first_heartbeat:
+        ``t_s(h_{i,0})`` — departure time of the first heartbeat.
+    """
+
+    app_id: str
+    cycle: float
+    heartbeat_size_bytes: int
+    first_heartbeat: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cycle <= 0:
+            raise ValueError(f"cycle must be > 0, got {self.cycle}")
+        if self.heartbeat_size_bytes <= 0:
+            raise ValueError("heartbeat_size_bytes must be > 0")
+        if self.first_heartbeat < 0:
+            raise ValueError("first_heartbeat must be >= 0")
+
+
+def mail_profile(
+    deadline: float = 60.0, mean_interarrival: float = 50.0
+) -> CargoAppProfile:
+    """eTrain Mail: 5 KB mean / 1 KB min packets, f1 cost (Sec. VI-A)."""
+    return CargoAppProfile(
+        app_id="mail",
+        cost_function=MailCost(deadline),
+        mean_size_bytes=5_000,
+        min_size_bytes=1_000,
+        deadline=deadline,
+        mean_interarrival=mean_interarrival,
+    )
+
+
+def weibo_profile(
+    deadline: float = 30.0, mean_interarrival: float = 20.0
+) -> CargoAppProfile:
+    """Luna Weibo: 2 KB mean / 100 B min packets, f2 cost (Sec. VI-A)."""
+    return CargoAppProfile(
+        app_id="weibo",
+        cost_function=WeiboCost(deadline),
+        mean_size_bytes=2_000,
+        min_size_bytes=100,
+        deadline=deadline,
+        mean_interarrival=mean_interarrival,
+    )
+
+
+def cloud_profile(
+    deadline: float = 120.0, mean_interarrival: float = 100.0
+) -> CargoAppProfile:
+    """eTrain Cloud: 100 KB mean / 10 KB min packets, f3 cost (Sec. VI-A)."""
+    return CargoAppProfile(
+        app_id="cloud",
+        cost_function=CloudCost(deadline),
+        mean_size_bytes=100_000,
+        min_size_bytes=10_000,
+        deadline=deadline,
+        mean_interarrival=mean_interarrival,
+    )
+
+
+def DEFAULT_CARGO_PROFILES() -> list:
+    """The paper's three cargo apps with λ = 0.08 inter-arrival ratios.
+
+    The mean inter-arrival ratio mail:weibo:cloud is 5:2:10 (50 s, 20 s,
+    100 s), giving a total arrival rate of 0.08 packets/second.
+    """
+    return [mail_profile(), weibo_profile(), cloud_profile()]

@@ -1,0 +1,56 @@
+"""One module per paper table/figure, each exposing ``run_*`` and ``main``.
+
+========  ====================================================  ===============
+ID        Content                                               Module
+========  ====================================================  ===============
+Fig. 1    Standby heartbeat energy / heartbeat scatter          ``fig1``
+Fig. 2    Toy piggybacking example (5 emails, 1 cycle)          ``fig2``
+Fig. 3    Heartbeat patterns incl. NetEase doubling             ``fig3``
+Fig. 4    Power states around one heartbeat                     ``fig4``
+Fig. 6    Delay cost functions f1/f2/f3                         ``fig6``
+Fig. 7    Θ sweep and k E-D panel                               ``fig7``
+Fig. 8    Comparison vs baseline/PerES/eTime; λ sweep           ``fig8``
+Fig. 10   Controlled experiments (Android layer)                ``fig10``
+Fig. 11   User-activeness replay                                ``fig11``
+Table 1   Heartbeat cycles per device/app                       ``table1``
+========  ====================================================  ===============
+
+(Fig. 5 is the architecture diagram — realised by ``repro.android`` —
+and Fig. 9 is a photo of the experimental setup; neither has data to
+regenerate.)
+"""
+
+from repro.experiments import (
+    ablations,
+    daylong,
+    fig1,
+    sensitivity,
+    fig2,
+    fig3,
+    fig4,
+    fig6,
+    fig7,
+    fig8,
+    fig10,
+    fig11,
+    table1,
+)
+
+#: Registry used by the CLI: name → module with a ``main`` callable.
+ALL_EXPERIMENTS = {
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig10": fig10,
+    "fig11": fig11,
+    "table1": table1,
+    "ablations": ablations,
+    "daylong": daylong,
+    "sensitivity": sensitivity,
+}
+
+__all__ = ["ALL_EXPERIMENTS"] + list(ALL_EXPERIMENTS)

@@ -1,0 +1,161 @@
+"""Day-long battery experiment — the intro's arithmetic, end to end.
+
+Simulates a full 24-hour day: three IM train apps heartbeating around
+the clock, the three cargo apps generating traffic that follows a
+diurnal profile (near-silent overnight, morning/evening peaks), on the
+paper's 1700 mAh / 3.7 V reference battery.  Reports what the paper's
+introduction reports: battery percentage spent on radio activity,
+heartbeat share, and the standby-hours equivalent of eTrain's saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.summarize import format_table
+from repro.baselines.etrain import ETrainStrategy
+from repro.baselines.immediate import ImmediateStrategy
+from repro.bandwidth.synth import wuhan_bandwidth_model
+from repro.core.packet import Packet, reset_packet_ids
+from repro.core.profiles import DEFAULT_CARGO_PROFILES
+from repro.core.scheduler import SchedulerConfig
+from repro.heartbeat.apps import default_train_generators
+from repro.sim.battery import GALAXY_S4_BATTERY, Battery
+from repro.sim.runner import Scenario, run_strategy
+from repro.workload.diurnal import DAY_SECONDS, DiurnalProfile, NonHomogeneousPoisson
+from repro.workload.sizes import TruncatedNormalSize
+
+__all__ = ["DayResult", "build_day_scenario", "run_daylong", "main"]
+
+
+@dataclass(frozen=True)
+class DayResult:
+    """Battery-level view of one 24-hour configuration."""
+
+    label: str
+    energy_j: float
+    battery_pct: float
+    mean_delay_s: float
+    heartbeat_energy_j: float
+
+    @property
+    def heartbeat_share(self) -> float:
+        return self.heartbeat_energy_j / self.energy_j if self.energy_j else 0.0
+
+
+def build_day_scenario(
+    seed: int = 0,
+    profile: DiurnalProfile = DiurnalProfile(),
+    train_count: int = 3,
+    rate_scale: float = 0.1,
+) -> Scenario:
+    """A 24-hour scenario with diurnal cargo arrivals.
+
+    The evaluation's λ = 0.08 packets/s describes *active use*; as a
+    daily average it would mean ~7000 packets/day.  ``rate_scale``
+    (default 0.1) turns the per-app rates into plausible daily averages
+    (~700 background events/day across the three apps), with the diurnal
+    profile concentrating them into waking hours.
+    """
+    if rate_scale <= 0:
+        raise ValueError("rate_scale must be > 0")
+    cargo_profiles = [
+        cp.with_interarrival(cp.mean_interarrival / rate_scale)
+        for cp in DEFAULT_CARGO_PROFILES()
+    ]
+    reset_packet_ids()
+    packets: List[Packet] = []
+    for i, cp in enumerate(cargo_profiles):
+        arrivals = NonHomogeneousPoisson(
+            cp.mean_interarrival, profile, seed=seed * 101 + i
+        ).arrivals(0.0, DAY_SECONDS)
+        sizes = TruncatedNormalSize(cp.mean_size_bytes, cp.min_size_bytes)
+        import random
+
+        rng = random.Random(seed * 101 + i + 7)
+        packets.extend(
+            Packet(
+                app_id=cp.app_id,
+                arrival_time=t,
+                size_bytes=sizes.sample(rng),
+                deadline=cp.deadline,
+            )
+            for t in arrivals
+        )
+    packets.sort(key=lambda p: (p.arrival_time, p.packet_id))
+    return Scenario(
+        profiles=cargo_profiles,
+        train_generators=default_train_generators(train_count),
+        packets=packets,
+        bandwidth=wuhan_bandwidth_model(wrap=True),
+        horizon=DAY_SECONDS,
+    )
+
+
+def run_daylong(
+    seed: int = 0,
+    theta: float = 1.0,
+    battery: Battery = GALAXY_S4_BATTERY,
+) -> List[DayResult]:
+    """Baseline vs. eTrain over a full simulated day."""
+    results: List[DayResult] = []
+    for label, strategy_factory in (
+        ("baseline", lambda sc: ImmediateStrategy()),
+        (
+            "eTrain",
+            lambda sc: ETrainStrategy(sc.profiles, SchedulerConfig(theta=theta)),
+        ),
+    ):
+        scenario = build_day_scenario(seed=seed)
+        result = run_strategy(strategy_factory(scenario), scenario)
+        hb_energy = (
+            result.energy.heartbeat_transmission
+            # Attribute tail energy to heartbeats in proportion to their
+            # share of bursts — a coarse split adequate for the share
+            # statistic (the exact attribution is scheduling-dependent).
+            + result.energy.tail
+            * sum(1 for r in result.records if r.kind == "heartbeat")
+            / max(1, result.burst_count)
+        )
+        results.append(
+            DayResult(
+                label=label,
+                energy_j=result.total_energy,
+                battery_pct=battery.percent_used(result.total_energy),
+                mean_delay_s=result.normalized_delay,
+                heartbeat_energy_j=hb_energy,
+            )
+        )
+    return results
+
+
+def main(seed: int = 0) -> str:
+    """Run the day-long comparison and print the battery view."""
+    battery = GALAXY_S4_BATTERY
+    results = run_daylong(seed=seed, battery=battery)
+    table = format_table(
+        ["configuration", "energy (J)", "battery %", "delay (s)"],
+        [[r.label, r.energy_j, r.battery_pct, r.mean_delay_s] for r in results],
+        title=(
+            "24-hour day on the paper's 1700 mAh / 3.7 V battery "
+            "(diurnal workload, 3 trains)"
+        ),
+    )
+    baseline, etrain = results
+    saved = baseline.energy_j - etrain.energy_j
+    lines = [
+        table,
+        "",
+        f"eTrain saves {saved:.0f} J = "
+        f"{battery.percent_used(saved):.1f}% of the battery = "
+        f"{battery.standby_hours_equivalent(saved):.0f} standby-hours "
+        f"equivalent per day",
+    ]
+    report = "\n".join(lines)
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,241 @@
+"""Fig. 10 — controlled experiments on the (simulated) device.
+
+All three panels run the full Android-layer stack — train apps with
+alarm-driven heartbeat daemons, eTrain service with Xposed-style hooks,
+broadcast-integrated cargo apps — on a simulated Galaxy S4 powered
+through the emulated power monitor.
+
+(a) Impact of train apps: total cargo energy, heartbeat energy and
+    average delay for 0 (NULL) / 1 / 2 / 3 train apps.  Paper findings:
+    ~45 % cargo-energy saving regardless of train count, 12–33 % total
+    saving, and delay halving from 1 to 3 trains.
+(b) Θ sweep 0.1 → 0.5 with 3 trains + 3 cargos: energy 1200 → 850 J
+    (~30 % down) as delay rises 48 → 62 s.
+(c) Shared-deadline sweep 10 → 180 s: larger deadlines buy more energy
+    saving (more piggyback opportunities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.summarize import format_table
+from repro.android.apps import CargoApp, TrainApp
+from repro.android.cargo_apps import ETrainCloud, ETrainMail, LunaWeibo
+from repro.android.etrain_service import ETrainService
+from repro.android.runtime import AndroidSystem
+from repro.bandwidth.models import BandwidthModel
+from repro.bandwidth.synth import wuhan_bandwidth_model
+from repro.core.profiles import cloud_profile, mail_profile, weibo_profile
+from repro.core.scheduler import SchedulerConfig
+from repro.heartbeat.apps import known_train_profile
+from repro.radio.power_model import GALAXY_S4_3G, PowerModel
+
+__all__ = [
+    "ControlledRun",
+    "TrainCountRow",
+    "run_controlled",
+    "run_fig10a",
+    "run_fig10b",
+    "run_fig10c",
+    "main",
+]
+
+_TRAIN_ORDER: Tuple[Tuple[str, float], ...] = (
+    ("qq", 0.0),
+    ("wechat", 30.0),
+    ("whatsapp", 60.0),
+)
+
+
+@dataclass(frozen=True)
+class ControlledRun:
+    """Measurements from one device run."""
+
+    train_count: int
+    total_energy_j: float
+    cargo_packets: int
+    mean_delay_s: float
+    flushed: int
+
+
+def _cargo_profiles(deadline: Optional[float] = None) -> list:
+    profiles = [mail_profile(), weibo_profile(), cloud_profile()]
+    if deadline is not None:
+        profiles = [p.with_deadline(deadline) for p in profiles]
+    return profiles
+
+
+def run_controlled(
+    *,
+    train_count: int = 3,
+    with_cargo: bool = True,
+    use_etrain: bool = True,
+    theta: float = 0.2,
+    k: Optional[int] = 20,
+    deadline: Optional[float] = None,
+    horizon: float = 7200.0,
+    seed: int = 0,
+    power_model: PowerModel = GALAXY_S4_3G,
+    bandwidth: Optional[BandwidthModel] = None,
+) -> ControlledRun:
+    """One end-to-end Android-layer run; returns device measurements.
+
+    ``use_etrain=False`` puts cargo apps in direct (unmodified) mode —
+    the "without eTrain" arm of the controlled experiments.
+    """
+    if not (0 <= train_count <= 3):
+        raise ValueError(f"train_count must be in [0, 3], got {train_count}")
+    system = AndroidSystem(
+        power_model,
+        bandwidth if bandwidth is not None else wuhan_bandwidth_model(),
+    )
+    service = ETrainService(system, SchedulerConfig(theta=theta, k=k))
+
+    trains: List[TrainApp] = []
+    for app_id, phase in _TRAIN_ORDER[:train_count]:
+        app = TrainApp(known_train_profile(app_id, phase), system)
+        app.start()
+        service.attach_train_app(app)
+        trains.append(app)
+
+    cargos: List[CargoApp] = []
+    if with_cargo:
+        direct = not use_etrain
+        profiles = _cargo_profiles(deadline)
+        for cls, profile in zip((ETrainMail, LunaWeibo, ETrainCloud), profiles):
+            app = cls(system, profile)
+            app.direct_mode = direct
+            app.register()
+            app.schedule_poisson(horizon, seed=seed)
+            cargos.append(app)
+
+    if use_etrain:
+        service.start()
+    system.run_until(horizon)
+    if use_etrain:
+        service.stop()
+
+    transmitted = [p for app in cargos for p in app.transmitted if p.is_scheduled]
+    delays = [p.delay for p in transmitted]
+    flushed = sum(app.pending_count for app in cargos)
+    return ControlledRun(
+        train_count=train_count,
+        total_energy_j=system.total_energy(),
+        cargo_packets=len(transmitted),
+        mean_delay_s=sum(delays) / len(delays) if delays else 0.0,
+        flushed=flushed,
+    )
+
+
+@dataclass(frozen=True)
+class TrainCountRow:
+    """One bar group of Fig. 10(a)."""
+
+    train_count: int
+    heartbeat_energy_j: float
+    cargo_energy_j: float
+    mean_delay_s: float
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.heartbeat_energy_j + self.cargo_energy_j
+
+
+def run_fig10a(
+    *,
+    horizon: float = 7200.0,
+    theta: float = 0.2,
+    k: Optional[int] = 20,
+    seed: int = 0,
+) -> List[TrainCountRow]:
+    """Energy/delay vs. number of train apps (NULL, 1, 2, 3).
+
+    Heartbeat energy (red bars) comes from trains-only runs; cargo
+    energy (blue bars) is the full run's total minus it.
+    """
+    rows: List[TrainCountRow] = []
+    for n in range(4):
+        hb_only = run_controlled(
+            train_count=n, with_cargo=False, horizon=horizon, seed=seed,
+            theta=theta, k=k,
+        )
+        full = run_controlled(
+            train_count=n, with_cargo=True, use_etrain=True, horizon=horizon,
+            seed=seed, theta=theta, k=k,
+        )
+        rows.append(
+            TrainCountRow(
+                train_count=n,
+                heartbeat_energy_j=hb_only.total_energy_j,
+                cargo_energy_j=max(0.0, full.total_energy_j - hb_only.total_energy_j),
+                mean_delay_s=full.mean_delay_s,
+            )
+        )
+    return rows
+
+
+def run_fig10b(
+    theta_values: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
+    *,
+    horizon: float = 7200.0,
+    seed: int = 0,
+) -> List[ControlledRun]:
+    """Θ sweep on the device with 3 trains + 3 cargos."""
+    return [
+        run_controlled(theta=theta, horizon=horizon, seed=seed)
+        for theta in theta_values
+    ]
+
+
+def run_fig10c(
+    deadlines: Sequence[float] = (10.0, 30.0, 60.0, 120.0, 180.0),
+    *,
+    horizon: float = 7200.0,
+    theta: float = 0.2,
+    seed: int = 0,
+) -> List[Tuple[float, ControlledRun]]:
+    """Shared-deadline sweep across all cargo apps."""
+    return [
+        (d, run_controlled(deadline=d, theta=theta, horizon=horizon, seed=seed))
+        for d in deadlines
+    ]
+
+
+def main(quick: bool = False) -> str:
+    """Run all three panels and print their tables; returns the report."""
+    horizon = 1800.0 if quick else 7200.0
+
+    rows_a = run_fig10a(horizon=horizon)
+    table_a = format_table(
+        ["trains", "hb energy (J)", "cargo energy (J)", "total (J)", "delay (s)"],
+        [
+            [r.train_count, r.heartbeat_energy_j, r.cargo_energy_j,
+             r.total_energy_j, r.mean_delay_s]
+            for r in rows_a
+        ],
+        title="Fig. 10(a): impact of train apps",
+    )
+
+    runs_b = run_fig10b(horizon=horizon)
+    table_b = format_table(
+        ["theta", "total (J)", "delay (s)"],
+        [[t, r.total_energy_j, r.mean_delay_s]
+         for t, r in zip((0.1, 0.2, 0.3, 0.4, 0.5), runs_b)],
+        title="Fig. 10(b): impact of the cost bound Theta",
+    )
+
+    runs_c = run_fig10c(horizon=horizon)
+    table_c = format_table(
+        ["deadline (s)", "total (J)", "delay (s)"],
+        [[d, r.total_energy_j, r.mean_delay_s] for d, r in runs_c],
+        title="Fig. 10(c): impact of the shared deadline",
+    )
+    report = "\n\n".join([table_a, table_b, table_c])
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

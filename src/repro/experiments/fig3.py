@@ -1,0 +1,88 @@
+"""Fig. 3 — heartbeat timing of real apps, with data traffic present.
+
+Panels (a)–(c): QQ / WeChat / WhatsApp keep their fixed cycles even
+while messages and pictures flow.  Panel (d): NetEase News starts at a
+60 s cycle and doubles it after every 6 heartbeats up to 480 s, while
+RenRen holds a constant 300 s.
+
+The reproduction captures synthetic active traffic for each app and
+verifies the offline analyzer recovers the ground-truth behaviour —
+i.e., data traffic does not perturb heartbeat timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.heartbeat.apps import make_generator
+from repro.measurement.analyze import AppCycleReport, analyze_capture
+from repro.measurement.capture import capture_active_traffic
+
+__all__ = ["HeartbeatPattern", "run_fig3", "main"]
+
+_APPS = ("qq", "wechat", "whatsapp", "renren", "netease")
+
+
+@dataclass(frozen=True)
+class HeartbeatPattern:
+    """Ground truth vs. detected behaviour for one app."""
+
+    app_id: str
+    heartbeat_times: Tuple[float, ...]
+    report: AppCycleReport
+
+    @property
+    def detected_cell(self) -> str:
+        return self.report.cycle_cell
+
+
+def run_fig3(
+    duration: float = 3600.0,
+    *,
+    with_data_traffic: bool = True,
+    seed: int = 0,
+) -> Dict[str, HeartbeatPattern]:
+    """Generate per-app traffic and run the cycle analysis."""
+    patterns: Dict[str, HeartbeatPattern] = {}
+    for app_id in _APPS:
+        generator = make_generator(app_id)
+        if with_data_traffic:
+            capture = capture_active_traffic([generator], duration, seed=seed)
+        else:
+            from repro.measurement.capture import capture_idle_traffic
+
+            capture = capture_idle_traffic([generator], duration)
+        report = analyze_capture(capture)[app_id]
+        patterns[app_id] = HeartbeatPattern(
+            app_id=app_id,
+            heartbeat_times=tuple(
+                hb.time for hb in generator.heartbeats_until(duration)
+            ),
+            report=report,
+        )
+    return patterns
+
+
+def main(duration: float = 3600.0) -> str:
+    """Print detected cycles per app; returns the report."""
+    patterns = run_fig3(duration)
+    lines = [f"Fig. 3: heartbeat patterns over {duration:.0f} s (data traffic on)"]
+    for app_id, pattern in patterns.items():
+        extra = ""
+        if pattern.report.doubling:
+            stages = ", ".join(
+                f"{s.cycle:.0f}s x{s.count}" for s in pattern.report.stages
+            )
+            extra = f"  [doubling: {stages}]"
+        lines.append(
+            f"  {app_id:10s} heartbeats={len(pattern.heartbeat_times):3d}  "
+            f"detected cycle={pattern.detected_cell}{extra}"
+        )
+    report = "\n".join(lines)
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

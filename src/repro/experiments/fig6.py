@@ -1,0 +1,71 @@
+"""Fig. 6 — the three delay-cost profile functions.
+
+f1 (Mail): zero until the deadline, then linear.
+f2 (Weibo): linear up to the deadline, then a plateau at 2.
+f3 (Cloud): linear up to the deadline, 3x steeper after.
+
+The reproduction samples each curve on a normalised delay grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.cost_functions import CloudCost, DelayCostFunction, MailCost, WeiboCost
+
+__all__ = ["CostCurve", "run_fig6", "main"]
+
+
+@dataclass(frozen=True)
+class CostCurve:
+    """Sampled (delay, cost) series for one profile function."""
+
+    label: str
+    deadline: float
+    samples: Tuple[Tuple[float, float], ...]
+
+
+def run_fig6(
+    deadline: float = 60.0, max_multiple: float = 3.0, steps: int = 60
+) -> Dict[str, CostCurve]:
+    """Sample f1/f2/f3 from 0 to ``max_multiple`` deadlines."""
+    if steps < 2:
+        raise ValueError("steps must be >= 2")
+    functions: List[Tuple[str, DelayCostFunction]] = [
+        ("f1 (mail)", MailCost(deadline)),
+        ("f2 (weibo)", WeiboCost(deadline)),
+        ("f3 (cloud)", CloudCost(deadline)),
+    ]
+    grid = [max_multiple * deadline * i / (steps - 1) for i in range(steps)]
+    return {
+        label: CostCurve(
+            label=label,
+            deadline=deadline,
+            samples=tuple((d, fn(d)) for d in grid),
+        )
+        for label, fn in functions
+    }
+
+
+def main() -> str:
+    """Print key points of each curve; returns the report."""
+    curves = run_fig6()
+    lines = ["Fig. 6: delay cost functions (deadline D = 60 s)"]
+    for label, curve in curves.items():
+        at = {m: None for m in (0.0, 0.5, 1.0, 2.0, 3.0)}
+        for d, c in curve.samples:
+            for m in at:
+                if abs(d - m * curve.deadline) < curve.deadline * 0.03 and at[m] is None:
+                    at[m] = c
+        cells = "  ".join(
+            f"f({m:g}D)={v:.2f}" for m, v in at.items() if v is not None
+        )
+        lines.append(f"  {label:11s} {cells}")
+    report = "\n".join(lines)
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Fig. 7 — parameter analysis of eTrain's online algorithm.
+
+(a) Θ sweep at k = 20, λ = 0.08: raising the cost threshold from 0 to 3
+    cuts total energy (paper: >1000 J → ~600 J, ~40 %) while average
+    delay grows (18 s → 70 s).
+(b) E-D panel for k ∈ {2, 4, 8, 16}: larger k reaches the same energy at
+    lower delay, with diminishing returns past k ≈ 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.ed_panel import EDCurve, EDPoint, sweep
+from repro.analysis.summarize import format_table
+from repro.baselines.etrain import ETrainStrategy
+from repro.core.scheduler import SchedulerConfig
+from repro.sim.runner import Scenario, default_scenario, run_strategy
+
+__all__ = ["run_fig7a", "run_fig7b", "main"]
+
+
+def run_fig7a(
+    scenario: Optional[Scenario] = None,
+    theta_values: Optional[Sequence[float]] = None,
+    k: int = 20,
+) -> EDCurve:
+    """Θ sweep at fixed k (paper: Θ from 0 to 3, step 0.2)."""
+    if scenario is None:
+        scenario = default_scenario()
+    if theta_values is None:
+        theta_values = [round(0.2 * i, 1) for i in range(16)]  # 0 .. 3.0
+    return sweep(
+        label=f"eTrain k={k}",
+        scenario=scenario,
+        strategy_factory=lambda theta: ETrainStrategy(
+            scenario.profiles, SchedulerConfig(theta=theta, k=k)
+        ),
+        knob_values=list(theta_values),
+    )
+
+
+def run_fig7b(
+    scenario: Optional[Scenario] = None,
+    k_values: Sequence[int] = (2, 4, 8, 16),
+    theta_values: Optional[Sequence[float]] = None,
+) -> Dict[int, EDCurve]:
+    """E-D panel: one Θ-sweep curve per k."""
+    if scenario is None:
+        scenario = default_scenario()
+    if theta_values is None:
+        theta_values = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+    return {
+        k: run_fig7a(scenario, theta_values=theta_values, k=k) for k in k_values
+    }
+
+
+def main(quick: bool = False) -> str:
+    """Run both panels and print their tables; returns the report."""
+    scenario = default_scenario(horizon=3600.0 if quick else 7200.0)
+    thetas = [0.0, 1.0, 2.0, 3.0] if quick else None
+
+    curve_a = run_fig7a(scenario, theta_values=thetas)
+    table_a = format_table(
+        ["theta", "energy (J)", "delay (s)", "violations"],
+        [[p.knob, p.energy_j, p.delay_s, p.violation_ratio] for p in curve_a.points],
+        title="Fig. 7(a): impact of the cost bound Theta (k=20)",
+    )
+
+    panel = run_fig7b(scenario, theta_values=thetas or [0.0, 1.0, 2.0, 3.0])
+    rows_b: List[List[object]] = []
+    for k, curve in panel.items():
+        for p in curve.points:
+            rows_b.append([k, p.knob, p.energy_j, p.delay_s])
+    table_b = format_table(
+        ["k", "theta", "energy (J)", "delay (s)"],
+        rows_b,
+        title="Fig. 7(b): E-D panel across k",
+    )
+    report = table_a + "\n\n" + table_b
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Table 1 — heartbeat cycles per app per device, recovered from traffic.
+
+Android devices run each app's own heartbeat service (WeChat 270 s,
+WhatsApp 240 s, QQ 300 s, RenRen 300 s, NetEase 60–480 s doubling); iOS
+funnels every app through APNS's single 1800 s heartbeat.
+
+The reproduction synthesises each device's captured traffic and runs the
+offline cycle analysis, regenerating the table's cells from "measured"
+data rather than from the registry constants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.heartbeat.apps import ios_generator, make_generator
+from repro.measurement.analyze import (
+    AppCycleReport,
+    analyze_capture,
+    format_cycle_table,
+)
+from repro.measurement.capture import capture_idle_traffic
+
+__all__ = ["run_table1", "main"]
+
+_ANDROID_DEVICES = (
+    "HTC Sensation Z710e",
+    "Samsung Note II",
+    "Samsung GALAXY S IV",
+)
+_APPS = ("wechat", "whatsapp", "qq", "renren", "netease")
+
+
+def run_table1(
+    android_duration: float = 3600.0, ios_duration: float = 4 * 3600.0
+) -> Dict[str, Dict[str, AppCycleReport]]:
+    """Capture per-device traffic and detect every app's cycle.
+
+    iOS captures run longer because APNS's 1800 s cycle needs several
+    beats before a period is detectable.
+    """
+    reports: Dict[str, Dict[str, AppCycleReport]] = {}
+    for device in _ANDROID_DEVICES:
+        capture = capture_idle_traffic(
+            [make_generator(app) for app in _APPS], android_duration
+        )
+        reports[device] = analyze_capture(capture)
+
+    ios_capture = capture_idle_traffic(
+        [ios_generator(app) for app in _APPS], ios_duration
+    )
+    ios_reports = analyze_capture(ios_capture)
+    # The iOS generators are tagged "<app>-ios"; strip the suffix so the
+    # table's columns line up across devices.
+    reports["iPhone 4/iPhone 5"] = {
+        app_id.replace("-ios", ""): report for app_id, report in ios_reports.items()
+    }
+    return reports
+
+
+def main() -> str:
+    """Detect and print the cycle table; returns the report."""
+    reports = run_table1()
+    table = format_cycle_table(reports)
+    report = "Table 1: heartbeat cycles recovered from captured traffic\n" + table
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

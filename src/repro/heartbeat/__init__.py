@@ -1,0 +1,60 @@
+"""Heartbeat substrate: generators, known apps, monitoring, detection."""
+
+from repro.heartbeat.apps import (
+    ANDROID_CYCLE_TABLE,
+    ANDROID_TRAIN_APPS,
+    IOS_APNS_CYCLE,
+    default_train_generators,
+    ios_generator,
+    known_train_profile,
+    make_generator,
+)
+from repro.heartbeat.detector import (
+    CycleStage,
+    detect_cycle,
+    detect_cycle_stages,
+    is_doubling_pattern,
+)
+from repro.heartbeat.coalesce import coalesce_heartbeats
+from repro.heartbeat.generators import (
+    DoublingCycleGenerator,
+    FixedCycleGenerator,
+    HeartbeatGenerator,
+    JitteredCycleGenerator,
+    StaticScheduleGenerator,
+    merge_heartbeats,
+)
+from repro.heartbeat.monitor import AppObservations, HeartbeatMonitor
+from repro.heartbeat.phases import (
+    GapStats,
+    expected_wait,
+    merged_gap_stats,
+    optimize_phases,
+)
+
+__all__ = [
+    "ANDROID_CYCLE_TABLE",
+    "ANDROID_TRAIN_APPS",
+    "IOS_APNS_CYCLE",
+    "default_train_generators",
+    "ios_generator",
+    "known_train_profile",
+    "make_generator",
+    "CycleStage",
+    "detect_cycle",
+    "detect_cycle_stages",
+    "is_doubling_pattern",
+    "DoublingCycleGenerator",
+    "FixedCycleGenerator",
+    "HeartbeatGenerator",
+    "JitteredCycleGenerator",
+    "StaticScheduleGenerator",
+    "coalesce_heartbeats",
+    "merge_heartbeats",
+    "AppObservations",
+    "HeartbeatMonitor",
+    "GapStats",
+    "expected_wait",
+    "merged_gap_stats",
+    "optimize_phases",
+]

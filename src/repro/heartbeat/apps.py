@@ -1,0 +1,131 @@
+"""Registry of measured real-world train apps (Table 1 and Sec. VI-A).
+
+Heartbeat cycles measured on Android (HTC Sensation Z710e, Samsung Note
+II, Samsung Galaxy S4 — all identical per app) and on iOS (everything
+rides APNS's single 1800 s connection):
+
+==========  ===========  =========  ==============
+App         Android      iOS        Heartbeat size
+==========  ===========  =========  ==============
+WeChat      270 s        1800 s     74 B
+WhatsApp    240 s        1800 s     66 B
+Mobile QQ   300 s        1800 s     378 B
+RenRen      300 s        1800 s     ~90 B
+NetEase     60–480 s     1800 s     ~120 B (doubling cycle)
+==========  ===========  =========  ==============
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.profiles import TrainAppProfile
+from repro.heartbeat.generators import (
+    DoublingCycleGenerator,
+    FixedCycleGenerator,
+    HeartbeatGenerator,
+)
+
+__all__ = [
+    "ANDROID_TRAIN_APPS",
+    "IOS_APNS_CYCLE",
+    "known_train_profile",
+    "make_generator",
+    "default_train_generators",
+    "ios_generator",
+    "ANDROID_CYCLE_TABLE",
+]
+
+#: Measured Android heartbeat cycles/sizes (app_id → profile).
+ANDROID_TRAIN_APPS: Dict[str, TrainAppProfile] = {
+    "qq": TrainAppProfile(app_id="qq", cycle=300.0, heartbeat_size_bytes=378),
+    "wechat": TrainAppProfile(app_id="wechat", cycle=270.0, heartbeat_size_bytes=74),
+    "whatsapp": TrainAppProfile(
+        app_id="whatsapp", cycle=240.0, heartbeat_size_bytes=66
+    ),
+    "renren": TrainAppProfile(app_id="renren", cycle=300.0, heartbeat_size_bytes=90),
+}
+
+#: All iOS apps share APNS's 1800 s heartbeat.
+IOS_APNS_CYCLE = 1800.0
+
+#: Table 1 rows: device → app → cycle (seconds); NetEase is a range.
+ANDROID_CYCLE_TABLE: Dict[str, Dict[str, object]] = {
+    device: {
+        "wechat": 270.0,
+        "whatsapp": 240.0,
+        "qq": 300.0,
+        "renren": 300.0,
+        "netease": (60.0, 480.0),
+    }
+    for device in ("HTC Sensation Z710e", "Samsung Note II", "Samsung GALAXY S IV")
+}
+ANDROID_CYCLE_TABLE["iPhone 4/iPhone 5"] = {
+    app: IOS_APNS_CYCLE for app in ("wechat", "whatsapp", "qq", "renren", "netease")
+}
+
+
+def known_train_profile(app_id: str, first_heartbeat: float = 0.0) -> TrainAppProfile:
+    """Profile of a measured Android train app, with a chosen phase."""
+    base = ANDROID_TRAIN_APPS.get(app_id)
+    if base is None:
+        raise KeyError(
+            f"unknown train app {app_id!r}; known: {sorted(ANDROID_TRAIN_APPS)}"
+        )
+    return TrainAppProfile(
+        app_id=base.app_id,
+        cycle=base.cycle,
+        heartbeat_size_bytes=base.heartbeat_size_bytes,
+        first_heartbeat=first_heartbeat,
+    )
+
+
+def make_generator(app_id: str, first_heartbeat: float = 0.0) -> HeartbeatGenerator:
+    """Generator for any measured app, including NetEase's doubling cycle."""
+    if app_id == "netease":
+        return DoublingCycleGenerator(first_heartbeat=first_heartbeat)
+    return FixedCycleGenerator(known_train_profile(app_id, first_heartbeat))
+
+
+def default_train_generators(
+    count: int = 3, stagger: Optional[float] = 97.0
+) -> List[HeartbeatGenerator]:
+    """The evaluation's train apps: QQ, WeChat, WhatsApp (Sec. VI-A).
+
+    Parameters
+    ----------
+    count:
+        How many of the three to include (0–3), in that order —
+        matches Fig. 10(a)'s 0/1/2/3-train-app sweep.
+    stagger:
+        Offset between consecutive apps' first heartbeats (None → all
+        start at 0).  The default is deliberately *not* a divisor of the
+        cycles: app daemons start at arbitrary times in reality, and a
+        round offset like 30 s would make all three apps fire together
+        at t = 300 k, inflating the variance of merged heartbeat gaps
+        (and with it the mean piggyback wait).
+    """
+    if not (0 <= count <= 3):
+        raise ValueError(f"count must be in [0, 3], got {count}")
+    order = ["qq", "wechat", "whatsapp"]
+    gens: List[HeartbeatGenerator] = []
+    for i, app_id in enumerate(order[:count]):
+        phase = 0.0 if stagger is None else i * stagger
+        gens.append(make_generator(app_id, first_heartbeat=phase))
+    return gens
+
+
+def ios_generator(app_id: str, first_heartbeat: float = 0.0) -> HeartbeatGenerator:
+    """The same app on iOS: one APNS connection, 1800 s cycle."""
+    size = (
+        ANDROID_TRAIN_APPS[app_id].heartbeat_size_bytes
+        if app_id in ANDROID_TRAIN_APPS
+        else 100
+    )
+    profile = TrainAppProfile(
+        app_id=f"{app_id}-ios",
+        cycle=IOS_APNS_CYCLE,
+        heartbeat_size_bytes=size,
+        first_heartbeat=first_heartbeat,
+    )
+    return FixedCycleGenerator(profile)

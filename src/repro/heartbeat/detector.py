@@ -1,0 +1,113 @@
+"""Offline heartbeat-cycle detection from captured traffic (Sec. II-B).
+
+The measurement study captured raw packets with Wireshark and analysed
+the files offline "to determine the heartbeat cycle".  This module is
+that analysis: given the departure times of an app's keep-alive-sized
+packets, recover either a single stable cycle (WeChat/WhatsApp/QQ/RenRen)
+or a staged, doubling cycle (NetEase).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["CycleStage", "detect_cycle", "detect_cycle_stages", "is_doubling_pattern"]
+
+
+@dataclass(frozen=True)
+class CycleStage:
+    """A run of consecutive inter-heartbeat gaps sharing one cycle value."""
+
+    cycle: float
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.cycle <= 0:
+            raise ValueError(f"cycle must be > 0, got {self.cycle}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+
+def _gaps(times: Sequence[float]) -> List[float]:
+    ordered = sorted(times)
+    gaps = [b - a for a, b in zip(ordered, ordered[1:])]
+    if any(g <= 0 for g in gaps):
+        raise ValueError("heartbeat times must be strictly increasing")
+    return gaps
+
+
+def detect_cycle(
+    times: Sequence[float], *, rel_tolerance: float = 0.05
+) -> Optional[float]:
+    """Recover a single stable heartbeat cycle, or None.
+
+    Returns the median inter-departure gap if at least 80 % of gaps lie
+    within ``rel_tolerance`` of it (missed beats appearing as ~integer
+    multiples are first folded down); returns None for streams without a
+    dominant period (e.g. NetEase's doubling schedule).
+
+    Needs at least 3 departure times (2 gaps).
+    """
+    if len(times) < 3:
+        return None
+    gaps = _gaps(times)
+    base = statistics.median(gaps)
+    folded = []
+    for g in gaps:
+        multiple = max(1, round(g / base))
+        folded.append(g / multiple)
+    cycle = statistics.median(folded)
+    if cycle <= 0:
+        return None
+    close = sum(1 for g in folded if abs(g - cycle) <= rel_tolerance * cycle)
+    if close / len(folded) >= 0.8:
+        return cycle
+    return None
+
+
+def detect_cycle_stages(
+    times: Sequence[float], *, rel_tolerance: float = 0.05
+) -> List[CycleStage]:
+    """Segment the gap sequence into runs of (approximately) equal cycles.
+
+    For a fixed-cycle app this returns one stage; for NetEase it returns
+    the staircase 60 s ×6, 120 s ×6, 240 s ×6, 480 s ×… .  Consecutive
+    gaps within ``rel_tolerance`` of the current stage's running mean are
+    merged into the stage.
+    """
+    if len(times) < 2:
+        return []
+    gaps = _gaps(times)
+    stages: List[CycleStage] = []
+    run_sum = gaps[0]
+    run_count = 1
+    for g in gaps[1:]:
+        mean = run_sum / run_count
+        if abs(g - mean) <= rel_tolerance * mean:
+            run_sum += g
+            run_count += 1
+        else:
+            stages.append(CycleStage(cycle=run_sum / run_count, count=run_count))
+            run_sum = g
+            run_count = 1
+    stages.append(CycleStage(cycle=run_sum / run_count, count=run_count))
+    return stages
+
+
+def is_doubling_pattern(
+    stages: Sequence[CycleStage], *, rel_tolerance: float = 0.1
+) -> bool:
+    """Whether detected stages follow a cycle-doubling staircase.
+
+    True when every stage's cycle is ≈2× the previous stage's (NetEase's
+    adaptive keep-alive).  A single stage is not a doubling pattern.
+    """
+    if len(stages) < 2:
+        return False
+    for a, b in zip(stages, stages[1:]):
+        ratio = b.cycle / a.cycle
+        if abs(ratio - 2.0) > rel_tolerance * 2.0:
+            return False
+    return True

@@ -1,0 +1,225 @@
+"""Heartbeat schedule generators (Sec. II-B, Fig. 3).
+
+The measurement study found two heartbeat-cycle behaviours in the wild:
+
+* **Fixed cycle** — WeChat (270 s), WhatsApp (240 s), QQ (300 s),
+  RenRen (300 s), and everything on iOS via APNS (1800 s).
+* **Doubling cycle** — NetEase News starts at 60 s and doubles the cycle
+  after every 6 heartbeats until reaching a 480 s ceiling.
+
+Generators are deterministic; :class:`JitteredCycleGenerator` adds bounded
+random jitter for robustness experiments (real alarms drift a little).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.packet import Heartbeat
+from repro.core.profiles import TrainAppProfile
+
+__all__ = [
+    "HeartbeatGenerator",
+    "FixedCycleGenerator",
+    "DoublingCycleGenerator",
+    "JitteredCycleGenerator",
+    "StaticScheduleGenerator",
+    "merge_heartbeats",
+]
+
+
+class HeartbeatGenerator(abc.ABC):
+    """Produces a train app's heartbeat stream ``H_i``."""
+
+    #: Identifier of the app whose heartbeats this generator emits.
+    app_id: str
+
+    @abc.abstractmethod
+    def heartbeats_until(self, horizon: float) -> List[Heartbeat]:
+        """All heartbeats with departure time strictly before ``horizon``."""
+
+    def next_after(self, t: float, horizon: float = float("inf")) -> Optional[Heartbeat]:
+        """First heartbeat strictly after ``t`` (None if past ``horizon``).
+
+        Default implementation scans :meth:`heartbeats_until`; subclasses
+        with closed forms may override.
+        """
+        bound = min(horizon, t + self._scan_bound())
+        for hb in self.heartbeats_until(bound):
+            if hb.time > t:
+                return hb
+        return None
+
+    def _scan_bound(self) -> float:
+        """How far past ``t`` :meth:`next_after` scans by default."""
+        return 86_400.0
+
+
+class FixedCycleGenerator(HeartbeatGenerator):
+    """Constant-period heartbeats: ``t_s(h_j) = t0 + j · cycle``."""
+
+    def __init__(self, profile: TrainAppProfile) -> None:
+        self.profile = profile
+        self.app_id = profile.app_id
+
+    @property
+    def cycle(self) -> float:
+        return self.profile.cycle
+
+    def heartbeats_until(self, horizon: float) -> List[Heartbeat]:
+        out: List[Heartbeat] = []
+        t = self.profile.first_heartbeat
+        seq = 0
+        while t < horizon:
+            out.append(
+                Heartbeat(
+                    app_id=self.app_id,
+                    seq=seq,
+                    time=t,
+                    size_bytes=self.profile.heartbeat_size_bytes,
+                )
+            )
+            seq += 1
+            t = self.profile.first_heartbeat + seq * self.profile.cycle
+        return out
+
+    def next_after(self, t: float, horizon: float = float("inf")) -> Optional[Heartbeat]:
+        t0, c = self.profile.first_heartbeat, self.profile.cycle
+        if t < t0:
+            seq = 0
+        else:
+            seq = int((t - t0) // c) + 1
+        when = t0 + seq * c
+        if when <= t:  # guard float edge cases
+            seq += 1
+            when = t0 + seq * c
+        if when >= horizon:
+            return None
+        return Heartbeat(
+            app_id=self.app_id,
+            seq=seq,
+            time=when,
+            size_bytes=self.profile.heartbeat_size_bytes,
+        )
+
+
+class DoublingCycleGenerator(HeartbeatGenerator):
+    """NetEase-style adaptive cycle: doubles every ``beats_per_stage``.
+
+    Starting at ``initial_cycle``, after every ``beats_per_stage``
+    heartbeats the cycle doubles, capped at ``max_cycle`` (then constant).
+    Defaults follow the paper: 60 s initial, 6 beats per stage, 480 s cap.
+    """
+
+    def __init__(
+        self,
+        app_id: str = "netease",
+        heartbeat_size_bytes: int = 120,
+        first_heartbeat: float = 0.0,
+        initial_cycle: float = 60.0,
+        max_cycle: float = 480.0,
+        beats_per_stage: int = 6,
+    ) -> None:
+        if initial_cycle <= 0 or max_cycle < initial_cycle:
+            raise ValueError("need 0 < initial_cycle <= max_cycle")
+        if beats_per_stage < 1:
+            raise ValueError("beats_per_stage must be >= 1")
+        self.app_id = app_id
+        self.heartbeat_size_bytes = heartbeat_size_bytes
+        self.first_heartbeat = first_heartbeat
+        self.initial_cycle = initial_cycle
+        self.max_cycle = max_cycle
+        self.beats_per_stage = beats_per_stage
+
+    def cycle_for_seq(self, seq: int) -> float:
+        """Cycle length *following* heartbeat ``seq`` (0-based)."""
+        stage = seq // self.beats_per_stage
+        return min(self.initial_cycle * (2**stage), self.max_cycle)
+
+    def heartbeats_until(self, horizon: float) -> List[Heartbeat]:
+        out: List[Heartbeat] = []
+        t = self.first_heartbeat
+        seq = 0
+        while t < horizon:
+            out.append(
+                Heartbeat(
+                    app_id=self.app_id,
+                    seq=seq,
+                    time=t,
+                    size_bytes=self.heartbeat_size_bytes,
+                )
+            )
+            t += self.cycle_for_seq(seq)
+            seq += 1
+        return out
+
+
+class JitteredCycleGenerator(HeartbeatGenerator):
+    """Wraps another generator, adding bounded uniform departure jitter.
+
+    Jitter models alarm slack and OS scheduling delay; it never reorders
+    heartbeats (bounded by half the minimum inter-beat spacing would be
+    required for a hard guarantee, so the wrapper clamps each jittered
+    time to stay after the previous one).
+    """
+
+    def __init__(
+        self,
+        inner: HeartbeatGenerator,
+        max_jitter: float,
+        seed: int = 0,
+    ) -> None:
+        if max_jitter < 0:
+            raise ValueError(f"max_jitter must be >= 0, got {max_jitter}")
+        self.inner = inner
+        self.app_id = inner.app_id
+        self.max_jitter = max_jitter
+        self.seed = seed
+
+    def heartbeats_until(self, horizon: float) -> List[Heartbeat]:
+        rng = random.Random(self.seed)
+        out: List[Heartbeat] = []
+        prev_time = -float("inf")
+        for hb in self.inner.heartbeats_until(horizon):
+            jittered = hb.time + rng.uniform(0.0, self.max_jitter)
+            jittered = max(jittered, prev_time + 1e-6, 0.0)
+            prev_time = jittered
+            if jittered < horizon:
+                out.append(
+                    Heartbeat(
+                        app_id=hb.app_id,
+                        seq=hb.seq,
+                        time=jittered,
+                        size_bytes=hb.size_bytes,
+                    )
+                )
+        return out
+
+
+class StaticScheduleGenerator(HeartbeatGenerator):
+    """Replays a precomputed heartbeat list as a generator.
+
+    Used when the departure schedule comes from elsewhere — a recorded
+    capture, a coalesced stream (:mod:`repro.heartbeat.coalesce`), or a
+    hand-written test fixture.
+    """
+
+    def __init__(self, heartbeats: Sequence[Heartbeat], app_id: str = "static") -> None:
+        self._heartbeats = sorted(heartbeats, key=lambda h: (h.time, h.app_id, h.seq))
+        self.app_id = app_id
+
+    def heartbeats_until(self, horizon: float) -> List[Heartbeat]:
+        return [h for h in self._heartbeats if h.time < horizon]
+
+
+def merge_heartbeats(
+    generators: Sequence[HeartbeatGenerator], horizon: float
+) -> List[Heartbeat]:
+    """Union H = ∪ H_i of all generators' heartbeats, sorted by time."""
+    merged: List[Heartbeat] = []
+    for gen in generators:
+        merged.extend(gen.heartbeats_until(horizon))
+    merged.sort(key=lambda h: (h.time, h.app_id, h.seq))
+    return merged

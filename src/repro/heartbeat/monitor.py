@@ -1,0 +1,147 @@
+"""Heartbeat Monitor — the component the Xposed hooks report into (Sec. V-2).
+
+On the real system, a hook appended to each train app's heartbeat-sending
+code fires a trigger the instant a heartbeat leaves; the monitor forwards
+the event to the scheduler and, because measured cycles are stable,
+predicts all future "train departure times" from the observations.
+
+This simulation-side monitor supports:
+
+* learning each app's cycle online from observed departures (robust
+  median of inter-departure gaps, tolerating missed observations that
+  show up as ~integer multiples of the cycle);
+* predicting the next departure per app and across all apps;
+* registering listeners (the scheduler, the broadcast module) invoked on
+  every observation.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["AppObservations", "HeartbeatMonitor"]
+
+Listener = Callable[[str, float], None]
+
+
+@dataclass
+class AppObservations:
+    """Departure history and learned cycle for one train app."""
+
+    app_id: str
+    times: List[float] = field(default_factory=list)
+    declared_cycle: Optional[float] = None
+
+    @property
+    def last_seen(self) -> Optional[float]:
+        return self.times[-1] if self.times else None
+
+    def estimated_cycle(self) -> Optional[float]:
+        """Learned heartbeat cycle, or the declared one, or None.
+
+        Gaps that are near-integer multiples of the smallest gap are
+        folded down (a missed observation looks like 2× or 3× the cycle),
+        then the median of the folded gaps is returned.
+        """
+        if self.declared_cycle is not None:
+            return self.declared_cycle
+        if len(self.times) < 2:
+            return None
+        gaps = [b - a for a, b in zip(self.times, self.times[1:]) if b > a]
+        if not gaps:
+            return None
+        base = min(gaps)
+        folded = []
+        for g in gaps:
+            multiple = max(1, round(g / base))
+            folded.append(g / multiple)
+        return statistics.median(folded)
+
+
+class HeartbeatMonitor:
+    """Tracks heartbeat departures and predicts future ones."""
+
+    def __init__(self) -> None:
+        self._apps: Dict[str, AppObservations] = {}
+        self._listeners: List[Listener] = []
+
+    @property
+    def app_ids(self) -> List[str]:
+        """Apps with at least one observation or declaration."""
+        return sorted(self._apps)
+
+    def declare_app(self, app_id: str, cycle: Optional[float] = None) -> None:
+        """Pre-register a train app, optionally with a known cycle.
+
+        Observations still refine ``last_seen``; a declared cycle skips
+        the learning phase (the paper assumes ``t_s(h_{i,0})`` known).
+        """
+        obs = self._apps.setdefault(app_id, AppObservations(app_id))
+        if cycle is not None:
+            if cycle <= 0:
+                raise ValueError(f"cycle must be > 0, got {cycle}")
+            obs.declared_cycle = cycle
+
+    def add_listener(self, listener: Listener) -> None:
+        """Register a callback invoked as ``listener(app_id, time)``."""
+        self._listeners.append(listener)
+
+    def observe(self, app_id: str, time: float) -> None:
+        """Record a heartbeat departure reported by the hook layer."""
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time}")
+        obs = self._apps.setdefault(app_id, AppObservations(app_id))
+        if obs.times and time < obs.times[-1]:
+            raise ValueError(
+                f"observations must be chronological: {time} < {obs.times[-1]}"
+            )
+        obs.times.append(time)
+        for listener in self._listeners:
+            listener(app_id, time)
+
+    def cycle_of(self, app_id: str) -> Optional[float]:
+        """Learned/declared cycle of an app (None if unknown)."""
+        obs = self._apps.get(app_id)
+        return obs.estimated_cycle() if obs else None
+
+    def predict_next(self, app_id: str, now: float) -> Optional[float]:
+        """Predicted next departure of ``app_id`` strictly after ``now``.
+
+        Uses ``last_seen + n · cycle`` for the smallest n putting the
+        prediction in the future.  None when the cycle is unknown or the
+        app has never been seen.
+        """
+        obs = self._apps.get(app_id)
+        if obs is None or obs.last_seen is None:
+            return None
+        cycle = obs.estimated_cycle()
+        if cycle is None or cycle <= 0:
+            return None
+        last = obs.last_seen
+        if now < last:
+            return last if last > now else last + cycle
+        n = int((now - last) // cycle) + 1
+        predicted = last + n * cycle
+        if predicted <= now:  # float guard
+            predicted += cycle
+        return predicted
+
+    def predict_next_any(self, now: float) -> Optional[Tuple[str, float]]:
+        """Earliest predicted departure across all apps (app_id, time)."""
+        best: Optional[Tuple[str, float]] = None
+        for app_id in self._apps:
+            t = self.predict_next(app_id, now)
+            if t is not None and (best is None or t < best[1]):
+                best = (app_id, t)
+        return best
+
+    def has_active_trains(self) -> bool:
+        """Whether any train app has been observed or declared.
+
+        When no train app is running, eTrain stops its scheduler "to
+        avoid cargo apps' indefinite waiting" (Sec. V-3); callers check
+        this before relying on piggyback opportunities.
+        """
+        return bool(self._apps)

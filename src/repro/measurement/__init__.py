@@ -1,0 +1,28 @@
+"""Measurement tooling: packet capture, cycle analysis, power monitor."""
+
+from repro.measurement.analyze import (
+    AppCycleReport,
+    analyze_capture,
+    format_cycle_table,
+)
+from repro.measurement.capture import capture_active_traffic, capture_idle_traffic
+from repro.measurement.energy_estimate import (
+    CaptureEnergyEstimate,
+    estimate_energy_from_capture,
+)
+from repro.measurement.pcap import CaptureRecord, PacketCapture
+from repro.measurement.power_monitor import CurrentTrace, PowerMonitor
+
+__all__ = [
+    "AppCycleReport",
+    "analyze_capture",
+    "format_cycle_table",
+    "capture_active_traffic",
+    "capture_idle_traffic",
+    "CaptureEnergyEstimate",
+    "estimate_energy_from_capture",
+    "CaptureRecord",
+    "PacketCapture",
+    "CurrentTrace",
+    "PowerMonitor",
+]

@@ -1,0 +1,110 @@
+"""Offline capture analysis: recover Table 1 from traffic (Sec. II-B).
+
+Given a :class:`~repro.measurement.pcap.PacketCapture`, per app:
+
+1. isolate keep-alive-sized packets (heartbeat candidates);
+2. narrow to the dominant *constant* packet size — an app's heartbeats
+   are byte-identical, while small data packets vary, so the modal size
+   separates the keep-alive stream from coincidentally small messages;
+3. run the cycle detector — a stable dominant period means a fixed-cycle
+   app; a doubling staircase means a NetEase-style adaptive cycle.
+
+The result mirrors Table 1's cells: a single cycle, or a (min, max)
+range for adaptive apps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.heartbeat.detector import (
+    CycleStage,
+    detect_cycle,
+    detect_cycle_stages,
+    is_doubling_pattern,
+)
+from repro.measurement.pcap import PacketCapture
+
+__all__ = ["AppCycleReport", "analyze_capture", "format_cycle_table"]
+
+
+@dataclass(frozen=True)
+class AppCycleReport:
+    """Detected heartbeat behaviour of one app."""
+
+    app_id: str
+    heartbeat_count: int
+    cycle: Optional[float]
+    stages: Tuple[CycleStage, ...]
+    doubling: bool
+
+    @property
+    def cycle_cell(self) -> str:
+        """Table-1-style cell: ``"270s"`` or ``"60-480s"`` or ``"?"``."""
+        if self.cycle is not None:
+            return f"{self.cycle:.0f}s"
+        if self.stages:
+            low = min(s.cycle for s in self.stages)
+            high = max(s.cycle for s in self.stages)
+            return f"{low:.0f}-{high:.0f}s"
+        return "?"
+
+
+def _modal_size_times(candidates: PacketCapture) -> List[float]:
+    """Times of the most frequent exact packet size among candidates.
+
+    Falls back to all candidate times when no size repeats (degenerate
+    captures), so short captures still analyse.
+    """
+    by_size: Dict[int, List[float]] = {}
+    for record in candidates:
+        by_size.setdefault(record.size_bytes, []).append(record.time)
+    if not by_size:
+        return []
+    best = max(by_size.values(), key=len)
+    if len(best) < 2:
+        return candidates.times()
+    return best
+
+
+def analyze_capture(
+    capture: PacketCapture, *, heartbeat_max_bytes: int = 600
+) -> Dict[str, AppCycleReport]:
+    """Per-app cycle detection over a traffic capture."""
+    reports: Dict[str, AppCycleReport] = {}
+    for app_id in capture.app_ids():
+        candidates = capture.for_app(app_id).small_packets(heartbeat_max_bytes)
+        times = _modal_size_times(candidates)
+        cycle = detect_cycle(times)
+        stages = tuple(detect_cycle_stages(times)) if cycle is None else ()
+        reports[app_id] = AppCycleReport(
+            app_id=app_id,
+            heartbeat_count=len(times),
+            cycle=cycle,
+            stages=stages,
+            doubling=is_doubling_pattern(stages) if stages else False,
+        )
+    return reports
+
+
+def format_cycle_table(
+    reports_by_device: Dict[str, Dict[str, AppCycleReport]]
+) -> str:
+    """Render detected cycles as a Table-1-style text table."""
+    apps = sorted(
+        {app for reports in reports_by_device.values() for app in reports}
+    )
+    header = ["device"] + apps
+    rows: List[List[str]] = [header]
+    for device, reports in reports_by_device.items():
+        row = [device]
+        for app in apps:
+            report = reports.get(app)
+            row.append(report.cycle_cell if report else "-")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rows
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Simulated packet capture — the Wireshark substitute (Sec. II-B).
+
+The measurement study captured raw packets on a dedicated WiFi network
+and analysed the capture files offline to find each app's heartbeat
+cycle.  :class:`PacketCapture` is the equivalent artefact: a list of
+timestamped, sized, per-app records with the filtering operations the
+offline analysis needs.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Union
+
+__all__ = ["CaptureRecord", "PacketCapture"]
+
+
+@dataclass(frozen=True)
+class CaptureRecord:
+    """One captured transport burst.
+
+    Attributes
+    ----------
+    time:
+        Capture timestamp (seconds since capture start).
+    size_bytes:
+        Payload size.
+    app_id:
+        Originating app (in reality derived from the TCP 5-tuple; the
+        simulated capture knows it directly).
+    direction:
+        ``"up"`` or ``"down"``.
+    """
+
+    time: float
+    size_bytes: int
+    app_id: str
+    direction: str = "up"
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"time must be >= 0, got {self.time}")
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+        if self.direction not in ("up", "down"):
+            raise ValueError(f"direction must be 'up' or 'down', got {self.direction!r}")
+
+
+class PacketCapture:
+    """An ordered collection of capture records with offline filters."""
+
+    def __init__(self, records: Optional[Iterable[CaptureRecord]] = None) -> None:
+        self._records: List[CaptureRecord] = sorted(
+            records or [], key=lambda r: r.time
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[CaptureRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[CaptureRecord]:
+        return list(self._records)
+
+    def add(self, record: CaptureRecord) -> None:
+        """Append a record (captures arrive in time order)."""
+        if self._records and record.time < self._records[-1].time:
+            raise ValueError("capture records must be appended in time order")
+        self._records.append(record)
+
+    def app_ids(self) -> List[str]:
+        """Distinct apps present in the capture."""
+        return sorted({r.app_id for r in self._records})
+
+    def filter(self, predicate: Callable[[CaptureRecord], bool]) -> "PacketCapture":
+        """New capture containing records matching ``predicate``."""
+        return PacketCapture(r for r in self._records if predicate(r))
+
+    def for_app(self, app_id: str) -> "PacketCapture":
+        """Records belonging to one app."""
+        return self.filter(lambda r: r.app_id == app_id)
+
+    def small_packets(self, max_bytes: int = 600) -> "PacketCapture":
+        """Keep-alive-sized records — candidate heartbeats.
+
+        Heartbeats are tens to hundreds of bytes; data traffic is KBs.
+        """
+        return self.filter(lambda r: 0 < r.size_bytes <= max_bytes)
+
+    def times(self) -> List[float]:
+        """Timestamps of all records, in order."""
+        return [r.time for r in self._records]
+
+    def window(self, start: float, end: float) -> "PacketCapture":
+        """Records with ``start <= time < end``."""
+        return self.filter(lambda r: start <= r.time < end)
+
+    def save_csv(self, path: Union[str, Path]) -> None:
+        """Persist the capture (offline analysis reads it back)."""
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["time", "size_bytes", "app_id", "direction"])
+            for r in self._records:
+                writer.writerow([f"{r.time:.6f}", r.size_bytes, r.app_id, r.direction])
+
+    @classmethod
+    def load_csv(cls, path: Union[str, Path]) -> "PacketCapture":
+        """Load a capture written by :meth:`save_csv`."""
+        path = Path(path)
+        records: List[CaptureRecord] = []
+        with path.open(newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header is None:
+                raise ValueError(f"{path} is empty")
+            for row in reader:
+                if len(row) < 4:
+                    raise ValueError(f"malformed capture row: {row!r}")
+                records.append(
+                    CaptureRecord(
+                        time=float(row[0]),
+                        size_bytes=int(row[1]),
+                        app_id=row[2],
+                        direction=row[3],
+                    )
+                )
+        return cls(records)

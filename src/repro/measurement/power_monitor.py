@@ -1,0 +1,103 @@
+"""Monsoon-style power monitor emulation (Sec. VI-D, Fig. 9's setup).
+
+The controlled experiments replace the phone battery with a power
+monitor supplying a constant 3.7 V and sample the drawn current every
+0.1 s on a laptop; energy is then integrated from the current trace.
+This module reproduces that tooling against a simulated device's RRC
+timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.radio.rrc import RRCMachine
+from repro.sim.power_trace import PowerTrace, sample_power_trace
+
+__all__ = ["CurrentTrace", "PowerMonitor"]
+
+#: Supply voltage the paper's monitor provides.
+SUPPLY_VOLTAGE = 3.7
+
+
+@dataclass
+class CurrentTrace:
+    """Sampled current draw, as the power tool software records it."""
+
+    times: List[float]
+    amps: List[float]
+    voltage: float = SUPPLY_VOLTAGE
+    interval: float = 0.1
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.amps):
+            raise ValueError("times and amps must align")
+        if self.voltage <= 0:
+            raise ValueError("voltage must be > 0")
+        if self.interval <= 0:
+            raise ValueError("interval must be > 0")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def energy(self) -> float:
+        """Joules: V · Σ I · Δt — how the paper computes device energy."""
+        return self.voltage * sum(self.amps) * self.interval
+
+    def mean_current(self) -> float:
+        """Average current draw in amps."""
+        return sum(self.amps) / len(self.amps) if self.amps else 0.0
+
+
+class PowerMonitor:
+    """Samples a simulated device's power at 10 Hz through its RRC state.
+
+    Supply-side the monitor sees power = V·I, so the current trace is
+    the device's absolute instantaneous power divided by the supply
+    voltage.
+    """
+
+    def __init__(self, voltage: float = SUPPLY_VOLTAGE, interval: float = 0.1) -> None:
+        if voltage <= 0:
+            raise ValueError(f"voltage must be > 0, got {voltage}")
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.voltage = voltage
+        self.interval = interval
+
+    def capture(self, rrc: RRCMachine, horizon: Optional[float] = None) -> CurrentTrace:
+        """Record the device's current draw over the run."""
+        power = self.power_trace(rrc, horizon)
+        return CurrentTrace(
+            times=power.times,
+            amps=[w / self.voltage for w in power.watts],
+            voltage=self.voltage,
+            interval=self.interval,
+        )
+
+    def power_trace(
+        self, rrc: RRCMachine, horizon: Optional[float] = None
+    ) -> PowerTrace:
+        """The underlying absolute power trace (IDLE baseline included)."""
+        return sample_power_trace(
+            rrc, horizon=horizon, interval=self.interval, absolute=True
+        )
+
+    def measure_energy(
+        self,
+        rrc: RRCMachine,
+        horizon: Optional[float] = None,
+        *,
+        above_idle: bool = False,
+    ) -> float:
+        """Energy in joules over the run, integrated from samples.
+
+        With ``above_idle=True`` the IDLE baseline power is subtracted,
+        yielding the "extra" energy comparable to the analytic model.
+        """
+        trace = self.capture(rrc, horizon)
+        energy = trace.energy()
+        if above_idle:
+            energy -= rrc.power_model.p_idle * len(trace) * trace.interval
+        return energy

@@ -1,0 +1,37 @@
+"""Radio substrate: RRC states, power/tail-energy models, accounting.
+
+Ships the paper's 3G model plus LTE and WiFi variants expressed in the
+same tail vocabulary, and a fast-dormancy 3G profile for the related-
+work ablation.
+"""
+
+from repro.radio.energy import EnergyAccountant, EnergyBreakdown
+from repro.radio.interface import RadioInterface
+from repro.radio.lte import LTE_CAT4, LTEParameters, lte_power_model
+from repro.radio.power_model import (
+    GALAXY_S4_3G,
+    GALAXY_S4_FAST_DORMANCY,
+    NEXUS4_3G,
+    PowerModel,
+)
+from repro.radio.rrc import RRCMachine, RRCSegment
+from repro.radio.states import RRCState
+from repro.radio.wifi import WIFI_PSM, wifi_power_model
+
+__all__ = [
+    "EnergyAccountant",
+    "EnergyBreakdown",
+    "RadioInterface",
+    "GALAXY_S4_3G",
+    "GALAXY_S4_FAST_DORMANCY",
+    "NEXUS4_3G",
+    "PowerModel",
+    "RRCMachine",
+    "RRCSegment",
+    "RRCState",
+    "LTE_CAT4",
+    "LTEParameters",
+    "lte_power_model",
+    "WIFI_PSM",
+    "wifi_power_model",
+]

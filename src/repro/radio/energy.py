@@ -1,0 +1,131 @@
+"""Analytic energy accounting over completed transmission records.
+
+Implements the paper's objective arithmetic: given the chronological burst
+sequence a schedule produced, each burst ``x`` wastes
+``E(x) = E_tail(Δ(x))`` where ``Δ(x) = t_s(x⁺) − (t_s(x) + t_l(x))`` is
+the gap to the next burst, plus transmission energy proportional to its
+active duration.  The last burst always pays a full tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.packet import TransmissionRecord
+from repro.radio.power_model import PowerModel
+
+__all__ = ["EnergyBreakdown", "EnergyAccountant"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy attribution for a burst sequence (all joules, extra over IDLE).
+
+    Attributes
+    ----------
+    transmission:
+        Energy spent actively moving bits (including any promotion-delay
+        DCH time folded into burst durations).
+    tail:
+        Wasted tail energy across all inter-burst gaps (+ the final tail).
+    heartbeat_transmission / cargo_transmission:
+        Transmission energy split by burst kind; piggyback bursts are
+        apportioned by byte share.
+    signaling:
+        RRC connection-setup energy paid on cold starts (non-zero only
+        for power models with ``promotion_energy`` set, e.g. the
+        fast-dormancy ablation).
+    """
+
+    transmission: float
+    tail: float
+    heartbeat_transmission: float = 0.0
+    cargo_transmission: float = 0.0
+    signaling: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total extra energy: transmission + tail + signaling."""
+        return self.transmission + self.tail + self.signaling
+
+    @property
+    def tail_fraction(self) -> float:
+        """Fraction of total energy wasted in tails (0 when no energy)."""
+        return self.tail / self.total if self.total > 0 else 0.0
+
+
+class EnergyAccountant:
+    """Computes :class:`EnergyBreakdown` for a chronological burst sequence."""
+
+    def __init__(self, power_model: Optional[PowerModel] = None) -> None:
+        self.power_model = power_model if power_model is not None else PowerModel()
+
+    def gaps(self, records: Sequence[TransmissionRecord]) -> list:
+        """Inter-burst gaps Δ(x); the final burst's gap is +infinity.
+
+        Raises :class:`ValueError` if records are not sorted by start or
+        overlap (the radio serialises bursts).
+        """
+        ordered = list(records)
+        for a, b in zip(ordered, ordered[1:]):
+            if b.start < a.start:
+                raise ValueError("transmission records must be sorted by start time")
+            if b.start < a.end - 1e-9:
+                raise ValueError(
+                    f"burst starting {b.start} overlaps burst ending {a.end}"
+                )
+        out = []
+        for a, b in zip(ordered, ordered[1:]):
+            out.append(max(0.0, b.start - a.end))
+        if ordered:
+            out.append(float("inf"))
+        return out
+
+    def breakdown(self, records: Sequence[TransmissionRecord]) -> EnergyBreakdown:
+        """Full energy attribution for a burst sequence."""
+        pm = self.power_model
+        tail = 0.0
+        tx = 0.0
+        hb_tx = 0.0
+        cargo_tx = 0.0
+
+        for record, gap in zip(records, self.gaps(records)):
+            tail += pm.tail_energy(min(gap, pm.tail_time))
+            burst_energy = pm.transmission_energy(record.duration)
+            tx += burst_energy
+            if record.kind == "heartbeat":
+                hb_tx += burst_energy
+            elif record.kind == "data":
+                cargo_tx += burst_energy
+            else:  # piggyback: split by byte share; heartbeat bytes are the
+                # burst size minus the cargo bytes implied by packet count —
+                # callers encode heartbeat bytes via app_ids ordering, so we
+                # approximate by charging the heartbeat its own tiny share.
+                hb_share = self._heartbeat_byte_share(record)
+                hb_tx += burst_energy * hb_share
+                cargo_tx += burst_energy * (1.0 - hb_share)
+        return EnergyBreakdown(
+            transmission=tx,
+            tail=tail,
+            heartbeat_transmission=hb_tx,
+            cargo_transmission=cargo_tx,
+        )
+
+    @staticmethod
+    def _heartbeat_byte_share(record: TransmissionRecord) -> float:
+        """Heartbeat fraction of a piggyback burst's bytes.
+
+        Heartbeats are tens-to-hundreds of bytes while cargo packets are
+        KBs; without per-component sizes in the record we charge the
+        heartbeat a share inversely proportional to the number of carried
+        packets, bounded by a small cap.  This only affects the
+        *attribution split*, never the total.
+        """
+        if not record.packet_ids:
+            return 1.0
+        return min(0.05, 1.0 / (1 + len(record.packet_ids)))
+
+    def total_energy(self, records: Sequence[TransmissionRecord]) -> float:
+        """Convenience: total extra energy (transmission + tail) in joules."""
+        return self.breakdown(records).total

@@ -1,0 +1,209 @@
+"""Radio interface: serialises bursts against a bandwidth process.
+
+This is the piece of the simulated device that the scheduler's decisions
+ultimately hit.  It owns the burst log (``TransmissionRecord`` list), an
+:class:`~repro.radio.rrc.RRCMachine` replaying the same bursts for
+power-trace purposes, and an :class:`~repro.radio.energy.EnergyAccountant`
+for analytic totals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.bandwidth.models import BandwidthModel, ConstantBandwidth
+from repro.core.packet import Heartbeat, Packet, TransmissionRecord
+from repro.radio.energy import EnergyAccountant, EnergyBreakdown
+from repro.radio.power_model import PowerModel
+from repro.radio.rrc import RRCMachine
+
+__all__ = ["RadioInterface"]
+
+#: Default link rate when no bandwidth model is supplied: 100 KB/s,
+#: a typical 3G uplink.
+_DEFAULT_RATE = 100_000.0
+
+
+class RadioInterface:
+    """Single 3G radio executing one burst at a time.
+
+    Bursts must be submitted in chronological order.  If a new burst is
+    requested while the previous one is still active, it is delayed until
+    the radio frees up (constraint (3): at most one transmission at a
+    time).  The interface reports the *actual* start time used.
+    """
+
+    def __init__(
+        self,
+        power_model: Optional[PowerModel] = None,
+        bandwidth: Optional[BandwidthModel] = None,
+    ) -> None:
+        self.power_model = power_model if power_model is not None else PowerModel()
+        self.bandwidth = (
+            bandwidth if bandwidth is not None else ConstantBandwidth(_DEFAULT_RATE)
+        )
+        self.records: List[TransmissionRecord] = []
+        self.rrc = RRCMachine(self.power_model)
+        self._accountant = EnergyAccountant(self.power_model)
+        self._last_requested = 0.0
+        #: Bursts that began from a fully demoted (IDLE) radio and paid
+        #: a state promotion (only counted when the power model defines
+        #: a promotion delay or energy).
+        self.cold_starts = 0
+
+    @property
+    def busy_until(self) -> float:
+        """Time the current/last burst finishes (0.0 if never used)."""
+        return self.records[-1].end if self.records else 0.0
+
+    def transmit(
+        self,
+        requested_start: float,
+        size_bytes: int,
+        kind: str,
+        *,
+        app_ids: Sequence[str] = (),
+        packet_ids: Sequence[int] = (),
+        direction: str = "up",
+    ) -> TransmissionRecord:
+        """Execute a burst; returns the record with actual start/duration.
+
+        The burst begins at ``max(requested_start, busy_until)`` and lasts
+        ``bandwidth.transfer_duration(start, size_bytes)`` seconds, using
+        the link rate matching ``direction``.
+        """
+        if requested_start < 0:
+            raise ValueError(f"requested_start must be >= 0, got {requested_start}")
+        if requested_start < self._last_requested:
+            raise ValueError(
+                "bursts must be submitted in chronological order: "
+                f"{requested_start} < {self._last_requested}"
+            )
+        self._last_requested = requested_start
+        start = max(requested_start, self.busy_until)
+
+        # Cold start: the radio is fully demoted, so data waits for the
+        # IDLE→DCH promotion.  The promotion window is folded into the
+        # burst (the radio draws DCH power while the channel is set up)
+        # and per-promotion signaling energy is accounted separately.
+        pm = self.power_model
+        promotion = 0.0
+        is_cold = not self.records or start >= self.records[-1].end + pm.tail_time
+        if is_cold and (pm.promotion_delay > 0 or pm.promotion_energy > 0):
+            promotion = pm.promotion_delay
+            self.cold_starts += 1
+        duration = promotion + self.bandwidth.transfer_duration(
+            start + promotion, size_bytes, direction=direction
+        )
+        record = TransmissionRecord(
+            start=start,
+            duration=duration,
+            size_bytes=size_bytes,
+            kind=kind,
+            app_ids=tuple(app_ids),
+            packet_ids=tuple(packet_ids),
+        )
+        self.records.append(record)
+        self.rrc.add_burst(start, duration)
+        return record
+
+    def transmit_heartbeat(self, heartbeat: Heartbeat) -> TransmissionRecord:
+        """Send a bare heartbeat at its scheduled departure time."""
+        return self.transmit(
+            heartbeat.time,
+            heartbeat.size_bytes,
+            "heartbeat",
+            app_ids=(heartbeat.app_id,),
+        )
+
+    def _transmit_direction_group(
+        self, start: float, packets: Sequence[Packet], kind: str, direction: str
+    ) -> TransmissionRecord:
+        record = self.transmit(
+            start,
+            sum(p.size_bytes for p in packets),
+            kind,
+            app_ids=tuple(sorted({p.app_id for p in packets})),
+            packet_ids=tuple(p.packet_id for p in packets),
+            direction=direction,
+        )
+        for p in packets:
+            p.scheduled_time = record.start
+            p.completion_time = record.end
+        return record
+
+    def transmit_packets(
+        self, start: float, packets: Sequence[Packet]
+    ) -> List[TransmissionRecord]:
+        """Send a batch of cargo packets, one burst per link direction.
+
+        Uploads and downloads use different link rates, so mixed batches
+        split into back-to-back bursts (zero gap — no extra tail).  Sets
+        each packet's ``scheduled_time``/``completion_time``.
+        """
+        if not packets:
+            raise ValueError("transmit_packets requires at least one packet")
+        records: List[TransmissionRecord] = []
+        for direction in ("up", "down"):
+            group = [p for p in packets if p.direction == direction]
+            if group:
+                records.append(
+                    self._transmit_direction_group(start, group, "data", direction)
+                )
+        return records
+
+    def transmit_piggyback(
+        self, heartbeat: Heartbeat, packets: Sequence[Packet]
+    ) -> List[TransmissionRecord]:
+        """Send a heartbeat with cargo packets aggregated onto it.
+
+        Uplink cargo shares the heartbeat's burst; downlink cargo follows
+        back-to-back at the downlink rate (still inside the same radio
+        wake-up, so no additional tail is bought).
+        """
+        if not packets:
+            return [self.transmit_heartbeat(heartbeat)]
+        records: List[TransmissionRecord] = []
+        uplink = [p for p in packets if p.direction == "up"]
+        downlink = [p for p in packets if p.direction == "down"]
+        if uplink:
+            record = self.transmit(
+                heartbeat.time,
+                heartbeat.size_bytes + sum(p.size_bytes for p in uplink),
+                "piggyback",
+                app_ids=(heartbeat.app_id,)
+                + tuple(sorted({p.app_id for p in uplink})),
+                packet_ids=tuple(p.packet_id for p in uplink),
+                direction="up",
+            )
+            for p in uplink:
+                p.scheduled_time = record.start
+                p.completion_time = record.end
+            records.append(record)
+        else:
+            records.append(self.transmit_heartbeat(heartbeat))
+        if downlink:
+            records.append(
+                self._transmit_direction_group(
+                    heartbeat.time, downlink, "piggyback", "down"
+                )
+            )
+        return records
+
+    def energy_breakdown(self) -> EnergyBreakdown:
+        """Analytic energy attribution over all bursts so far."""
+        base = self._accountant.breakdown(self.records)
+        signaling = self.cold_starts * self.power_model.promotion_energy
+        if signaling == 0.0:
+            return base
+        return EnergyBreakdown(
+            transmission=base.transmission,
+            tail=base.tail,
+            heartbeat_transmission=base.heartbeat_transmission,
+            cargo_transmission=base.cargo_transmission,
+            signaling=signaling,
+        )
+
+    def total_energy(self) -> float:
+        """Total extra energy (transmission + tail) in joules."""
+        return self.energy_breakdown().total

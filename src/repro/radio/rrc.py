@@ -1,0 +1,196 @@
+"""Event-driven RRC state machine producing a continuous power timeline.
+
+While :mod:`repro.radio.power_model` gives the *analytic* per-gap tail
+energy, this module simulates the radio the way the hardware behaves: a
+timeline of (interval, state) segments from which instantaneous power and
+integrated energy can be read at any time.  The controlled-experiment
+benchmarks sample this timeline through the simulated power monitor, and a
+property test asserts the integral agrees with the analytic formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.radio.power_model import PowerModel
+from repro.radio.states import RRCState
+
+__all__ = ["RRCSegment", "RRCMachine"]
+
+
+@dataclass(frozen=True)
+class RRCSegment:
+    """A maximal interval during which the radio held one state.
+
+    ``transmitting`` distinguishes active-burst DCH time (transmission
+    energy) from tail DCH time (wasted energy); both draw DCH power.
+    """
+
+    start: float
+    end: float
+    state: RRCState
+    transmitting: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"segment end {self.end} before start {self.start}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class RRCMachine:
+    """Replays a sequence of bursts through the IDLE/DCH/FACH automaton.
+
+    Bursts must be fed in non-decreasing start order via :meth:`add_burst`.
+    Overlapping bursts are rejected — the caller (the simulator's radio
+    interface) serialises transmissions, matching constraint (3) of the
+    paper's formulation.
+
+    The machine is lazy: segments between/after bursts (the tails and idle
+    periods) are materialised by :meth:`segments`/:meth:`finalize`.
+    """
+
+    def __init__(self, power_model: Optional[PowerModel] = None) -> None:
+        self.power_model = power_model if power_model is not None else PowerModel()
+        self._bursts: List[Tuple[float, float]] = []  # (start, end)
+
+    @property
+    def bursts(self) -> List[Tuple[float, float]]:
+        """Copy of the recorded (start, end) burst intervals."""
+        return list(self._bursts)
+
+    def add_burst(self, start: float, duration: float) -> None:
+        """Record an active transmission burst.
+
+        Raises
+        ------
+        ValueError
+            If the burst starts before the previous one ended (the radio
+            can only serve one burst at a time) or has negative duration.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        if self._bursts and start < self._bursts[-1][1]:
+            raise ValueError(
+                f"burst at {start} overlaps previous burst ending "
+                f"{self._bursts[-1][1]}"
+            )
+        self._bursts.append((start, start + duration))
+
+    def add_bursts(self, bursts: Iterable[Tuple[float, float]]) -> None:
+        """Record many (start, duration) bursts, in order."""
+        for start, duration in bursts:
+            self.add_burst(start, duration)
+
+    def segments(self, horizon: Optional[float] = None) -> List[RRCSegment]:
+        """Materialise the full state timeline from t=0 to ``horizon``.
+
+        The timeline starts IDLE, jumps to DCH for each burst, then decays
+        DCH → FACH → IDLE per the tail timers unless interrupted by the
+        next burst (which re-promotes to DCH immediately).
+
+        Parameters
+        ----------
+        horizon:
+            End of the timeline.  Defaults to the instant the radio
+            returns to IDLE after the last burst.
+        """
+        pm = self.power_model
+        segs: List[RRCSegment] = []
+        cursor = 0.0
+
+        for start, end in self._bursts:
+            if start > cursor:
+                segs.extend(self._tail_segments(cursor, start, bounded=True))
+                cursor = start
+            # Active burst: DCH, transmitting.  Zero-duration bursts (tiny
+            # payloads on fast links) still trigger the tail but add no
+            # transmission segment.
+            if end > cursor:
+                segs.append(RRCSegment(cursor, end, RRCState.DCH, transmitting=True))
+            cursor = end
+
+        natural_end = cursor + pm.tail_time if self._bursts else 0.0
+        end_time = natural_end if horizon is None else horizon
+        if end_time > cursor:
+            segs.extend(self._tail_segments(cursor, end_time, bounded=True))
+        return segs
+
+    def _tail_segments(self, tail_start: float, until: float, *, bounded: bool) -> List[RRCSegment]:
+        """Decay segments from a burst end at ``tail_start`` up to ``until``.
+
+        Produces DCH for δ_D, FACH for δ_F, then IDLE, clipping each at
+        ``until``.  When there were no prior bursts (``tail_start == 0``
+        with empty history) the radio is simply IDLE.
+        """
+        pm = self.power_model
+        if not self._bursts or tail_start == 0.0 and not any(
+            end <= tail_start for _, end in self._bursts
+        ):
+            # No burst has ended at/before tail_start: pure idle lead-in.
+            if until > tail_start:
+                return [RRCSegment(tail_start, until, RRCState.IDLE)]
+            return []
+
+        segs: List[RRCSegment] = []
+        dch_end = min(until, tail_start + pm.delta_dch)
+        if dch_end > tail_start:
+            segs.append(RRCSegment(tail_start, dch_end, RRCState.DCH))
+        fach_end = min(until, tail_start + pm.tail_time)
+        if fach_end > dch_end:
+            segs.append(RRCSegment(dch_end, fach_end, RRCState.FACH))
+        if until > fach_end:
+            segs.append(RRCSegment(fach_end, until, RRCState.IDLE))
+        return segs
+
+    def state_at(self, t: float, horizon: Optional[float] = None) -> RRCState:
+        """RRC state at time ``t`` (IDLE before the first burst)."""
+        for seg in self.segments(horizon=max(t, horizon or 0.0) + 1e-9):
+            if seg.start <= t < seg.end:
+                return seg.state
+        return RRCState.IDLE
+
+    def power_at(self, t: float, *, absolute: bool = False) -> float:
+        """Instantaneous power at ``t`` (W)."""
+        return self.power_model.state_power(self.state_at(t), absolute=absolute)
+
+    def energy(
+        self,
+        horizon: Optional[float] = None,
+        *,
+        absolute: bool = False,
+        include_transmission: bool = True,
+    ) -> float:
+        """Integrated energy over the timeline (J).
+
+        Parameters
+        ----------
+        horizon:
+            Integration end; defaults to the natural end of the last tail.
+        absolute:
+            Include the IDLE baseline power (what a power monitor reads).
+        include_transmission:
+            If False, active-burst segments are excluded, leaving only the
+            tail (wasted) energy — directly comparable with the analytic
+            ``E_tail`` sums.
+        """
+        total = 0.0
+        for seg in self.segments(horizon=horizon):
+            if seg.transmitting and not include_transmission:
+                if absolute:
+                    total += self.power_model.p_idle * seg.duration
+                continue
+            total += (
+                self.power_model.state_power(seg.state, absolute=absolute)
+                * seg.duration
+            )
+        return total
+
+    def tail_energy(self, horizon: Optional[float] = None) -> float:
+        """Total wasted (non-transmitting, above-IDLE) energy (J)."""
+        return self.energy(horizon=horizon, absolute=False, include_transmission=False)

@@ -1,0 +1,41 @@
+"""3G UMTS RRC (Radio Resource Control) states.
+
+The paper's Fig. 4 shows the three power states a UMTS radio cycles
+through around a transmission:
+
+* ``IDLE``  — idle channel, baseline power.
+* ``DCH``   — dedicated channel, highest power; entered on transmission
+  start and held for ``delta_dch`` seconds after the transmission ends.
+* ``FACH``  — forward access channel, moderate power; held for
+  ``delta_fach`` seconds before demoting back to ``IDLE``.
+
+The *tail period* is the DCH + FACH linger after a transmission ends; its
+length is ``T_tail = delta_dch + delta_fach``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["RRCState"]
+
+
+class RRCState(enum.Enum):
+    """The three UMTS RRC power states of the paper's model."""
+
+    IDLE = "idle"
+    FACH = "fach"
+    DCH = "dch"
+
+    def __str__(self) -> str:
+        return self.value.upper()
+
+    @property
+    def rank(self) -> int:
+        """Power ordering: IDLE < FACH < DCH."""
+        return {"idle": 0, "fach": 1, "dch": 2}[self.value]
+
+    def __lt__(self, other: "RRCState") -> bool:
+        if not isinstance(other, RRCState):
+            return NotImplemented
+        return self.rank < other.rank

@@ -1,0 +1,44 @@
+"""WiFi power model — the contrast case for tail-energy scheduling.
+
+WiFi radios in PSM (power-save mode) return to low power within a few
+hundred milliseconds of a transfer; there is essentially no tail to
+piggyback on.  The model exists to answer an adoption question the paper
+leaves implicit: eTrain's benefit is a *cellular* phenomenon — on WiFi,
+aggregation buys almost nothing, so a production system should bypass
+scheduling when the active interface is WiFi.
+
+The interface-selection extension (:mod:`repro.baselines.interface_select`)
+uses both models side by side.
+"""
+
+from __future__ import annotations
+
+from repro.radio.power_model import PowerModel
+
+__all__ = ["WIFI_PSM", "wifi_power_model"]
+
+
+def wifi_power_model(
+    *,
+    p_idle: float = 0.02,
+    p_active_extra: float = 0.75,
+    psm_tail: float = 0.2,
+    p_tx_extra: float = 0.75,
+) -> PowerModel:
+    """A WiFi radio in PSM, expressed in the same tail vocabulary.
+
+    The "tail" collapses to the ~200 ms PSM timeout with no intermediate
+    stage — `delta_fach = 0`.
+    """
+    return PowerModel(
+        p_idle=p_idle,
+        p_dch_extra=p_active_extra,
+        p_fach_extra=0.0,
+        delta_dch=psm_tail,
+        delta_fach=0.0,
+        p_tx_extra=p_tx_extra,
+    )
+
+
+#: Default WiFi PSM model.
+WIFI_PSM = wifi_power_model()

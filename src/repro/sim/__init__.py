@@ -1,0 +1,24 @@
+"""Simulation engine: slotted runner, results, power traces, scenarios."""
+
+from repro.sim.battery import GALAXY_S4_BATTERY, Battery
+from repro.sim.engine import Simulation
+from repro.sim.power_trace import PowerTrace, sample_power_trace
+from repro.sim.results import AppStats, SimulationResult
+from repro.sim.runner import Scenario, default_scenario, run_strategy
+from repro.sim.validate import InvalidScheduleError, assert_valid, validate_result
+
+__all__ = [
+    "GALAXY_S4_BATTERY",
+    "Battery",
+    "Simulation",
+    "PowerTrace",
+    "sample_power_trace",
+    "AppStats",
+    "SimulationResult",
+    "Scenario",
+    "default_scenario",
+    "run_strategy",
+    "InvalidScheduleError",
+    "assert_valid",
+    "validate_result",
+]

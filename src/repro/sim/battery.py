@@ -1,0 +1,73 @@
+"""Battery model: turning joules into the paper's battery-life claims.
+
+The introduction's arithmetic — "Given a battery capacity of 1700 mAh
+with voltage 3.7 V, if the battery life is 10 hours, the smartphone will
+spend at least 6 % of its battery capacity on sending heartbeats of only
+one app" — is reproduced here as a first-class object, so the day-long
+experiment can report savings in battery-percentage and standby-hours
+rather than raw joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Battery", "GALAXY_S4_BATTERY"]
+
+
+@dataclass(frozen=True)
+class Battery:
+    """An ideal battery (no ageing/temperature effects).
+
+    Attributes
+    ----------
+    capacity_mah:
+        Rated capacity in milliamp-hours.
+    voltage:
+        Nominal voltage (the paper uses 3.7 V).
+    """
+
+    capacity_mah: float = 2600.0
+    voltage: float = 3.7
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0:
+            raise ValueError(f"capacity_mah must be > 0, got {self.capacity_mah}")
+        if self.voltage <= 0:
+            raise ValueError(f"voltage must be > 0, got {self.voltage}")
+
+    @property
+    def capacity_joules(self) -> float:
+        """Total energy content: mAh → A·s → J."""
+        return self.capacity_mah / 1000.0 * 3600.0 * self.voltage
+
+    def fraction_used(self, energy_j: float) -> float:
+        """Fraction of capacity a given energy drain represents."""
+        if energy_j < 0:
+            raise ValueError(f"energy_j must be >= 0, got {energy_j}")
+        return energy_j / self.capacity_joules
+
+    def percent_used(self, energy_j: float) -> float:
+        """Battery percentage (0-100+) consumed by ``energy_j``."""
+        return 100.0 * self.fraction_used(energy_j)
+
+    def lifetime_hours(self, mean_power_w: float) -> float:
+        """Hours a constant draw of ``mean_power_w`` lasts on a full charge."""
+        if mean_power_w <= 0:
+            raise ValueError(f"mean_power_w must be > 0, got {mean_power_w}")
+        return self.capacity_joules / mean_power_w / 3600.0
+
+    def standby_hours_equivalent(self, energy_j: float, standby_power_w: float = 0.018) -> float:
+        """How many hours of deep-sleep standby ``energy_j`` equals.
+
+        The paper phrases heartbeat waste as "roughly 10 hours of standby
+        time"; this converts any saving the same way.
+        """
+        if standby_power_w <= 0:
+            raise ValueError("standby_power_w must be > 0")
+        return energy_j / standby_power_w / 3600.0
+
+
+#: The paper's reference battery: "a battery capacity of 1700 mAh with
+#: voltage 3.7 V" (Sec. II-D).
+GALAXY_S4_BATTERY = Battery(capacity_mah=1700.0, voltage=3.7)

@@ -1,0 +1,159 @@
+"""Slotted discrete-event simulator (Sec. IV's slotted time model).
+
+The engine advances in fixed slots (1 s by default).  Each slot it:
+
+1. delivers to the strategy every cargo packet that arrived by the slot
+   boundary (the paper assumes packets generated within slot *t* arrive
+   by the end of slot *t*);
+2. invokes the strategy's decision — but only on multiples of the
+   strategy's own decision granularity (eTime decides every 60 s);
+3. transmits this slot's heartbeats at their exact departure times,
+   piggybacking the strategy's released packets onto the first heartbeat
+   of the slot when there is one, otherwise sending them as a standalone
+   data burst at the slot start.
+
+Heartbeats are never rescheduled; the radio serialises overlapping bursts
+(constraint (3)).  At the horizon the strategy's leftover queue is force-
+flushed so every packet is accounted for.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.bandwidth.models import BandwidthModel
+from repro.baselines.base import TransmissionStrategy
+from repro.core.packet import Heartbeat, Packet
+from repro.heartbeat.generators import HeartbeatGenerator, merge_heartbeats
+from repro.radio.interface import RadioInterface
+from repro.radio.power_model import PowerModel
+from repro.sim.results import SimulationResult
+
+__all__ = ["Simulation"]
+
+
+class Simulation:
+    """One run of a strategy against a workload, trains and a channel."""
+
+    def __init__(
+        self,
+        strategy: TransmissionStrategy,
+        train_generators: Sequence[HeartbeatGenerator],
+        packets: Sequence[Packet],
+        *,
+        power_model: Optional[PowerModel] = None,
+        bandwidth: Optional[BandwidthModel] = None,
+        horizon: float = 7200.0,
+        slot: float = 1.0,
+        flush_at_end: bool = True,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        if slot <= 0:
+            raise ValueError(f"slot must be > 0, got {slot}")
+        self.strategy = strategy
+        self.train_generators = list(train_generators)
+        self.packets = sorted(packets, key=lambda p: (p.arrival_time, p.packet_id))
+        self.power_model = power_model
+        self.bandwidth = bandwidth
+        self.horizon = float(horizon)
+        self.slot = float(slot)
+        self.flush_at_end = flush_at_end
+        self.radio: Optional[RadioInterface] = None
+
+    def _is_decision_slot(self, t: float) -> bool:
+        """Whether the strategy decides at slot start ``t``."""
+        granularity = max(self.strategy.slot, self.slot)
+        ratio = t / granularity
+        return abs(ratio - round(ratio)) < 1e-9
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return the collected result."""
+        radio = RadioInterface(self.power_model, self.bandwidth)
+        self.radio = radio
+        heartbeats = merge_heartbeats(self.train_generators, self.horizon)
+
+        arrival_idx = 0
+        hb_idx = 0
+        decisions = 0
+        held: List[Packet] = []  # Q_TX contents awaiting radio resource
+        # "Radio resource available" = the radio is still in its promoted
+        # high-power tail (DCH or FACH).  Once fully demoted to IDLE a
+        # new burst would buy a brand-new tail, so Q_TX waits for the
+        # next heartbeat promotion instead.
+        warm_window = radio.power_model.tail_time
+        n_slots = int(math.ceil(self.horizon / self.slot))
+
+        for i in range(n_slots):
+            t = i * self.slot
+            slot_end = min(t + self.slot, self.horizon)
+
+            # 1. Deliver arrivals visible by this slot boundary.
+            while (
+                arrival_idx < len(self.packets)
+                and self.packets[arrival_idx].arrival_time <= t
+            ):
+                self.strategy.on_arrival(self.packets[arrival_idx], t)
+                arrival_idx += 1
+
+            # 2. Collect this slot's heartbeats.
+            slot_hbs: List[Heartbeat] = []
+            while hb_idx < len(heartbeats) and heartbeats[hb_idx].time < slot_end:
+                slot_hbs.append(heartbeats[hb_idx])
+                hb_idx += 1
+
+            # 3. Strategy decision (on its own granularity).
+            released: List[Packet] = []
+            if self._is_decision_slot(t):
+                released = self.strategy.decide(t, bool(slot_hbs))
+                decisions += 1
+
+            # 4. Transmit: piggyback released packets on the slot's first
+            #    heartbeat when available.  Otherwise a warm-radio-gated
+            #    strategy (eTrain's Q_TX) only transmits while the radio
+            #    is still in its tail; a cold release waits for the next
+            #    promotion.  Other strategies transmit on demand.
+            if slot_hbs:
+                first, rest = slot_hbs[0], slot_hbs[1:]
+                payload = held + released
+                held = []
+                if payload:
+                    radio.transmit_piggyback(first, payload)
+                else:
+                    radio.transmit_heartbeat(first)
+                for hb in rest:
+                    radio.transmit_heartbeat(hb)
+            elif released or held:
+                radio_warm = bool(radio.records) and t < radio.busy_until + warm_window
+                if self.strategy.requires_warm_radio and not radio_warm:
+                    held.extend(released)
+                else:
+                    payload = held + released
+                    held = []
+                    if payload:
+                        radio.transmit_packets(t, payload)
+
+        # Deliver any arrivals past the last slot boundary, then flush.
+        if self.flush_at_end:
+            while arrival_idx < len(self.packets):
+                self.strategy.on_arrival(self.packets[arrival_idx], self.horizon)
+                arrival_idx += 1
+            leftovers = held + self.strategy.flush(self.horizon)
+            held = []
+            if leftovers:
+                radio.transmit_packets(self.horizon, leftovers)
+            flushed = len(leftovers)
+        else:
+            flushed = len(held)
+
+        return SimulationResult(
+            strategy_name=self.strategy.name,
+            horizon=self.horizon,
+            records=list(radio.records),
+            packets=list(self.packets),
+            heartbeats=heartbeats,
+            energy=radio.energy_breakdown(),
+            flushed_packets=flushed,
+            decisions=decisions,
+        )

@@ -1,0 +1,144 @@
+"""Simulation outputs and the paper's three performance metrics (Sec. VI-A).
+
+Metrics investigated by the evaluation:
+
+1. **total energy consumption** — extra joules (transmission + tail) over
+   the IDLE baseline;
+2. **normalized delay** — average queueing delay per data packet;
+3. **deadline violation ratio** — fraction of packets scheduled after
+   their deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.packet import Heartbeat, Packet, TransmissionRecord
+from repro.radio.energy import EnergyBreakdown
+
+__all__ = ["AppStats", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class AppStats:
+    """Per-cargo-app delivery statistics."""
+
+    app_id: str
+    packets: int
+    mean_delay: float
+    max_delay: float
+    violations: int
+
+    @property
+    def violation_ratio(self) -> float:
+        return self.violations / self.packets if self.packets else 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced.
+
+    Attributes
+    ----------
+    strategy_name:
+        Which policy generated the schedule.
+    horizon:
+        Simulated duration (seconds).
+    records:
+        Chronological radio bursts.
+    packets:
+        All cargo packets (each carries its scheduled/completion times).
+    heartbeats:
+        All heartbeats that departed during the run.
+    energy:
+        Analytic energy breakdown over ``records``.
+    flushed_packets:
+        Packets force-released at the horizon (still counted in metrics;
+        a large number signals the strategy starved its queue).
+    """
+
+    strategy_name: str
+    horizon: float
+    records: List[TransmissionRecord]
+    packets: List[Packet]
+    heartbeats: List[Heartbeat]
+    energy: EnergyBreakdown
+    flushed_packets: int = 0
+    decisions: int = 0
+
+    @property
+    def total_energy(self) -> float:
+        """Total extra energy in joules (transmission + tail)."""
+        return self.energy.total
+
+    @property
+    def tail_energy(self) -> float:
+        """Wasted tail energy in joules."""
+        return self.energy.tail
+
+    @property
+    def normalized_delay(self) -> float:
+        """Average per-packet queueing delay (seconds); 0 with no packets."""
+        scheduled = [p for p in self.packets if p.is_scheduled]
+        if not scheduled:
+            return 0.0
+        return sum(p.delay for p in scheduled) / len(scheduled)
+
+    @property
+    def deadline_violation_ratio(self) -> float:
+        """Fraction of scheduled packets that missed their deadline."""
+        scheduled = [p for p in self.packets if p.is_scheduled]
+        if not scheduled:
+            return 0.0
+        return sum(1 for p in scheduled if p.violates_deadline()) / len(scheduled)
+
+    @property
+    def piggyback_ratio(self) -> float:
+        """Fraction of cargo packets that rode a heartbeat burst."""
+        scheduled = [p for p in self.packets if p.is_scheduled]
+        if not scheduled:
+            return 0.0
+        piggybacked = set()
+        for r in self.records:
+            if r.kind == "piggyback":
+                piggybacked.update(r.packet_ids)
+        return sum(1 for p in scheduled if p.packet_id in piggybacked) / len(
+            scheduled
+        )
+
+    @property
+    def burst_count(self) -> int:
+        """Number of radio bursts (fewer = better aggregation)."""
+        return len(self.records)
+
+    def app_stats(self) -> Dict[str, AppStats]:
+        """Per-app delay/violation statistics."""
+        by_app: Dict[str, List[Packet]] = {}
+        for p in self.packets:
+            if p.is_scheduled:
+                by_app.setdefault(p.app_id, []).append(p)
+        out: Dict[str, AppStats] = {}
+        for app_id, pkts in sorted(by_app.items()):
+            delays = [p.delay for p in pkts]
+            out[app_id] = AppStats(
+                app_id=app_id,
+                packets=len(pkts),
+                mean_delay=sum(delays) / len(delays),
+                max_delay=max(delays),
+                violations=sum(1 for p in pkts if p.violates_deadline()),
+            )
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline metrics (for tables and benchmarks)."""
+        return {
+            "total_energy_j": self.total_energy,
+            "tail_energy_j": self.tail_energy,
+            "transmission_energy_j": self.energy.transmission,
+            "normalized_delay_s": self.normalized_delay,
+            "deadline_violation_ratio": self.deadline_violation_ratio,
+            "piggyback_ratio": self.piggyback_ratio,
+            "bursts": float(self.burst_count),
+            "packets": float(len(self.packets)),
+        }

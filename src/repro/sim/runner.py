@@ -1,0 +1,102 @@
+"""Scenario plumbing: the paper's default evaluation setup in one place.
+
+Most experiments share the same substrate — 3 train apps (QQ, WeChat,
+WhatsApp), 3 cargo apps (Mail, Weibo, Cloud) with Poisson arrivals, the
+synthetic Wuhan bandwidth trace, the Galaxy S4 power model, a 7200 s
+horizon.  :class:`Scenario` bundles it; experiment modules tweak pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence
+
+from repro.bandwidth.models import BandwidthModel
+from repro.bandwidth.synth import wuhan_bandwidth_model
+from repro.baselines.base import BandwidthEstimator, TransmissionStrategy
+from repro.core.packet import Packet, reset_packet_ids
+from repro.core.profiles import CargoAppProfile, DEFAULT_CARGO_PROFILES
+from repro.heartbeat.apps import default_train_generators
+from repro.heartbeat.generators import HeartbeatGenerator
+from repro.radio.power_model import GALAXY_S4_3G, PowerModel
+from repro.sim.engine import Simulation
+from repro.sim.results import SimulationResult
+from repro.workload.cargo import synthesize_trace
+
+__all__ = ["Scenario", "default_scenario", "run_strategy"]
+
+
+@dataclass
+class Scenario:
+    """A complete experiment substrate, ready to run strategies against.
+
+    The cargo *profiles* stay part of the scenario because strategies
+    (eTrain, PerES) need the cost functions at construction time.
+    """
+
+    profiles: List[CargoAppProfile]
+    train_generators: List[HeartbeatGenerator]
+    packets: List[Packet]
+    bandwidth: BandwidthModel
+    power_model: PowerModel = GALAXY_S4_3G
+    horizon: float = 7200.0
+    slot: float = 1.0
+
+    def fresh_packets(self) -> List[Packet]:
+        """Deep-ish copy of the packet trace with scheduling state reset.
+
+        Strategies mutate packets (scheduled/completion times), so each
+        run must receive its own copies for results to be independent.
+        """
+        return [
+            Packet(
+                app_id=p.app_id,
+                arrival_time=p.arrival_time,
+                size_bytes=p.size_bytes,
+                deadline=p.deadline,
+                direction=p.direction,
+            )
+            for p in self.packets
+        ]
+
+    def estimator(self, *, lag: float = 2.0, noise: float = 0.3, seed: int = 0) -> BandwidthEstimator:
+        """A bandwidth estimator bound to this scenario's channel."""
+        return BandwidthEstimator(self.bandwidth, lag=lag, noise=noise, seed=seed)
+
+
+def default_scenario(
+    *,
+    seed: int = 0,
+    horizon: float = 7200.0,
+    train_count: int = 3,
+    profiles: Optional[Sequence[CargoAppProfile]] = None,
+    bandwidth: Optional[BandwidthModel] = None,
+    power_model: PowerModel = GALAXY_S4_3G,
+) -> Scenario:
+    """The Sec. VI-A setup: 3 trains, 3 cargos, Wuhan trace, S4 power."""
+    profile_list = list(profiles) if profiles is not None else DEFAULT_CARGO_PROFILES()
+    reset_packet_ids()
+    return Scenario(
+        profiles=profile_list,
+        train_generators=default_train_generators(train_count),
+        packets=synthesize_trace(profile_list, horizon=horizon, seed=seed),
+        bandwidth=bandwidth if bandwidth is not None else wuhan_bandwidth_model(),
+        power_model=power_model,
+        horizon=horizon,
+    )
+
+
+def run_strategy(
+    strategy: TransmissionStrategy, scenario: Scenario
+) -> SimulationResult:
+    """Run one strategy over a scenario (on a fresh packet copy)."""
+    sim = Simulation(
+        strategy,
+        scenario.train_generators,
+        scenario.fresh_packets(),
+        power_model=scenario.power_model,
+        bandwidth=scenario.bandwidth,
+        horizon=scenario.horizon,
+        slot=scenario.slot,
+    )
+    return sim.run()

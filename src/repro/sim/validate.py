@@ -1,0 +1,108 @@
+"""Post-run invariant validation for simulation results.
+
+Any schedule the simulator produces must satisfy the paper's constraints
+(Sec. III-C) regardless of strategy: causality (2), one-burst-at-a-time
+(3), and fixed train departure times (5) — plus bookkeeping invariants
+(every packet delivered exactly once, energy attribution consistent).
+
+:func:`validate_result` returns a list of violation strings (empty =
+clean); :func:`assert_valid` raises.  Property tests run every random
+workload through it, and downstream users can sanity-check custom
+strategies the same way.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.results import SimulationResult
+
+__all__ = ["validate_result", "assert_valid", "InvalidScheduleError"]
+
+_EPS = 1e-9
+
+
+class InvalidScheduleError(AssertionError):
+    """A simulation result violated a schedule invariant."""
+
+
+def validate_result(result: SimulationResult) -> List[str]:
+    """Check every schedule invariant; returns violation descriptions."""
+    violations: List[str] = []
+
+    # (3) Bursts are time-ordered and never overlap.
+    for a, b in zip(result.records, result.records[1:]):
+        if b.start < a.start - _EPS:
+            violations.append(
+                f"bursts out of order: {b.start:.3f} after {a.start:.3f}"
+            )
+        if b.start < a.end - _EPS:
+            violations.append(
+                f"burst at {b.start:.3f} overlaps burst ending {a.end:.3f}"
+            )
+
+    # (2) Causality: no packet scheduled before its arrival.
+    for p in result.packets:
+        if p.scheduled_time is not None and p.scheduled_time < p.arrival_time - _EPS:
+            violations.append(
+                f"packet {p.packet_id} scheduled at {p.scheduled_time:.3f} "
+                f"before arrival {p.arrival_time:.3f}"
+            )
+
+    # Delivery: every packet scheduled, and carried by exactly one burst.
+    carried: dict = {}
+    for record in result.records:
+        for pid in record.packet_ids:
+            carried[pid] = carried.get(pid, 0) + 1
+    for p in result.packets:
+        if p.scheduled_time is None:
+            violations.append(f"packet {p.packet_id} never scheduled")
+            continue
+        count = carried.get(p.packet_id, 0)
+        if count != 1:
+            violations.append(
+                f"packet {p.packet_id} carried by {count} bursts (expected 1)"
+            )
+
+    # (5) Train departures: enough heartbeat-carrying bursts, and none
+    # leaves before its heartbeat's nominal departure time.  (Downlink
+    # piggyback companions share kind="piggyback" without carrying the
+    # heartbeat itself, so the carrier count is a lower-bound check.)
+    if result.heartbeats:
+        carriers = sorted(
+            (r for r in result.records if r.kind in ("heartbeat", "piggyback")),
+            key=lambda r: r.start,
+        )
+        if len(carriers) < len(result.heartbeats):
+            violations.append(
+                f"{len(result.heartbeats)} heartbeats but only "
+                f"{len(carriers)} carrier bursts"
+            )
+        for hb, record in zip(result.heartbeats, carriers):
+            if record.start < hb.time - _EPS:
+                violations.append(
+                    f"heartbeat burst at {record.start:.3f} departs before "
+                    f"nominal time {hb.time:.3f}"
+                )
+
+    # Energy attribution is internally consistent.
+    e = result.energy
+    expected_total = e.transmission + e.tail + e.signaling
+    if abs(e.total - expected_total) > 1e-6:
+        violations.append(
+            f"energy total {e.total} != transmission+tail+signaling "
+            f"{expected_total}"
+        )
+    if e.transmission < -_EPS or e.tail < -_EPS or e.signaling < -_EPS:
+        violations.append("negative energy component")
+
+    return violations
+
+
+def assert_valid(result: SimulationResult) -> None:
+    """Raise :class:`InvalidScheduleError` when any invariant fails."""
+    violations = validate_result(result)
+    if violations:
+        raise InvalidScheduleError(
+            "schedule invariants violated:\n  " + "\n  ".join(violations)
+        )

@@ -1,0 +1,65 @@
+"""Workload substrate: arrivals, sizes, cargo traces, user traces, IO."""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+)
+from repro.workload.diurnal import (
+    DAY_SECONDS,
+    DiurnalProfile,
+    NonHomogeneousPoisson,
+)
+from repro.workload.cargo import (
+    REFERENCE_TOTAL_RATE,
+    generate_packets,
+    profiles_for_total_rate,
+    synthesize_trace,
+    total_arrival_rate,
+)
+from repro.workload.sizes import FixedSize, SizeModel, TruncatedNormalSize, UniformSize
+from repro.workload.trace_io import load_packets_csv, save_packets_csv
+from repro.workload.user_traces import (
+    SESSION_LENGTH,
+    ActivityClass,
+    BehaviorType,
+    UserTraceRecord,
+    classify_session,
+    generate_session,
+    generate_user_population,
+    load_trace_csv,
+    records_to_packets,
+    save_trace_csv,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DeterministicArrivals",
+    "PoissonArrivals",
+    "DAY_SECONDS",
+    "DiurnalProfile",
+    "NonHomogeneousPoisson",
+    "REFERENCE_TOTAL_RATE",
+    "generate_packets",
+    "profiles_for_total_rate",
+    "synthesize_trace",
+    "total_arrival_rate",
+    "FixedSize",
+    "SizeModel",
+    "TruncatedNormalSize",
+    "UniformSize",
+    "load_packets_csv",
+    "save_packets_csv",
+    "SESSION_LENGTH",
+    "ActivityClass",
+    "BehaviorType",
+    "UserTraceRecord",
+    "classify_session",
+    "generate_session",
+    "generate_user_population",
+    "load_trace_csv",
+    "records_to_packets",
+    "save_trace_csv",
+]

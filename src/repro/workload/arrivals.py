@@ -1,0 +1,119 @@
+"""Packet arrival processes (Sec. VI-A: independent Poisson per cargo app)."""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "BurstyArrivals",
+]
+
+
+class ArrivalProcess(abc.ABC):
+    """Generates arrival instants on ``[start, horizon)``."""
+
+    @abc.abstractmethod
+    def arrivals(self, start: float, horizon: float) -> List[float]:
+        """Sorted arrival times in ``[start, horizon)``."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson process with a given mean inter-arrival time."""
+
+    def __init__(self, mean_interarrival: float, seed: int = 0) -> None:
+        if mean_interarrival <= 0:
+            raise ValueError(
+                f"mean_interarrival must be > 0, got {mean_interarrival}"
+            )
+        self.mean_interarrival = float(mean_interarrival)
+        self.seed = seed
+
+    @property
+    def rate(self) -> float:
+        """λ = 1 / mean inter-arrival (packets/second)."""
+        return 1.0 / self.mean_interarrival
+
+    def arrivals(self, start: float, horizon: float) -> List[float]:
+        if horizon < start:
+            raise ValueError("horizon must be >= start")
+        rng = random.Random(self.seed)
+        out: List[float] = []
+        t = start + rng.expovariate(self.rate)
+        while t < horizon:
+            out.append(t)
+            t += rng.expovariate(self.rate)
+        return out
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """Explicit arrival times — trace replay and unit tests."""
+
+    def __init__(self, times: Sequence[float]) -> None:
+        ordered = sorted(float(t) for t in times)
+        if any(t < 0 for t in ordered):
+            raise ValueError("arrival times must be >= 0")
+        self.times = ordered
+
+    def arrivals(self, start: float, horizon: float) -> List[float]:
+        if horizon < start:
+            raise ValueError("horizon must be >= start")
+        return [t for t in self.times if start <= t < horizon]
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Markov-modulated Poisson process alternating calm and burst phases.
+
+    Models the clumped upload behaviour of an actively-used app (e.g. a
+    user posting a string of Weibo updates): exponential phase durations,
+    different Poisson rates per phase.
+    """
+
+    def __init__(
+        self,
+        calm_interarrival: float,
+        burst_interarrival: float,
+        mean_calm_duration: float = 300.0,
+        mean_burst_duration: float = 60.0,
+        seed: int = 0,
+    ) -> None:
+        for name, v in (
+            ("calm_interarrival", calm_interarrival),
+            ("burst_interarrival", burst_interarrival),
+            ("mean_calm_duration", mean_calm_duration),
+            ("mean_burst_duration", mean_burst_duration),
+        ):
+            if v <= 0:
+                raise ValueError(f"{name} must be > 0, got {v}")
+        self.calm_interarrival = calm_interarrival
+        self.burst_interarrival = burst_interarrival
+        self.mean_calm_duration = mean_calm_duration
+        self.mean_burst_duration = mean_burst_duration
+        self.seed = seed
+
+    def arrivals(self, start: float, horizon: float) -> List[float]:
+        if horizon < start:
+            raise ValueError("horizon must be >= start")
+        rng = random.Random(self.seed)
+        out: List[float] = []
+        t = start
+        in_burst = False
+        while t < horizon:
+            phase_mean = (
+                self.mean_burst_duration if in_burst else self.mean_calm_duration
+            )
+            phase_end = min(horizon, t + rng.expovariate(1.0 / phase_mean))
+            rate = 1.0 / (
+                self.burst_interarrival if in_burst else self.calm_interarrival
+            )
+            arrival = t + rng.expovariate(rate)
+            while arrival < phase_end:
+                out.append(arrival)
+                arrival += rng.expovariate(rate)
+            t = phase_end
+            in_burst = not in_burst
+        return out

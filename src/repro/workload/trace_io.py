@@ -1,0 +1,59 @@
+"""Packet-trace (de)serialisation: CSV round-tripping for cargo traces."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.core.packet import Packet
+
+__all__ = ["save_packets_csv", "load_packets_csv"]
+
+_HEADER = ["app_id", "arrival_time", "size_bytes", "deadline", "direction"]
+
+
+def save_packets_csv(packets: Sequence[Packet], path: Union[str, Path]) -> None:
+    """Write a cargo packet trace as CSV (arrival order preserved)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for p in packets:
+            writer.writerow(
+                [
+                    p.app_id,
+                    f"{p.arrival_time:.6f}",
+                    p.size_bytes,
+                    "" if p.deadline is None else f"{p.deadline:.6f}",
+                    p.direction,
+                ]
+            )
+
+
+def load_packets_csv(path: Union[str, Path]) -> List[Packet]:
+    """Read a trace written by :func:`save_packets_csv`.
+
+    Packet ids are freshly assigned on load; the semantic identity of a
+    trace is (app, arrival, size, deadline), not the process-local id.
+    """
+    path = Path(path)
+    packets: List[Packet] = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise ValueError(f"{path} has unexpected header {header!r}")
+        for row in reader:
+            if len(row) != len(_HEADER):
+                raise ValueError(f"malformed packet row: {row!r}")
+            packets.append(
+                Packet(
+                    app_id=row[0],
+                    arrival_time=float(row[1]),
+                    size_bytes=int(row[2]),
+                    deadline=float(row[3]) if row[3] else None,
+                    direction=row[4],
+                )
+            )
+    return packets

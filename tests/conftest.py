@@ -1,0 +1,48 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bandwidth.models import ConstantBandwidth
+from repro.core.packet import Packet, reset_packet_ids
+from repro.core.profiles import cloud_profile, mail_profile, weibo_profile
+from repro.radio.power_model import GALAXY_S4_3G, PowerModel
+
+
+@pytest.fixture(autouse=True)
+def _fresh_packet_ids():
+    """Deterministic packet ids per test."""
+    reset_packet_ids()
+    yield
+    reset_packet_ids()
+
+
+@pytest.fixture
+def power_model() -> PowerModel:
+    """The paper's Galaxy S4 3G constants."""
+    return GALAXY_S4_3G
+
+
+@pytest.fixture
+def flat_channel() -> ConstantBandwidth:
+    """100 KB/s constant uplink."""
+    return ConstantBandwidth(100_000.0)
+
+
+@pytest.fixture
+def cargo_profiles():
+    """The paper's three cargo apps at the reference rate."""
+    return [mail_profile(), weibo_profile(), cloud_profile()]
+
+
+def make_packet(
+    app_id: str = "weibo",
+    arrival: float = 0.0,
+    size: int = 2_000,
+    deadline: float = 30.0,
+) -> Packet:
+    """Convenience packet constructor used across test modules."""
+    return Packet(
+        app_id=app_id, arrival_time=arrival, size_bytes=size, deadline=deadline
+    )

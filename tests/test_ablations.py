@@ -1,0 +1,78 @@
+"""Shape tests for the ablation experiments (small horizons)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_channel_aware,
+    ablation_consolidated_push,
+    ablation_estimator_quality,
+    ablation_fast_dormancy,
+    ablation_train_phases,
+    ablation_warm_gate,
+)
+from repro.sim.runner import default_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return default_scenario(horizon=1800.0)
+
+
+class TestWarmGate:
+    def test_three_configurations(self, scenario):
+        rows = ablation_warm_gate(scenario)
+        assert len(rows) == 3
+
+    def test_gate_is_the_big_lever(self, scenario):
+        rows = {r.label: r for r in ablation_warm_gate(scenario)}
+        gated = rows["eTrain, radio-resource-gated Q_TX"]
+        ungated = rows["eTrain, serve-immediately Q_TX"]
+        assert gated.energy_j < ungated.energy_j
+        assert gated.delay_s > ungated.delay_s
+
+
+class TestFastDormancy:
+    def test_ordering(self):
+        rows = {r.label: r for r in ablation_fast_dormancy(horizon=1800.0)}
+        assert (
+            rows["eTrain, normal tail"].energy_j
+            < rows["baseline, fast dormancy"].energy_j
+            < rows["baseline, normal tail"].energy_j
+        )
+
+    def test_fast_dormancy_keeps_baseline_delay(self):
+        rows = {r.label: r for r in ablation_fast_dormancy(horizon=1800.0)}
+        assert rows["baseline, fast dormancy"].delay_s < 2.0
+
+
+class TestEstimatorQuality:
+    def test_etrain_single_row_beats_comparators(self, scenario):
+        rows = ablation_estimator_quality(scenario, noise_levels=(0.0, 0.9))
+        etrain = rows[0]
+        assert etrain.label.startswith("eTrain")
+        for r in rows[1:]:
+            assert etrain.energy_j < r.energy_j
+
+    def test_row_count(self, scenario):
+        rows = ablation_estimator_quality(scenario, noise_levels=(0.0, 0.5))
+        assert len(rows) == 1 + 2 * 2
+
+
+class TestChannelAware:
+    def test_extension_close_to_plain(self, scenario):
+        plain, aware = ablation_channel_aware(scenario)
+        assert aware.energy_j == pytest.approx(plain.energy_j, rel=0.35)
+
+
+class TestConsolidatedPush:
+    def test_energy_delay_tradeoff(self):
+        per_app, gcm, apns = ablation_consolidated_push(horizon=3600.0)
+        assert apns.energy_j < gcm.energy_j < per_app.energy_j
+        assert apns.delay_s > gcm.delay_s > per_app.delay_s
+
+
+class TestTrainPhases:
+    def test_optimized_phases_reduce_delay(self):
+        aligned, default, optimized = ablation_train_phases(horizon=3600.0)
+        assert optimized.delay_s < aligned.delay_s
+        assert optimized.delay_s <= default.delay_s + 1.0

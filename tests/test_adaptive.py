@@ -1,0 +1,64 @@
+"""Unit tests for the adaptive-Θ eTrain controller."""
+
+import pytest
+
+from repro.baselines.adaptive import AdaptiveThetaETrainStrategy
+from repro.core.profiles import weibo_profile
+from repro.heartbeat.apps import default_train_generators
+from repro.sim.engine import Simulation
+from repro.workload.cargo import generate_packets
+
+
+def strategy(target=20.0, **kwargs):
+    return AdaptiveThetaETrainStrategy([weibo_profile()], target, **kwargs)
+
+
+class TestValidation:
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            strategy(target=0.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            strategy(window=0)
+
+    def test_name_mentions_target(self):
+        assert "target=20" in strategy(target=20.0).name
+
+
+class TestAdaptation:
+    def run(self, target, horizon=3600.0):
+        s = strategy(target=target, theta_init=0.5)
+        packets = generate_packets(weibo_profile(), horizon, seed=5)
+        sim = Simulation(
+            s,
+            default_train_generators(3),
+            packets,
+            horizon=horizon,
+        )
+        result = sim.run()
+        return s, result
+
+    def test_theta_rises_for_patient_target(self):
+        """A very lax delay target lets Θ climb (energy mode)."""
+        s, _ = self.run(target=500.0)
+        assert s.theta > 0.5
+
+    def test_theta_falls_for_strict_target(self):
+        """A near-zero delay target drives Θ down (performance mode)."""
+        s, _ = self.run(target=0.5)
+        assert s.theta < 0.5
+
+    def test_theta_stays_clamped(self):
+        s, _ = self.run(target=1e6)
+        assert s.theta <= AdaptiveThetaETrainStrategy.THETA_MAX
+
+    def test_all_packets_delivered(self):
+        _, result = self.run(target=30.0)
+        assert all(p.is_scheduled for p in result.packets)
+
+    def test_energy_ordering_follows_targets(self):
+        """A patient target must not use more energy than a strict one."""
+        _, strict = self.run(target=2.0)
+        _, patient = self.run(target=300.0)
+        assert patient.total_energy <= strict.total_energy * 1.05

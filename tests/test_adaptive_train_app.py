@@ -1,0 +1,83 @@
+"""Unit tests for the NetEase-style adaptive train app on the device."""
+
+import pytest
+
+from repro.android.apps import AdaptiveTrainApp, CargoApp
+from repro.android.etrain_service import ETrainService
+from repro.android.runtime import AndroidSystem
+from repro.core.profiles import weibo_profile
+from repro.core.scheduler import SchedulerConfig
+from repro.heartbeat.generators import DoublingCycleGenerator
+
+
+@pytest.fixture
+def system():
+    return AndroidSystem()
+
+
+class TestSchedule:
+    def test_matches_doubling_generator(self, system):
+        """The device app fires at exactly the generator's instants.
+
+        ``run_until`` fires an alarm landing exactly on the boundary,
+        while the generator's horizon is exclusive — compare strictly
+        inside the window.
+        """
+        app = AdaptiveTrainApp("netease", system)
+        app.start()
+        system.run_until(3000.0)
+        expected = [
+            h.time for h in DoublingCycleGenerator().heartbeats_until(3000.0)
+        ]
+        fired = [h.time for h in app.sent if h.time < 3000.0]
+        assert fired == pytest.approx(expected)
+
+    def test_seq_numbers(self, system):
+        app = AdaptiveTrainApp("netease", system)
+        app.start()
+        system.run_until(400.0)
+        assert [h.seq for h in app.sent] == list(range(len(app.sent)))
+
+    def test_stop_halts_rearming(self, system):
+        app = AdaptiveTrainApp("netease", system)
+        app.start()
+        system.run_until(100.0)
+        app.stop()
+        sent = len(app.sent)
+        system.run_until(2000.0)
+        assert len(app.sent) == sent
+        assert not app.running
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError):
+            AdaptiveTrainApp("x", system, initial_cycle=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveTrainApp("x", system, beats_per_stage=0)
+
+
+class TestServiceIntegration:
+    def test_monitor_observes_adaptive_departures(self, system):
+        service = ETrainService(system, SchedulerConfig(theta=0.5))
+        app = AdaptiveTrainApp("netease", system)
+        app.start()
+        service.attach_train_app(app)
+        service.start()
+        system.run_until(800.0)
+        times = service.monitor._apps["netease"].times
+        assert times[:4] == [0.0, 60.0, 120.0, 180.0]
+
+    def test_cargo_rides_adaptive_heartbeats(self, system):
+        service = ETrainService(system, SchedulerConfig(theta=10.0))
+        train = AdaptiveTrainApp("netease", system)
+        train.start()
+        service.attach_train_app(train)
+        weibo = CargoApp(weibo_profile(), system)
+        weibo.register()
+        service.start()
+        system.alarm_manager.set_exact(65.0, lambda t: weibo.submit(2_000))
+        system.run_until(400.0)
+        service.stop()
+        assert len(weibo.transmitted) == 1
+        packet = weibo.transmitted[0]
+        # Rides the t=120 heartbeat (next after the 60 s one at arrival).
+        assert packet.scheduled_time == pytest.approx(120.0, abs=1.5)

@@ -1,0 +1,128 @@
+"""Unit tests for metrics, E-D panels and table formatting."""
+
+import pytest
+
+from repro.analysis.ed_panel import (
+    EDCurve,
+    EDPoint,
+    dominates,
+    interpolate_energy_at_delay,
+    sweep,
+)
+from repro.analysis.metrics import compare_results, energy_saving, relative_saving
+from repro.analysis.summarize import format_mapping, format_table
+from repro.baselines.immediate import ImmediateStrategy
+from repro.radio.energy import EnergyBreakdown
+from repro.sim.results import SimulationResult
+from repro.sim.runner import default_scenario
+
+
+def fake_result(name, energy, delay=10.0):
+    return SimulationResult(
+        strategy_name=name,
+        horizon=100.0,
+        records=[],
+        packets=[],
+        heartbeats=[],
+        energy=EnergyBreakdown(transmission=0.0, tail=energy),
+    )
+
+
+class TestMetrics:
+    def test_energy_saving(self):
+        base = fake_result("baseline", 100.0)
+        cand = fake_result("etrain", 60.0)
+        assert energy_saving(base, cand) == pytest.approx(40.0)
+        assert relative_saving(base, cand) == pytest.approx(0.4)
+
+    def test_relative_saving_zero_baseline(self):
+        assert relative_saving(fake_result("b", 0.0), fake_result("c", 0.0)) == 0.0
+
+    def test_compare_results(self):
+        rows = compare_results(
+            [fake_result("baseline", 100.0), fake_result("etrain", 75.0)]
+        )
+        etrain_row = next(r for r in rows if r.strategy == "etrain")
+        assert etrain_row.saving_vs_baseline_j == pytest.approx(25.0)
+        assert etrain_row.saving_vs_baseline_pct == pytest.approx(25.0)
+
+    def test_compare_requires_baseline(self):
+        with pytest.raises(ValueError):
+            compare_results([fake_result("etrain", 10.0)])
+
+
+class TestEDPanel:
+    def curve(self):
+        return EDCurve(
+            label="x",
+            points=[
+                EDPoint(knob=0.0, energy_j=100.0, delay_s=10.0),
+                EDPoint(knob=1.0, energy_j=80.0, delay_s=20.0),
+                EDPoint(knob=2.0, energy_j=60.0, delay_s=40.0),
+            ],
+        )
+
+    def test_interpolation(self):
+        assert interpolate_energy_at_delay(self.curve(), 15.0) == pytest.approx(90.0)
+        assert interpolate_energy_at_delay(self.curve(), 30.0) == pytest.approx(70.0)
+
+    def test_interpolation_at_points(self):
+        assert interpolate_energy_at_delay(self.curve(), 10.0) == pytest.approx(100.0)
+
+    def test_interpolation_outside_range(self):
+        assert interpolate_energy_at_delay(self.curve(), 5.0) is None
+        assert interpolate_energy_at_delay(self.curve(), 50.0) is None
+
+    def test_dominates(self):
+        better = EDCurve(
+            label="y",
+            points=[
+                EDPoint(knob=0.0, energy_j=90.0, delay_s=10.0),
+                EDPoint(knob=1.0, energy_j=50.0, delay_s=40.0),
+            ],
+        )
+        assert dominates(better, self.curve(), delays=[15.0, 25.0, 35.0])
+        assert not dominates(self.curve(), better, delays=[15.0, 25.0, 35.0])
+
+    def test_dominates_requires_overlap(self):
+        far = EDCurve(label="z", points=[EDPoint(knob=0, energy_j=1, delay_s=1000.0)])
+        assert not dominates(far, self.curve(), delays=[15.0])
+
+    def test_min_max_energy(self):
+        assert self.curve().min_energy == 60.0
+        assert self.curve().max_energy == 100.0
+
+    def test_sweep_runs_strategy_per_knob(self):
+        scenario = default_scenario(horizon=600.0)
+        curve = sweep(
+            "baseline-sweep",
+            scenario,
+            lambda knob: ImmediateStrategy(),
+            [0.0, 1.0],
+        )
+        assert len(curve.points) == 2
+        assert curve.points[0].energy_j == pytest.approx(curve.points[1].energy_j)
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.345], [10, 20.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.35" in out
+        assert "---" in lines[1]
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_format_table_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_mapping(self):
+        out = format_mapping({"alpha": 1.5, "b": 2})
+        assert "alpha  1.50" in out
+
+    def test_format_mapping_empty(self):
+        assert format_mapping({}, title="t") == "t"

@@ -1,0 +1,96 @@
+"""Unit tests for the simulated AlarmManager."""
+
+import pytest
+
+from repro.android.alarm import AlarmManager
+
+
+class TestOneShot:
+    def test_fires_once(self):
+        am = AlarmManager()
+        fired = []
+        am.set_exact(5.0, fired.append)
+        assert am.fire_due(4.0) == 0
+        assert am.fire_due(5.0) == 1
+        assert am.fire_due(10.0) == 0
+        assert fired == [5.0]
+
+    def test_callback_gets_nominal_time(self):
+        am = AlarmManager()
+        fired = []
+        am.set_exact(5.0, fired.append)
+        am.fire_due(8.0)  # fired late
+        assert fired == [5.0]
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            AlarmManager().set_exact(-1.0, lambda t: None)
+
+
+class TestRepeating:
+    def test_re_arms(self):
+        am = AlarmManager()
+        fired = []
+        am.set_repeating(0.0, 10.0, fired.append)
+        am.fire_due(25.0)
+        assert fired == [0.0, 10.0, 20.0]
+
+    def test_next_trigger_time(self):
+        am = AlarmManager()
+        am.set_repeating(5.0, 10.0, lambda t: None)
+        assert am.next_trigger_time() == 5.0
+        am.fire_due(5.0)
+        assert am.next_trigger_time() == 15.0
+
+    def test_rejects_zero_interval(self):
+        with pytest.raises(ValueError):
+            AlarmManager().set_repeating(0.0, 0.0, lambda t: None)
+
+
+class TestCancel:
+    def test_cancelled_alarm_skipped(self):
+        am = AlarmManager()
+        fired = []
+        alarm = am.set_exact(5.0, fired.append)
+        am.cancel(alarm)
+        am.fire_due(10.0)
+        assert fired == []
+
+    def test_cancel_repeating_stops_rearm(self):
+        am = AlarmManager()
+        fired = []
+        alarm = am.set_repeating(0.0, 10.0, fired.append)
+        am.fire_due(0.0)
+        am.cancel(alarm)
+        am.fire_due(100.0)
+        assert fired == [0.0]
+
+    def test_cancelled_not_in_next_trigger(self):
+        am = AlarmManager()
+        alarm = am.set_exact(5.0, lambda t: None)
+        am.cancel(alarm)
+        assert am.next_trigger_time() is None
+
+
+class TestOrdering:
+    def test_fire_order_by_time_then_registration(self):
+        am = AlarmManager()
+        order = []
+        am.set_exact(5.0, lambda t: order.append("a"))
+        am.set_exact(3.0, lambda t: order.append("b"))
+        am.set_exact(5.0, lambda t: order.append("c"))
+        am.fire_due(10.0)
+        assert order == ["b", "a", "c"]
+
+    def test_callback_may_schedule_new_alarm(self):
+        am = AlarmManager()
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if t < 3.0:
+                am.set_exact(t + 1.0, chain)
+
+        am.set_exact(0.0, chain)
+        am.fire_due(10.0)
+        assert fired == [0.0, 1.0, 2.0, 3.0]

@@ -1,0 +1,126 @@
+"""Unit tests for the simulated Android runtime and app framework."""
+
+import pytest
+
+from repro.android.apps import CargoApp, TrainApp
+from repro.android.broadcast import Actions
+from repro.android.runtime import AndroidSystem
+from repro.core.profiles import weibo_profile
+from repro.heartbeat.apps import known_train_profile
+
+
+@pytest.fixture
+def system():
+    return AndroidSystem()
+
+
+class TestRuntime:
+    def test_clock_advances(self, system):
+        system.advance_to(100.0)
+        assert system.now == 100.0
+
+    def test_clock_never_goes_back(self, system):
+        system.advance_to(10.0)
+        with pytest.raises(ValueError):
+            system.advance_to(5.0)
+
+    def test_alarms_fire_in_time_order(self, system):
+        order = []
+        system.alarm_manager.set_exact(5.0, lambda t: order.append(("a", t)))
+        system.alarm_manager.set_exact(2.0, lambda t: order.append(("b", t)))
+        system.run_until(10.0)
+        assert order == [("b", 2.0), ("a", 5.0)]
+
+    def test_clock_visible_inside_callbacks(self, system):
+        inside = []
+        system.alarm_manager.set_exact(7.0, lambda t: inside.append(system.now))
+        system.run_until(10.0)
+        assert inside == [7.0]
+
+
+class TestTrainApp:
+    def test_heartbeats_at_cycle(self, system):
+        app = TrainApp(known_train_profile("qq"), system)
+        app.start()
+        system.run_until(700.0)
+        assert [hb.time for hb in app.sent] == [0.0, 300.0, 600.0]
+        assert [hb.seq for hb in app.sent] == [0, 1, 2]
+
+    def test_radio_records_heartbeats(self, system):
+        app = TrainApp(known_train_profile("whatsapp"), system)
+        app.start()
+        system.run_until(300.0)
+        kinds = [r.kind for r in system.radio.records]
+        assert kinds == ["heartbeat", "heartbeat"]
+
+    def test_stop_kills_daemon(self, system):
+        app = TrainApp(known_train_profile("qq"), system)
+        app.start()
+        system.run_until(100.0)
+        app.stop()
+        system.run_until(1000.0)
+        assert len(app.sent) == 1
+        assert not app.running
+
+    def test_start_idempotent(self, system):
+        app = TrainApp(known_train_profile("qq"), system)
+        app.start()
+        app.start()
+        system.run_until(10.0)
+        assert len(app.sent) == 1
+
+
+class TestCargoApp:
+    def test_register_announces_profile(self, system):
+        profiles = []
+        system.broadcast.register(
+            Actions.REGISTER, lambda i: profiles.append(i.get("profile"))
+        )
+        app = CargoApp(weibo_profile(), system)
+        app.register()
+        assert profiles and profiles[0].app_id == "weibo"
+
+    def test_register_idempotent(self, system):
+        count = []
+        system.broadcast.register(Actions.REGISTER, lambda i: count.append(1))
+        app = CargoApp(weibo_profile(), system)
+        app.register()
+        app.register()
+        assert len(count) == 1
+
+    def test_submit_broadcasts_request(self, system):
+        requests = []
+        system.broadcast.register(
+            Actions.SUBMIT_REQUEST, lambda i: requests.append(i.get("packet"))
+        )
+        app = CargoApp(weibo_profile(), system)
+        app.register()
+        packet = app.submit(1_500)
+        assert requests == [packet]
+        assert app.pending_count == 1
+        assert packet.deadline == weibo_profile().deadline
+
+    def test_transmit_intent_triggers_radio(self, system):
+        app = CargoApp(weibo_profile(), system)
+        app.register()
+        packet = app.submit(1_500)
+        system.broadcast.send_action(Actions.TRANSMIT, packet_ids=(packet.packet_id,))
+        assert app.pending_count == 0
+        assert app.transmitted == [packet]
+        assert system.radio.records[-1].kind == "data"
+
+    def test_transmit_ignores_foreign_ids(self, system):
+        app = CargoApp(weibo_profile(), system)
+        app.register()
+        app.submit(1_500)
+        system.broadcast.send_action(Actions.TRANSMIT, packet_ids=(999,))
+        assert app.pending_count == 1
+        assert app.transmitted == []
+
+    def test_direct_mode_bypasses_etrain(self, system):
+        app = CargoApp(weibo_profile(), system, direct_mode=True)
+        app.register()  # no-op
+        packet = app.submit(1_500)
+        assert app.transmitted == [packet]
+        assert system.radio.records[-1].kind == "data"
+        assert app.pending_count == 0

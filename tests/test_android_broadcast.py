@@ -1,0 +1,80 @@
+"""Unit tests for the simulated broadcast bus."""
+
+import pytest
+
+from repro.android.broadcast import Actions, BroadcastBus, BroadcastReceiver, Intent
+
+
+class Collector(BroadcastReceiver):
+    def __init__(self):
+        self.received = []
+
+    def on_receive(self, intent):
+        self.received.append(intent)
+
+
+class TestIntent:
+    def test_get_extra(self):
+        intent = Intent(action="x", extras={"a": 1})
+        assert intent.get("a") == 1
+        assert intent.get("b", "default") == "default"
+
+    def test_frozen(self):
+        intent = Intent(action="x")
+        with pytest.raises(AttributeError):
+            intent.action = "y"  # type: ignore[misc]
+
+
+class TestBus:
+    def test_one_to_many_delivery(self):
+        bus = BroadcastBus()
+        a, b = Collector(), Collector()
+        bus.register(Actions.TRANSMIT, a)
+        bus.register(Actions.TRANSMIT, b)
+        reached = bus.send_action(Actions.TRANSMIT, packet_ids=(1,))
+        assert reached == 2
+        assert len(a.received) == 1 and len(b.received) == 1
+
+    def test_action_isolation(self):
+        bus = BroadcastBus()
+        a = Collector()
+        bus.register(Actions.TRANSMIT, a)
+        bus.send_action(Actions.HEARTBEAT, app_id="qq")
+        assert a.received == []
+
+    def test_no_receivers(self):
+        bus = BroadcastBus()
+        assert bus.send_action(Actions.TRANSMIT) == 0
+
+    def test_unregister(self):
+        bus = BroadcastBus()
+        a = Collector()
+        bus.register(Actions.TRANSMIT, a)
+        bus.unregister(Actions.TRANSMIT, a)
+        bus.send_action(Actions.TRANSMIT)
+        assert a.received == []
+
+    def test_unregister_missing_raises(self):
+        bus = BroadcastBus()
+        with pytest.raises(KeyError):
+            bus.unregister(Actions.TRANSMIT, Collector())
+
+    def test_receiver_count(self):
+        bus = BroadcastBus()
+        assert bus.receiver_count(Actions.TRANSMIT) == 0
+        bus.register(Actions.TRANSMIT, Collector())
+        assert bus.receiver_count(Actions.TRANSMIT) == 1
+
+    def test_plain_callable_receiver(self):
+        bus = BroadcastBus()
+        seen = []
+        bus.register("custom", seen.append)
+        bus.send(Intent(action="custom", extras={"k": "v"}))
+        assert seen[0].get("k") == "v"
+
+    def test_delivered_counter(self):
+        bus = BroadcastBus()
+        bus.register("a", Collector())
+        bus.register("a", Collector())
+        bus.send_action("a")
+        assert bus.delivered == 2

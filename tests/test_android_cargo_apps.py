@@ -1,0 +1,85 @@
+"""Unit tests for the three evaluation cargo apps."""
+
+import pytest
+
+from repro.android.cargo_apps import ETrainCloud, ETrainMail, LunaWeibo
+from repro.android.runtime import AndroidSystem
+from repro.workload.user_traces import ActivityClass, BehaviorType, generate_session
+
+
+@pytest.fixture
+def system():
+    return AndroidSystem()
+
+
+class TestDefaults:
+    def test_profiles(self, system):
+        assert ETrainMail(system).app_id == "mail"
+        assert LunaWeibo(system).app_id == "weibo"
+        assert ETrainCloud(system).app_id == "cloud"
+
+    def test_cloud_sizes_large(self, system):
+        cloud = ETrainCloud(system)
+        assert cloud.profile.mean_size_bytes == 100_000
+
+
+class TestScheduledWorkloads:
+    def test_schedule_submissions(self, system):
+        mail = ETrainMail(system)
+        mail.direct_mode = True
+        mail.schedule_submissions([5.0, 15.0], [1_000, 2_000])
+        system.run_until(20.0)
+        assert len(mail.transmitted) == 2
+        assert [p.size_bytes for p in mail.transmitted] == [1_000, 2_000]
+        assert [p.arrival_time for p in mail.transmitted] == [5.0, 15.0]
+
+    def test_schedule_submissions_validates(self, system):
+        with pytest.raises(ValueError):
+            ETrainMail(system).schedule_submissions([1.0], [1, 2])
+
+    def test_schedule_poisson_deterministic(self, system):
+        mail = ETrainMail(system)
+        mail.direct_mode = True
+        n = mail.schedule_poisson(2_000.0, seed=1)
+        system.run_until(2_000.0)
+        assert len(mail.transmitted) == n
+
+        other_system = AndroidSystem()
+        mail2 = ETrainMail(other_system)
+        mail2.direct_mode = True
+        assert mail2.schedule_poisson(2_000.0, seed=1) == n
+
+    def test_poisson_sizes_respect_profile(self, system):
+        weibo = LunaWeibo(system)
+        weibo.direct_mode = True
+        weibo.schedule_poisson(5_000.0, seed=0)
+        system.run_until(5_000.0)
+        assert all(p.size_bytes >= 100 for p in weibo.transmitted)
+
+
+class TestTraceReplay:
+    def test_replay_counts_network_events(self, system):
+        records = generate_session("u1", ActivityClass.MODERATE, seed=0)
+        expected = sum(
+            1
+            for r in records
+            if r.behavior in (BehaviorType.UPLOAD, BehaviorType.REFRESH)
+            and r.packet_size > 0
+        )
+        weibo = LunaWeibo(system)
+        weibo.direct_mode = True
+        n = weibo.replay_trace(records)
+        assert n == expected
+        system.run_until(700.0)
+        assert len(weibo.transmitted) == expected
+
+    def test_replay_preserves_sizes(self, system):
+        records = generate_session("u1", ActivityClass.INACTIVE, seed=1)
+        weibo = LunaWeibo(system)
+        weibo.direct_mode = True
+        weibo.replay_trace(records)
+        system.run_until(700.0)
+        uploads = [r.packet_size for r in records if r.behavior is BehaviorType.UPLOAD]
+        transmitted_sizes = [p.size_bytes for p in weibo.transmitted]
+        for size in uploads:
+            assert size in transmitted_sizes

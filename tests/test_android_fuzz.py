@@ -1,0 +1,95 @@
+"""Property-based fuzzing of the Android runtime and service."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.android.alarm import AlarmManager
+from repro.android.apps import CargoApp, TrainApp
+from repro.android.etrain_service import ETrainService
+from repro.android.runtime import AndroidSystem
+from repro.core.profiles import weibo_profile
+from repro.core.scheduler import SchedulerConfig
+from repro.heartbeat.apps import known_train_profile
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@given(
+    triggers=st.lists(
+        st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=30
+    )
+)
+@SETTINGS
+def test_alarms_always_fire_in_time_order(triggers):
+    am = AlarmManager()
+    fired = []
+    for t in triggers:
+        am.set_exact(t, fired.append)
+    am.fire_due(2000.0)
+    assert fired == sorted(triggers)
+    assert am.next_trigger_time() is None
+
+
+@given(
+    interval=st.floats(min_value=0.5, max_value=120.0),
+    horizon=st.floats(min_value=1.0, max_value=600.0),
+)
+@SETTINGS
+def test_repeating_alarm_count(interval, horizon):
+    am = AlarmManager()
+    fired = []
+    am.set_repeating(0.0, interval, fired.append)
+    am.fire_due(horizon)
+    import math
+
+    expected = math.floor(horizon / interval) + 1
+    assert len(fired) == expected
+
+
+@given(
+    submits=st.lists(
+        st.tuples(
+            st.floats(min_value=1.0, max_value=880.0),  # when
+            st.integers(min_value=100, max_value=50_000),  # size
+        ),
+        min_size=0,
+        max_size=25,
+    ),
+    theta=st.floats(min_value=0.0, max_value=5.0),
+)
+@SETTINGS
+def test_service_delivers_every_submission(submits, theta):
+    """For any submission pattern and theta, every packet transmits by
+    service stop, the radio log is serialised, and causality holds."""
+    system = AndroidSystem()
+    service = ETrainService(system, SchedulerConfig(theta=theta))
+    train = TrainApp(known_train_profile("qq"), system)
+    train.start()
+    service.attach_train_app(train)
+    app = CargoApp(weibo_profile(), system)
+    app.register()
+    for when, size in submits:
+        system.alarm_manager.set_exact(
+            when, lambda t, s=size: app.submit(s)
+        )
+    service.start()
+    system.run_until(900.0)
+    service.stop()
+
+    assert app.pending_count == 0
+    assert len(app.transmitted) == len(submits)
+    for p in app.transmitted:
+        assert p.scheduled_time is not None
+        assert p.scheduled_time >= p.arrival_time - 1e-9
+    records = system.radio.records
+    for a, b in zip(records, records[1:]):
+        assert b.start >= a.end - 1e-9
+    # Energy bookkeeping stays consistent.
+    breakdown = system.radio.energy_breakdown()
+    assert breakdown.total == pytest.approx(
+        breakdown.transmission + breakdown.tail + breakdown.signaling
+    )

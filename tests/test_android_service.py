@@ -1,0 +1,143 @@
+"""Integration tests for the eTrain service on the Android layer."""
+
+import pytest
+
+from repro.android.apps import CargoApp, TrainApp
+from repro.android.broadcast import Actions
+from repro.android.cargo_apps import ETrainMail, LunaWeibo
+from repro.android.etrain_service import ETrainService
+from repro.android.runtime import AndroidSystem
+from repro.core.profiles import mail_profile, weibo_profile
+from repro.core.scheduler import SchedulerConfig
+from repro.heartbeat.apps import known_train_profile
+
+
+def build(theta=0.2, k=None, trains=("qq",)):
+    system = AndroidSystem()
+    service = ETrainService(system, SchedulerConfig(theta=theta, k=k))
+    train_apps = []
+    for i, app_id in enumerate(trains):
+        app = TrainApp(known_train_profile(app_id, first_heartbeat=30.0 * i), system)
+        app.start()
+        service.attach_train_app(app)
+        train_apps.append(app)
+    return system, service, train_apps
+
+
+class TestMonitorIntegration:
+    def test_hooks_report_heartbeats(self):
+        system, service, _ = build()
+        service.start()
+        system.run_until(700.0)
+        obs = service.monitor._apps["qq"].times
+        assert obs == [0.0, 300.0, 600.0]
+
+    def test_heartbeat_broadcast_emitted(self):
+        system, service, _ = build()
+        events = []
+        system.broadcast.register(
+            Actions.HEARTBEAT, lambda i: events.append((i.get("app_id"), i.get("time")))
+        )
+        service.start()
+        system.run_until(350.0)
+        assert ("qq", 0.0) in events and ("qq", 300.0) in events
+
+    def test_monitor_predicts_next(self):
+        system, service, _ = build()
+        service.start()
+        system.run_until(350.0)
+        assert service.monitor.predict_next("qq", 350.0) == pytest.approx(600.0)
+
+
+class TestSchedulingFlow:
+    def test_cargo_rides_heartbeat(self):
+        system, service, _ = build(theta=10.0)
+        mail = ETrainMail(system, mail_profile(deadline=600.0))
+        mail.register()
+        service.start()
+        system.alarm_manager.set_exact(50.0, lambda t: mail.submit(5_000))
+        system.run_until(700.0)
+        assert len(mail.transmitted) == 1
+        packet = mail.transmitted[0]
+        assert packet.scheduled_time == pytest.approx(300.0, abs=1.5)
+
+    def test_high_cost_transmits_before_heartbeat_when_warm(self):
+        """A packet selected while the radio is still in the previous
+        heartbeat's DCH linger goes out immediately."""
+        system, service, _ = build(theta=0.0)
+        weibo = LunaWeibo(system)
+        weibo.register()
+        service.start()
+        # Heartbeat at t=0; DCH linger until t=10.  Submit at t=3.
+        system.alarm_manager.set_exact(3.0, lambda t: weibo.submit(2_000))
+        system.run_until(200.0)
+        packet = weibo.transmitted[0]
+        assert packet.scheduled_time < 10.0
+
+    def test_pass_through_without_trains(self):
+        system = AndroidSystem()
+        service = ETrainService(system, SchedulerConfig(theta=10.0))
+        weibo = LunaWeibo(system)
+        weibo.register()
+        service.start()
+        system.alarm_manager.set_exact(5.0, lambda t: weibo.submit(2_000))
+        system.run_until(100.0)
+        assert len(weibo.transmitted) == 1
+        assert weibo.transmitted[0].scheduled_time == pytest.approx(5.0)
+
+    def test_stop_flushes_held_packets(self):
+        system, service, _ = build(theta=10.0)
+        mail = ETrainMail(system, mail_profile(deadline=600.0))
+        mail.register()
+        service.start()
+        system.alarm_manager.set_exact(20.0, lambda t: mail.submit(5_000))
+        system.run_until(100.0)  # before next heartbeat at 300
+        assert mail.pending_count == 1
+        service.stop()
+        assert mail.pending_count == 0
+        assert len(mail.transmitted) == 1
+
+    def test_trains_dying_drains_queue(self):
+        system, service, trains = build(theta=10.0)
+        mail = ETrainMail(system, mail_profile(deadline=600.0))
+        mail.register()
+        service.start()
+        system.alarm_manager.set_exact(20.0, lambda t: mail.submit(5_000))
+        system.alarm_manager.set_exact(40.0, lambda t: trains[0].stop())
+        system.run_until(100.0)
+        assert len(mail.transmitted) == 1
+
+    def test_register_intent_requires_profile(self):
+        system = AndroidSystem()
+        service = ETrainService(system)
+        with pytest.raises(ValueError):
+            system.broadcast.send_action(Actions.REGISTER)
+
+    def test_submit_intent_requires_packet(self):
+        system = AndroidSystem()
+        service = ETrainService(system)
+        with pytest.raises(ValueError):
+            system.broadcast.send_action(Actions.SUBMIT_REQUEST)
+
+
+class TestEndToEndEnergy:
+    def test_etrain_saves_vs_direct_mode(self):
+        """The headline effect on the device: scheduled cargo costs less
+        than unmodified immediate-send cargo."""
+
+        def run(direct):
+            system, service, _ = build(theta=0.2, k=20, trains=("qq", "wechat", "whatsapp"))
+            weibo = LunaWeibo(system)
+            weibo.direct_mode = direct
+            weibo.register()
+            service.start()
+            for i in range(12):
+                when = 40.0 + i * 45.0
+                system.alarm_manager.set_exact(
+                    when, lambda t, a=weibo: a.submit(2_000)
+                )
+            system.run_until(600.0)
+            service.stop()
+            return system.total_energy()
+
+        assert run(direct=False) < run(direct=True)

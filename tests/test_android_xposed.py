@@ -1,0 +1,87 @@
+"""Unit tests for the Xposed-style hooking framework."""
+
+import pytest
+
+from repro.android.xposed import HookRegistry
+
+
+class Target:
+    def __init__(self):
+        self.calls = []
+
+    def send_heartbeat(self, when):
+        self.calls.append(when)
+        return f"hb@{when}"
+
+    def broken(self, when):
+        raise RuntimeError("send failed")
+
+
+class TestHookAfter:
+    def test_after_hook_sees_result_and_args(self):
+        registry = HookRegistry()
+        target = Target()
+        seen = []
+        registry.hook_after(
+            target, "send_heartbeat", lambda result, when: seen.append((result, when))
+        )
+        out = target.send_heartbeat(5.0)
+        assert out == "hb@5.0"
+        assert seen == [("hb@5.0", 5.0)]
+        assert target.calls == [5.0]
+
+    def test_hook_non_callable_rejected(self):
+        registry = HookRegistry()
+        target = Target()
+        target.not_a_method = 42
+        with pytest.raises(TypeError):
+            registry.hook_after(target, "not_a_method", lambda *a: None)
+
+    def test_exception_skips_after_hook(self):
+        registry = HookRegistry()
+        target = Target()
+        seen = []
+        registry.hook_after(target, "broken", lambda *a: seen.append(a))
+        with pytest.raises(RuntimeError):
+            target.broken(1.0)
+        assert seen == []
+
+    def test_unhook_restores_original(self):
+        registry = HookRegistry()
+        target = Target()
+        seen = []
+        hook = registry.hook_after(
+            target, "send_heartbeat", lambda result, when: seen.append(when)
+        )
+        registry.unhook(hook)
+        target.send_heartbeat(1.0)
+        assert seen == []
+        assert not hook.active
+
+    def test_unhook_idempotent(self):
+        registry = HookRegistry()
+        target = Target()
+        hook = registry.hook_after(target, "send_heartbeat", lambda *a: None)
+        registry.unhook(hook)
+        registry.unhook(hook)  # no error
+
+    def test_unhook_all(self):
+        registry = HookRegistry()
+        targets = [Target(), Target()]
+        seen = []
+        for t in targets:
+            registry.hook_after(t, "send_heartbeat", lambda *a: seen.append(1))
+        registry.unhook_all()
+        for t in targets:
+            t.send_heartbeat(0.0)
+        assert seen == []
+        assert registry.active_hooks == []
+
+    def test_multiple_hooks_stack(self):
+        registry = HookRegistry()
+        target = Target()
+        seen = []
+        registry.hook_after(target, "send_heartbeat", lambda *a: seen.append("first"))
+        registry.hook_after(target, "send_heartbeat", lambda *a: seen.append("second"))
+        target.send_heartbeat(0.0)
+        assert seen == ["first", "second"]

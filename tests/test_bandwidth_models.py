@@ -1,0 +1,137 @@
+"""Unit + property tests for bandwidth models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bandwidth.models import (
+    ConstantBandwidth,
+    MarkovBandwidth,
+    TraceBandwidth,
+)
+
+
+class TestConstant:
+    def test_duration(self):
+        bw = ConstantBandwidth(1_000.0)
+        assert bw.transfer_duration(0.0, 2_500) == pytest.approx(2.5)
+
+    def test_zero_bytes(self):
+        assert ConstantBandwidth(1_000.0).transfer_duration(0.0, 0) == 0.0
+
+    def test_zero_rate_raises(self):
+        with pytest.raises(RuntimeError):
+            ConstantBandwidth(0.0).transfer_duration(0.0, 1)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantBandwidth(-1.0)
+
+    def test_max_duration_guard(self):
+        with pytest.raises(RuntimeError):
+            ConstantBandwidth(1.0).transfer_duration(0.0, 10**9, max_duration=10.0)
+
+
+class TestTrace:
+    def test_piecewise_lookup(self):
+        bw = TraceBandwidth([100.0, 200.0, 300.0])
+        assert bw.rate_at(0.5) == 100.0
+        assert bw.rate_at(1.0) == 200.0
+        assert bw.rate_at(2.9) == 300.0
+
+    def test_clamping_outside_range(self):
+        bw = TraceBandwidth([100.0, 200.0])
+        assert bw.rate_at(-5.0) == 100.0
+        assert bw.rate_at(100.0) == 200.0
+
+    def test_wrap(self):
+        bw = TraceBandwidth([100.0, 200.0], wrap=True)
+        assert bw.rate_at(2.0) == 100.0
+        assert bw.rate_at(3.0) == 200.0
+
+    def test_transfer_spans_samples(self):
+        bw = TraceBandwidth([100.0, 100.0, 200.0])
+        # 250 bytes from t=0: 100 in [0,1), 100 in [1,2), 50 at 200 B/s.
+        assert bw.transfer_duration(0.0, 250) == pytest.approx(2.25)
+
+    def test_transfer_mid_second_start(self):
+        bw = TraceBandwidth([100.0, 200.0])
+        # Start at 0.5: 50 bytes in [0.5,1), then 200 B/s.
+        assert bw.transfer_duration(0.5, 150) == pytest.approx(1.0)
+
+    def test_zero_interval_skipped(self):
+        bw = TraceBandwidth([0.0, 100.0])
+        assert bw.transfer_duration(0.0, 100) == pytest.approx(2.0)
+
+    def test_all_zero_trace_raises(self):
+        bw = TraceBandwidth([0.0])
+        with pytest.raises(RuntimeError):
+            bw.transfer_duration(0.0, 1, max_duration=100.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBandwidth([])
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBandwidth([100.0, -1.0])
+
+    def test_mean_rate(self):
+        bw = TraceBandwidth([100.0, 300.0])
+        assert bw.mean_rate(0.0, 2.0) == pytest.approx(200.0)
+
+
+class TestMarkov:
+    def test_deterministic_per_seed(self):
+        a = MarkovBandwidth(1000.0, 100.0, seed=3)
+        b = MarkovBandwidth(1000.0, 100.0, seed=3)
+        assert [a.rate_at(t) for t in range(50)] == [
+            b.rate_at(t) for t in range(50)
+        ]
+
+    def test_rates_are_two_levels(self):
+        bw = MarkovBandwidth(1000.0, 100.0, seed=1)
+        rates = {bw.rate_at(t) for t in range(200)}
+        assert rates <= {1000.0, 100.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovBandwidth(100.0, 1000.0)
+        with pytest.raises(ValueError):
+            MarkovBandwidth(1000.0, 100.0, p_stay_good=1.5)
+
+    def test_starts_good(self):
+        bw = MarkovBandwidth(1000.0, 100.0, seed=0)
+        assert bw.rate_at(0.0) == 1000.0
+
+
+@given(
+    samples=st.lists(
+        st.floats(min_value=10.0, max_value=1e6), min_size=1, max_size=20
+    ),
+    size=st.integers(min_value=1, max_value=100_000),
+    start=st.floats(min_value=0.0, max_value=15.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_transfer_duration_moves_exactly_size_bytes(samples, size, start):
+    """Integrating the rate over the returned duration yields the size."""
+    import math
+
+    bw = TraceBandwidth(samples)
+    duration = bw.transfer_duration(start, size)
+    # Exact piecewise-constant integration over 1-second sample boundaries.
+    moved = 0.0
+    t = start
+    end = start + duration
+    while t < end - 1e-12:
+        boundary = min(end, math.floor(t) + 1.0)
+        if boundary <= t:
+            boundary = min(end, t + 1.0)
+        moved += bw.rate_at(t) * (boundary - t)
+        t = boundary
+    assert moved == pytest.approx(size, rel=1e-6, abs=1e-6)
+
+
+@given(size=st.integers(min_value=0, max_value=10**6))
+def test_constant_bandwidth_linear(size):
+    bw = ConstantBandwidth(50_000.0)
+    assert bw.transfer_duration(0.0, size) == pytest.approx(size / 50_000.0)

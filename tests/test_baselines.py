@@ -1,0 +1,227 @@
+"""Unit tests for every comparator strategy."""
+
+import pytest
+
+from repro.bandwidth.models import ConstantBandwidth, TraceBandwidth
+from repro.baselines.base import BandwidthEstimator
+from repro.baselines.etime import ETimeStrategy
+from repro.baselines.fixed_batch import PeriodicBatchStrategy
+from repro.baselines.immediate import ImmediateStrategy
+from repro.baselines.peres import PerESStrategy
+from repro.baselines.tailender import TailEnderStrategy
+from repro.core.profiles import mail_profile, weibo_profile
+
+from tests.conftest import make_packet
+
+
+def estimator(rate=100_000.0, noise=0.0, lag=0.0):
+    return BandwidthEstimator(ConstantBandwidth(rate), noise=noise, lag=lag)
+
+
+class TestBandwidthEstimator:
+    def test_perfect_estimate(self):
+        est = estimator(rate=5_000.0)
+        assert est.estimate(10.0) == 5_000.0
+
+    def test_lag_reads_past_rate(self):
+        bw = TraceBandwidth([100.0, 200.0, 300.0])
+        est = BandwidthEstimator(bw, lag=1.0, noise=0.0)
+        assert est.estimate(2.5) == 200.0
+
+    def test_noise_bounded_and_deterministic(self):
+        est1 = BandwidthEstimator(ConstantBandwidth(1_000.0), noise=0.3, seed=1)
+        est2 = BandwidthEstimator(ConstantBandwidth(1_000.0), noise=0.3, seed=1)
+        for t in range(20):
+            e = est1.estimate(float(t))
+            assert 700.0 - 1e-6 <= e <= 1300.0 + 1e-6
+            assert e == est2.estimate(float(t))
+
+    def test_running_average(self):
+        est = estimator(rate=1_000.0)
+        assert est.running_average() is None
+        est.record(0.0)
+        est.record(1.0)
+        assert est.running_average() == pytest.approx(1_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthEstimator(ConstantBandwidth(1.0), lag=-1.0)
+        with pytest.raises(ValueError):
+            BandwidthEstimator(ConstantBandwidth(1.0), noise=-0.1)
+
+
+class TestImmediate:
+    def test_releases_everything_next_decide(self):
+        s = ImmediateStrategy()
+        p = make_packet()
+        s.on_arrival(p, 0.0)
+        assert s.waiting_count == 1
+        assert s.decide(1.0, False) == [p]
+        assert s.waiting_count == 0
+
+    def test_flush(self):
+        s = ImmediateStrategy()
+        p = make_packet()
+        s.on_arrival(p, 0.0)
+        assert s.flush(10.0) == [p]
+
+
+class TestETime:
+    def test_holds_until_backlog_score(self):
+        s = ETimeStrategy(estimator(), v=1_000_000.0)
+        s.on_arrival(make_packet(size=1_000), 0.0)
+        assert s.decide(0.0, False) == []
+        assert s.waiting_count == 1
+
+    def test_releases_on_large_backlog(self):
+        s = ETimeStrategy(estimator(), v=10_000.0)
+        for _ in range(20):
+            s.on_arrival(make_packet(size=1_000), 0.0)
+        released = s.decide(60.0, False)
+        assert len(released) == 20
+
+    def test_ignores_heartbeats(self):
+        s = ETimeStrategy(estimator(), v=1e12)
+        s.on_arrival(make_packet(size=100), 0.0)
+        assert s.decide(0.0, True) == []
+
+    def test_channel_quality_modulates(self):
+        """A good channel (relative to average) triggers release sooner."""
+        bw = TraceBandwidth([100.0] * 100 + [1_000.0] * 100)
+        est = BandwidthEstimator(bw, lag=0.0, noise=0.0)
+        s = ETimeStrategy(est, v=15_000.0, slot=60.0)
+        s.on_arrival(make_packet(size=2_000), 0.0)
+        assert s.decide(0.0, False) == []  # quality 1.0: 2000 < 15000
+        assert s.decide(60.0, False) == []
+        released = s.decide(120.0, False)  # rate jumps 10x vs average
+        assert released == [] or len(released) == 1  # quality-gated
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ETimeStrategy(estimator(), v=-1.0)
+        with pytest.raises(ValueError):
+            ETimeStrategy(estimator(), slot=0.0)
+
+    def test_backlog_bytes(self):
+        s = ETimeStrategy(estimator())
+        s.on_arrival(make_packet(size=500), 0.0)
+        s.on_arrival(make_packet(size=700), 0.0)
+        assert s.backlog_bytes == 1_200
+
+
+class TestPerES:
+    def profiles(self):
+        return [weibo_profile(), mail_profile()]
+
+    def test_deadline_pressure_forces_full_release(self):
+        s = PerESStrategy(self.profiles(), estimator(), omega=0.5, v_init=1e9)
+        a = make_packet(app_id="weibo", arrival=0.0, deadline=30.0)
+        b = make_packet(app_id="weibo", arrival=20.0, deadline=30.0)
+        s.on_arrival(a, 0.0)
+        s.on_arrival(b, 20.0)
+        assert s.decide(25.0, False) == []
+        released = s.decide(29.5, False)
+        assert set(released) == {a, b}
+
+    def test_v_adapts_down_when_costly(self):
+        s = PerESStrategy(self.profiles(), estimator(), omega=0.01, v_init=100.0)
+        p = make_packet(app_id="weibo", arrival=0.0, deadline=30.0)
+        s.on_arrival(p, 0.0)
+        s.decide(29.5, False)  # forced release with high cost
+        assert s.v < 100.0
+
+    def test_v_adapts_up_when_cheap(self):
+        s = PerESStrategy(self.profiles(), estimator(), omega=10.0, v_init=0.001)
+        p = make_packet(app_id="weibo", arrival=0.0, deadline=30.0)
+        s.on_arrival(p, 0.0)
+        s.decide(1.0, False)  # cheap release (cost ~0.03)
+        assert s.v > 0.001
+
+    def test_unknown_app_rejected(self):
+        s = PerESStrategy(self.profiles(), estimator())
+        with pytest.raises(KeyError):
+            s.on_arrival(make_packet(app_id="nope"), 0.0)
+
+    def test_instantaneous_cost(self):
+        s = PerESStrategy(self.profiles(), estimator())
+        s.on_arrival(make_packet(app_id="weibo", arrival=0.0), 0.0)
+        assert s.instantaneous_cost(15.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerESStrategy(self.profiles(), estimator(), omega=-1.0)
+        with pytest.raises(ValueError):
+            PerESStrategy(self.profiles(), estimator(), v_init=0.0)
+
+
+class TestTailEnder:
+    def test_waits_until_earliest_deadline(self):
+        s = TailEnderStrategy([weibo_profile()])
+        a = make_packet(arrival=0.0, deadline=30.0)
+        b = make_packet(arrival=10.0, deadline=30.0)
+        s.on_arrival(a, 0.0)
+        s.on_arrival(b, 10.0)
+        assert s.decide(20.0, False) == []
+        released = s.decide(29.5, False)
+        assert set(released) == {a, b}
+
+    def test_earliest_due(self):
+        s = TailEnderStrategy()
+        assert s.earliest_due() is None
+        s.on_arrival(make_packet(arrival=5.0, deadline=30.0), 5.0)
+        assert s.earliest_due() == pytest.approx(35.0)
+
+    def test_default_deadline_for_unprofiled(self):
+        s = TailEnderStrategy(default_deadline=40.0)
+        p = make_packet(deadline=None)
+        p.deadline = None
+        s.on_arrival(p, 0.0)
+        assert s.earliest_due() == pytest.approx(40.0)
+
+    def test_slack_fires_early(self):
+        s = TailEnderStrategy(slack=5.0)
+        s.on_arrival(make_packet(arrival=0.0, deadline=30.0), 0.0)
+        released = s.decide(25.0, False)
+        assert len(released) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TailEnderStrategy(default_deadline=0.0)
+        with pytest.raises(ValueError):
+            TailEnderStrategy(slack=-1.0)
+
+
+class TestPeriodicBatch:
+    def test_fires_on_period(self):
+        s = PeriodicBatchStrategy(period=60.0)
+        p = make_packet()
+        s.on_arrival(p, 0.0)
+        assert s.decide(30.0, False) == []
+        assert s.decide(60.0, False) == [p]
+
+    def test_empty_period_fires_nothing(self):
+        s = PeriodicBatchStrategy(period=10.0)
+        assert s.decide(10.0, False) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicBatchStrategy(period=0.0)
+
+
+class TestCommonInterface:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            ImmediateStrategy,
+            lambda: ETimeStrategy(estimator()),
+            lambda: PerESStrategy([weibo_profile()], estimator()),
+            lambda: TailEnderStrategy([weibo_profile()]),
+            lambda: PeriodicBatchStrategy(),
+        ],
+    )
+    def test_flush_empties(self, factory):
+        s = factory()
+        s.on_arrival(make_packet(app_id="weibo"), 0.0)
+        flushed = s.flush(1e6)
+        assert len(flushed) == 1
+        assert s.waiting_count == 0

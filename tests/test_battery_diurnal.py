@@ -1,0 +1,115 @@
+"""Unit tests for the battery model, diurnal workload and day experiment."""
+
+import pytest
+
+from repro.sim.battery import GALAXY_S4_BATTERY, Battery
+from repro.workload.diurnal import (
+    DAY_SECONDS,
+    DiurnalProfile,
+    NonHomogeneousPoisson,
+)
+
+
+class TestBattery:
+    def test_capacity_joules(self):
+        # 1700 mAh at 3.7 V = 1.7 * 3600 * 3.7 J = 22644 J.
+        assert GALAXY_S4_BATTERY.capacity_joules == pytest.approx(22_644.0)
+
+    def test_paper_heartbeat_arithmetic(self):
+        """Sec. II-D: 12+ heartbeats/hour × 10.91 J over 10 h is ≥6 % of
+        the 1700 mAh battery."""
+        heartbeat_energy = 12 * 10.91 * 10
+        assert GALAXY_S4_BATTERY.percent_used(heartbeat_energy) >= 5.7
+
+    def test_percent_used(self):
+        b = Battery(capacity_mah=1000.0, voltage=3.6)
+        assert b.percent_used(b.capacity_joules / 2) == pytest.approx(50.0)
+
+    def test_lifetime_hours(self):
+        b = Battery(capacity_mah=1000.0, voltage=3.6)
+        # 12960 J / 0.36 W = 36000 s = 10 h.
+        assert b.lifetime_hours(0.36) == pytest.approx(10.0)
+
+    def test_standby_hours_equivalent(self):
+        hours = GALAXY_S4_BATTERY.standby_hours_equivalent(648.0, 0.018)
+        assert hours == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_mah=0.0)
+        with pytest.raises(ValueError):
+            GALAXY_S4_BATTERY.fraction_used(-1.0)
+        with pytest.raises(ValueError):
+            GALAXY_S4_BATTERY.lifetime_hours(0.0)
+
+
+class TestDiurnalProfile:
+    def test_mean_multiplier_near_one(self):
+        profile = DiurnalProfile()
+        samples = [profile.multiplier(i * 600.0) for i in range(144)]
+        assert sum(samples) / len(samples) == pytest.approx(1.0, rel=0.01)
+
+    def test_night_quieter_than_evening(self):
+        profile = DiurnalProfile()
+        night = profile.multiplier(4 * 3600.0)  # 4 AM
+        evening = profile.multiplier(21 * 3600.0)  # 9 PM
+        assert evening > 3 * night
+
+    def test_periodic_across_days(self):
+        profile = DiurnalProfile()
+        assert profile.multiplier(3600.0) == pytest.approx(
+            profile.multiplier(DAY_SECONDS + 3600.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(night_floor=1.5)
+
+
+class TestNHPP:
+    def test_deterministic_per_seed(self):
+        a = NonHomogeneousPoisson(100.0, seed=3).arrivals(0.0, DAY_SECONDS)
+        b = NonHomogeneousPoisson(100.0, seed=3).arrivals(0.0, DAY_SECONDS)
+        assert a == b
+
+    def test_daily_average_rate_preserved(self):
+        proc = NonHomogeneousPoisson(100.0, seed=1)
+        arrivals = proc.arrivals(0.0, DAY_SECONDS)
+        empirical_rate = len(arrivals) / DAY_SECONDS
+        assert empirical_rate == pytest.approx(0.01, rel=0.12)
+
+    def test_diurnal_concentration(self):
+        """More arrivals in the evening window than overnight."""
+        arrivals = NonHomogeneousPoisson(60.0, seed=2).arrivals(0.0, DAY_SECONDS)
+        night = sum(1 for t in arrivals if 2 * 3600 <= t < 6 * 3600)
+        evening = sum(1 for t in arrivals if 19 * 3600 <= t < 23 * 3600)
+        assert evening > 2 * night
+
+    def test_sorted_and_in_window(self):
+        arrivals = NonHomogeneousPoisson(50.0, seed=0).arrivals(100.0, 5000.0)
+        assert arrivals == sorted(arrivals)
+        assert all(100.0 <= t < 5000.0 for t in arrivals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NonHomogeneousPoisson(0.0)
+
+
+class TestDaylong:
+    def test_day_scenario_and_run(self):
+        from repro.experiments.daylong import build_day_scenario, run_daylong
+
+        scenario = build_day_scenario(seed=0)
+        assert scenario.horizon == DAY_SECONDS
+        assert 100 < len(scenario.packets) < 3000
+
+        baseline, etrain = run_daylong(seed=0)
+        assert etrain.energy_j < baseline.energy_j
+        assert 0 < etrain.battery_pct < baseline.battery_pct < 150
+        assert etrain.mean_delay_s > baseline.mean_delay_s
+
+    def test_rate_scale_validation(self):
+        from repro.experiments.daylong import build_day_scenario
+
+        with pytest.raises(ValueError):
+            build_day_scenario(rate_scale=0.0)

@@ -1,0 +1,90 @@
+"""Unit tests for the channel-aware eTrain extension."""
+
+import pytest
+
+from repro.bandwidth.models import ConstantBandwidth, TraceBandwidth
+from repro.baselines.base import BandwidthEstimator
+from repro.baselines.channel_aware import ChannelAwareETrainStrategy
+from repro.core.profiles import weibo_profile
+from repro.core.scheduler import SchedulerConfig
+
+from tests.conftest import make_packet
+
+
+def strategy(bw=None, quality_threshold=1.0, max_defer=20.0, theta=0.0):
+    bandwidth = bw if bw is not None else ConstantBandwidth(100_000.0)
+    est = BandwidthEstimator(bandwidth, lag=0.0, noise=0.0)
+    return ChannelAwareETrainStrategy(
+        [weibo_profile()],
+        est,
+        SchedulerConfig(theta=theta),
+        quality_threshold=quality_threshold,
+        max_defer=max_defer,
+        warm_gate=False,
+    )
+
+
+class TestDeferral:
+    def test_flat_channel_releases_immediately(self):
+        s = strategy()
+        p = make_packet(arrival=0.0)
+        s.on_arrival(p, 0.0)
+        # quality = estimate/average = 1.0 >= threshold.
+        assert s.decide(1.0, False) == [p]
+
+    def test_bad_channel_defers(self):
+        # Rate collapses after t=10: quality < 1 vs the running average.
+        bw = TraceBandwidth([100_000.0] * 10 + [1_000.0] * 100)
+        s = strategy(bw=bw, quality_threshold=0.9)
+        for t in range(10):
+            s.decide(float(t), False)  # record good-channel history
+        p = make_packet(arrival=10.0)
+        s.on_arrival(p, 10.0)
+        assert s.decide(11.0, False) == []
+        assert s.waiting_count == 1
+
+    def test_patience_bound_forces_release(self):
+        bw = TraceBandwidth([100_000.0] * 10 + [1_000.0] * 200)
+        s = strategy(bw=bw, quality_threshold=0.9, max_defer=5.0)
+        for t in range(10):
+            s.decide(float(t), False)
+        p = make_packet(arrival=10.0)
+        s.on_arrival(p, 10.0)
+        s.decide(11.0, False)
+        released = []
+        for t in range(12, 20):
+            released = s.decide(float(t), False)
+            if released:
+                break
+        assert released == [p]
+
+    def test_heartbeat_flushes_deferred(self):
+        bw = TraceBandwidth([100_000.0] * 10 + [1_000.0] * 100)
+        s = strategy(bw=bw, quality_threshold=0.9)
+        for t in range(10):
+            s.decide(float(t), False)
+        p = make_packet(arrival=10.0)
+        s.on_arrival(p, 10.0)
+        s.decide(11.0, False)  # deferred
+        released = s.decide(12.0, True)  # heartbeat slot
+        assert p in released
+
+    def test_flush_includes_deferred(self):
+        bw = TraceBandwidth([100_000.0] * 10 + [1_000.0] * 100)
+        s = strategy(bw=bw, quality_threshold=0.9)
+        for t in range(10):
+            s.decide(float(t), False)
+        p = make_packet(arrival=10.0)
+        s.on_arrival(p, 10.0)
+        s.decide(11.0, False)
+        assert s.flush(12.0) == [p]
+        assert s.waiting_count == 0
+
+    def test_validation(self):
+        est = BandwidthEstimator(ConstantBandwidth(1.0))
+        with pytest.raises(ValueError):
+            ChannelAwareETrainStrategy(
+                [weibo_profile()], est, quality_threshold=0.0
+            )
+        with pytest.raises(ValueError):
+            ChannelAwareETrainStrategy([weibo_profile()], est, max_defer=-1.0)

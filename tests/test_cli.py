@@ -1,0 +1,85 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import ALL_EXPERIMENTS
+
+
+class TestParser:
+    def test_parses_experiment(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.experiment == "fig2"
+        assert not args.quick
+
+    def test_quick_flag(self):
+        args = build_parser().parse_args(["fig7", "--quick"])
+        assert args.quick
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_light_experiment(self, capsys):
+        assert main(["fig6"]) == 0
+        assert "delay cost functions" in capsys.readouterr().out
+
+    def test_case_insensitive(self, capsys):
+        assert main(["FIG6"]) == 0
+
+    def test_registry_modules_all_have_main(self):
+        for module in ALL_EXPERIMENTS.values():
+            assert callable(module.main)
+
+
+class TestTraceTooling:
+    def test_bandwidth_trace(self, tmp_path, capsys):
+        out = tmp_path / "bw.csv"
+        assert main(["trace", "bandwidth", "--out", str(out), "--duration", "120"]) == 0
+        from repro.bandwidth.trace import BandwidthTrace
+
+        trace = BandwidthTrace.load_csv(out)
+        assert len(trace) == 120
+
+    def test_cargo_trace(self, tmp_path, capsys):
+        out = tmp_path / "pkts.csv"
+        assert main(
+            ["trace", "cargo", "--out", str(out), "--rate", "0.08",
+             "--horizon", "1000"]
+        ) == 0
+        from repro.workload.trace_io import load_packets_csv
+
+        packets = load_packets_csv(out)
+        assert len(packets) > 20
+        assert {p.app_id for p in packets} == {"mail", "weibo", "cloud"}
+
+    def test_users_trace(self, tmp_path, capsys):
+        out = tmp_path / "users.csv"
+        assert main(
+            ["trace", "users", "--out", str(out), "--active", "1",
+             "--moderate", "1", "--inactive", "1"]
+        ) == 0
+        from repro.workload.user_traces import load_trace_csv
+
+        records = load_trace_csv(out)
+        users = {r.user_id for r in records}
+        assert len(users) == 3
+
+    def test_capture_trace(self, tmp_path, capsys):
+        out = tmp_path / "cap.csv"
+        assert main(
+            ["trace", "capture", "--out", str(out), "--apps", "qq,netease",
+             "--duration", "1200"]
+        ) == 0
+        from repro.measurement.pcap import PacketCapture
+
+        capture = PacketCapture.load_csv(out)
+        assert set(capture.app_ids()) == {"qq", "netease"}

@@ -1,0 +1,66 @@
+"""Unit tests for heartbeat coalescing (the constraint-5 what-if)."""
+
+import pytest
+
+from repro.core.packet import Heartbeat
+from repro.experiments.ablations import ablation_heartbeat_coalescing
+from repro.heartbeat.apps import default_train_generators
+from repro.heartbeat.coalesce import coalesce_heartbeats
+from repro.heartbeat.generators import merge_heartbeats
+
+
+def hb(time, app="a", seq=0, size=100):
+    return Heartbeat(app_id=app, seq=seq, time=time, size_bytes=size)
+
+
+class TestCoalesce:
+    def test_empty(self):
+        assert coalesce_heartbeats([], 10.0) == []
+
+    def test_zero_slack_identity_times(self):
+        beats = [hb(0.0), hb(50.0, "b"), hb(120.0, "c")]
+        out = coalesce_heartbeats(beats, 0.0)
+        assert [h.time for h in out] == [0.0, 50.0, 120.0]
+
+    def test_nearby_beats_merge(self):
+        beats = [hb(100.0, "a"), hb(108.0, "b", 1)]
+        out = coalesce_heartbeats(beats, 15.0)
+        assert {h.time for h in out} == {108.0}
+
+    def test_never_advances_a_heartbeat(self):
+        beats = merge_heartbeats(default_train_generators(3), 3600.0)
+        out = coalesce_heartbeats(beats, 30.0)
+        nominal = {(h.app_id, h.seq): h.time for h in beats}
+        for h in out:
+            assert h.time >= nominal[(h.app_id, h.seq)] - 1e-9
+
+    def test_delay_bounded_by_slack(self):
+        beats = merge_heartbeats(default_train_generators(3), 7200.0)
+        slack = 45.0
+        out = coalesce_heartbeats(beats, slack)
+        nominal = {(h.app_id, h.seq): h.time for h in beats}
+        for h in out:
+            assert h.time - nominal[(h.app_id, h.seq)] <= slack + 1e-9
+
+    def test_distinct_departures_shrink_with_slack(self):
+        beats = merge_heartbeats(default_train_generators(3), 7200.0)
+        counts = [
+            len({h.time for h in coalesce_heartbeats(beats, s)})
+            for s in (0.0, 30.0, 120.0)
+        ]
+        assert counts[0] >= counts[1] >= counts[2]
+        assert counts[2] < counts[0]
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce_heartbeats([hb(0.0)], -1.0)
+
+
+class TestCoalescingAblation:
+    def test_more_slack_less_energy(self):
+        rows = ablation_heartbeat_coalescing(
+            slacks=(0.0, 120.0), horizon=1800.0
+        )
+        nominal, coalesced = rows
+        assert coalesced.energy_j < nominal.energy_j
+        assert coalesced.delay_s >= nominal.delay_s - 1.0

@@ -1,0 +1,139 @@
+"""Unit + property tests for the delay-cost profile functions (Fig. 6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cost_functions import (
+    CloudCost,
+    LinearCost,
+    MailCost,
+    PiecewiseLinearCost,
+    StepCost,
+    WeiboCost,
+    ZeroCost,
+)
+
+ALL_DEADLINE_COSTS = [MailCost, WeiboCost, CloudCost]
+
+
+class TestMailCost:
+    def test_zero_before_deadline(self):
+        f = MailCost(60.0)
+        assert f(0.0) == 0.0
+        assert f(59.9) == 0.0
+        assert f(60.0) == 0.0
+
+    def test_linear_after_deadline(self):
+        f = MailCost(60.0)
+        assert f(120.0) == pytest.approx(1.0)
+        assert f(180.0) == pytest.approx(2.0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            MailCost(60.0)(-1.0)
+
+
+class TestWeiboCost:
+    def test_linear_up_to_deadline(self):
+        f = WeiboCost(30.0)
+        assert f(0.0) == 0.0
+        assert f(15.0) == pytest.approx(0.5)
+        assert f(30.0) == pytest.approx(1.0)
+
+    def test_plateau_after_deadline(self):
+        f = WeiboCost(30.0)
+        assert f(31.0) == 2.0
+        assert f(1e6) == 2.0
+
+
+class TestCloudCost:
+    def test_linear_up_to_deadline(self):
+        f = CloudCost(120.0)
+        assert f(60.0) == pytest.approx(0.5)
+        assert f(120.0) == pytest.approx(1.0)
+
+    def test_triple_slope_after(self):
+        f = CloudCost(120.0)
+        # f3(d) = 3 d/D - 2 past the deadline.
+        assert f(240.0) == pytest.approx(4.0)
+
+    def test_continuous_at_deadline(self):
+        f = CloudCost(120.0)
+        assert f(120.0) == pytest.approx(3.0 * 120.0 / 120.0 - 2.0)
+
+
+class TestOtherCosts:
+    def test_linear_cost(self):
+        f = LinearCost(0.1)
+        assert f(10.0) == pytest.approx(1.0)
+
+    def test_linear_rejects_negative_slope(self):
+        with pytest.raises(ValueError):
+            LinearCost(-0.1)
+
+    def test_step_cost(self):
+        f = StepCost(10.0, penalty=5.0)
+        assert f(10.0) == 0.0
+        assert f(10.1) == 5.0
+
+    def test_zero_cost(self):
+        f = ZeroCost()
+        assert f(1e9) == 0.0
+        assert not f.violates(1e9)
+
+    def test_piecewise_interpolates(self):
+        f = PiecewiseLinearCost([(0.0, 0.0), (10.0, 1.0), (20.0, 3.0)])
+        assert f(5.0) == pytest.approx(0.5)
+        assert f(15.0) == pytest.approx(2.0)
+
+    def test_piecewise_extends_final_slope(self):
+        f = PiecewiseLinearCost([(0.0, 0.0), (10.0, 1.0)])
+        assert f(20.0) == pytest.approx(2.0)
+
+    def test_piecewise_rejects_decreasing_cost(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearCost([(0.0, 1.0), (10.0, 0.5)])
+
+    def test_piecewise_rejects_nonzero_first_delay(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearCost([(1.0, 0.0), (10.0, 1.0)])
+
+    def test_piecewise_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearCost([(0.0, 0.0)])
+
+
+@pytest.mark.parametrize("cls", ALL_DEADLINE_COSTS)
+class TestDeadlineValidation:
+    def test_rejects_zero_deadline(self, cls):
+        with pytest.raises(ValueError):
+            cls(0.0)
+
+    def test_rejects_negative_deadline(self, cls):
+        with pytest.raises(ValueError):
+            cls(-5.0)
+
+    def test_violates(self, cls):
+        f = cls(30.0)
+        assert not f.violates(30.0)
+        assert f.violates(30.1)
+
+
+@given(
+    deadline=st.floats(min_value=1.0, max_value=1e4),
+    d1=st.floats(min_value=0.0, max_value=1e5),
+    d2=st.floats(min_value=0.0, max_value=1e5),
+)
+@pytest.mark.parametrize("cls", ALL_DEADLINE_COSTS)
+def test_cost_functions_monotone_nonnegative(cls, deadline, d1, d2):
+    """Every profile is non-negative and non-decreasing in delay."""
+    f = cls(deadline)
+    lo, hi = sorted((d1, d2))
+    assert f(lo) >= 0.0
+    assert f(hi) >= f(lo) - 1e-12
+
+
+@given(deadline=st.floats(min_value=1.0, max_value=1e4))
+@pytest.mark.parametrize("cls", ALL_DEADLINE_COSTS)
+def test_cost_functions_start_at_zero(cls, deadline):
+    assert cls(deadline)(0.0) == 0.0

@@ -1,0 +1,113 @@
+"""Cross-validation: the Android layer and the slotted engine agree.
+
+The two execution paths — `repro.sim.engine.Simulation` (used by the
+simulation figures) and the `repro.android` stack (used by the
+controlled-experiment figures) — implement the same semantics: Algorithm
+1 decisions, heartbeat-fixed departures, warm-gated Q_TX.  Run the same
+workload through both and their energy/delay must agree closely; a
+divergence means one path drifted from the model.
+"""
+
+import pytest
+
+from repro.android.apps import CargoApp, TrainApp
+from repro.android.etrain_service import ETrainService
+from repro.android.runtime import AndroidSystem
+from repro.bandwidth.models import ConstantBandwidth
+from repro.baselines.etrain import ETrainStrategy
+from repro.core.packet import Packet, reset_packet_ids
+from repro.core.profiles import mail_profile, weibo_profile
+from repro.core.scheduler import SchedulerConfig
+from repro.heartbeat.apps import known_train_profile, make_generator
+from repro.sim.engine import Simulation
+
+HORIZON = 1800.0
+THETA = 0.5
+
+WORKLOAD = [
+    ("weibo", 33.0, 2_000), ("mail", 80.0, 5_000), ("weibo", 150.0, 1_500),
+    ("weibo", 260.0, 2_500), ("mail", 300.0, 4_000), ("weibo", 420.0, 2_000),
+    ("mail", 700.0, 6_000), ("weibo", 820.0, 1_200), ("weibo", 1000.0, 3_000),
+    ("mail", 1200.0, 5_500), ("weibo", 1500.0, 2_200), ("weibo", 1700.0, 1_800),
+]
+
+TRAINS = (("qq", 0.0), ("wechat", 97.0))
+
+
+def run_engine():
+    reset_packet_ids()
+    packets = [
+        Packet(app_id=a, arrival_time=t, size_bytes=s,
+               deadline=30.0 if a == "weibo" else 60.0)
+        for a, t, s in WORKLOAD
+    ]
+    sim = Simulation(
+        ETrainStrategy(
+            [weibo_profile(), mail_profile()], SchedulerConfig(theta=THETA)
+        ),
+        [make_generator(app, phase) for app, phase in TRAINS],
+        packets,
+        bandwidth=ConstantBandwidth(100_000.0),
+        horizon=HORIZON,
+    )
+    result = sim.run()
+    delays = [p.delay for p in packets]
+    return result.total_energy, sum(delays) / len(delays)
+
+
+def run_android():
+    reset_packet_ids()
+    system = AndroidSystem(bandwidth=ConstantBandwidth(100_000.0))
+    service = ETrainService(system, SchedulerConfig(theta=THETA))
+    for app_id, phase in TRAINS:
+        train = TrainApp(known_train_profile(app_id, phase), system)
+        train.start()
+        service.attach_train_app(train)
+    apps = {
+        "weibo": CargoApp(weibo_profile(), system),
+        "mail": CargoApp(mail_profile(), system),
+    }
+    for app in apps.values():
+        app.register()
+    for app_id, when, size in WORKLOAD:
+        system.alarm_manager.set_exact(
+            when, lambda t, a=apps[app_id], s=size: a.submit(s)
+        )
+    service.start()
+    system.run_until(HORIZON)
+    service.stop()
+    transmitted = [p for app in apps.values() for p in app.transmitted]
+    delays = [p.delay for p in transmitted if p.is_scheduled]
+    return system.total_energy(), sum(delays) / len(delays)
+
+
+class TestCrossValidation:
+    def test_energy_agrees(self):
+        engine_energy, _ = run_engine()
+        android_energy, _ = run_android()
+        assert android_energy == pytest.approx(engine_energy, rel=0.1)
+
+    def test_delay_agrees(self):
+        _, engine_delay = run_engine()
+        _, android_delay = run_android()
+        assert android_delay == pytest.approx(engine_delay, abs=10.0)
+
+    def test_both_save_vs_immediate(self):
+        from repro.baselines.immediate import ImmediateStrategy
+
+        reset_packet_ids()
+        packets = [
+            Packet(app_id=a, arrival_time=t, size_bytes=s)
+            for a, t, s in WORKLOAD
+        ]
+        baseline = Simulation(
+            ImmediateStrategy(),
+            [make_generator(app, phase) for app, phase in TRAINS],
+            packets,
+            bandwidth=ConstantBandwidth(100_000.0),
+            horizon=HORIZON,
+        ).run()
+        engine_energy, _ = run_engine()
+        android_energy, _ = run_android()
+        assert engine_energy < baseline.total_energy
+        assert android_energy < baseline.total_energy

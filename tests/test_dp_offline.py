@@ -1,0 +1,115 @@
+"""Unit + property tests for the DP offline solver."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost_functions import MailCost, WeiboCost
+from repro.core.offline import dp_offline, exhaustive_offline, greedy_offline
+from repro.core.packet import Heartbeat, Packet, reset_packet_ids
+
+from tests.conftest import make_packet
+
+COSTS = {"weibo": WeiboCost(30.0), "mail": MailCost(60.0)}
+
+
+def heartbeats(times, app="qq"):
+    return [
+        Heartbeat(app_id=app, seq=i, time=t, size_bytes=378)
+        for i, t in enumerate(times)
+    ]
+
+
+class TestDPBasics:
+    def test_defers_to_heartbeat_with_budget(self):
+        hb = heartbeats([20.0])
+        p = make_packet(app_id="mail", arrival=0.0, deadline=60.0)
+        schedule = dp_offline([p], hb, COSTS, delay_budget=5.0)
+        assert schedule.assignment[p.packet_id] == 20.0
+
+    def test_tight_budget_forces_early(self):
+        hb = heartbeats([29.0])
+        p = make_packet(arrival=0.0)  # weibo, deferring costs ~0.97
+        schedule = dp_offline([p], hb, COSTS, delay_budget=0.2)
+        assert schedule.total_delay_cost <= 0.2 + 1e-9
+
+    def test_no_packets(self):
+        schedule = dp_offline([], heartbeats([10.0]), COSTS, delay_budget=1.0)
+        assert schedule.assignment == {}
+
+    def test_no_heartbeats(self):
+        p = make_packet(arrival=3.0)
+        schedule = dp_offline([p], [], COSTS, delay_budget=10.0)
+        assert schedule.assignment[p.packet_id] >= 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dp_offline([], [], COSTS, 1.0, lagrange_iterations=0)
+
+
+class TestDPMatchesExhaustive:
+    @pytest.mark.parametrize("budget", [0.3, 1.0, 3.0, 10.0])
+    def test_small_instance(self, budget):
+        hb = heartbeats([25.0, 55.0, 95.0])
+        packets = [
+            make_packet(app_id="weibo", arrival=0.0),
+            make_packet(app_id="mail", arrival=5.0, deadline=60.0),
+            make_packet(app_id="weibo", arrival=40.0),
+            make_packet(app_id="mail", arrival=60.0, deadline=60.0),
+        ]
+        exact = exhaustive_offline(packets, hb, COSTS, delay_budget=budget)
+        dp = dp_offline(packets, hb, COSTS, delay_budget=budget)
+        assert dp.total_delay_cost <= budget + 1e-9
+        # DP optimises over earliest-assignment chains — a subset of the
+        # exhaustive space — so it can only be >= the optimum, and on
+        # these instances it should be close.
+        assert dp.total_energy >= exact.total_energy - 1e-9
+        assert dp.total_energy <= exact.total_energy * 1.25 + 1e-9
+
+
+class TestDPScales:
+    def test_handles_many_packets_fast(self):
+        hb = heartbeats([float(t) for t in range(50, 3600, 90)])
+        packets = [
+            make_packet(
+                app_id="weibo" if i % 2 else "mail",
+                arrival=float(i * 40),
+                deadline=30.0 if i % 2 else 60.0,
+            )
+            for i in range(80)
+        ]
+        schedule = dp_offline(packets, hb, COSTS, delay_budget=40.0)
+        assert schedule.total_delay_cost <= 40.0 + 1e-9
+        assert len(schedule.assignment) == 80
+
+    def test_beats_or_matches_greedy_often(self):
+        """On a mid-size instance the DP should not lose badly to the
+        greedy heuristic (usually it wins)."""
+        hb = heartbeats([float(t) for t in range(30, 1200, 85)])
+        packets = [
+            make_packet(app_id="mail", arrival=float(7 * i + 3), deadline=60.0)
+            for i in range(25)
+        ]
+        budget = 10.0
+        greedy = greedy_offline(packets, hb, COSTS, delay_budget=budget)
+        dp = dp_offline(packets, hb, COSTS, delay_budget=budget)
+        assert dp.total_energy <= greedy.total_energy * 1.2
+
+
+@given(
+    arrivals=st.lists(
+        st.floats(min_value=0.0, max_value=200.0), min_size=1, max_size=6
+    ),
+    budget=st.floats(min_value=0.1, max_value=20.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_dp_always_feasible_and_causal(arrivals, budget):
+    reset_packet_ids()
+    packets = [
+        Packet(app_id="weibo", arrival_time=a, size_bytes=1_000, deadline=30.0)
+        for a in sorted(arrivals)
+    ]
+    hb = heartbeats([40.0, 110.0, 180.0])
+    schedule = dp_offline(packets, hb, COSTS, delay_budget=budget)
+    assert schedule.total_delay_cost <= budget + 1e-6
+    for p in packets:
+        assert schedule.assignment[p.packet_id] >= p.arrival_time - 1e-9

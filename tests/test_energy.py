@@ -1,0 +1,108 @@
+"""Unit tests for analytic energy accounting over burst sequences."""
+
+import pytest
+
+from repro.core.packet import TransmissionRecord
+from repro.radio.energy import EnergyAccountant, EnergyBreakdown
+from repro.radio.power_model import GALAXY_S4_3G
+
+
+def rec(start, duration=0.1, size=100, kind="data", packet_ids=()):
+    return TransmissionRecord(
+        start=start,
+        duration=duration,
+        size_bytes=size,
+        kind=kind,
+        packet_ids=tuple(packet_ids),
+    )
+
+
+class TestGaps:
+    def test_empty(self):
+        assert EnergyAccountant().gaps([]) == []
+
+    def test_single_burst_infinite_gap(self):
+        gaps = EnergyAccountant().gaps([rec(0.0)])
+        assert gaps == [float("inf")]
+
+    def test_two_bursts(self):
+        gaps = EnergyAccountant().gaps([rec(0.0, 1.0), rec(5.0, 1.0)])
+        assert gaps[0] == pytest.approx(4.0)
+        assert gaps[1] == float("inf")
+
+    def test_back_to_back_zero_gap(self):
+        gaps = EnergyAccountant().gaps([rec(0.0, 1.0), rec(1.0, 1.0)])
+        assert gaps[0] == pytest.approx(0.0)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            EnergyAccountant().gaps([rec(5.0), rec(0.0)])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            EnergyAccountant().gaps([rec(0.0, 2.0), rec(1.0, 1.0)])
+
+
+class TestBreakdown:
+    def test_single_isolated_burst(self, power_model):
+        acc = EnergyAccountant(power_model)
+        b = acc.breakdown([rec(0.0, duration=2.0)])
+        assert b.tail == pytest.approx(power_model.full_tail_energy)
+        assert b.transmission == pytest.approx(1.4)
+        assert b.total == pytest.approx(b.tail + b.transmission)
+
+    def test_two_bursts_share_tail(self, power_model):
+        acc = EnergyAccountant(power_model)
+        b = acc.breakdown([rec(0.0, 1.0), rec(3.0, 1.0)])
+        # Gap of 2 s: only 2 s of DCH tail wasted for the first burst.
+        assert b.tail == pytest.approx(0.7 * 2.0 + power_model.full_tail_energy)
+
+    def test_heartbeat_vs_cargo_split(self, power_model):
+        acc = EnergyAccountant(power_model)
+        b = acc.breakdown(
+            [rec(0.0, 1.0, kind="heartbeat"), rec(100.0, 1.0, kind="data")]
+        )
+        assert b.heartbeat_transmission == pytest.approx(0.7)
+        assert b.cargo_transmission == pytest.approx(0.7)
+
+    def test_piggyback_split_preserves_total(self, power_model):
+        acc = EnergyAccountant(power_model)
+        b = acc.breakdown([rec(0.0, 2.0, kind="piggyback", packet_ids=(1, 2, 3))])
+        assert b.heartbeat_transmission + b.cargo_transmission == pytest.approx(
+            b.transmission
+        )
+        assert b.heartbeat_transmission < b.cargo_transmission
+
+    def test_empty_sequence(self, power_model):
+        b = EnergyAccountant(power_model).breakdown([])
+        assert b.total == 0.0
+        assert b.tail_fraction == 0.0
+
+    def test_tail_fraction(self, power_model):
+        acc = EnergyAccountant(power_model)
+        b = acc.breakdown([rec(0.0, 0.0, kind="heartbeat")])
+        # A zero-duration heartbeat is pure tail.
+        assert b.tail_fraction == pytest.approx(1.0)
+
+    def test_total_energy_convenience(self, power_model):
+        acc = EnergyAccountant(power_model)
+        records = [rec(0.0, 1.0), rec(50.0, 1.0)]
+        assert acc.total_energy(records) == pytest.approx(
+            acc.breakdown(records).total
+        )
+
+
+class TestAggregationSavesEnergy:
+    """The core premise: batching n packets beats sending them apart."""
+
+    def test_batched_cheaper_than_scattered(self, power_model):
+        acc = EnergyAccountant(power_model)
+        scattered = [rec(100.0 * i, 1.0) for i in range(5)]
+        batched = [rec(0.0, 5.0)]
+        assert acc.total_energy(batched) < acc.total_energy(scattered)
+
+    def test_scattered_cost_grows_with_separation(self, power_model):
+        acc = EnergyAccountant(power_model)
+        close = [rec(2.0 * i, 1.0) for i in range(5)]
+        far = [rec(100.0 * i, 1.0) for i in range(5)]
+        assert acc.total_energy(close) < acc.total_energy(far)

@@ -1,0 +1,69 @@
+"""Unit tests for capture-based energy estimation."""
+
+import pytest
+
+from repro.heartbeat.apps import default_train_generators, make_generator
+from repro.measurement.capture import capture_idle_traffic
+from repro.measurement.energy_estimate import estimate_energy_from_capture
+from repro.measurement.pcap import CaptureRecord, PacketCapture
+from repro.radio.interface import RadioInterface
+from repro.radio.power_model import GALAXY_S4_3G
+
+
+class TestBasics:
+    def test_empty_capture_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_energy_from_capture(PacketCapture())
+
+    def test_single_burst_is_one_full_tail(self):
+        cap = PacketCapture([CaptureRecord(time=0.0, size_bytes=100, app_id="qq")])
+        est = estimate_energy_from_capture(cap)
+        assert est.tail_j == pytest.approx(GALAXY_S4_3G.full_tail_energy)
+        assert est.bursts == 1
+        assert est.tail_fraction > 0.99
+
+    def test_close_bursts_share_tail(self):
+        near = PacketCapture(
+            [
+                CaptureRecord(time=0.0, size_bytes=100, app_id="a"),
+                CaptureRecord(time=2.0, size_bytes=100, app_id="a"),
+            ]
+        )
+        far = PacketCapture(
+            [
+                CaptureRecord(time=0.0, size_bytes=100, app_id="a"),
+                CaptureRecord(time=100.0, size_bytes=100, app_id="a"),
+            ]
+        )
+        assert (
+            estimate_energy_from_capture(near).total_j
+            < estimate_energy_from_capture(far).total_j
+        )
+
+    def test_per_app_attribution_sums_to_total(self):
+        cap = capture_idle_traffic(default_train_generators(3), 3600.0)
+        est = estimate_energy_from_capture(cap)
+        assert sum(est.per_app_j.values()) == pytest.approx(est.total_j)
+        assert set(est.per_app_j) == {"qq", "wechat", "whatsapp"}
+
+
+class TestAgreementWithSimulator:
+    def test_matches_radio_accounting_for_heartbeat_stream(self):
+        """Estimating from the capture of a heartbeat stream must equal
+        the simulator's own accounting of the same stream."""
+        gen = make_generator("qq")
+        horizon = 3600.0
+        capture = capture_idle_traffic([gen], horizon)
+        estimate = estimate_energy_from_capture(capture, uplink_rate=100_000.0)
+
+        radio = RadioInterface(GALAXY_S4_3G)
+        for hb in gen.heartbeats_until(horizon):
+            radio.transmit_heartbeat(hb)
+        assert estimate.total_j == pytest.approx(radio.total_energy(), rel=1e-6)
+
+    def test_fig1_style_standby_magnitude(self):
+        """Three IM apps, 4 h idle: the capture-derived energy lands in
+        the simulator's (and the paper's) range."""
+        cap = capture_idle_traffic(default_train_generators(3), 4 * 3600.0)
+        est = estimate_energy_from_capture(cap)
+        assert 1200.0 <= est.total_j <= 2200.0

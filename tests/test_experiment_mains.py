@@ -1,0 +1,73 @@
+"""Smoke tests: every experiment's ``main()`` renders a report.
+
+The shape assertions live in test_experiments.py and the benchmarks;
+these only confirm the human-facing entry points run end to end and
+print what their docstrings promise.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, fig1, fig2, fig4, fig6, table1
+
+
+class TestLightMains:
+    def test_fig1_main(self, capsys):
+        out = fig1.main(hours=1.0)
+        assert "standby energy" in out
+        assert "hb share" in out
+
+    def test_fig2_main(self, capsys):
+        out = fig2.main()
+        assert "piggybacked" in out
+        assert "%" in out
+
+    def test_fig4_main(self, capsys):
+        out = fig4.main()
+        assert "DCH" in out and "FACH" in out
+
+    def test_fig6_main(self, capsys):
+        out = fig6.main()
+        assert "f1 (mail)" in out
+
+    def test_table1_main(self, capsys):
+        out = table1.main()
+        assert "iPhone" in out and "270s" in out
+
+
+class TestQuickMains:
+    """Heavier mains, exercised in quick mode."""
+
+    @pytest.mark.parametrize("name", ["fig7", "fig8", "fig10", "sensitivity"])
+    def test_quick_mode_runs(self, name, capsys):
+        module = ALL_EXPERIMENTS[name]
+        out = module.main(quick=True)
+        assert len(out) > 100
+
+    def test_fig11_main_small(self, capsys):
+        out = ALL_EXPERIMENTS["fig11"].main(sessions_per_class=1)
+        assert "activeness" in out
+
+    def test_daylong_main(self, capsys):
+        out = ALL_EXPERIMENTS["daylong"].main()
+        assert "battery" in out
+
+    def test_ablations_quick(self, capsys):
+        out = ALL_EXPERIMENTS["ablations"].main(quick=True)
+        assert "fast dormancy" in out
+        assert "coalescing" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0
+        assert "fig7" in proc.stdout
+        assert "ablations" in proc.stdout

@@ -1,0 +1,230 @@
+"""Shape tests for every experiment module (small horizons).
+
+These check the *qualitative* claims each figure makes; the benchmark
+suite re-runs them at the paper's full scale.
+"""
+
+import pytest
+
+from repro.experiments import fig1, fig2, fig3, fig4, fig6, fig7, fig8, fig10, fig11, table1
+from repro.sim.runner import default_scenario
+
+
+class TestFig1:
+    def test_heartbeat_energy_grows_with_apps(self):
+        rows = fig1.run_fig1a(hours=2.0)
+        energies = [r.heartbeat_energy_j for r in rows]
+        assert energies[0] == 0.0
+        assert energies == sorted(energies)
+
+    def test_heartbeats_dominate_standby_with_three_apps(self):
+        """Paper: ~87 % of standby energy goes to heartbeats (3 apps)."""
+        rows = fig1.run_fig1a(hours=4.0)
+        assert rows[3].heartbeat_fraction > 0.7
+
+    def test_scatter_has_three_apps(self):
+        scatter = fig1.run_fig1b(hours=1.0)
+        assert {app for _, _, app in scatter} == {"qq", "wechat", "whatsapp"}
+
+    def test_rejects_bad_hours(self):
+        with pytest.raises(ValueError):
+            fig1.run_fig1a(hours=0.0)
+
+
+class TestFig2:
+    def test_piggybacking_saves_energy(self):
+        result = fig2.run_fig2()
+        assert result.with_energy_j < result.without_energy_j
+
+    def test_saving_in_paper_band(self):
+        """Paper: ~40 % on the power trace; accept a generous band."""
+        result = fig2.run_fig2()
+        assert 0.2 <= result.absolute_saving_fraction <= 0.6
+
+    def test_traces_same_length(self):
+        result = fig2.run_fig2()
+        assert len(result.without_trace) == len(result.with_trace)
+
+    def test_piggyback_case_has_two_power_peaks_only(self):
+        """Scattered case has 7 bursts; piggybacked only 2."""
+        result = fig2.run_fig2()
+
+        def bursts(trace):
+            high = [w > 0.9 for w in trace.watts]
+            return sum(1 for a, b in zip(high, high[1:]) if b and not a) + (
+                1 if high[0] else 0
+            )
+
+        assert bursts(result.with_trace) < bursts(result.without_trace)
+
+
+class TestFig3:
+    def test_fixed_apps_detected(self):
+        patterns = fig3.run_fig3(duration=3600.0)
+        assert patterns["qq"].detected_cell == "300s"
+        assert patterns["wechat"].detected_cell == "270s"
+        assert patterns["whatsapp"].detected_cell == "240s"
+        assert patterns["renren"].detected_cell == "300s"
+
+    def test_netease_doubling_detected(self):
+        patterns = fig3.run_fig3(duration=3600.0)
+        assert patterns["netease"].report.doubling
+
+    def test_data_traffic_does_not_perturb_timing(self):
+        with_data = fig3.run_fig3(duration=3600.0, with_data_traffic=True)
+        without = fig3.run_fig3(duration=3600.0, with_data_traffic=False)
+        assert with_data["qq"].heartbeat_times == without["qq"].heartbeat_times
+
+
+class TestFig4:
+    def test_state_sequence(self):
+        _, dwells = fig4.run_fig4()
+        labels = [d.state for d in dwells]
+        assert labels == ["IDLE", "DCH(tx)", "DCH", "FACH", "IDLE"]
+
+    def test_dwell_durations_match_model(self, power_model):
+        _, dwells = fig4.run_fig4()
+        by_label = {d.state: d for d in dwells}
+        assert by_label["DCH"].duration == pytest.approx(power_model.delta_dch)
+        assert by_label["FACH"].duration == pytest.approx(power_model.delta_fach)
+
+    def test_power_levels_ordered(self):
+        _, dwells = fig4.run_fig4()
+        by_label = {d.state: d.power_w for d in dwells}
+        assert by_label["DCH"] > by_label["FACH"] > by_label["IDLE"]
+
+
+class TestFig6:
+    def test_three_curves(self):
+        curves = fig6.run_fig6()
+        assert len(curves) == 3
+
+    def test_shapes(self):
+        curves = fig6.run_fig6(deadline=60.0)
+        mail = dict(curves["f1 (mail)"].samples)
+        weibo = dict(curves["f2 (weibo)"].samples)
+        # Mail free before deadline; weibo capped at 2 after.
+        assert all(c == 0.0 for d, c in curves["f1 (mail)"].samples if d < 60.0)
+        assert max(c for _, c in curves["f2 (weibo)"].samples) == pytest.approx(2.0)
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError):
+            fig6.run_fig6(steps=1)
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return default_scenario(horizon=1800.0)
+
+
+class TestFig7:
+    def test_theta_tradeoff(self, small_scenario):
+        curve = fig7.run_fig7a(small_scenario, theta_values=[0.0, 3.0])
+        low, high = curve.points
+        assert high.energy_j <= low.energy_j
+        assert high.delay_s >= low.delay_s
+
+    def test_larger_k_no_worse_delay_at_saturation(self, small_scenario):
+        panel = fig7.run_fig7b(
+            small_scenario, k_values=(2, 8), theta_values=[2.0]
+        )
+        assert panel[8].points[0].delay_s <= panel[2].points[0].delay_s + 1e-6
+
+
+class TestFig8:
+    def test_etrain_beats_baseline(self, small_scenario):
+        curves = fig8.run_fig8a(
+            small_scenario,
+            theta_grid=(1.0,),
+            omega_grid=(0.2,),
+            v_grid=(40_000.0,),
+        )
+        baseline_energy = curves["baseline"].points[0].energy_j
+        assert curves["eTrain"].min_energy < baseline_energy
+
+    def test_rate_rows_structure(self):
+        rows = fig8.run_fig8b(
+            rates=(0.04, 0.12),
+            horizon=1200.0,
+            theta_grid=(1.0, 3.0),
+            omega_grid=(0.2,),
+            v_grid=(40_000.0,),
+        )
+        assert [r.rate for r in rows] == [0.04, 0.12]
+        # Baseline energy grows with arrival rate.
+        assert rows[1].baseline_j > rows[0].baseline_j
+
+
+class TestFig10:
+    def test_more_trains_less_delay(self):
+        rows = fig10.run_fig10a(horizon=1800.0)
+        with_trains = [r for r in rows if r.train_count >= 1]
+        assert with_trains[-1].mean_delay_s < with_trains[0].mean_delay_s
+
+    def test_heartbeat_energy_monotone_in_trains(self):
+        rows = fig10.run_fig10a(horizon=1800.0)
+        hb = [r.heartbeat_energy_j for r in rows]
+        assert hb == sorted(hb)
+
+    def test_cargo_energy_saved_vs_null(self):
+        """With eTrain and trains, cargo costs less than unscheduled NULL."""
+        rows = fig10.run_fig10a(horizon=1800.0)
+        null_cargo = rows[0].cargo_energy_j
+        assert all(r.cargo_energy_j < null_cargo for r in rows[1:])
+
+    def test_theta_sweep_delay_rises(self):
+        runs = fig10.run_fig10b((0.1, 0.5), horizon=1800.0)
+        assert runs[1].mean_delay_s > runs[0].mean_delay_s
+
+    def test_deadline_sweep_energy_falls(self):
+        pairs = fig10.run_fig10c((10.0, 180.0), horizon=1800.0)
+        assert pairs[1][1].total_energy_j < pairs[0][1].total_energy_j
+
+    def test_run_controlled_validates(self):
+        with pytest.raises(ValueError):
+            fig10.run_controlled(train_count=5)
+
+
+class TestFig11:
+    def test_savings_positive_and_ordered(self):
+        rows = fig11.run_fig11(sessions_per_class=2, seed=0)
+        by_class = {r.activity.value: r for r in rows}
+        assert all(r.saved_j > 0 for r in rows)
+        # Paper: active users save the most joules, inactive the least.
+        assert by_class["active"].saved_j > by_class["inactive"].saved_j
+
+    def test_energy_without_scales_with_activity(self):
+        rows = fig11.run_fig11(sessions_per_class=2, seed=1)
+        by_class = {r.activity.value: r for r in rows}
+        assert (
+            by_class["active"].energy_without_j
+            > by_class["moderate"].energy_without_j
+            > by_class["inactive"].energy_without_j
+        )
+
+    def test_rejects_zero_sessions(self):
+        with pytest.raises(ValueError):
+            fig11.run_fig11(sessions_per_class=0)
+
+
+class TestTable1:
+    def test_android_cells(self):
+        reports = table1.run_table1(android_duration=3600.0, ios_duration=4 * 3600.0)
+        s4 = reports["Samsung GALAXY S IV"]
+        assert s4["wechat"].cycle_cell == "270s"
+        assert s4["whatsapp"].cycle_cell == "240s"
+        assert s4["qq"].cycle_cell == "300s"
+        assert s4["netease"].cycle_cell == "60-480s"
+
+    def test_ios_all_apns(self):
+        reports = table1.run_table1(android_duration=3600.0, ios_duration=4 * 3600.0)
+        ios = reports["iPhone 4/iPhone 5"]
+        assert all(r.cycle_cell == "1800s" for r in ios.values())
+
+    def test_android_devices_agree(self):
+        reports = table1.run_table1(android_duration=3600.0, ios_duration=4 * 3600.0)
+        devices = [d for d in reports if d != "iPhone 4/iPhone 5"]
+        cells = [
+            {app: r.cycle_cell for app, r in reports[d].items()} for d in devices
+        ]
+        assert all(c == cells[0] for c in cells)

@@ -1,0 +1,135 @@
+"""Failure-injection tests: the system degrades gracefully, not wrongly."""
+
+import pytest
+
+from repro.bandwidth.models import ConstantBandwidth, TraceBandwidth
+from repro.baselines.etrain import ETrainStrategy
+from repro.baselines.immediate import ImmediateStrategy
+from repro.core.profiles import weibo_profile
+from repro.core.scheduler import SchedulerConfig
+from repro.heartbeat.apps import make_generator
+from repro.heartbeat.generators import JitteredCycleGenerator
+from repro.heartbeat.monitor import HeartbeatMonitor
+from repro.sim.engine import Simulation
+
+from tests.conftest import make_packet
+
+
+def etrain(theta=0.5):
+    return ETrainStrategy([weibo_profile()], SchedulerConfig(theta=theta))
+
+
+class TestNoTrains:
+    def test_etrain_without_heartbeats_still_delivers(self):
+        """No trains: nothing to piggyback on, but the horizon flush and
+        threshold dribble must still deliver every packet."""
+        packets = [make_packet(arrival=float(i * 20)) for i in range(10)]
+        sim = Simulation(etrain(), [], packets, horizon=400.0)
+        result = sim.run()
+        assert all(p.is_scheduled for p in packets)
+
+    def test_empty_workload_with_trains(self):
+        sim = Simulation(etrain(), [make_generator("qq")], [], horizon=700.0)
+        result = sim.run()
+        assert result.burst_count == 3  # heartbeats only
+        assert result.normalized_delay == 0.0
+
+
+class TestJitteredHeartbeats:
+    def test_jittered_trains_still_enable_savings(self):
+        """Heartbeat jitter (alarm slack) must not break piggybacking."""
+        packets = [make_packet(arrival=float(17 * i + 3)) for i in range(40)]
+        jittered = [
+            JitteredCycleGenerator(make_generator("qq"), max_jitter=10.0, seed=3)
+        ]
+        sim = Simulation(etrain(theta=1.0), jittered, list(packets), horizon=900.0)
+        result = sim.run()
+
+        baseline_packets = [
+            make_packet(arrival=p.arrival_time, size=p.size_bytes) for p in packets
+        ]
+        base = Simulation(
+            ImmediateStrategy(), jittered, baseline_packets, horizon=900.0
+        ).run()
+        assert result.total_energy < base.total_energy
+
+    def test_monitor_tolerates_jitter(self):
+        mon = HeartbeatMonitor()
+        gen = JitteredCycleGenerator(make_generator("qq"), max_jitter=5.0, seed=1)
+        for hb in gen.heartbeats_until(3000.0):
+            mon.observe("qq", hb.time)
+        cycle = mon.cycle_of("qq")
+        assert cycle == pytest.approx(300.0, rel=0.05)
+
+
+class TestChannelOutages:
+    def test_zero_bandwidth_interval_delays_but_delivers(self):
+        """A mid-run outage stretches transmissions across it."""
+        samples = [100_000.0] * 100 + [0.0] * 50 + [100_000.0] * 400
+        bw = TraceBandwidth(samples)
+        p = make_packet(arrival=99.0, size=150_000)
+        sim = Simulation(ImmediateStrategy(), [], [p], bandwidth=bw, horizon=500.0)
+        result = sim.run()
+        record = result.records[0]
+        # 100 KB fits in the first second; the rest waits out the outage.
+        assert record.end > 150.0
+        assert p.is_scheduled
+
+    def test_pathological_outage_raises_cleanly(self):
+        bw = TraceBandwidth([0.0])
+        p = make_packet(arrival=0.0, size=1_000)
+        sim = Simulation(ImmediateStrategy(), [], [p], bandwidth=bw, horizon=10.0)
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+
+class TestDegenerateWorkloads:
+    def test_burst_of_simultaneous_arrivals(self):
+        packets = [make_packet(arrival=10.0) for _ in range(50)]
+        sim = Simulation(
+            etrain(theta=1e9),  # selection only at heartbeats (k = inf)
+            [make_generator("qq")],
+            packets,
+            horizon=700.0,
+        )
+        result = sim.run()
+        assert all(p.is_scheduled for p in packets)
+        # All 50 ride the t=300 heartbeat: 3 bursts total.
+        assert result.burst_count == 3
+        assert result.piggyback_ratio == 1.0
+
+    def test_packet_arriving_at_horizon_boundary(self):
+        p = make_packet(arrival=99.999)
+        sim = Simulation(ImmediateStrategy(), [], [p], horizon=100.0)
+        result = sim.run()
+        assert p.is_scheduled
+        assert result.flushed_packets == 1
+
+    def test_huge_packet_on_slow_channel(self):
+        p = make_packet(arrival=0.0, size=1_000_000)
+        sim = Simulation(
+            ImmediateStrategy(),
+            [],
+            [p],
+            bandwidth=ConstantBandwidth(10_000.0),
+            horizon=300.0,
+        )
+        result = sim.run()
+        assert result.records[0].duration == pytest.approx(100.0)
+
+
+class TestMonitorRobustness:
+    def test_missed_heartbeats_do_not_break_prediction(self):
+        mon = HeartbeatMonitor()
+        # Observe beats 0, 1, 3, 4 (beat 2 missed).
+        for t in (0.0, 300.0, 900.0, 1200.0):
+            mon.observe("qq", t)
+        assert mon.predict_next("qq", 1250.0) == pytest.approx(1500.0)
+
+    def test_irregular_app_gives_conservative_cycle(self):
+        mon = HeartbeatMonitor()
+        for t in (0.0, 100.0, 350.0, 380.0, 800.0):
+            mon.observe("qq", t)
+        # Whatever is learned must still produce a future prediction.
+        predicted = mon.predict_next("qq", 900.0)
+        assert predicted is None or predicted > 900.0

@@ -1,0 +1,102 @@
+"""Unit tests for promotion delay / fast-dormancy modelling."""
+
+import pytest
+
+from repro.bandwidth.models import ConstantBandwidth
+from repro.radio.interface import RadioInterface
+from repro.radio.power_model import (
+    GALAXY_S4_3G,
+    GALAXY_S4_FAST_DORMANCY,
+    PowerModel,
+)
+
+
+class TestFastDormancyModel:
+    def test_tail_is_tiny(self):
+        assert GALAXY_S4_FAST_DORMANCY.tail_time < 2.0
+        assert GALAXY_S4_FAST_DORMANCY.full_tail_energy < 1.0
+
+    def test_promotion_parameters(self):
+        assert GALAXY_S4_FAST_DORMANCY.promotion_delay > 0
+        assert GALAXY_S4_FAST_DORMANCY.promotion_energy > 0
+
+    def test_base_model_has_no_promotion(self):
+        assert GALAXY_S4_3G.promotion_delay == 0.0
+        assert GALAXY_S4_3G.promotion_energy == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(promotion_delay=-1.0)
+        with pytest.raises(ValueError):
+            PowerModel(promotion_energy=-1.0)
+
+
+class TestColdStarts:
+    def radio(self):
+        return RadioInterface(GALAXY_S4_FAST_DORMANCY, ConstantBandwidth(100_000.0))
+
+    def test_first_burst_is_cold(self):
+        radio = self.radio()
+        record = radio.transmit(10.0, 1_000, "data")
+        assert radio.cold_starts == 1
+        # Promotion delay folded into the burst duration.
+        assert record.duration == pytest.approx(1.5 + 0.01)
+
+    def test_burst_within_tail_is_warm(self):
+        radio = self.radio()
+        first = radio.transmit(0.0, 1_000, "data")
+        record = radio.transmit(first.end + 0.5, 1_000, "data")  # tail is 1.5 s
+        assert radio.cold_starts == 1
+        assert record.duration == pytest.approx(0.01)
+
+    def test_burst_after_tail_is_cold_again(self):
+        radio = self.radio()
+        radio.transmit(0.0, 1_000, "data")
+        radio.transmit(100.0, 1_000, "data")
+        assert radio.cold_starts == 2
+
+    def test_signaling_energy_in_breakdown(self):
+        radio = self.radio()
+        radio.transmit(0.0, 1_000, "data")
+        radio.transmit(100.0, 1_000, "data")
+        breakdown = radio.energy_breakdown()
+        assert breakdown.signaling == pytest.approx(2 * 1.2)
+        assert breakdown.total == pytest.approx(
+            breakdown.transmission + breakdown.tail + breakdown.signaling
+        )
+
+    def test_no_promotion_accounting_for_base_model(self):
+        radio = RadioInterface(GALAXY_S4_3G, ConstantBandwidth(100_000.0))
+        radio.transmit(0.0, 1_000, "data")
+        radio.transmit(100.0, 1_000, "data")
+        assert radio.cold_starts == 0
+        assert radio.energy_breakdown().signaling == 0.0
+
+
+class TestTradeoff:
+    def test_fast_dormancy_cheaper_for_sparse_singletons(self):
+        """Isolated bursts: cutting the tail wins despite promotions."""
+        normal = RadioInterface(GALAXY_S4_3G, ConstantBandwidth(100_000.0))
+        fast = RadioInterface(
+            GALAXY_S4_FAST_DORMANCY, ConstantBandwidth(100_000.0)
+        )
+        for t in range(0, 1000, 100):
+            normal.transmit(float(t), 2_000, "data")
+            fast.transmit(float(t), 2_000, "data")
+        assert fast.total_energy() < normal.total_energy()
+
+    def test_fast_dormancy_worse_for_chained_bursts(self):
+        """Closely spaced bursts: promotions pile up, keeping the tail
+        wins — the paper's Sec. VII argument in one assertion."""
+        normal = RadioInterface(GALAXY_S4_3G, ConstantBandwidth(100_000.0))
+        fast = RadioInterface(
+            GALAXY_S4_FAST_DORMANCY, ConstantBandwidth(100_000.0)
+        )
+        t_normal = t_fast = 0.0
+        for _ in range(30):
+            r = normal.transmit(t_normal, 2_000, "data")
+            t_normal = r.end + 2.0  # inside the 17.5 s tail: no re-promotion
+            r = fast.transmit(t_fast, 2_000, "data")
+            t_fast = r.end + 2.0  # past the 1.5 s tail: cold every time
+        assert fast.cold_starts == 30
+        assert normal.total_energy() < fast.total_energy()

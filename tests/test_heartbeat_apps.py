@@ -1,0 +1,83 @@
+"""Unit tests for the measured-app registry (Table 1 constants)."""
+
+import pytest
+
+from repro.heartbeat.apps import (
+    ANDROID_CYCLE_TABLE,
+    ANDROID_TRAIN_APPS,
+    IOS_APNS_CYCLE,
+    default_train_generators,
+    ios_generator,
+    known_train_profile,
+    make_generator,
+)
+from repro.heartbeat.generators import DoublingCycleGenerator, FixedCycleGenerator
+
+
+class TestRegistry:
+    def test_paper_cycles(self):
+        assert ANDROID_TRAIN_APPS["qq"].cycle == 300.0
+        assert ANDROID_TRAIN_APPS["wechat"].cycle == 270.0
+        assert ANDROID_TRAIN_APPS["whatsapp"].cycle == 240.0
+        assert ANDROID_TRAIN_APPS["renren"].cycle == 300.0
+
+    def test_paper_sizes(self):
+        assert ANDROID_TRAIN_APPS["qq"].heartbeat_size_bytes == 378
+        assert ANDROID_TRAIN_APPS["wechat"].heartbeat_size_bytes == 74
+        assert ANDROID_TRAIN_APPS["whatsapp"].heartbeat_size_bytes == 66
+
+    def test_ios_cycle(self):
+        assert IOS_APNS_CYCLE == 1800.0
+
+    def test_cycle_table_devices(self):
+        assert "Samsung GALAXY S IV" in ANDROID_CYCLE_TABLE
+        assert "iPhone 4/iPhone 5" in ANDROID_CYCLE_TABLE
+        ios_row = ANDROID_CYCLE_TABLE["iPhone 4/iPhone 5"]
+        assert all(v == 1800.0 for v in ios_row.values())
+
+    def test_netease_range_in_table(self):
+        row = ANDROID_CYCLE_TABLE["Samsung Note II"]
+        assert row["netease"] == (60.0, 480.0)
+
+
+class TestFactories:
+    def test_known_profile_with_phase(self):
+        p = known_train_profile("qq", first_heartbeat=42.0)
+        assert p.first_heartbeat == 42.0
+        assert p.cycle == 300.0
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            known_train_profile("telegram")
+
+    def test_make_generator_fixed(self):
+        gen = make_generator("wechat")
+        assert isinstance(gen, FixedCycleGenerator)
+
+    def test_make_generator_netease_doubles(self):
+        gen = make_generator("netease")
+        assert isinstance(gen, DoublingCycleGenerator)
+
+    def test_default_generators_counts(self):
+        for n in range(4):
+            gens = default_train_generators(n)
+            assert len(gens) == n
+
+    def test_default_generators_order(self):
+        gens = default_train_generators(3)
+        assert [g.app_id for g in gens] == ["qq", "wechat", "whatsapp"]
+
+    def test_default_generators_staggered_phases(self):
+        gens = default_train_generators(3)
+        firsts = [g.heartbeats_until(1000.0)[0].time for g in gens]
+        assert len(set(firsts)) == 3
+
+    def test_default_generators_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            default_train_generators(4)
+
+    def test_ios_generator_cycle(self):
+        gen = ios_generator("wechat")
+        times = [h.time for h in gen.heartbeats_until(4000.0)]
+        assert times == [0.0, 1800.0, 3600.0]
+        assert gen.app_id == "wechat-ios"

@@ -1,0 +1,94 @@
+"""Unit + property tests for offline heartbeat-cycle detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.heartbeat.detector import (
+    CycleStage,
+    detect_cycle,
+    detect_cycle_stages,
+    is_doubling_pattern,
+)
+from repro.heartbeat.generators import DoublingCycleGenerator
+
+
+class TestDetectCycle:
+    def test_perfect_cycle(self):
+        times = [i * 270.0 for i in range(10)]
+        assert detect_cycle(times) == pytest.approx(270.0)
+
+    def test_too_few_samples(self):
+        assert detect_cycle([0.0, 270.0]) is None
+
+    def test_tolerates_small_jitter(self):
+        times = [0.0, 301.0, 599.0, 902.0, 1199.0]
+        cycle = detect_cycle(times)
+        assert cycle is not None
+        assert cycle == pytest.approx(300.0, rel=0.02)
+
+    def test_folds_missed_beats(self):
+        times = [0.0, 300.0, 900.0, 1200.0, 1500.0, 1800.0]
+        assert detect_cycle(times) == pytest.approx(300.0)
+
+    def test_rejects_doubling_stream(self):
+        gen = DoublingCycleGenerator()
+        times = [h.time for h in gen.heartbeats_until(3000.0)]
+        assert detect_cycle(times) is None
+
+    def test_rejects_nonincreasing_times(self):
+        with pytest.raises(ValueError):
+            detect_cycle([0.0, 10.0, 10.0, 20.0])
+
+
+class TestDetectStages:
+    def test_single_stage_for_fixed_cycle(self):
+        times = [i * 240.0 for i in range(8)]
+        stages = detect_cycle_stages(times)
+        assert len(stages) == 1
+        assert stages[0].cycle == pytest.approx(240.0)
+        assert stages[0].count == 7
+
+    def test_doubling_staircase(self):
+        gen = DoublingCycleGenerator()
+        times = [h.time for h in gen.heartbeats_until(4000.0)]
+        stages = detect_cycle_stages(times)
+        cycles = [s.cycle for s in stages]
+        assert cycles[0] == pytest.approx(60.0)
+        assert cycles[1] == pytest.approx(120.0)
+        assert cycles[2] == pytest.approx(240.0)
+
+    def test_empty_and_single(self):
+        assert detect_cycle_stages([]) == []
+        assert detect_cycle_stages([5.0]) == []
+
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            CycleStage(cycle=0.0, count=1)
+        with pytest.raises(ValueError):
+            CycleStage(cycle=10.0, count=0)
+
+
+class TestDoublingPattern:
+    def test_detects_doubling(self):
+        gen = DoublingCycleGenerator()
+        times = [h.time for h in gen.heartbeats_until(4000.0)]
+        assert is_doubling_pattern(detect_cycle_stages(times))
+
+    def test_single_stage_not_doubling(self):
+        assert not is_doubling_pattern([CycleStage(cycle=300.0, count=5)])
+
+    def test_non_doubling_ratio(self):
+        stages = [CycleStage(60.0, 6), CycleStage(90.0, 6)]
+        assert not is_doubling_pattern(stages)
+
+
+@given(
+    cycle=st.floats(min_value=10.0, max_value=2000.0),
+    n=st.integers(min_value=3, max_value=30),
+    phase=st.floats(min_value=0.0, max_value=100.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_detector_recovers_any_fixed_cycle(cycle, n, phase):
+    """Round-trip: generator cycle → capture times → detected cycle."""
+    times = [phase + i * cycle for i in range(n)]
+    assert detect_cycle(times) == pytest.approx(cycle, rel=1e-9)

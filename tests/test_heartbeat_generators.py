@@ -1,0 +1,203 @@
+"""Unit + property tests for heartbeat schedule generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.profiles import TrainAppProfile
+from repro.heartbeat.generators import (
+    DoublingCycleGenerator,
+    FixedCycleGenerator,
+    JitteredCycleGenerator,
+    merge_heartbeats,
+)
+
+
+def fixed(cycle=300.0, first=0.0, app="qq", size=378):
+    return FixedCycleGenerator(
+        TrainAppProfile(
+            app_id=app, cycle=cycle, heartbeat_size_bytes=size, first_heartbeat=first
+        )
+    )
+
+
+class TestFixedCycle:
+    def test_times_are_arithmetic(self):
+        gen = fixed(cycle=300.0)
+        times = [hb.time for hb in gen.heartbeats_until(1000.0)]
+        assert times == [0.0, 300.0, 600.0, 900.0]
+
+    def test_horizon_exclusive(self):
+        gen = fixed(cycle=300.0)
+        assert len(gen.heartbeats_until(300.0)) == 1
+
+    def test_phase_offset(self):
+        gen = fixed(cycle=300.0, first=50.0)
+        times = [hb.time for hb in gen.heartbeats_until(700.0)]
+        assert times == [50.0, 350.0, 650.0]
+
+    def test_seq_numbers(self):
+        gen = fixed()
+        seqs = [hb.seq for hb in gen.heartbeats_until(1000.0)]
+        assert seqs == [0, 1, 2, 3]
+
+    def test_next_after(self):
+        gen = fixed(cycle=300.0)
+        nxt = gen.next_after(100.0)
+        assert nxt is not None and nxt.time == 300.0
+
+    def test_next_after_exact_boundary_is_strict(self):
+        gen = fixed(cycle=300.0)
+        nxt = gen.next_after(300.0)
+        assert nxt is not None and nxt.time == 600.0
+
+    def test_next_after_before_first(self):
+        gen = fixed(cycle=300.0, first=50.0)
+        nxt = gen.next_after(0.0)
+        assert nxt is not None and nxt.time == 50.0
+
+    def test_next_after_horizon(self):
+        gen = fixed(cycle=300.0)
+        assert gen.next_after(100.0, horizon=200.0) is None
+
+
+class TestDoublingCycle:
+    def test_paper_schedule(self):
+        """60 s cycle doubling after every 6 beats, capped at 480 s."""
+        gen = DoublingCycleGenerator()
+        assert gen.cycle_for_seq(0) == 60.0
+        assert gen.cycle_for_seq(5) == 60.0
+        assert gen.cycle_for_seq(6) == 120.0
+        assert gen.cycle_for_seq(12) == 240.0
+        assert gen.cycle_for_seq(18) == 480.0
+        assert gen.cycle_for_seq(100) == 480.0  # capped
+
+    def test_first_stage_times(self):
+        gen = DoublingCycleGenerator()
+        times = [hb.time for hb in gen.heartbeats_until(400.0)]
+        assert times == [0.0, 60.0, 120.0, 180.0, 240.0, 300.0, 360.0]
+
+    def test_stage_transition(self):
+        gen = DoublingCycleGenerator()
+        times = [hb.time for hb in gen.heartbeats_until(700.0)]
+        # Beat 6 comes 60 s after beat 5 at 300... beat 5 is at 300,
+        # then beat 6 at 360 (cycle_for_seq(5)=60), beat 7 at 480 (120).
+        assert 480.0 in times
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DoublingCycleGenerator(initial_cycle=500.0, max_cycle=480.0)
+        with pytest.raises(ValueError):
+            DoublingCycleGenerator(beats_per_stage=0)
+
+    def test_next_after_default_scan(self):
+        gen = DoublingCycleGenerator()
+        nxt = gen.next_after(100.0)
+        assert nxt is not None and nxt.time == 120.0
+
+
+class TestJitter:
+    def test_zero_jitter_identity(self):
+        inner = fixed()
+        gen = JitteredCycleGenerator(inner, max_jitter=0.0)
+        assert [h.time for h in gen.heartbeats_until(1000.0)] == [
+            h.time for h in inner.heartbeats_until(1000.0)
+        ]
+
+    def test_jitter_bounded_and_ordered(self):
+        gen = JitteredCycleGenerator(fixed(), max_jitter=5.0, seed=7)
+        times = [h.time for h in gen.heartbeats_until(3000.0)]
+        base = [h.time for h in fixed().heartbeats_until(3000.0)]
+        for jittered, nominal in zip(times, base):
+            assert nominal <= jittered <= nominal + 5.0
+        assert times == sorted(times)
+
+    def test_deterministic_per_seed(self):
+        a = JitteredCycleGenerator(fixed(), max_jitter=5.0, seed=1)
+        b = JitteredCycleGenerator(fixed(), max_jitter=5.0, seed=1)
+        assert [h.time for h in a.heartbeats_until(2000.0)] == [
+            h.time for h in b.heartbeats_until(2000.0)
+        ]
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            JitteredCycleGenerator(fixed(), max_jitter=-1.0)
+
+
+class TestStaticSchedule:
+    def test_replays_sorted(self):
+        from repro.core.packet import Heartbeat
+        from repro.heartbeat.generators import StaticScheduleGenerator
+
+        beats = [
+            Heartbeat(app_id="b", seq=0, time=50.0, size_bytes=10),
+            Heartbeat(app_id="a", seq=0, time=10.0, size_bytes=10),
+        ]
+        gen = StaticScheduleGenerator(beats)
+        assert [h.time for h in gen.heartbeats_until(100.0)] == [10.0, 50.0]
+
+    def test_horizon_exclusive(self):
+        from repro.core.packet import Heartbeat
+        from repro.heartbeat.generators import StaticScheduleGenerator
+
+        beats = [Heartbeat(app_id="a", seq=0, time=10.0, size_bytes=10)]
+        gen = StaticScheduleGenerator(beats)
+        assert gen.heartbeats_until(10.0) == []
+
+    def test_next_after_inherited(self):
+        from repro.core.packet import Heartbeat
+        from repro.heartbeat.generators import StaticScheduleGenerator
+
+        beats = [
+            Heartbeat(app_id="a", seq=i, time=100.0 * i, size_bytes=10)
+            for i in range(5)
+        ]
+        gen = StaticScheduleGenerator(beats)
+        nxt = gen.next_after(150.0)
+        assert nxt is not None and nxt.time == 200.0
+
+
+class TestMerge:
+    def test_merged_sorted(self):
+        gens = [fixed(cycle=300.0, app="qq"), fixed(cycle=240.0, first=60.0, app="whatsapp")]
+        merged = merge_heartbeats(gens, 2000.0)
+        times = [h.time for h in merged]
+        assert times == sorted(times)
+
+    def test_merged_counts(self):
+        gens = [fixed(cycle=300.0, app="a"), fixed(cycle=200.0, app="b")]
+        merged = merge_heartbeats(gens, 1200.0)
+        assert len(merged) == 4 + 6
+
+    def test_empty_generators(self):
+        assert merge_heartbeats([], 1000.0) == []
+
+
+@given(
+    cycle=st.floats(min_value=1.0, max_value=2000.0),
+    first=st.floats(min_value=0.0, max_value=500.0),
+    horizon=st.floats(min_value=1.0, max_value=5000.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_fixed_cycle_invariants(cycle, first, horizon):
+    gen = fixed(cycle=cycle, first=first)
+    beats = gen.heartbeats_until(horizon)
+    times = [h.time for h in beats]
+    assert all(t < horizon for t in times)
+    assert times == sorted(times)
+    for a, b in zip(times, times[1:]):
+        assert b - a == pytest.approx(cycle, rel=1e-9)
+
+
+@given(
+    t=st.floats(min_value=0.0, max_value=5000.0),
+    cycle=st.floats(min_value=1.0, max_value=1000.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_next_after_is_strictly_future_and_minimal(t, cycle):
+    gen = fixed(cycle=cycle)
+    nxt = gen.next_after(t)
+    assert nxt is not None
+    assert nxt.time > t
+    # No earlier heartbeat between t and the prediction.
+    earlier = [h for h in gen.heartbeats_until(nxt.time) if h.time > t]
+    assert not earlier

@@ -1,0 +1,110 @@
+"""Unit tests for the heartbeat monitor (observation + prediction)."""
+
+import pytest
+
+from repro.heartbeat.monitor import HeartbeatMonitor
+
+
+class TestObservation:
+    def test_observe_and_listeners(self):
+        mon = HeartbeatMonitor()
+        seen = []
+        mon.add_listener(lambda app, t: seen.append((app, t)))
+        mon.observe("qq", 0.0)
+        mon.observe("qq", 300.0)
+        assert seen == [("qq", 0.0), ("qq", 300.0)]
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor().observe("qq", -1.0)
+
+    def test_rejects_out_of_order(self):
+        mon = HeartbeatMonitor()
+        mon.observe("qq", 300.0)
+        with pytest.raises(ValueError):
+            mon.observe("qq", 100.0)
+
+    def test_app_ids(self):
+        mon = HeartbeatMonitor()
+        mon.observe("b", 0.0)
+        mon.observe("a", 1.0)
+        assert mon.app_ids == ["a", "b"]
+
+    def test_has_active_trains(self):
+        mon = HeartbeatMonitor()
+        assert not mon.has_active_trains()
+        mon.declare_app("qq")
+        assert mon.has_active_trains()
+
+
+class TestCycleLearning:
+    def test_learns_fixed_cycle(self):
+        mon = HeartbeatMonitor()
+        for t in (0.0, 300.0, 600.0, 900.0):
+            mon.observe("qq", t)
+        assert mon.cycle_of("qq") == pytest.approx(300.0)
+
+    def test_folds_missed_observations(self):
+        """A missed beat shows up as a 2x gap; learning folds it down."""
+        mon = HeartbeatMonitor()
+        for t in (0.0, 300.0, 900.0, 1200.0, 1500.0):  # 600 gap = miss
+            mon.observe("qq", t)
+        assert mon.cycle_of("qq") == pytest.approx(300.0)
+
+    def test_declared_cycle_overrides_learning(self):
+        mon = HeartbeatMonitor()
+        mon.declare_app("qq", cycle=300.0)
+        mon.observe("qq", 0.0)
+        assert mon.cycle_of("qq") == 300.0
+
+    def test_declare_rejects_bad_cycle(self):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor().declare_app("qq", cycle=0.0)
+
+    def test_unknown_cycle_none(self):
+        mon = HeartbeatMonitor()
+        mon.observe("qq", 0.0)  # one observation: no gaps yet
+        assert mon.cycle_of("qq") is None
+        assert mon.cycle_of("ghost") is None
+
+
+class TestPrediction:
+    def test_predict_next_simple(self):
+        mon = HeartbeatMonitor()
+        for t in (0.0, 300.0, 600.0):
+            mon.observe("qq", t)
+        assert mon.predict_next("qq", 700.0) == pytest.approx(900.0)
+
+    def test_predict_spans_missed_beats(self):
+        mon = HeartbeatMonitor()
+        for t in (0.0, 300.0):
+            mon.observe("qq", t)
+        # Ask far in the future: prediction extrapolates n cycles.
+        assert mon.predict_next("qq", 1000.0) == pytest.approx(1200.0)
+
+    def test_predict_strictly_future(self):
+        mon = HeartbeatMonitor()
+        for t in (0.0, 300.0):
+            mon.observe("qq", t)
+        assert mon.predict_next("qq", 300.0) == pytest.approx(600.0)
+
+    def test_predict_unknown_app(self):
+        assert HeartbeatMonitor().predict_next("qq", 0.0) is None
+
+    def test_predict_with_declared_cycle_single_observation(self):
+        mon = HeartbeatMonitor()
+        mon.declare_app("qq", cycle=300.0)
+        mon.observe("qq", 100.0)
+        assert mon.predict_next("qq", 150.0) == pytest.approx(400.0)
+
+    def test_predict_next_any_picks_earliest(self):
+        mon = HeartbeatMonitor()
+        mon.declare_app("qq", cycle=300.0)
+        mon.declare_app("whatsapp", cycle=240.0)
+        mon.observe("qq", 0.0)
+        mon.observe("whatsapp", 0.0)
+        best = mon.predict_next_any(10.0)
+        assert best == ("whatsapp", pytest.approx(240.0))
+
+    def test_predict_next_any_empty(self):
+        assert HeartbeatMonitor().predict_next_any(0.0) is None

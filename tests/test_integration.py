@@ -1,0 +1,172 @@
+"""Cross-module integration tests: the full stack working together."""
+
+import pytest
+
+from repro.analysis.metrics import compare_results, relative_saving
+from repro.bandwidth.synth import wuhan_bandwidth_model
+from repro.baselines.etime import ETimeStrategy
+from repro.baselines.etrain import ETrainStrategy
+from repro.baselines.immediate import ImmediateStrategy
+from repro.baselines.peres import PerESStrategy
+from repro.baselines.tailender import TailEnderStrategy
+from repro.core.offline import evaluate_schedule, greedy_offline
+from repro.core.scheduler import SchedulerConfig
+from repro.measurement.power_monitor import PowerMonitor
+from repro.sim.engine import Simulation
+from repro.sim.runner import default_scenario, run_strategy
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return default_scenario(horizon=3600.0)
+
+
+class TestHeadlineClaims:
+    """The paper's central quantitative claims, at test scale."""
+
+    def test_etrain_saves_double_digit_energy_vs_baseline(self, scenario):
+        baseline = run_strategy(ImmediateStrategy(), scenario)
+        etrain = run_strategy(
+            ETrainStrategy(scenario.profiles, SchedulerConfig(theta=1.0)), scenario
+        )
+        saving = relative_saving(baseline, etrain)
+        # Paper: 12-33 % total savings on device, larger in simulation.
+        assert saving > 0.12
+
+    def test_etrain_beats_etime_at_comparable_delay(self, scenario):
+        etrain = run_strategy(
+            ETrainStrategy(scenario.profiles, SchedulerConfig(theta=1.0)), scenario
+        )
+        etime = run_strategy(
+            ETimeStrategy(scenario.estimator(), v=40_000.0), scenario
+        )
+        if abs(etrain.normalized_delay - etime.normalized_delay) < 30.0:
+            assert etrain.total_energy < etime.total_energy
+
+    def test_etrain_beats_peres_on_energy(self, scenario):
+        etrain = run_strategy(
+            ETrainStrategy(scenario.profiles, SchedulerConfig(theta=1.0)), scenario
+        )
+        peres = run_strategy(
+            PerESStrategy(scenario.profiles, scenario.estimator(), omega=0.4),
+            scenario,
+        )
+        assert etrain.total_energy < peres.total_energy
+
+    def test_aggregation_reduces_burst_count(self, scenario):
+        baseline = run_strategy(ImmediateStrategy(), scenario)
+        etrain = run_strategy(
+            ETrainStrategy(scenario.profiles, SchedulerConfig(theta=1.0)), scenario
+        )
+        assert etrain.burst_count < baseline.burst_count
+
+    def test_comparison_table_built_from_runs(self, scenario):
+        results = [
+            run_strategy(ImmediateStrategy(), scenario),
+            run_strategy(
+                ETrainStrategy(scenario.profiles, SchedulerConfig(theta=1.0)),
+                scenario,
+            ),
+            run_strategy(TailEnderStrategy(scenario.profiles), scenario),
+        ]
+        rows = compare_results(results)
+        assert len(rows) == 3
+        etrain_row = next(r for r in rows if "eTrain" in r.strategy)
+        assert etrain_row.saving_vs_baseline_j > 0
+
+    def test_tailender_between_baseline_and_etrain(self, scenario):
+        """Batching alone helps; heartbeat alignment helps more."""
+        baseline = run_strategy(ImmediateStrategy(), scenario)
+        tailender = run_strategy(TailEnderStrategy(scenario.profiles), scenario)
+        etrain = run_strategy(
+            ETrainStrategy(scenario.profiles, SchedulerConfig(theta=1.0)), scenario
+        )
+        assert tailender.total_energy < baseline.total_energy
+        assert etrain.total_energy < tailender.total_energy
+
+
+class TestEnergyAccountingConsistency:
+    def test_simulation_energy_equals_rrc_integral(self, scenario):
+        strategy = ETrainStrategy(scenario.profiles, SchedulerConfig(theta=0.5))
+        sim = Simulation(
+            strategy,
+            scenario.train_generators,
+            scenario.fresh_packets(),
+            bandwidth=scenario.bandwidth,
+            power_model=scenario.power_model,
+            horizon=scenario.horizon,
+        )
+        result = sim.run()
+        assert result.total_energy == pytest.approx(sim.radio.rrc.energy(), rel=1e-6)
+
+    def test_power_monitor_agrees_with_accounting(self, scenario):
+        strategy = ImmediateStrategy()
+        sim = Simulation(
+            strategy,
+            scenario.train_generators,
+            scenario.fresh_packets()[:40],
+            bandwidth=scenario.bandwidth,
+            power_model=scenario.power_model,
+            horizon=1200.0,
+        )
+        result = sim.run()
+        monitor = PowerMonitor(interval=0.05)
+        horizon = max(r.end for r in result.records) + scenario.power_model.tail_time
+        measured = monitor.measure_energy(
+            sim.radio.rrc, horizon=horizon, above_idle=True
+        )
+        assert measured == pytest.approx(result.total_energy, rel=0.02)
+
+
+class TestOfflineOnlineBridge:
+    def test_online_schedule_evaluates_consistently(self, scenario):
+        """Feed the online schedule through the offline evaluator: its
+        energy must be within a few percent of the simulator's own
+        accounting (burst merging differs slightly at slot boundaries)."""
+        strategy = ETrainStrategy(scenario.profiles, SchedulerConfig(theta=1.0))
+        sub = default_scenario(horizon=1200.0)
+        result = run_strategy(
+            ETrainStrategy(sub.profiles, SchedulerConfig(theta=1.0)), sub
+        )
+        scheduled = [p for p in result.packets if p.is_scheduled]
+        assignment = {p.packet_id: p.scheduled_time for p in scheduled}
+        costs = {pr.app_id: pr.cost_function for pr in sub.profiles}
+        offline_view = evaluate_schedule(
+            scheduled, assignment, result.heartbeats, costs,
+            power_model=sub.power_model, bandwidth=sub.bandwidth,
+        )
+        assert offline_view.total_energy == pytest.approx(
+            result.total_energy, rel=0.25
+        )
+
+    def test_greedy_offline_beats_immediate(self):
+        sub = default_scenario(horizon=1200.0)
+        costs = {pr.app_id: pr.cost_function for pr in sub.profiles}
+        packets = sub.fresh_packets()
+        from repro.heartbeat.generators import merge_heartbeats
+
+        heartbeats = merge_heartbeats(sub.train_generators, 1200.0)
+        deferred = greedy_offline(
+            packets, heartbeats, costs, delay_budget=1e9,
+            power_model=sub.power_model, bandwidth=sub.bandwidth,
+        )
+        immediate = evaluate_schedule(
+            packets,
+            {p.packet_id: p.arrival_time for p in packets},
+            heartbeats,
+            costs,
+            power_model=sub.power_model,
+            bandwidth=sub.bandwidth,
+        )
+        assert deferred.total_energy < immediate.total_energy
+
+
+class TestRealisticChannel:
+    def test_wuhan_trace_drives_simulation(self):
+        scenario = default_scenario(
+            horizon=1800.0, bandwidth=wuhan_bandwidth_model()
+        )
+        result = run_strategy(ImmediateStrategy(), scenario)
+        durations = [r.duration for r in result.records if r.kind == "data"]
+        # Variable bandwidth produces variable transmission durations.
+        assert max(durations) > min(durations)

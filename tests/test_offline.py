@@ -1,0 +1,183 @@
+"""Unit tests for the offline schedule solvers (Sec. III-C)."""
+
+import pytest
+
+from repro.bandwidth.models import ConstantBandwidth
+from repro.core.cost_functions import MailCost, WeiboCost
+from repro.core.offline import (
+    evaluate_schedule,
+    exhaustive_offline,
+    greedy_offline,
+    local_search_offline,
+)
+from repro.core.packet import Heartbeat, Packet
+
+from tests.conftest import make_packet
+
+
+def heartbeats(times, app="qq"):
+    return [
+        Heartbeat(app_id=app, seq=i, time=t, size_bytes=378)
+        for i, t in enumerate(times)
+    ]
+
+
+COSTS = {"weibo": WeiboCost(30.0), "mail": MailCost(60.0)}
+
+
+class TestEvaluateSchedule:
+    def test_rejects_causality_violation(self):
+        p = make_packet(arrival=10.0)
+        with pytest.raises(ValueError):
+            evaluate_schedule([p], {p.packet_id: 5.0}, [], COSTS)
+
+    def test_rejects_missing_assignment(self):
+        p = make_packet(arrival=0.0)
+        with pytest.raises(ValueError):
+            evaluate_schedule([p], {}, [], COSTS)
+
+    def test_immediate_assignment_zero_delay_cost(self):
+        p = make_packet(arrival=5.0)
+        schedule = evaluate_schedule([p], {p.packet_id: 5.0}, [], COSTS)
+        assert schedule.total_delay_cost == 0.0
+        assert schedule.total_energy > 0.0
+
+    def test_piggyback_on_heartbeat_merges_burst(self, power_model):
+        hb = heartbeats([100.0])
+        p = make_packet(arrival=50.0)
+        merged = evaluate_schedule([p], {p.packet_id: 100.0}, hb, COSTS)
+        separate = evaluate_schedule([p], {p.packet_id: 50.0}, hb, COSTS)
+        assert merged.total_energy < separate.total_energy
+
+    def test_delay_cost_accumulates(self):
+        p = make_packet(arrival=0.0)  # weibo, deadline 30
+        schedule = evaluate_schedule([p], {p.packet_id: 15.0}, [], COSTS)
+        assert schedule.total_delay_cost == pytest.approx(0.5)
+
+
+class TestExhaustive:
+    def test_prefers_heartbeat_when_budget_allows(self):
+        hb = heartbeats([20.0])
+        p = make_packet(arrival=0.0)
+        best = exhaustive_offline([p], hb, COSTS, delay_budget=1.0)
+        assert best.assignment[p.packet_id] == 20.0
+
+    def test_budget_forces_immediate(self):
+        hb = heartbeats([29.0])
+        p = make_packet(arrival=0.0)
+        # Deferring to t=29 costs f2(29) ≈ 0.97 > budget.
+        best = exhaustive_offline([p], hb, COSTS, delay_budget=0.5)
+        assert best.assignment[p.packet_id] == 0.0
+
+    def test_aggregates_multiple_packets(self):
+        hb = heartbeats([30.0])
+        packets = [make_packet(app_id="mail", arrival=float(i), deadline=60.0) for i in range(3)]
+        best = exhaustive_offline(packets, hb, COSTS, delay_budget=10.0)
+        assert all(t == 30.0 for t in best.assignment.values())
+
+    def test_search_space_guard(self):
+        hb = heartbeats(list(range(10, 2000, 10)))
+        packets = [make_packet(arrival=0.0) for _ in range(8)]
+        with pytest.raises(RuntimeError):
+            exhaustive_offline(
+                packets, hb, COSTS, delay_budget=100.0, max_combinations=10
+            )
+
+    def test_online_never_beats_offline_optimum(self, power_model):
+        """The exhaustive optimum lower-bounds any feasible schedule —
+        including eTrain's online choices, evaluated the same way."""
+        hb = heartbeats([25.0, 50.0])
+        packets = [
+            make_packet(app_id="mail", arrival=0.0, deadline=60.0),
+            make_packet(app_id="mail", arrival=10.0, deadline=60.0),
+            make_packet(app_id="weibo", arrival=5.0),
+        ]
+        budget = 5.0
+        best = exhaustive_offline(packets, hb, COSTS, delay_budget=budget)
+        # A plausible online-style schedule: everything at next heartbeat.
+        online = evaluate_schedule(
+            packets,
+            {p.packet_id: 25.0 for p in packets},
+            hb,
+            COSTS,
+        )
+        if online.total_delay_cost <= budget:
+            assert best.total_energy <= online.total_energy + 1e-9
+
+
+class TestGreedyOffline:
+    def test_matches_exhaustive_on_easy_instance(self):
+        hb = heartbeats([20.0])
+        packets = [make_packet(app_id="mail", arrival=0.0, deadline=60.0)]
+        exact = exhaustive_offline(packets, hb, COSTS, delay_budget=5.0)
+        greedy = greedy_offline(packets, hb, COSTS, delay_budget=5.0)
+        assert greedy.total_energy == pytest.approx(exact.total_energy)
+
+    def test_budget_repair_reverts_costliest(self):
+        hb = heartbeats([29.0])
+        packets = [make_packet(arrival=0.0), make_packet(arrival=0.0)]
+        # Each deferred weibo packet costs ~0.97; budget 1.0 allows one.
+        schedule = greedy_offline(packets, hb, COSTS, delay_budget=1.0)
+        assert schedule.total_delay_cost <= 1.0 + 1e-9
+        deferred = sum(1 for t in schedule.assignment.values() if t == 29.0)
+        assert deferred == 1
+
+    def test_no_heartbeats_everything_immediate(self):
+        packets = [make_packet(arrival=3.0)]
+        schedule = greedy_offline(packets, [], COSTS, delay_budget=10.0)
+        assert schedule.assignment[packets[0].packet_id] == 3.0
+
+    def test_feasible_for_any_budget(self):
+        hb = heartbeats([50.0])
+        packets = [make_packet(arrival=0.0) for _ in range(4)]
+        schedule = greedy_offline(packets, hb, COSTS, delay_budget=0.0)
+        assert schedule.total_delay_cost <= 1e-9
+
+
+class TestLocalSearch:
+    def test_never_worse_than_greedy(self):
+        hb = heartbeats([25.0, 60.0, 95.0])
+        packets = [
+            make_packet(app_id="mail", arrival=float(i * 9), deadline=60.0)
+            for i in range(6)
+        ]
+        budget = 3.0
+        greedy = greedy_offline(packets, hb, COSTS, delay_budget=budget)
+        refined = local_search_offline(
+            packets, hb, COSTS, budget, initial=greedy
+        )
+        assert refined.total_energy <= greedy.total_energy + 1e-9
+        assert refined.total_delay_cost <= budget + 1e-9
+
+    def test_reaches_exhaustive_optimum_on_tiny_instance(self):
+        hb = heartbeats([20.0, 45.0])
+        packets = [
+            make_packet(app_id="weibo", arrival=0.0),
+            make_packet(app_id="mail", arrival=5.0, deadline=60.0),
+            make_packet(app_id="weibo", arrival=30.0),
+        ]
+        budget = 4.0
+        exact = exhaustive_offline(packets, hb, COSTS, delay_budget=budget)
+        refined = local_search_offline(packets, hb, COSTS, budget)
+        assert refined.total_energy == pytest.approx(
+            exact.total_energy, rel=0.05
+        ) or refined.total_energy >= exact.total_energy
+
+    def test_improves_bad_initial_schedule(self):
+        """Starting from all-immediate, local search finds heartbeats."""
+        hb = heartbeats([20.0])
+        packets = [
+            make_packet(app_id="mail", arrival=float(i), deadline=60.0)
+            for i in range(3)
+        ]
+        immediate = evaluate_schedule(
+            packets, {p.packet_id: p.arrival_time for p in packets}, hb, COSTS
+        )
+        refined = local_search_offline(
+            packets, hb, COSTS, delay_budget=5.0, initial=immediate
+        )
+        assert refined.total_energy < immediate.total_energy
+
+    def test_max_rounds_validation(self):
+        with pytest.raises(ValueError):
+            local_search_offline([], [], COSTS, 1.0, max_rounds=0)

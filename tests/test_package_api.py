@@ -1,0 +1,66 @@
+"""Public-API surface tests: imports, __all__ integrity, quick_run."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.radio",
+    "repro.heartbeat",
+    "repro.workload",
+    "repro.bandwidth",
+    "repro.sim",
+    "repro.baselines",
+    "repro.android",
+    "repro.measurement",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+class TestPublicSurface:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_entries_resolve(self, name):
+        module = importlib.import_module(name)
+        exported = getattr(module, "__all__", [])
+        for symbol in exported:
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_has_no_duplicates(self, name):
+        module = importlib.import_module(name)
+        exported = getattr(module, "__all__", [])
+        assert len(exported) == len(set(exported))
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_public_symbols_documented(self):
+        """Every exported callable/class carries a docstring."""
+        for name in PACKAGES:
+            module = importlib.import_module(name)
+            for symbol in getattr(module, "__all__", []):
+                obj = getattr(module, symbol)
+                if callable(obj) or isinstance(obj, type):
+                    assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+
+
+class TestQuickRun:
+    def test_quick_run_returns_result(self):
+        result = repro.quick_run(theta=0.5, horizon=600.0)
+        assert result.total_energy > 0
+        assert result.horizon == 600.0
+        assert "eTrain" in result.strategy_name
+
+    def test_quick_run_theta_effect(self):
+        eager = repro.quick_run(theta=0.0, horizon=1200.0)
+        patient = repro.quick_run(theta=5.0, horizon=1200.0)
+        assert patient.normalized_delay >= eager.normalized_delay - 1.0

@@ -1,0 +1,126 @@
+"""Unit tests for the core data model (Packet / Heartbeat / records)."""
+
+import pytest
+
+from repro.core.packet import (
+    Heartbeat,
+    Packet,
+    TransmissionRecord,
+    reset_packet_ids,
+)
+
+
+class TestPacket:
+    def test_auto_increment_ids(self):
+        a = Packet(app_id="mail", arrival_time=0.0, size_bytes=100)
+        b = Packet(app_id="mail", arrival_time=0.0, size_bytes=100)
+        assert b.packet_id == a.packet_id + 1
+
+    def test_reset_packet_ids(self):
+        Packet(app_id="mail", arrival_time=0.0, size_bytes=100)
+        reset_packet_ids()
+        p = Packet(app_id="mail", arrival_time=0.0, size_bytes=100)
+        assert p.packet_id == 0
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError):
+            Packet(app_id="mail", arrival_time=-1.0, size_bytes=100)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Packet(app_id="mail", arrival_time=0.0, size_bytes=0)
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError):
+            Packet(app_id="mail", arrival_time=0.0, size_bytes=1, deadline=0.0)
+
+    def test_delay_at_clamps_to_zero(self):
+        p = Packet(app_id="mail", arrival_time=10.0, size_bytes=1)
+        assert p.delay_at(5.0) == 0.0
+        assert p.delay_at(15.0) == 5.0
+
+    def test_delay_requires_schedule(self):
+        p = Packet(app_id="mail", arrival_time=0.0, size_bytes=1)
+        with pytest.raises(ValueError):
+            _ = p.delay
+
+    def test_delay_after_scheduling(self):
+        p = Packet(app_id="mail", arrival_time=10.0, size_bytes=1)
+        p.scheduled_time = 25.0
+        assert p.delay == 15.0
+        assert p.is_scheduled
+
+    def test_violates_deadline(self):
+        p = Packet(app_id="mail", arrival_time=0.0, size_bytes=1, deadline=30.0)
+        p.scheduled_time = 31.0
+        assert p.violates_deadline()
+
+    def test_within_deadline(self):
+        p = Packet(app_id="mail", arrival_time=0.0, size_bytes=1, deadline=30.0)
+        p.scheduled_time = 30.0
+        assert not p.violates_deadline()
+
+    def test_no_deadline_never_violates(self):
+        p = Packet(app_id="mail", arrival_time=0.0, size_bytes=1, deadline=None)
+        p.scheduled_time = 1e9
+        assert not p.violates_deadline()
+
+    def test_unscheduled_never_violates(self):
+        p = Packet(app_id="mail", arrival_time=0.0, size_bytes=1, deadline=1.0)
+        assert not p.violates_deadline()
+
+    def test_equality_is_identity_by_id(self):
+        a = Packet(app_id="mail", arrival_time=0.0, size_bytes=100)
+        b = Packet(app_id="mail", arrival_time=0.0, size_bytes=100)
+        assert a != b
+        assert a == a
+        assert len({a, b}) == 2
+
+    def test_is_completed(self):
+        p = Packet(app_id="mail", arrival_time=0.0, size_bytes=1)
+        assert not p.is_completed
+        p.completion_time = 5.0
+        assert p.is_completed
+
+
+class TestHeartbeat:
+    def test_fields(self):
+        hb = Heartbeat(app_id="qq", seq=3, time=900.0, size_bytes=378)
+        assert hb.app_id == "qq"
+        assert hb.seq == 3
+
+    def test_frozen(self):
+        hb = Heartbeat(app_id="qq", seq=0, time=0.0, size_bytes=378)
+        with pytest.raises(AttributeError):
+            hb.time = 5.0  # type: ignore[misc]
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            Heartbeat(app_id="qq", seq=0, time=-1.0, size_bytes=378)
+
+    def test_rejects_negative_seq(self):
+        with pytest.raises(ValueError):
+            Heartbeat(app_id="qq", seq=-1, time=0.0, size_bytes=378)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Heartbeat(app_id="qq", seq=0, time=0.0, size_bytes=0)
+
+
+class TestTransmissionRecord:
+    def test_end(self):
+        r = TransmissionRecord(start=10.0, duration=2.5, size_bytes=100, kind="data")
+        assert r.end == 12.5
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            TransmissionRecord(start=0.0, duration=-1.0, size_bytes=1, kind="data")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            TransmissionRecord(start=0.0, duration=0.0, size_bytes=1, kind="junk")
+
+    @pytest.mark.parametrize("kind", ["heartbeat", "data", "piggyback"])
+    def test_accepts_known_kinds(self, kind):
+        r = TransmissionRecord(start=0.0, duration=0.0, size_bytes=1, kind=kind)
+        assert r.kind == kind

@@ -1,0 +1,85 @@
+"""Unit + property tests for heartbeat phase analysis/optimisation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.heartbeat.phases import (
+    expected_wait,
+    merged_gap_stats,
+    optimize_phases,
+)
+
+
+class TestGapStats:
+    def test_single_train_uniform_gaps(self):
+        stats = merged_gap_stats([300.0], [0.0])
+        assert stats.mean == pytest.approx(300.0)
+        assert stats.stdev == pytest.approx(0.0, abs=1e-9)
+        # Uniform gaps: expected wait = gap / 2.
+        assert stats.expected_wait == pytest.approx(150.0)
+
+    def test_aligned_trains_high_wait(self):
+        """Same cycle, same phase: merged process looks like one train."""
+        aligned = merged_gap_stats([300.0, 300.0], [0.0, 0.0])
+        spread = merged_gap_stats([300.0, 300.0], [0.0, 150.0])
+        assert spread.expected_wait < aligned.expected_wait
+        assert spread.expected_wait == pytest.approx(75.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            merged_gap_stats([], [])
+        with pytest.raises(ValueError):
+            merged_gap_stats([300.0], [0.0, 1.0])
+
+
+class TestExpectedWait:
+    def test_length_biased_formula(self):
+        """Two trains at 300 s, offset 100 s: gaps alternate 100/200."""
+        wait = expected_wait([300.0, 300.0], [0.0, 100.0])
+        # E[gap²]/(2 E[gap]) = (100² + 200²)/2 / (2 · 150) = 83.33; the
+        # finite horizon leaves an odd gap count, hence the tolerance.
+        assert wait == pytest.approx((100**2 + 200**2) / 2 / 300.0, rel=0.02)
+
+    def test_paper_trains_default_phases_reasonable(self):
+        wait = expected_wait([300.0, 270.0, 240.0], [0.0, 97.0, 194.0])
+        assert 30.0 < wait < 80.0
+
+
+class TestOptimize:
+    def test_wait_objective_spreads_trains(self):
+        phases, value = optimize_phases([300.0, 300.0], objective="wait", grid=6)
+        # Optimal offset for two equal trains is half a cycle: wait 75 s.
+        assert value == pytest.approx(75.0)
+        assert phases[0] == 0.0
+        assert phases[1] == pytest.approx(150.0)
+
+    def test_align_objective_merges_trains(self):
+        phases, value = optimize_phases([300.0, 300.0], objective="align", grid=6)
+        assert phases[1] == pytest.approx(0.0)
+
+    def test_optimized_wait_never_worse_than_zero_phases(self):
+        cycles = [300.0, 270.0, 240.0]
+        _, optimized = optimize_phases(cycles, objective="wait", grid=6)
+        naive = expected_wait(cycles, [0.0, 0.0, 0.0])
+        assert optimized <= naive + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimize_phases([300.0], objective="nope")
+        with pytest.raises(ValueError):
+            optimize_phases([], objective="wait")
+        with pytest.raises(ValueError):
+            optimize_phases([300.0], grid=0)
+
+
+@given(
+    cycle=st.floats(min_value=60.0, max_value=600.0),
+    offset_frac=st.floats(min_value=0.0, max_value=0.99),
+)
+@settings(max_examples=40, deadline=None)
+def test_wait_bounded_by_largest_gap(cycle, offset_frac):
+    """Expected wait never exceeds the longest merged gap."""
+    phases = [0.0, cycle * offset_frac]
+    stats = merged_gap_stats([cycle, cycle], phases)
+    assert stats.expected_wait <= stats.maximum + 1e-9
+    assert stats.expected_wait >= stats.mean / 2 - 1e-9

@@ -1,0 +1,82 @@
+"""Unit tests for ASCII plotting and report generation."""
+
+import pytest
+
+from repro.analysis.plot import ascii_bars, ascii_scatter
+from repro.analysis.report import generate_report, write_report
+from repro.cli import main
+
+
+class TestAsciiBars:
+    def test_bars_scale_to_peak(self):
+        out = ascii_bars({"a": 100.0, "b": 50.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_values_shown(self):
+        out = ascii_bars({"x": 12.34}, unit=" J")
+        assert "12.3 J" in out
+
+    def test_title(self):
+        out = ascii_bars({"x": 1.0}, title="Energy")
+        assert out.splitlines()[0] == "Energy"
+
+    def test_zero_value_bar(self):
+        out = ascii_bars({"zero": 0.0, "one": 1.0}, width=10)
+        assert "|" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})
+        with pytest.raises(ValueError):
+            ascii_bars({"x": -1.0})
+        with pytest.raises(ValueError):
+            ascii_bars({"x": 1.0}, width=0)
+
+
+class TestAsciiScatter:
+    def test_plots_all_series_markers(self):
+        out = ascii_scatter(
+            {"one": [(0.0, 0.0), (1.0, 1.0)], "two": [(0.5, 0.5)]}
+        )
+        assert "o" in out and "+" in out
+        assert "o=one" in out and "+=two" in out
+
+    def test_extremes_on_border(self):
+        out = ascii_scatter({"s": [(0.0, 0.0), (10.0, 10.0)]}, width=20, height=6)
+        lines = [l for l in out.splitlines() if l.strip().startswith("|")]
+        assert "o" in lines[0]  # max y at the top row
+        assert "o" in lines[-1]  # min y at the bottom row
+
+    def test_degenerate_single_point(self):
+        out = ascii_scatter({"s": [(5.0, 5.0)]})
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({})
+        with pytest.raises(ValueError):
+            ascii_scatter({"s": [(0, 0)]}, width=2, height=2)
+
+
+class TestReport:
+    def test_generate_selected(self):
+        report = generate_report(["fig6"], quick=True)
+        assert "# eTrain reproduction report" in report
+        assert "## fig6" in report
+        assert "delay cost functions" in report
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            generate_report(["nope"])
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "r.md", ["fig6"], quick=True)
+        assert path.exists()
+        assert "fig6" in path.read_text()
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(["report", "--out", str(out), "--only", "fig6"]) == 0
+        assert out.exists()

@@ -1,0 +1,141 @@
+"""Unit + property tests for the tail-energy model (Sec. III-A, Fig. 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.radio.power_model import GALAXY_S4_3G, NEXUS4_3G, PowerModel
+from repro.radio.states import RRCState
+
+
+class TestTailEnergyPiecewise:
+    """The four cases of E_tail(Δ) with the paper's constants."""
+
+    def test_case1_overlap(self, power_model):
+        assert power_model.tail_energy(0.0) == 0.0
+        assert power_model.tail_energy(-5.0) == 0.0
+
+    def test_case2_within_dch(self, power_model):
+        # 0 < Δ <= δ_D → p̃_D · Δ
+        assert power_model.tail_energy(4.0) == pytest.approx(0.7 * 4.0)
+        assert power_model.tail_energy(10.0) == pytest.approx(7.0)
+
+    def test_case3_within_fach(self, power_model):
+        # δ_D < Δ <= T_tail → p̃_D δ_D + p̃_F (Δ − δ_D)
+        assert power_model.tail_energy(12.0) == pytest.approx(7.0 + 0.45 * 2.0)
+        assert power_model.tail_energy(17.5) == pytest.approx(10.375)
+
+    def test_case4_full_tail(self, power_model):
+        assert power_model.tail_energy(100.0) == pytest.approx(10.375)
+        assert power_model.full_tail_energy == pytest.approx(10.375)
+
+    def test_full_tail_matches_paper_magnitude(self, power_model):
+        """The paper reports ~10.91 J per tail; our constants give 10.375."""
+        assert 9.0 <= power_model.full_tail_energy <= 11.5
+
+    def test_tail_time(self, power_model):
+        assert power_model.tail_time == 17.5
+
+
+class TestPowerModelValidation:
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            PowerModel(p_dch_extra=-0.1)
+
+    def test_rejects_fach_above_dch(self):
+        with pytest.raises(ValueError):
+            PowerModel(p_dch_extra=0.3, p_fach_extra=0.5)
+
+    def test_rejects_negative_timers(self):
+        with pytest.raises(ValueError):
+            PowerModel(delta_dch=-1.0)
+
+    def test_frozen(self, power_model):
+        with pytest.raises(AttributeError):
+            power_model.p_idle = 1.0  # type: ignore[misc]
+
+
+class TestStatePower:
+    def test_extra_powers(self, power_model):
+        assert power_model.state_power(RRCState.IDLE) == 0.0
+        assert power_model.state_power(RRCState.FACH) == 0.45
+        assert power_model.state_power(RRCState.DCH) == 0.70
+
+    def test_absolute_powers(self, power_model):
+        assert power_model.state_power(RRCState.DCH, absolute=True) == pytest.approx(
+            0.95
+        )
+
+    def test_state_at_gap_offset(self, power_model):
+        assert power_model.state_at_gap_offset(0.0) is RRCState.DCH
+        assert power_model.state_at_gap_offset(9.99) is RRCState.DCH
+        assert power_model.state_at_gap_offset(10.0) is RRCState.FACH
+        assert power_model.state_at_gap_offset(17.49) is RRCState.FACH
+        assert power_model.state_at_gap_offset(17.5) is RRCState.IDLE
+
+    def test_state_at_gap_offset_rejects_negative(self, power_model):
+        with pytest.raises(ValueError):
+            power_model.state_at_gap_offset(-0.1)
+
+
+class TestTransmissionEnergy:
+    def test_proportional_to_duration(self, power_model):
+        assert power_model.transmission_energy(2.0) == pytest.approx(1.4)
+
+    def test_rejects_negative_duration(self, power_model):
+        with pytest.raises(ValueError):
+            power_model.transmission_energy(-1.0)
+
+
+class TestDevicePresets:
+    def test_nexus_differs(self):
+        assert NEXUS4_3G.full_tail_energy < GALAXY_S4_3G.full_tail_energy
+
+    def test_presets_valid(self):
+        for pm in (GALAXY_S4_3G, NEXUS4_3G):
+            assert pm.tail_time > 0
+            assert pm.full_tail_energy > 0
+
+
+@given(gap=st.floats(min_value=-100.0, max_value=1000.0))
+def test_tail_energy_bounded(gap):
+    pm = GALAXY_S4_3G
+    e = pm.tail_energy(gap)
+    assert 0.0 <= e <= pm.full_tail_energy + 1e-12
+
+
+@given(
+    g1=st.floats(min_value=-10.0, max_value=100.0),
+    g2=st.floats(min_value=-10.0, max_value=100.0),
+)
+def test_tail_energy_monotone(g1, g2):
+    pm = GALAXY_S4_3G
+    lo, hi = sorted((g1, g2))
+    assert pm.tail_energy(lo) <= pm.tail_energy(hi) + 1e-12
+
+
+@given(gap=st.floats(min_value=0.0, max_value=50.0))
+def test_tail_energy_continuous(gap):
+    """No jumps: values at gap ± ε are within ε · max-power of each other."""
+    pm = GALAXY_S4_3G
+    eps = 1e-6
+    left = pm.tail_energy(max(0.0, gap - eps))
+    right = pm.tail_energy(gap + eps)
+    assert abs(right - left) <= 2 * eps * pm.p_dch_extra + 1e-12
+
+
+@given(
+    p_dch=st.floats(min_value=0.1, max_value=3.0),
+    p_fach_frac=st.floats(min_value=0.0, max_value=1.0),
+    d_dch=st.floats(min_value=0.0, max_value=60.0),
+    d_fach=st.floats(min_value=0.0, max_value=60.0),
+)
+def test_full_tail_is_supremum(p_dch, p_fach_frac, d_dch, d_fach):
+    """E_tail saturates exactly at the analytic full-tail energy."""
+    pm = PowerModel(
+        p_dch_extra=p_dch,
+        p_fach_extra=p_dch * p_fach_frac,
+        delta_dch=d_dch,
+        delta_fach=d_fach,
+    )
+    assert pm.tail_energy(pm.tail_time) == pytest.approx(pm.full_tail_energy)
+    assert pm.tail_energy(pm.tail_time + 1.0) == pytest.approx(pm.full_tail_energy)

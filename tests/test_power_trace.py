@@ -1,0 +1,71 @@
+"""Unit tests for power-trace sampling (the power-monitor view)."""
+
+import pytest
+
+from repro.radio.rrc import RRCMachine
+from repro.sim.power_trace import PowerTrace, sample_power_trace
+
+
+class TestPowerTrace:
+    def test_energy_rectangle_rule(self):
+        trace = PowerTrace(times=[0.0, 0.1, 0.2], watts=[1.0, 1.0, 1.0], interval=0.1)
+        assert trace.energy() == pytest.approx(0.3)
+
+    def test_mean_and_peak(self):
+        trace = PowerTrace(times=[0.0, 0.1], watts=[0.5, 1.5], interval=0.1)
+        assert trace.mean_power() == pytest.approx(1.0)
+        assert trace.peak_power() == pytest.approx(1.5)
+
+    def test_window(self):
+        trace = PowerTrace(
+            times=[0.0, 0.1, 0.2, 0.3], watts=[1.0, 2.0, 3.0, 4.0], interval=0.1
+        )
+        sub = trace.window(0.1, 0.3)
+        assert sub.watts == [2.0, 3.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerTrace(times=[0.0], watts=[], interval=0.1)
+        with pytest.raises(ValueError):
+            PowerTrace(times=[], watts=[], interval=0.0)
+
+
+class TestSampling:
+    def test_sample_count(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(0.0, 1.0)
+        trace = sample_power_trace(m, horizon=10.0, interval=0.1)
+        assert len(trace) == 100
+
+    def test_levels_match_states(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(5.0, 1.0)
+        trace = sample_power_trace(m, horizon=30.0, interval=0.1)
+        # Before the burst: idle absolute power.
+        assert trace.watts[0] == pytest.approx(power_model.p_idle)
+        # During DCH (burst + linger).
+        assert trace.watts[60] == pytest.approx(power_model.p_idle + 0.70)
+        # FACH window: 5+1+10=16 .. 23.5.
+        assert trace.watts[200] == pytest.approx(power_model.p_idle + 0.45)
+        # Back to idle after 23.5.
+        assert trace.watts[260] == pytest.approx(power_model.p_idle)
+
+    def test_sampled_energy_close_to_integral(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(0.0, 2.0)
+        m.add_burst(10.0, 1.0)
+        horizon = 60.0
+        trace = sample_power_trace(m, horizon=horizon, interval=0.01)
+        assert trace.energy() == pytest.approx(
+            m.energy(horizon=horizon, absolute=True), rel=0.01
+        )
+
+    def test_relative_sampling(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(0.0, 1.0)
+        trace = sample_power_trace(m, horizon=5.0, interval=0.1, absolute=False)
+        assert trace.watts[0] == pytest.approx(0.70)
+
+    def test_rejects_bad_interval(self, power_model):
+        with pytest.raises(ValueError):
+            sample_power_trace(RRCMachine(power_model), horizon=1.0, interval=0.0)

@@ -1,0 +1,100 @@
+"""Unit tests for cargo/train app profiles."""
+
+import pytest
+
+from repro.core.cost_functions import CloudCost, MailCost, WeiboCost
+from repro.core.profiles import (
+    CargoAppProfile,
+    DEFAULT_CARGO_PROFILES,
+    TrainAppProfile,
+    cloud_profile,
+    mail_profile,
+    weibo_profile,
+)
+
+
+class TestCargoProfiles:
+    def test_paper_size_parameters(self):
+        """Sec. VI-A: 5 KB/1 KB mail, 2 KB/100 B weibo, 100 KB/10 KB cloud."""
+        assert (mail_profile().mean_size_bytes, mail_profile().min_size_bytes) == (
+            5_000,
+            1_000,
+        )
+        assert (weibo_profile().mean_size_bytes, weibo_profile().min_size_bytes) == (
+            2_000,
+            100,
+        )
+        assert (cloud_profile().mean_size_bytes, cloud_profile().min_size_bytes) == (
+            100_000,
+            10_000,
+        )
+
+    def test_paper_interarrival_ratio(self):
+        """Mail : weibo : cloud inter-arrival ratio is 5 : 2 : 10."""
+        m, w, c = mail_profile(), weibo_profile(), cloud_profile()
+        assert m.mean_interarrival / w.mean_interarrival == pytest.approx(2.5)
+        assert c.mean_interarrival / w.mean_interarrival == pytest.approx(5.0)
+
+    def test_cost_function_types(self):
+        assert isinstance(mail_profile().cost_function, MailCost)
+        assert isinstance(weibo_profile().cost_function, WeiboCost)
+        assert isinstance(cloud_profile().cost_function, CloudCost)
+
+    def test_default_total_rate(self):
+        profiles = DEFAULT_CARGO_PROFILES()
+        rate = sum(1.0 / p.mean_interarrival for p in profiles)
+        assert rate == pytest.approx(0.08)
+
+    def test_with_deadline_rebuilds_cost(self):
+        p = weibo_profile(deadline=30.0).with_deadline(90.0)
+        assert p.deadline == 90.0
+        assert p.cost_function.deadline == 90.0
+        assert isinstance(p.cost_function, WeiboCost)
+
+    def test_with_interarrival(self):
+        p = weibo_profile().with_interarrival(40.0)
+        assert p.mean_interarrival == 40.0
+        assert p.app_id == "weibo"
+
+    def test_validation_rejects_min_above_mean(self):
+        with pytest.raises(ValueError):
+            CargoAppProfile(
+                app_id="x",
+                cost_function=WeiboCost(30.0),
+                mean_size_bytes=100,
+                min_size_bytes=200,
+                deadline=30.0,
+                mean_interarrival=10.0,
+            )
+
+    def test_validation_rejects_bad_deadline(self):
+        with pytest.raises(ValueError):
+            CargoAppProfile(
+                app_id="x",
+                cost_function=WeiboCost(30.0),
+                mean_size_bytes=100,
+                min_size_bytes=50,
+                deadline=0.0,
+                mean_interarrival=10.0,
+            )
+
+
+class TestTrainProfiles:
+    def test_fields(self):
+        p = TrainAppProfile(app_id="qq", cycle=300.0, heartbeat_size_bytes=378)
+        assert p.first_heartbeat == 0.0
+
+    def test_rejects_zero_cycle(self):
+        with pytest.raises(ValueError):
+            TrainAppProfile(app_id="qq", cycle=0.0, heartbeat_size_bytes=378)
+
+    def test_rejects_negative_first(self):
+        with pytest.raises(ValueError):
+            TrainAppProfile(
+                app_id="qq", cycle=300.0, heartbeat_size_bytes=378, first_heartbeat=-1.0
+            )
+
+    def test_frozen(self):
+        p = TrainAppProfile(app_id="qq", cycle=300.0, heartbeat_size_bytes=378)
+        with pytest.raises(AttributeError):
+            p.cycle = 10.0  # type: ignore[misc]

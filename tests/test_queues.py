@@ -1,0 +1,118 @@
+"""Unit tests for the waiting queues Q_i and transmission queue Q_TX."""
+
+import pytest
+
+from repro.core.cost_functions import WeiboCost
+from repro.core.queues import TransmissionQueue, WaitingQueue
+
+from tests.conftest import make_packet
+
+
+@pytest.fixture
+def queue():
+    return WaitingQueue("weibo", WeiboCost(30.0))
+
+
+class TestWaitingQueue:
+    def test_enqueue_and_len(self, queue):
+        queue.enqueue(make_packet(arrival=0.0))
+        queue.enqueue(make_packet(arrival=1.0))
+        assert len(queue) == 2
+
+    def test_rejects_wrong_app(self, queue):
+        with pytest.raises(ValueError):
+            queue.enqueue(make_packet(app_id="mail"))
+
+    def test_rejects_out_of_order_arrivals(self, queue):
+        queue.enqueue(make_packet(arrival=5.0))
+        with pytest.raises(ValueError):
+            queue.enqueue(make_packet(arrival=1.0))
+
+    def test_head_is_oldest(self, queue):
+        first = make_packet(arrival=0.0)
+        queue.enqueue(first)
+        queue.enqueue(make_packet(arrival=1.0))
+        assert queue.head() is first
+
+    def test_head_empty(self, queue):
+        assert queue.head() is None
+
+    def test_remove(self, queue):
+        p = make_packet(arrival=0.0)
+        queue.enqueue(p)
+        queue.remove(p)
+        assert len(queue) == 0
+
+    def test_remove_missing_raises(self, queue):
+        with pytest.raises(KeyError):
+            queue.remove(make_packet())
+
+    def test_contains(self, queue):
+        p = make_packet(arrival=0.0)
+        queue.enqueue(p)
+        assert p in queue
+        assert make_packet(arrival=1.0) not in queue
+
+    def test_instantaneous_cost(self, queue):
+        queue.enqueue(make_packet(arrival=0.0))
+        queue.enqueue(make_packet(arrival=0.0))
+        # Two packets, each 15 s old → f2(15) = 0.5 each.
+        assert queue.instantaneous_cost(15.0) == pytest.approx(1.0)
+
+    def test_instantaneous_cost_empty(self, queue):
+        assert queue.instantaneous_cost(100.0) == 0.0
+
+    def test_speculative_cost_one_slot_ahead(self, queue):
+        p = make_packet(arrival=0.0)
+        queue.enqueue(p)
+        # At t=14 the speculative (t+1) cost is f2(15) = 0.5.
+        assert queue.speculative_cost(p, 14.0, slot=1.0) == pytest.approx(0.5)
+
+    def test_packets_returns_copy(self, queue):
+        queue.enqueue(make_packet(arrival=0.0))
+        packets = queue.packets
+        packets.clear()
+        assert len(queue) == 1
+
+    def test_iteration_in_arrival_order(self, queue):
+        arrivals = [0.0, 1.0, 2.0]
+        for a in arrivals:
+            queue.enqueue(make_packet(arrival=a))
+        assert [p.arrival_time for p in queue] == arrivals
+
+
+class TestTransmissionQueue:
+    def test_fifo_order(self):
+        q = TransmissionQueue()
+        a, b = make_packet(arrival=0.0), make_packet(arrival=1.0)
+        q.push(a)
+        q.push(b)
+        assert q.pop() is a
+        assert q.pop() is b
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            TransmissionQueue().pop()
+
+    def test_is_empty(self):
+        q = TransmissionQueue()
+        assert q.is_empty
+        q.push(make_packet())
+        assert not q.is_empty
+
+    def test_drain_returns_all_in_order(self):
+        q = TransmissionQueue()
+        packets = [make_packet(arrival=float(i)) for i in range(3)]
+        q.push_all(packets)
+        assert q.drain() == packets
+        assert q.is_empty
+
+    def test_peek_does_not_remove(self):
+        q = TransmissionQueue()
+        p = make_packet()
+        q.push(p)
+        assert q.peek() is p
+        assert len(q) == 1
+
+    def test_peek_empty(self):
+        assert TransmissionQueue().peek() is None

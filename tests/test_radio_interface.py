@@ -1,0 +1,117 @@
+"""Unit tests for the radio interface (serialisation, piggybacking)."""
+
+import pytest
+
+from repro.bandwidth.models import ConstantBandwidth
+from repro.core.packet import Heartbeat, Packet
+from repro.radio.interface import RadioInterface
+
+from tests.conftest import make_packet
+
+
+def hb(time=0.0, seq=0, app="qq", size=378):
+    return Heartbeat(app_id=app, seq=seq, time=time, size_bytes=size)
+
+
+class TestTransmit:
+    def test_duration_from_bandwidth(self, power_model):
+        radio = RadioInterface(power_model, ConstantBandwidth(1_000.0))
+        record = radio.transmit(0.0, 2_000, "data")
+        assert record.duration == pytest.approx(2.0)
+
+    def test_busy_radio_delays_next_burst(self, power_model):
+        radio = RadioInterface(power_model, ConstantBandwidth(1_000.0))
+        radio.transmit(0.0, 5_000, "data")  # busy until t=5
+        record = radio.transmit(2.0, 1_000, "data")
+        assert record.start == pytest.approx(5.0)
+
+    def test_rejects_out_of_order_requests(self, power_model):
+        radio = RadioInterface(power_model)
+        radio.transmit(10.0, 100, "data")
+        with pytest.raises(ValueError):
+            radio.transmit(5.0, 100, "data")
+
+    def test_same_instant_requests_serialise(self, power_model):
+        radio = RadioInterface(power_model, ConstantBandwidth(1_000.0))
+        a = radio.transmit(0.0, 1_000, "data")
+        b = radio.transmit(0.0, 1_000, "data")
+        assert b.start == pytest.approx(a.end)
+
+    def test_rejects_negative_start(self, power_model):
+        with pytest.raises(ValueError):
+            RadioInterface(power_model).transmit(-1.0, 100, "data")
+
+
+class TestHeartbeatAndPackets:
+    def test_transmit_heartbeat(self, power_model):
+        radio = RadioInterface(power_model)
+        record = radio.transmit_heartbeat(hb(time=60.0))
+        assert record.kind == "heartbeat"
+        assert record.app_ids == ("qq",)
+        assert record.start == 60.0
+
+    def test_transmit_packets_sets_times(self, power_model):
+        radio = RadioInterface(power_model, ConstantBandwidth(1_000.0))
+        packets = [make_packet(arrival=0.0, size=500), make_packet(arrival=0.0, size=500)]
+        (record,) = radio.transmit_packets(10.0, packets)
+        assert record.kind == "data"
+        assert record.size_bytes == 1_000
+        for p in packets:
+            assert p.scheduled_time == pytest.approx(10.0)
+            assert p.completion_time == pytest.approx(record.end)
+
+    def test_transmit_packets_requires_nonempty(self, power_model):
+        with pytest.raises(ValueError):
+            RadioInterface(power_model).transmit_packets(0.0, [])
+
+    def test_piggyback_merges_sizes(self, power_model):
+        radio = RadioInterface(power_model, ConstantBandwidth(1_000.0))
+        packets = [make_packet(size=1_000)]
+        (record,) = radio.transmit_piggyback(hb(time=5.0), packets)
+        assert record.kind == "piggyback"
+        assert record.size_bytes == 1_378
+        assert "qq" in record.app_ids and "weibo" in record.app_ids
+        assert record.packet_ids == (packets[0].packet_id,)
+
+    def test_piggyback_empty_falls_back_to_heartbeat(self, power_model):
+        radio = RadioInterface(power_model)
+        (record,) = radio.transmit_piggyback(hb(time=5.0), [])
+        assert record.kind == "heartbeat"
+
+    def test_mixed_direction_batch_splits_bursts(self, power_model):
+        radio = RadioInterface(power_model, ConstantBandwidth(1_000.0))
+        up = make_packet(size=1_000)
+        down = Packet(
+            app_id="weibo", arrival_time=0.0, size_bytes=3_000, direction="down"
+        )
+        records = radio.transmit_packets(10.0, [up, down])
+        assert len(records) == 2
+        # Downlink runs at downlink_factor x the uplink rate.
+        assert records[0].duration == pytest.approx(1.0)
+        assert records[1].duration == pytest.approx(1.0)
+        # Back-to-back: no gap, so no extra tail between them.
+        assert records[1].start == pytest.approx(records[0].end)
+
+    def test_downlink_piggyback_follows_heartbeat(self, power_model):
+        radio = RadioInterface(power_model, ConstantBandwidth(1_000.0))
+        down = Packet(
+            app_id="cloud", arrival_time=0.0, size_bytes=6_000, direction="down"
+        )
+        records = radio.transmit_piggyback(hb(time=5.0), [down])
+        assert [r.kind for r in records] == ["heartbeat", "piggyback"]
+        assert records[1].duration == pytest.approx(2.0)
+
+
+class TestEnergyConsistency:
+    def test_interface_energy_matches_rrc_integral(self, power_model):
+        """Analytic accounting and the RRC timeline agree on totals."""
+        radio = RadioInterface(power_model, ConstantBandwidth(10_000.0))
+        radio.transmit(0.0, 5_000, "data")
+        radio.transmit(30.0, 5_000, "data")
+        radio.transmit(31.0, 5_000, "data")
+        analytic = radio.total_energy()
+        integral = radio.rrc.energy()
+        assert analytic == pytest.approx(integral, rel=1e-9)
+
+    def test_empty_radio_zero_energy(self, power_model):
+        assert RadioInterface(power_model).total_energy() == 0.0

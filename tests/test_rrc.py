@@ -1,0 +1,154 @@
+"""Unit + property tests for the RRC state machine timeline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.radio.power_model import GALAXY_S4_3G, PowerModel
+from repro.radio.rrc import RRCMachine, RRCSegment
+from repro.radio.states import RRCState
+
+
+class TestSegments:
+    def test_idle_before_first_burst(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(30.0, 1.0)
+        segs = m.segments()
+        assert segs[0].state is RRCState.IDLE
+        assert segs[0].start == 0.0
+        assert segs[0].end == 30.0
+
+    def test_burst_and_decay_sequence(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(30.0, 2.0)
+        states = [(s.state, s.transmitting) for s in m.segments()]
+        assert states == [
+            (RRCState.IDLE, False),
+            (RRCState.DCH, True),
+            (RRCState.DCH, False),
+            (RRCState.FACH, False),
+        ]
+
+    def test_decay_durations(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(0.0, 1.0)
+        segs = m.segments()
+        dch_tail = [s for s in segs if s.state is RRCState.DCH and not s.transmitting]
+        fach = [s for s in segs if s.state is RRCState.FACH]
+        assert dch_tail[0].duration == pytest.approx(power_model.delta_dch)
+        assert fach[0].duration == pytest.approx(power_model.delta_fach)
+
+    def test_interrupted_tail_repromotes(self, power_model):
+        """A burst inside the previous tail re-promotes to DCH directly."""
+        m = RRCMachine(power_model)
+        m.add_burst(0.0, 1.0)
+        m.add_burst(5.0, 1.0)  # within the DCH linger
+        states = [s.state for s in m.segments()]
+        assert RRCState.FACH not in states[:3]
+
+    def test_horizon_extends_idle(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(0.0, 1.0)
+        segs = m.segments(horizon=100.0)
+        assert segs[-1].state is RRCState.IDLE
+        assert segs[-1].end == 100.0
+
+    def test_no_bursts_idle_timeline(self, power_model):
+        m = RRCMachine(power_model)
+        segs = m.segments(horizon=10.0)
+        assert len(segs) == 1
+        assert segs[0].state is RRCState.IDLE
+
+    def test_rejects_overlapping_bursts(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(0.0, 5.0)
+        with pytest.raises(ValueError):
+            m.add_burst(3.0, 1.0)
+
+    def test_rejects_negative_duration(self, power_model):
+        with pytest.raises(ValueError):
+            RRCMachine(power_model).add_burst(0.0, -1.0)
+
+    def test_zero_duration_burst_still_tails(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(10.0, 0.0)
+        assert m.tail_energy() == pytest.approx(power_model.full_tail_energy)
+
+
+class TestStateAndPowerAt:
+    def test_state_at(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(10.0, 1.0)
+        assert m.state_at(5.0) is RRCState.IDLE
+        assert m.state_at(10.5) is RRCState.DCH
+        assert m.state_at(15.0) is RRCState.DCH  # tail linger
+        assert m.state_at(22.0) is RRCState.FACH
+        assert m.state_at(40.0) is RRCState.IDLE
+
+    def test_power_at(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(0.0, 1.0)
+        assert m.power_at(0.5) == pytest.approx(0.70)
+        assert m.power_at(0.5, absolute=True) == pytest.approx(0.95)
+
+
+class TestEnergyIntegration:
+    def test_tail_energy_matches_analytic_isolated_burst(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(0.0, 2.0)
+        assert m.tail_energy() == pytest.approx(power_model.full_tail_energy)
+
+    def test_transmission_energy_included_by_default(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(0.0, 3.0)
+        total = m.energy()
+        assert total == pytest.approx(
+            power_model.full_tail_energy + 0.7 * 3.0
+        )
+
+    def test_absolute_energy_adds_idle_floor(self, power_model):
+        m = RRCMachine(power_model)
+        m.add_burst(0.0, 0.0)
+        horizon = 100.0
+        extra = m.energy(horizon=horizon)
+        absolute = m.energy(horizon=horizon, absolute=True)
+        assert absolute == pytest.approx(extra + power_model.p_idle * horizon)
+
+
+@given(
+    gaps=st.lists(st.floats(min_value=0.0, max_value=60.0), min_size=1, max_size=8),
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=5.0), min_size=9, max_size=9
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_rrc_integral_equals_analytic_tail_sum(gaps, durations):
+    """For any burst schedule, the RRC timeline's wasted energy equals
+    the analytic Σ E_tail(Δ) of the inter-burst gaps (+ final full tail).
+    """
+    pm = GALAXY_S4_3G
+    m = RRCMachine(pm)
+    bursts = []
+    t = 0.0
+    for i, gap in enumerate(gaps):
+        dur = durations[i]
+        bursts.append((t, dur))
+        t += dur + gap
+    bursts.append((t, durations[-1]))
+    m.add_bursts(bursts)
+
+    analytic = sum(pm.tail_energy(gap) for gap in gaps) + pm.full_tail_energy
+    assert m.tail_energy() == pytest.approx(analytic, rel=1e-9, abs=1e-9)
+
+
+@given(
+    start=st.floats(min_value=0.0, max_value=100.0),
+    duration=st.floats(min_value=0.0, max_value=10.0),
+)
+def test_segments_are_contiguous_and_ordered(start, duration):
+    pm = GALAXY_S4_3G
+    m = RRCMachine(pm)
+    m.add_burst(start, duration)
+    segs = m.segments(horizon=start + duration + pm.tail_time + 5.0)
+    for a, b in zip(segs, segs[1:]):
+        assert a.end == pytest.approx(b.start)
+    assert segs[0].start == 0.0

@@ -1,0 +1,55 @@
+"""Shape tests for the sensitivity sweeps (small horizons)."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    sweep_heartbeat_cycle,
+    sweep_heartbeat_jitter,
+    sweep_tail_length,
+)
+
+
+class TestCycleSweep:
+    def test_delay_grows_with_cycle(self):
+        rows = sweep_heartbeat_cycle((60.0, 600.0), horizon=1800.0)
+        assert rows[1].etrain_delay_s > rows[0].etrain_delay_s
+
+    def test_saving_pct_grows_with_cycle(self):
+        """Calmer trains: fewer heartbeat tails, so relative saving vs
+        the (heartbeat-inclusive) baseline rises."""
+        rows = sweep_heartbeat_cycle((60.0, 600.0), horizon=1800.0)
+        assert rows[1].saving_pct > rows[0].saving_pct
+
+    def test_savings_positive_everywhere(self):
+        for r in sweep_heartbeat_cycle((60.0, 300.0, 900.0), horizon=1800.0):
+            assert r.saving_j > 0
+
+
+class TestTailSweep:
+    def test_baseline_energy_grows_with_tail(self):
+        rows = sweep_tail_length((0.5, 1.0, 2.0), horizon=1800.0)
+        energies = [r.baseline_j for r in rows]
+        assert energies == sorted(energies)
+
+    def test_absolute_saving_grows_up_to_measured_tail(self):
+        rows = sweep_tail_length((0.25, 0.5, 1.0), horizon=1800.0)
+        savings = [r.saving_j for r in rows]
+        assert savings == sorted(savings)
+
+    def test_savings_positive_everywhere(self):
+        for r in sweep_tail_length((0.25, 1.0, 2.0), horizon=1800.0):
+            assert r.saving_j > 0
+
+
+class TestJitterSweep:
+    def test_savings_robust_to_jitter(self):
+        """The hook-driven design reacts to observed departures, so even
+        60 s of jitter must not halve the savings."""
+        rows = sweep_heartbeat_jitter((0.0, 60.0), horizon=1800.0)
+        clean, jittered = rows
+        assert jittered.saving_j > 0.5 * clean.saving_j
+
+    def test_zero_jitter_matches_default_scenario(self):
+        rows = sweep_heartbeat_jitter((0.0,), horizon=1800.0)
+        assert rows[0].knob == 0.0
+        assert rows[0].saving_j > 0

@@ -1,0 +1,94 @@
+"""Unit tests for simulation results and metrics."""
+
+import pytest
+
+from repro.core.packet import Heartbeat, TransmissionRecord
+from repro.radio.energy import EnergyBreakdown
+from repro.sim.results import AppStats, SimulationResult
+
+from tests.conftest import make_packet
+
+
+def result(packets=(), records=(), flushed=0):
+    return SimulationResult(
+        strategy_name="test",
+        horizon=100.0,
+        records=list(records),
+        packets=list(packets),
+        heartbeats=[],
+        energy=EnergyBreakdown(transmission=1.0, tail=9.0),
+        flushed_packets=flushed,
+    )
+
+
+def scheduled_packet(app="weibo", arrival=0.0, scheduled=10.0, deadline=30.0):
+    p = make_packet(app_id=app, arrival=arrival, deadline=deadline)
+    p.scheduled_time = scheduled
+    return p
+
+
+class TestMetrics:
+    def test_total_and_tail_energy(self):
+        r = result()
+        assert r.total_energy == 10.0
+        assert r.tail_energy == 9.0
+
+    def test_normalized_delay(self):
+        r = result([scheduled_packet(scheduled=10.0), scheduled_packet(scheduled=20.0)])
+        assert r.normalized_delay == pytest.approx(15.0)
+
+    def test_normalized_delay_empty(self):
+        assert result().normalized_delay == 0.0
+
+    def test_unscheduled_excluded_from_delay(self):
+        r = result([scheduled_packet(scheduled=10.0), make_packet()])
+        assert r.normalized_delay == pytest.approx(10.0)
+
+    def test_violation_ratio(self):
+        r = result(
+            [
+                scheduled_packet(scheduled=10.0, deadline=30.0),
+                scheduled_packet(scheduled=50.0, deadline=30.0),
+            ]
+        )
+        assert r.deadline_violation_ratio == pytest.approx(0.5)
+
+    def test_piggyback_ratio(self):
+        p1 = scheduled_packet()
+        p2 = scheduled_packet()
+        records = [
+            TransmissionRecord(
+                start=10.0,
+                duration=0.1,
+                size_bytes=100,
+                kind="piggyback",
+                packet_ids=(p1.packet_id,),
+            )
+        ]
+        r = result([p1, p2], records)
+        assert r.piggyback_ratio == pytest.approx(0.5)
+
+    def test_summary_keys(self):
+        summary = result().summary()
+        assert "total_energy_j" in summary
+        assert "deadline_violation_ratio" in summary
+
+
+class TestAppStats:
+    def test_per_app_breakdown(self):
+        packets = [
+            scheduled_packet(app="weibo", scheduled=10.0),
+            scheduled_packet(app="weibo", scheduled=40.0),
+            scheduled_packet(app="mail", scheduled=5.0, deadline=60.0),
+        ]
+        stats = result(packets).app_stats()
+        assert stats["weibo"].packets == 2
+        assert stats["weibo"].mean_delay == pytest.approx(25.0)
+        assert stats["weibo"].max_delay == pytest.approx(40.0)
+        assert stats["weibo"].violations == 1
+        assert stats["weibo"].violation_ratio == pytest.approx(0.5)
+        assert stats["mail"].violations == 0
+
+    def test_appstats_empty_ratio(self):
+        s = AppStats(app_id="x", packets=0, mean_delay=0, max_delay=0, violations=0)
+        assert s.violation_ratio == 0.0

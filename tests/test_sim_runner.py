@@ -1,0 +1,56 @@
+"""Unit tests for scenario construction and strategy running."""
+
+import pytest
+
+from repro.baselines.immediate import ImmediateStrategy
+from repro.sim.runner import default_scenario, run_strategy
+
+
+class TestDefaultScenario:
+    def test_components(self):
+        sc = default_scenario(horizon=1000.0)
+        assert len(sc.train_generators) == 3
+        assert {p.app_id for p in sc.profiles} == {"mail", "weibo", "cloud"}
+        assert sc.horizon == 1000.0
+        assert all(p.arrival_time < 1000.0 for p in sc.packets)
+
+    def test_train_count(self):
+        sc = default_scenario(horizon=500.0, train_count=1)
+        assert len(sc.train_generators) == 1
+
+    def test_deterministic_per_seed(self):
+        a = default_scenario(seed=3, horizon=1000.0)
+        b = default_scenario(seed=3, horizon=1000.0)
+        assert [(p.arrival_time, p.size_bytes) for p in a.packets] == [
+            (p.arrival_time, p.size_bytes) for p in b.packets
+        ]
+
+    def test_fresh_packets_are_copies(self):
+        sc = default_scenario(horizon=1000.0)
+        copies = sc.fresh_packets()
+        assert len(copies) == len(sc.packets)
+        assert all(c.packet_id != o.packet_id or c is not o
+                   for c, o in zip(copies, sc.packets))
+        copies[0].scheduled_time = 5.0
+        assert sc.packets[0].scheduled_time is None
+
+    def test_estimator_bound_to_channel(self):
+        sc = default_scenario(horizon=500.0)
+        est = sc.estimator(lag=0.0, noise=0.0)
+        assert est.estimate(10.0) == sc.bandwidth.rate_at(10.0)
+
+
+class TestRunStrategy:
+    def test_runs_are_independent(self):
+        sc = default_scenario(horizon=1000.0)
+        r1 = run_strategy(ImmediateStrategy(), sc)
+        r2 = run_strategy(ImmediateStrategy(), sc)
+        assert r1.total_energy == pytest.approx(r2.total_energy)
+        assert r1.normalized_delay == pytest.approx(r2.normalized_delay)
+
+    def test_result_metadata(self):
+        sc = default_scenario(horizon=1000.0)
+        r = run_strategy(ImmediateStrategy(), sc)
+        assert r.strategy_name == "baseline"
+        assert r.horizon == 1000.0
+        assert len(r.heartbeats) > 0

@@ -1,0 +1,44 @@
+"""Unit tests for packet-trace CSV round-tripping."""
+
+import pytest
+
+from repro.workload.cargo import synthesize_trace
+from repro.workload.trace_io import load_packets_csv, save_packets_csv
+
+from tests.conftest import make_packet
+
+
+class TestRoundTrip:
+    def test_preserves_semantic_fields(self, tmp_path):
+        trace = synthesize_trace(horizon=2_000.0, seed=0)
+        path = tmp_path / "trace.csv"
+        save_packets_csv(trace, path)
+        loaded = load_packets_csv(path)
+        assert len(loaded) == len(trace)
+        for original, copy in zip(trace, loaded):
+            assert copy.app_id == original.app_id
+            assert copy.arrival_time == pytest.approx(original.arrival_time)
+            assert copy.size_bytes == original.size_bytes
+            assert copy.deadline == pytest.approx(original.deadline)
+
+    def test_none_deadline_roundtrips(self, tmp_path):
+        packet = make_packet()
+        packet = type(packet)(
+            app_id="mail", arrival_time=1.0, size_bytes=10, deadline=None
+        )
+        path = tmp_path / "t.csv"
+        save_packets_csv([packet], path)
+        loaded = load_packets_csv(path)
+        assert loaded[0].deadline is None
+
+    def test_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope\n")
+        with pytest.raises(ValueError):
+            load_packets_csv(path)
+
+    def test_rejects_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("app_id,arrival_time,size_bytes,deadline\nmail,1.0\n")
+        with pytest.raises(ValueError):
+            load_packets_csv(path)

@@ -1,0 +1,123 @@
+"""Unit tests for Luna Weibo user-behaviour traces (Fig. 11 substrate)."""
+
+import pytest
+
+from repro.workload.user_traces import (
+    SESSION_LENGTH,
+    ActivityClass,
+    BehaviorType,
+    UserTraceRecord,
+    classify_session,
+    generate_session,
+    generate_user_population,
+    load_trace_csv,
+    records_to_packets,
+    save_trace_csv,
+)
+
+
+class TestGenerateSession:
+    def test_deterministic(self):
+        a = generate_session("u1", ActivityClass.ACTIVE, seed=1)
+        b = generate_session("u1", ActivityClass.ACTIVE, seed=1)
+        assert [(r.behavior, r.time) for r in a] == [(r.behavior, r.time) for r in b]
+
+    def test_opens_app_first(self):
+        records = generate_session("u1", ActivityClass.MODERATE, seed=0)
+        assert records[0].behavior is BehaviorType.OPEN_APP
+
+    def test_sorted_by_time(self):
+        records = generate_session("u1", ActivityClass.ACTIVE, seed=2)
+        times = [r.time for r in records]
+        assert times == sorted(times)
+
+    def test_truncated_to_session_length(self):
+        records = generate_session("u1", ActivityClass.ACTIVE, seed=3)
+        assert all(r.time <= SESSION_LENGTH for r in records)
+
+    @pytest.mark.parametrize(
+        "activity,lo,hi",
+        [
+            (ActivityClass.ACTIVE, 21, 35),
+            (ActivityClass.MODERATE, 10, 20),
+            (ActivityClass.INACTIVE, 2, 9),
+        ],
+    )
+    def test_upload_counts_match_class(self, activity, lo, hi):
+        """The paper's bucket definitions hold for most seeds; allow a
+        small shortfall from end-of-session truncation."""
+        for seed in range(5):
+            records = generate_session("u", activity, seed=seed)
+            uploads = sum(1 for r in records if r.behavior is BehaviorType.UPLOAD)
+            assert lo - 3 <= uploads <= hi
+
+    def test_upload_sizes_weibo_like(self):
+        records = generate_session("u1", ActivityClass.ACTIVE, seed=0)
+        sizes = [r.packet_size for r in records if r.behavior is BehaviorType.UPLOAD]
+        assert all(s >= 100 for s in sizes)
+
+
+class TestClassification:
+    def test_roundtrip_classes(self):
+        """Generated sessions classify back into their own bucket (or the
+        boundary below when truncation clipped a few uploads)."""
+        for activity in ActivityClass:
+            hits = 0
+            for seed in range(6):
+                records = generate_session("u", activity, seed=seed)
+                if classify_session(records) is activity:
+                    hits += 1
+            assert hits >= 4
+
+    def test_classify_empty(self):
+        assert classify_session([]) is ActivityClass.INACTIVE
+
+
+class TestConversion:
+    def test_records_to_packets_filters_network_events(self):
+        records = [
+            UserTraceRecord("u", BehaviorType.OPEN_APP, 0.0, 0),
+            UserTraceRecord("u", BehaviorType.UPLOAD, 5.0, 2_000),
+            UserTraceRecord("u", BehaviorType.BROWSE, 6.0, 0),
+            UserTraceRecord("u", BehaviorType.REFRESH, 7.0, 300),
+        ]
+        packets = records_to_packets(records)
+        assert len(packets) == 2
+        assert [p.arrival_time for p in packets] == [5.0, 7.0]
+        assert all(p.app_id == "weibo" for p in packets)
+
+    def test_deadline_applied(self):
+        records = [UserTraceRecord("u", BehaviorType.UPLOAD, 1.0, 500)]
+        packets = records_to_packets(records, deadline=99.0)
+        assert packets[0].deadline == 99.0
+
+
+class TestPopulation:
+    def test_default_population(self):
+        population = generate_user_population(seed=0)
+        assert len(population) == 100
+        actives = [u for u in population if u.startswith("active")]
+        assert len(actives) == 15
+
+    def test_custom_counts(self):
+        population = generate_user_population(
+            {ActivityClass.ACTIVE: 2, ActivityClass.INACTIVE: 3}, seed=0
+        )
+        assert len(population) == 5
+
+
+class TestTraceIO:
+    def test_csv_roundtrip(self, tmp_path):
+        records = generate_session("u1", ActivityClass.MODERATE, seed=0)
+        path = tmp_path / "trace.csv"
+        save_trace_csv(records, path)
+        loaded = load_trace_csv(path)
+        assert len(loaded) == len(records)
+        assert loaded[0].behavior is records[0].behavior
+        assert loaded[-1].packet_size == records[-1].packet_size
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            UserTraceRecord("u", BehaviorType.UPLOAD, -1.0, 100)
+        with pytest.raises(ValueError):
+            UserTraceRecord("u", BehaviorType.UPLOAD, 0.0, -5)

@@ -1,0 +1,105 @@
+"""Unit tests for the schedule invariant validator."""
+
+import pytest
+
+from repro.baselines.etrain import ETrainStrategy
+from repro.baselines.immediate import ImmediateStrategy
+from repro.core.packet import Heartbeat, TransmissionRecord
+from repro.core.profiles import weibo_profile
+from repro.core.scheduler import SchedulerConfig
+from repro.heartbeat.apps import make_generator
+from repro.radio.energy import EnergyBreakdown
+from repro.sim.engine import Simulation
+from repro.sim.results import SimulationResult
+from repro.sim.validate import InvalidScheduleError, assert_valid, validate_result
+
+from tests.conftest import make_packet
+
+
+def fake_result(records=(), packets=(), heartbeats=(), energy=None):
+    return SimulationResult(
+        strategy_name="fake",
+        horizon=100.0,
+        records=list(records),
+        packets=list(packets),
+        heartbeats=list(heartbeats),
+        energy=energy or EnergyBreakdown(transmission=1.0, tail=1.0),
+    )
+
+
+def rec(start, duration=1.0, kind="data", packet_ids=()):
+    return TransmissionRecord(
+        start=start, duration=duration, size_bytes=100, kind=kind,
+        packet_ids=tuple(packet_ids),
+    )
+
+
+class TestDetectsViolations:
+    def test_overlapping_bursts(self):
+        result = fake_result(records=[rec(0.0, 5.0), rec(3.0, 1.0)])
+        assert any("overlaps" in v for v in validate_result(result))
+
+    def test_out_of_order_bursts(self):
+        result = fake_result(records=[rec(10.0, 0.5), rec(1.0, 0.5)])
+        assert any("out of order" in v or "overlaps" in v for v in validate_result(result))
+
+    def test_causality_violation(self):
+        p = make_packet(arrival=50.0)
+        p.scheduled_time = 10.0
+        result = fake_result(
+            packets=[p], records=[rec(10.0, packet_ids=(p.packet_id,))]
+        )
+        assert any("before arrival" in v for v in validate_result(result))
+
+    def test_unscheduled_packet(self):
+        p = make_packet()
+        result = fake_result(packets=[p])
+        assert any("never scheduled" in v for v in validate_result(result))
+
+    def test_packet_carried_twice(self):
+        p = make_packet(arrival=0.0)
+        p.scheduled_time = 1.0
+        result = fake_result(
+            packets=[p],
+            records=[
+                rec(1.0, packet_ids=(p.packet_id,)),
+                rec(5.0, packet_ids=(p.packet_id,)),
+            ],
+        )
+        assert any("carried by 2" in v for v in validate_result(result))
+
+    def test_missing_heartbeat_carrier(self):
+        hb = Heartbeat(app_id="qq", seq=0, time=10.0, size_bytes=378)
+        result = fake_result(heartbeats=[hb])
+        assert any("carrier bursts" in v for v in validate_result(result))
+
+    def test_early_heartbeat(self):
+        hb = Heartbeat(app_id="qq", seq=0, time=10.0, size_bytes=378)
+        result = fake_result(
+            heartbeats=[hb], records=[rec(5.0, kind="heartbeat")]
+        )
+        assert any("departs before" in v for v in validate_result(result))
+
+    def test_assert_valid_raises(self):
+        p = make_packet()
+        with pytest.raises(InvalidScheduleError):
+            assert_valid(fake_result(packets=[p]))
+
+
+class TestRealRunsAreClean:
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [
+            ImmediateStrategy,
+            lambda: ETrainStrategy([weibo_profile()], SchedulerConfig(theta=0.5)),
+        ],
+    )
+    def test_simulation_output_validates(self, strategy_factory):
+        packets = [make_packet(arrival=float(i * 13 + 2)) for i in range(30)]
+        sim = Simulation(
+            strategy_factory(),
+            [make_generator("qq"), make_generator("wechat", 97.0)],
+            packets,
+            horizon=600.0,
+        )
+        assert_valid(sim.run())

@@ -1,0 +1,91 @@
+"""Unit + property tests for arrival processes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.arrivals import (
+    BurstyArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+)
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        a = PoissonArrivals(20.0, seed=5).arrivals(0.0, 1000.0)
+        b = PoissonArrivals(20.0, seed=5).arrivals(0.0, 1000.0)
+        assert a == b
+
+    def test_rate_property(self):
+        assert PoissonArrivals(20.0).rate == pytest.approx(0.05)
+
+    def test_mean_rate_approximates(self):
+        arrivals = PoissonArrivals(10.0, seed=1).arrivals(0.0, 100_000.0)
+        empirical = len(arrivals) / 100_000.0
+        assert empirical == pytest.approx(0.1, rel=0.05)
+
+    def test_sorted_within_window(self):
+        arrivals = PoissonArrivals(5.0, seed=2).arrivals(100.0, 500.0)
+        assert arrivals == sorted(arrivals)
+        assert all(100.0 <= t < 500.0 for t in arrivals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(10.0).arrivals(10.0, 5.0)
+
+
+class TestDeterministic:
+    def test_window_filter(self):
+        proc = DeterministicArrivals([1.0, 5.0, 10.0, 20.0])
+        assert proc.arrivals(2.0, 15.0) == [5.0, 10.0]
+
+    def test_sorts_input(self):
+        proc = DeterministicArrivals([5.0, 1.0, 3.0])
+        assert proc.arrivals(0.0, 10.0) == [1.0, 3.0, 5.0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DeterministicArrivals([-1.0])
+
+
+class TestBursty:
+    def test_deterministic_per_seed(self):
+        kwargs = dict(calm_interarrival=60.0, burst_interarrival=3.0, seed=4)
+        assert (
+            BurstyArrivals(**kwargs).arrivals(0.0, 5000.0)
+            == BurstyArrivals(**kwargs).arrivals(0.0, 5000.0)
+        )
+
+    def test_burstier_than_poisson(self):
+        """Coefficient of variation of inter-arrivals exceeds 1 (MMPP)."""
+        import statistics
+
+        arrivals = BurstyArrivals(
+            calm_interarrival=120.0,
+            burst_interarrival=2.0,
+            mean_calm_duration=300.0,
+            mean_burst_duration=60.0,
+            seed=0,
+        ).arrivals(0.0, 100_000.0)
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        cv = statistics.stdev(gaps) / statistics.fmean(gaps)
+        assert cv > 1.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(calm_interarrival=0.0, burst_interarrival=1.0)
+
+
+@given(
+    mean=st.floats(min_value=0.5, max_value=100.0),
+    horizon=st.floats(min_value=1.0, max_value=2000.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=50, deadline=None)
+def test_poisson_arrivals_strictly_increasing(mean, horizon, seed):
+    arrivals = PoissonArrivals(mean, seed=seed).arrivals(0.0, horizon)
+    for a, b in zip(arrivals, arrivals[1:]):
+        assert b > a
+    assert all(0.0 <= t < horizon for t in arrivals)

@@ -1,0 +1,69 @@
+"""Unit tests for the synthetic cargo trace generator (Sec. VI-A)."""
+
+import pytest
+
+from repro.core.profiles import DEFAULT_CARGO_PROFILES, weibo_profile
+from repro.workload.cargo import (
+    REFERENCE_TOTAL_RATE,
+    generate_packets,
+    profiles_for_total_rate,
+    synthesize_trace,
+    total_arrival_rate,
+)
+
+
+class TestGeneratePackets:
+    def test_deterministic(self):
+        a = generate_packets(weibo_profile(), 2000.0, seed=3)
+        b = generate_packets(weibo_profile(), 2000.0, seed=3)
+        assert [(p.arrival_time, p.size_bytes) for p in a] == [
+            (p.arrival_time, p.size_bytes) for p in b
+        ]
+
+    def test_sizes_respect_profile(self):
+        packets = generate_packets(weibo_profile(), 20_000.0, seed=0)
+        assert all(p.size_bytes >= 100 for p in packets)
+        assert all(p.app_id == "weibo" for p in packets)
+
+    def test_deadline_propagated(self):
+        packets = generate_packets(weibo_profile(deadline=45.0), 5_000.0, seed=0)
+        assert all(p.deadline == 45.0 for p in packets)
+
+    def test_rate_approximates_profile(self):
+        packets = generate_packets(weibo_profile(), 200_000.0, seed=1)
+        rate = len(packets) / 200_000.0
+        assert rate == pytest.approx(0.05, rel=0.1)
+
+
+class TestSynthesizeTrace:
+    def test_merged_and_sorted(self):
+        trace = synthesize_trace(horizon=5_000.0, seed=0)
+        times = [p.arrival_time for p in trace]
+        assert times == sorted(times)
+        assert {p.app_id for p in trace} == {"mail", "weibo", "cloud"}
+
+    def test_reference_rate(self):
+        trace = synthesize_trace(horizon=100_000.0, seed=2)
+        rate = len(trace) / 100_000.0
+        assert rate == pytest.approx(REFERENCE_TOTAL_RATE, rel=0.08)
+
+
+class TestRateScaling:
+    def test_total_arrival_rate(self):
+        assert total_arrival_rate(DEFAULT_CARGO_PROFILES()) == pytest.approx(0.08)
+
+    @pytest.mark.parametrize("rate", [0.04, 0.06, 0.10, 0.12])
+    def test_scaled_profiles_hit_rate(self, rate):
+        profiles = profiles_for_total_rate(rate)
+        assert total_arrival_rate(profiles) == pytest.approx(rate)
+
+    def test_scaling_preserves_ratio(self):
+        """λ = 0.04 doubles each inter-arrival: 100 s / 40 s / 200 s."""
+        profiles = {p.app_id: p for p in profiles_for_total_rate(0.04)}
+        assert profiles["mail"].mean_interarrival == pytest.approx(100.0)
+        assert profiles["weibo"].mean_interarrival == pytest.approx(40.0)
+        assert profiles["cloud"].mean_interarrival == pytest.approx(200.0)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            profiles_for_total_rate(0.0)

@@ -1,0 +1,83 @@
+"""Unit + property tests for packet-size models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.sizes import FixedSize, TruncatedNormalSize, UniformSize
+
+
+class TestFixed:
+    def test_constant(self):
+        model = FixedSize(5_000)
+        rng = random.Random(0)
+        assert {model.sample(rng) for _ in range(10)} == {5_000}
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            FixedSize(0)
+
+
+class TestTruncatedNormal:
+    def test_respects_minimum(self):
+        model = TruncatedNormalSize(mean=5_000, minimum=1_000)
+        samples = model.sample_many(2_000, seed=1)
+        assert min(samples) >= 1_000
+
+    def test_mean_approximates(self):
+        model = TruncatedNormalSize(mean=5_000, minimum=1_000)
+        samples = model.sample_many(20_000, seed=2)
+        empirical = sum(samples) / len(samples)
+        # Truncation pulls the mean slightly above the nominal mean.
+        assert 4_800 <= empirical <= 5_800
+
+    def test_default_sigma_quarter_mean(self):
+        model = TruncatedNormalSize(mean=8_000, minimum=1_000)
+        assert model.sigma == pytest.approx(2_000.0)
+
+    def test_explicit_sigma(self):
+        model = TruncatedNormalSize(mean=8_000, minimum=1_000, sigma=10.0)
+        assert model.sigma == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedNormalSize(mean=0, minimum=1)
+        with pytest.raises(ValueError):
+            TruncatedNormalSize(mean=100, minimum=200)
+
+    def test_deterministic_per_seed(self):
+        model = TruncatedNormalSize(mean=5_000, minimum=1_000)
+        assert model.sample_many(50, seed=7) == model.sample_many(50, seed=7)
+
+    def test_paper_cargo_parameters_sane(self):
+        """The three paper distributions produce sizes in their bands."""
+        for mean, minimum in ((5_000, 1_000), (2_000, 100), (100_000, 10_000)):
+            model = TruncatedNormalSize(mean=mean, minimum=minimum)
+            samples = model.sample_many(500, seed=3)
+            assert min(samples) >= minimum
+            assert max(samples) < mean * 3
+
+
+class TestUniform:
+    def test_bounds(self):
+        model = UniformSize(10, 20)
+        samples = model.sample_many(500, seed=0)
+        assert min(samples) >= 10 and max(samples) <= 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformSize(0, 10)
+        with pytest.raises(ValueError):
+            UniformSize(20, 10)
+
+
+@given(
+    mean=st.integers(min_value=100, max_value=100_000),
+    frac=st.floats(min_value=0.1, max_value=1.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_truncated_normal_always_above_minimum(mean, frac):
+    minimum = max(1, int(mean * frac))
+    model = TruncatedNormalSize(mean=mean, minimum=minimum)
+    assert all(s >= minimum for s in model.sample_many(100, seed=11))
