@@ -6,11 +6,38 @@ scale, prints the rows/series it produces (so `pytest benchmarks/
 paper's qualitative shape.  `benchmark.pedantic(..., rounds=1)` is used
 throughout: the experiments are deterministic, multi-second computations
 — we want one timed, reported run, not a statistics loop.
+
+**Smoke mode** — CI and pre-commit runs don't want multi-minute
+figure regeneration.  Either select only the ``smoke``-marked
+benchmarks (``pytest benchmarks -m smoke``) or set
+``ETRAIN_BENCH_SMOKE=1``, which additionally skips every full-scale
+benchmark and shrinks ``bench_horizon()`` to seconds-long runs.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+#: Env knob: truthy value = smoke mode (tiny horizons, smoke-only set).
+SMOKE = os.environ.get("ETRAIN_BENCH_SMOKE", "") not in ("", "0")
+
+
+def bench_horizon(full: float = 7200.0, smoke: float = 450.0) -> float:
+    """The horizon a benchmark should simulate in the current mode."""
+    return smoke if SMOKE else full
+
+
+def pytest_collection_modifyitems(config, items):
+    if not SMOKE:
+        return
+    skip_full = pytest.mark.skip(
+        reason="ETRAIN_BENCH_SMOKE is set: running smoke-marked benchmarks only"
+    )
+    for item in items:
+        if "smoke" not in item.keywords:
+            item.add_marker(skip_full)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -1,0 +1,66 @@
+"""Parallel sweep bench — executor throughput, determinism and caching.
+
+Times the parallel experiment executor on the canonical comparison grid
+(4 strategies x seeds) and checks, under the timer, the properties the
+experiment layer leans on: pool == serial bit-identical summaries and
+zero simulations on a warm cache.
+
+All three tests are ``smoke``-marked: with ``ETRAIN_BENCH_SMOKE=1`` (or
+``-m smoke``) they are the benchmark suite's seconds-long CI subset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_horizon, run_once
+from repro.sim.parallel import (
+    ExperimentExecutor,
+    ScenarioSpec,
+    StrategySpec,
+    seed_grid,
+)
+
+GRID_STRATEGIES = [
+    StrategySpec.make("immediate"),
+    StrategySpec.make("etrain", theta=1.0),
+    StrategySpec.make("peres", omega=0.4),
+    StrategySpec.make("etime", v=40_000.0),
+]
+
+
+def _jobs(seeds: int = 3):
+    scenario = ScenarioSpec(horizon=bench_horizon(1800.0, 300.0))
+    return seed_grid(GRID_STRATEGIES, list(range(seeds)), scenario)
+
+
+@pytest.mark.smoke
+def test_serial_grid_throughput(benchmark, report):
+    executor = ExperimentExecutor()
+    results = run_once(benchmark, executor.run, _jobs())
+    assert len(results) == 12
+    report(executor.stats.describe())
+
+
+@pytest.mark.smoke
+def test_pooled_grid_matches_serial(benchmark, report):
+    jobs = _jobs()
+    serial = ExperimentExecutor().run(jobs)
+    pooled_executor = ExperimentExecutor(workers=2)
+    pooled = run_once(benchmark, pooled_executor.run, jobs)
+
+    assert [r.summary for r in pooled] == [r.summary for r in serial]
+    report(pooled_executor.stats.describe())
+
+
+@pytest.mark.smoke
+def test_warm_cache_grid_runs_no_simulations(benchmark, report, tmp_path):
+    jobs = _jobs()
+    ExperimentExecutor(cache_dir=tmp_path / "cache").run(jobs)  # cold fill
+
+    warm = ExperimentExecutor(cache_dir=tmp_path / "cache")
+    results = run_once(benchmark, warm.run, jobs)
+    assert warm.stats.jobs_run == 0
+    assert warm.stats.cache_hits == len(jobs)
+    assert all(r.cached for r in results)
+    report(warm.stats.describe())

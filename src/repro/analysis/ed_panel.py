@@ -10,13 +10,31 @@ at equal delay — is the paper's headline comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.base import TransmissionStrategy
+from repro.sim.parallel import ExperimentExecutor, JobSpec, StrategySpec
 from repro.sim.results import SimulationResult
 from repro.sim.runner import Scenario, run_strategy
 
-__all__ = ["EDPoint", "EDCurve", "sweep", "interpolate_energy_at_delay", "dominates"]
+__all__ = [
+    "EDPoint",
+    "EDCurve",
+    "sweep",
+    "ed_point_from_summary",
+    "interpolate_energy_at_delay",
+    "dominates",
+]
+
+
+def ed_point_from_summary(knob: float, summary: Dict[str, float]) -> "EDPoint":
+    """Build an E-D point from a ``SimulationResult.summary()`` dict."""
+    return EDPoint(
+        knob=knob,
+        energy_j=summary["total_energy_j"],
+        delay_s=summary["normalized_delay_s"],
+        violation_ratio=summary["deadline_violation_ratio"],
+    )
 
 
 @dataclass(frozen=True)
@@ -53,9 +71,39 @@ def sweep(
     scenario: Scenario,
     strategy_factory: Callable[[float], TransmissionStrategy],
     knob_values: Sequence[float],
+    *,
+    executor: Optional[ExperimentExecutor] = None,
+    spec_factory: Optional[Callable[[float], StrategySpec]] = None,
 ) -> EDCurve:
-    """Run a strategy across knob settings, collecting E-D points."""
-    points: List[EDPoint] = []
+    """Run a strategy across knob settings, collecting E-D points.
+
+    With an ``executor`` plus a ``spec_factory`` (knob → declarative
+    strategy spec) and a spec-representable scenario, the sweep fans the
+    knob grid across the executor's workers/cache; results are
+    bit-identical to the serial loop.  Otherwise it falls back to running
+    ``strategy_factory`` serially in-process.
+    """
+    if (
+        executor is not None
+        and spec_factory is not None
+        and getattr(scenario, "spec", None) is not None
+    ):
+        jobs = [
+            JobSpec(
+                strategy=spec_factory(knob),
+                scenario=scenario.spec,
+                tag=f"{label} knob={knob:g}",
+            )
+            for knob in knob_values
+        ]
+        results = executor.run(jobs)
+        points = [
+            ed_point_from_summary(knob, r.summary)
+            for knob, r in zip(knob_values, results)
+        ]
+        return EDCurve(label=label, points=points)
+
+    points = []
     for knob in knob_values:
         result = run_strategy(strategy_factory(knob), scenario)
         points.append(

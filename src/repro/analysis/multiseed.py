@@ -9,16 +9,29 @@ draws.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.baselines.base import TransmissionStrategy
+from repro.sim.parallel import (
+    ExperimentExecutor,
+    JobSpec,
+    ScenarioSpec,
+    StrategySpec,
+)
 from repro.sim.results import SimulationResult
 from repro.sim.runner import Scenario, default_scenario, run_strategy
 
-__all__ = ["MetricSummary", "summarize", "replicate", "replicate_strategy"]
+__all__ = [
+    "MetricSummary",
+    "summarize",
+    "replicate",
+    "replicate_strategy",
+    "replicate_jobs",
+]
 
 #: Two-sided 95 % normal quantile (adequate for the n >= 5 we use).
 _Z95 = 1.96
@@ -75,18 +88,68 @@ def replicate(
     return {key: summarize(key, values) for key, values in collected.items()}
 
 
+def replicate_jobs(
+    strategy: Union[str, StrategySpec],
+    seeds: Sequence[int],
+    scenario: ScenarioSpec,
+) -> List[JobSpec]:
+    """One job per seed for a strategy over a scenario template."""
+    spec = StrategySpec.make(strategy) if isinstance(strategy, str) else strategy
+    return [
+        JobSpec(
+            strategy=spec,
+            scenario=dataclasses.replace(scenario, seed=seed),
+            tag=f"{spec.name} seed={seed}",
+        )
+        for seed in seeds
+    ]
+
+
 def replicate_strategy(
-    strategy_factory: Callable[[Scenario], TransmissionStrategy],
+    strategy_factory: Union[
+        str, StrategySpec, Callable[[Scenario], TransmissionStrategy]
+    ],
     seeds: Sequence[int] = tuple(range(5)),
     *,
     horizon: float = 3600.0,
     scenario_factory: Optional[Callable[[int], Scenario]] = None,
+    scenario_spec: Optional[ScenarioSpec] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> Dict[str, MetricSummary]:
     """Replicate one strategy over fresh scenarios, one per seed.
 
-    ``strategy_factory`` receives the per-seed scenario (profiles and
-    estimators differ per scenario instance).
+    Two forms:
+
+    * **Declarative** — pass a registered strategy name (or a
+      :class:`~repro.sim.parallel.StrategySpec`); replication runs
+      through the parallel executor (``executor``, or a serial
+      in-process one), so seeds fan out across workers and completed
+      cells hit the on-disk cache.  ``scenario_spec`` templates the
+      per-seed scenarios (its ``seed`` field is replaced).
+    * **Callable** — a factory receiving the per-seed scenario, for
+      strategies outside the registry.  Runs serially in-process.
     """
+    if isinstance(strategy_factory, (str, StrategySpec)):
+        if scenario_factory is not None:
+            raise ValueError(
+                "scenario_factory applies only to callable strategy "
+                "factories; use scenario_spec with a declarative strategy"
+            )
+        template = (
+            scenario_spec
+            if scenario_spec is not None
+            else ScenarioSpec(horizon=horizon)
+        )
+        jobs = replicate_jobs(strategy_factory, seeds, template)
+        if not jobs:
+            raise ValueError("need at least one seed")
+        runner = executor if executor is not None else ExperimentExecutor()
+        results = runner.run(jobs)
+        collected: Dict[str, List[float]] = {}
+        for r in results:
+            for key, value in r.summary.items():
+                collected.setdefault(key, []).append(float(value))
+        return {key: summarize(key, values) for key, values in collected.items()}
 
     def metric_fn(seed: int) -> Mapping[str, float]:
         scenario = (

@@ -11,6 +11,9 @@ Examples::
     etrain trace users --out users.csv
     etrain trace capture --out cap.csv --apps qq,netease
     etrain report --out report.md --quick   # full evaluation report
+    etrain sweep --strategies immediate,etrain --seeds 5 --workers 4
+    etrain sweep --param theta=0.5,1,2 --cache-dir .sweep-cache
+    etrain fig8 --workers 4 --cache-dir .sweep-cache
 """
 
 from __future__ import annotations
@@ -18,11 +21,11 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.experiments import ALL_EXPERIMENTS
 
-__all__ = ["main", "build_parser", "run_trace_command"]
+__all__ = ["main", "build_parser", "run_trace_command", "run_sweep_command"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +48,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="use shorter horizons / coarser sweeps where supported",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan supported experiments across N worker processes",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result cache for supported experiments",
     )
     return parser
 
@@ -154,14 +168,219 @@ def run_trace_command(argv: List[str]) -> int:
     raise AssertionError(f"unhandled trace kind {args.kind!r}")
 
 
-def _run_one(name: str, quick: bool) -> None:
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """Parser for the ``etrain sweep`` grid runner."""
+    parser = argparse.ArgumentParser(
+        prog="etrain sweep",
+        description=(
+            "Run a (strategy x seed x parameter) grid through the "
+            "parallel experiment executor and summarise each cell group "
+            "across seeds."
+        ),
+    )
+    parser.add_argument(
+        "--strategies",
+        default="immediate,etrain,peres,etime",
+        help="comma-separated registered strategy names",
+    )
+    parser.add_argument(
+        "--seeds",
+        default="5",
+        help="seed count N (meaning 0..N-1) or explicit comma list",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help=(
+            "sweep a strategy tunable over values; applies to every "
+            "selected strategy that accepts it (repeatable)"
+        ),
+    )
+    parser.add_argument("--horizon", type=float, default=7200.0, help="seconds")
+    parser.add_argument(
+        "--rate", type=float, default=None, help="total cargo arrival rate (pkts/s)"
+    )
+    parser.add_argument(
+        "--power-model",
+        default="galaxy_s4_3g",
+        help="registered power model name",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: serial in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="on-disk result cache directory"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+    return parser
+
+
+def _parse_seeds(text: str) -> List[int]:
+    if "," in text:
+        return [int(s) for s in text.split(",") if s.strip()]
+    return list(range(int(text)))
+
+
+def _parse_param_value(text: str) -> Any:
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _parse_param_grids(options: List[str]) -> Dict[str, List[Any]]:
+    grids: Dict[str, List[Any]] = {}
+    for option in options:
+        name, _, values = option.partition("=")
+        if not values:
+            raise SystemExit(f"--param needs NAME=V1,V2,... (got {option!r})")
+        grids[name.strip()] = [
+            _parse_param_value(v) for v in values.split(",") if v.strip()
+        ]
+    return grids
+
+
+def _strategy_variants(name: str, grids: Dict[str, List[Any]]) -> List[Dict[str, Any]]:
+    """Cross-product of the swept params this strategy accepts."""
+    from itertools import product
+
+    from repro.sim.parallel import strategy_param_names
+
+    accepted = [p for p in grids if p in strategy_param_names(name)]
+    if not accepted:
+        return [{}]
+    return [
+        dict(zip(accepted, combo))
+        for combo in product(*(grids[p] for p in accepted))
+    ]
+
+
+def run_sweep_command(argv: List[str]) -> int:
+    """Execute ``etrain sweep ...``; returns an exit code."""
+    from repro.analysis.multiseed import summarize
+    from repro.sim.parallel import (
+        STRATEGY_BUILDERS,
+        ExperimentExecutor,
+        JobSpec,
+        ScenarioSpec,
+        StrategySpec,
+    )
+
+    args = build_sweep_parser().parse_args(argv)
+
+    strategies = [s.strip() for s in args.strategies.split(",") if s.strip()]
+    unknown = [s for s in strategies if s not in STRATEGY_BUILDERS]
+    if unknown:
+        print(
+            f"unknown strategies {unknown}; available: "
+            f"{sorted(STRATEGY_BUILDERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    seeds = _parse_seeds(args.seeds)
+    grids = _parse_param_grids(args.param)
+
+    from repro.sim.parallel import strategy_param_names
+
+    for param in grids:
+        if not any(param in strategy_param_names(s) for s in strategies):
+            print(
+                f"warning: --param {param} matches no selected strategy; "
+                "ignored",
+                file=sys.stderr,
+            )
+
+    jobs: List[JobSpec] = []
+    groups: List[tuple] = []  # parallel to jobs: (strategy spec, seed)
+    for name in strategies:
+        for params in _strategy_variants(name, grids):
+            spec = StrategySpec.make(name, **params)
+            for seed in seeds:
+                scenario = ScenarioSpec(
+                    seed=seed,
+                    horizon=args.horizon,
+                    rate=args.rate,
+                    power_model=args.power_model,
+                )
+                jobs.append(
+                    JobSpec(spec, scenario, tag=f"{spec.describe()} seed={seed}")
+                )
+                groups.append((spec, seed))
+
+    executor = ExperimentExecutor(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=None if args.quiet else print,
+    )
+    results = executor.run(jobs)
+
+    # Aggregate each strategy variant across its seeds.
+    by_variant: Dict[Any, List[Dict[str, float]]] = {}
+    order: List[Any] = []
+    for (spec, _seed), result in zip(groups, results):
+        if spec not in by_variant:
+            by_variant[spec] = []
+            order.append(spec)
+        by_variant[spec].append(result.summary)
+
+    from repro.analysis.summarize import format_table
+
+    rows = []
+    for spec in order:
+        summaries = by_variant[spec]
+        energy = summarize(
+            "energy", [s["total_energy_j"] for s in summaries]
+        )
+        delay = summarize(
+            "delay", [s["normalized_delay_s"] for s in summaries]
+        )
+        rows.append(
+            [
+                spec.describe(),
+                energy.mean,
+                energy.ci95_half_width,
+                delay.mean,
+                delay.ci95_half_width,
+                len(summaries),
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "energy (J)", "±95%", "delay (s)", "±95%", "seeds"],
+            rows,
+            title=(
+                f"Sweep: {len(jobs)} jobs over {len(seeds)} seed(s), "
+                f"horizon {args.horizon:.0f}s"
+            ),
+        )
+    )
+    print(executor.stats.describe())
+    return 0
+
+
+def _run_one(name: str, quick: bool, executor=None) -> None:
     module = ALL_EXPERIMENTS[name]
     main_fn = module.main
-    # Forward --quick only to experiments whose main() accepts it.
-    if "quick" in inspect.signature(main_fn).parameters:
-        main_fn(quick=quick)
-    else:
-        main_fn()
+    params = inspect.signature(main_fn).parameters
+    kwargs = {}
+    # Forward --quick / the executor only where main() accepts them.
+    if "quick" in params:
+        kwargs["quick"] = quick
+    if "executor" in params and executor is not None:
+        kwargs["executor"] = executor
+    main_fn(**kwargs)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -170,6 +389,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if argv and argv[0] == "trace":
         return run_trace_command(argv[1:])
+
+    if argv and argv[0] == "sweep":
+        return run_sweep_command(argv[1:])
 
     if argv and argv[0] == "report":
         report_parser = argparse.ArgumentParser(prog="etrain report")
@@ -191,6 +413,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     name = args.experiment.lower()
 
+    executor = None
+    if args.workers is not None or args.cache_dir is not None:
+        from repro.sim.parallel import ExperimentExecutor
+
+        executor = ExperimentExecutor(
+            workers=args.workers, cache_dir=args.cache_dir
+        )
+
     if name == "list":
         for key, module in ALL_EXPERIMENTS.items():
             doc = (module.__doc__ or "").strip().splitlines()[0]
@@ -200,8 +430,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if name == "all":
         for key in ALL_EXPERIMENTS:
             print(f"=== {key} " + "=" * (60 - len(key)))
-            _run_one(key, args.quick)
+            _run_one(key, args.quick, executor)
             print()
+        if executor is not None:
+            print(executor.stats.describe())
         return 0
 
     if name not in ALL_EXPERIMENTS:
@@ -211,7 +443,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    _run_one(name, args.quick)
+    _run_one(name, args.quick, executor)
+    if executor is not None and executor.stats.jobs_total:
+        print(executor.stats.describe())
     return 0
 
 

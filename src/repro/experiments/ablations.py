@@ -19,27 +19,32 @@ eTrain's win and probe the claims its argument rests on:
   daemon start times;
 * **heartbeat coalescing** — what bounded heartbeat *delays* (breaking
   constraint 5) would additionally buy.
+
+The ablations whose configurations are expressible as declarative specs
+(warm gate, fast dormancy, estimator quality, channel-aware, radio
+technology) run through :class:`repro.sim.parallel.ExperimentExecutor`;
+pass a pooled/cached executor to fan them across cores.  The rest build
+bespoke generators (shared push channels, optimised phases, coalesced
+schedules) and stay serial in-process.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.summarize import format_table
-from repro.baselines.channel_aware import ChannelAwareETrainStrategy
-from repro.baselines.etime import ETimeStrategy
 from repro.baselines.etrain import ETrainStrategy
-from repro.baselines.immediate import ImmediateStrategy
-from repro.baselines.peres import PerESStrategy
 from repro.core.profiles import TrainAppProfile
 from repro.core.scheduler import SchedulerConfig
 from repro.heartbeat.generators import FixedCycleGenerator
 from repro.heartbeat.phases import optimize_phases
-from repro.radio.lte import LTE_CAT4
-from repro.radio.power_model import GALAXY_S4_3G, GALAXY_S4_FAST_DORMANCY
-from repro.radio.wifi import WIFI_PSM
-from repro.sim.engine import Simulation
+from repro.sim.parallel import (
+    ExperimentExecutor,
+    JobSpec,
+    ScenarioSpec,
+    StrategySpec,
+)
 from repro.sim.results import SimulationResult
 from repro.sim.runner import Scenario, default_scenario, run_strategy
 
@@ -78,13 +83,63 @@ def _row(label: str, result: SimulationResult) -> AblationRow:
     )
 
 
+def _summary_row(label: str, summary: Dict[str, float]) -> AblationRow:
+    return AblationRow(
+        label=label,
+        energy_j=summary["total_energy_j"],
+        delay_s=summary["normalized_delay_s"],
+        violation_ratio=summary["deadline_violation_ratio"],
+        bursts=int(summary["bursts"]),
+    )
+
+
+def _run_labeled(
+    pairs: Sequence[Tuple[str, JobSpec]],
+    executor: Optional[ExperimentExecutor],
+) -> List[AblationRow]:
+    """Run labelled jobs through the executor, keeping row order."""
+    runner = executor if executor is not None else ExperimentExecutor()
+    results = runner.run([job for _, job in pairs])
+    return [_summary_row(label, r.summary) for (label, _), r in zip(pairs, results)]
+
+
+def _scenario_spec(scenario: Optional[Scenario]) -> Optional[ScenarioSpec]:
+    """The declarative spec of a scenario, or the default when None."""
+    if scenario is None:
+        return ScenarioSpec()
+    return getattr(scenario, "spec", None)
+
+
 def ablation_warm_gate(
-    scenario: Optional[Scenario] = None, theta: float = 1.0
+    scenario: Optional[Scenario] = None,
+    theta: float = 1.0,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> List[AblationRow]:
     """Q_TX gating on vs. off, against the immediate baseline."""
-    if scenario is None:
-        scenario = default_scenario()
-    rows = [
+    sspec = _scenario_spec(scenario)
+    if sspec is not None:
+        return _run_labeled(
+            [
+                ("baseline", JobSpec(StrategySpec.make("immediate"), sspec)),
+                (
+                    "eTrain, serve-immediately Q_TX",
+                    JobSpec(
+                        StrategySpec.make("etrain", theta=theta, warm_gate=False),
+                        sspec,
+                    ),
+                ),
+                (
+                    "eTrain, radio-resource-gated Q_TX",
+                    JobSpec(StrategySpec.make("etrain", theta=theta), sspec),
+                ),
+            ],
+            executor,
+        )
+
+    from repro.baselines.immediate import ImmediateStrategy
+
+    return [
         _row("baseline", run_strategy(ImmediateStrategy(), scenario)),
         _row(
             "eTrain, serve-immediately Q_TX",
@@ -103,11 +158,13 @@ def ablation_warm_gate(
             ),
         ),
     ]
-    return rows
 
 
 def ablation_fast_dormancy(
-    horizon: float = 7200.0, seed: int = 0
+    horizon: float = 7200.0,
+    seed: int = 0,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> List[AblationRow]:
     """Keep-the-tail (eTrain) vs. cut-the-tail (fast dormancy).
 
@@ -116,39 +173,64 @@ def ablation_fast_dormancy(
     promotion delay and signaling energy — the exact trade-off Sec. VII
     argues against changing the tail mechanism.
     """
-    rows: List[AblationRow] = []
-
-    normal = default_scenario(seed=seed, horizon=horizon)
-    rows.append(_row("baseline, normal tail", run_strategy(ImmediateStrategy(), normal)))
-
-    fast = default_scenario(
-        seed=seed, horizon=horizon, power_model=GALAXY_S4_FAST_DORMANCY
+    normal = ScenarioSpec(seed=seed, horizon=horizon)
+    fast = ScenarioSpec(
+        seed=seed, horizon=horizon, power_model="galaxy_s4_fast_dormancy"
     )
-    result = run_strategy(ImmediateStrategy(), fast)
-    rows.append(_row("baseline, fast dormancy", result))
-
-    rows.append(
-        _row(
-            "eTrain, normal tail",
-            run_strategy(
-                ETrainStrategy(normal.profiles, SchedulerConfig(theta=1.0)), normal
+    return _run_labeled(
+        [
+            ("baseline, normal tail", JobSpec(StrategySpec.make("immediate"), normal)),
+            ("baseline, fast dormancy", JobSpec(StrategySpec.make("immediate"), fast)),
+            (
+                "eTrain, normal tail",
+                JobSpec(StrategySpec.make("etrain", theta=1.0), normal),
             ),
-        )
+        ],
+        executor,
     )
-    return rows
 
 
 def ablation_estimator_quality(
     scenario: Optional[Scenario] = None,
     noise_levels: Sequence[float] = (0.0, 0.3, 0.6, 0.9),
+    *,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> List[AblationRow]:
     """PerES/eTime under degrading bandwidth estimates; eTrain for scale.
 
     eTrain is channel-oblivious, so one row suffices for it; the
     bandwidth-timing comparators are re-run per noise level.
     """
-    if scenario is None:
-        scenario = default_scenario()
+    sspec = _scenario_spec(scenario)
+    if sspec is not None:
+        pairs: List[Tuple[str, JobSpec]] = [
+            (
+                "eTrain (channel-oblivious)",
+                JobSpec(StrategySpec.make("etrain", theta=1.0), sspec),
+            )
+        ]
+        for noise in noise_levels:
+            pairs.append(
+                (
+                    f"eTime, estimator noise {noise:.1f}",
+                    JobSpec(
+                        StrategySpec.make("etime", v=40_000.0, noise=noise), sspec
+                    ),
+                )
+            )
+            pairs.append(
+                (
+                    f"PerES, estimator noise {noise:.1f}",
+                    JobSpec(
+                        StrategySpec.make("peres", omega=0.4, noise=noise), sspec
+                    ),
+                )
+            )
+        return _run_labeled(pairs, executor)
+
+    from repro.baselines.etime import ETimeStrategy
+    from repro.baselines.peres import PerESStrategy
+
     rows = [
         _row(
             "eTrain (channel-oblivious)",
@@ -179,11 +261,27 @@ def ablation_estimator_quality(
 
 
 def ablation_channel_aware(
-    scenario: Optional[Scenario] = None, theta: float = 0.2
+    scenario: Optional[Scenario] = None,
+    theta: float = 0.2,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> List[AblationRow]:
     """Plain eTrain vs. the channel-aware future-work extension."""
-    if scenario is None:
-        scenario = default_scenario()
+    sspec = _scenario_spec(scenario)
+    if sspec is not None:
+        return _run_labeled(
+            [
+                ("eTrain", JobSpec(StrategySpec.make("etrain", theta=theta), sspec)),
+                (
+                    "eTrain + channel timing",
+                    JobSpec(StrategySpec.make("channel_aware", theta=theta), sspec),
+                ),
+            ],
+            executor,
+        )
+
+    from repro.baselines.channel_aware import ChannelAwareETrainStrategy
+
     return [
         _row(
             "eTrain",
@@ -257,7 +355,10 @@ def ablation_consolidated_push(
 
 
 def ablation_radio_technology(
-    horizon: float = 7200.0, seed: int = 0
+    horizon: float = 7200.0,
+    seed: int = 0,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> List[AblationRow]:
     """Does heartbeat piggybacking still pay beyond 3G?
 
@@ -267,26 +368,20 @@ def ablation_radio_technology(
     stay substantial on LTE (shorter but hotter tails) and all but
     vanish on WiFi — eTrain is a cellular-tail optimisation.
     """
-    rows: List[AblationRow] = []
-    for label, pm in (
-        ("3G (Galaxy S4)", GALAXY_S4_3G),
-        ("LTE (cat-4, DRX)", LTE_CAT4),
-        ("WiFi (PSM)", WIFI_PSM),
+    pairs: List[Tuple[str, JobSpec]] = []
+    for label, pm_name in (
+        ("3G (Galaxy S4)", "galaxy_s4_3g"),
+        ("LTE (cat-4, DRX)", "lte_cat4"),
+        ("WiFi (PSM)", "wifi_psm"),
     ):
-        scenario = default_scenario(seed=seed, horizon=horizon, power_model=pm)
-        rows.append(
-            _row(f"baseline, {label}", run_strategy(ImmediateStrategy(), scenario))
+        sspec = ScenarioSpec(seed=seed, horizon=horizon, power_model=pm_name)
+        pairs.append(
+            (f"baseline, {label}", JobSpec(StrategySpec.make("immediate"), sspec))
         )
-        rows.append(
-            _row(
-                f"eTrain, {label}",
-                run_strategy(
-                    ETrainStrategy(scenario.profiles, SchedulerConfig(theta=1.0)),
-                    scenario,
-                ),
-            )
+        pairs.append(
+            (f"eTrain, {label}", JobSpec(StrategySpec.make("etrain", theta=1.0), sspec))
         )
-    return rows
+    return _run_labeled(pairs, executor)
 
 
 def ablation_train_phases(
@@ -391,28 +486,36 @@ def _table(title: str, rows: List[AblationRow]) -> str:
     )
 
 
-def main(quick: bool = False) -> str:
+def main(quick: bool = False, executor: Optional[ExperimentExecutor] = None) -> str:
     """Run all ablations and print their tables; returns the report."""
     horizon = 1800.0 if quick else 7200.0
     scenario = default_scenario(horizon=horizon)
     parts = [
-        _table("Ablation: Q_TX radio-resource gate", ablation_warm_gate(scenario)),
+        _table(
+            "Ablation: Q_TX radio-resource gate",
+            ablation_warm_gate(scenario, executor=executor),
+        ),
         _table(
             "Ablation: fast dormancy vs keeping the tail",
-            ablation_fast_dormancy(horizon=horizon),
+            ablation_fast_dormancy(horizon=horizon, executor=executor),
         ),
         _table(
             "Ablation: bandwidth-estimator quality",
-            ablation_estimator_quality(scenario, noise_levels=(0.0, 0.6)),
+            ablation_estimator_quality(
+                scenario, noise_levels=(0.0, 0.6), executor=executor
+            ),
         ),
-        _table("Ablation: channel-aware extension", ablation_channel_aware(scenario)),
+        _table(
+            "Ablation: channel-aware extension",
+            ablation_channel_aware(scenario, executor=executor),
+        ),
         _table(
             "Ablation: consolidated push channel",
             ablation_consolidated_push(horizon=horizon),
         ),
         _table(
             "Ablation: radio technology (3G / LTE / WiFi)",
-            ablation_radio_technology(horizon=horizon),
+            ablation_radio_technology(horizon=horizon, executor=executor),
         ),
         _table(
             "Ablation: heartbeat phases",

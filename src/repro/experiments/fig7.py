@@ -16,6 +16,7 @@ from repro.analysis.ed_panel import EDCurve, EDPoint, sweep
 from repro.analysis.summarize import format_table
 from repro.baselines.etrain import ETrainStrategy
 from repro.core.scheduler import SchedulerConfig
+from repro.sim.parallel import ExperimentExecutor, StrategySpec
 from repro.sim.runner import Scenario, default_scenario, run_strategy
 
 __all__ = ["run_fig7a", "run_fig7b", "main"]
@@ -25,8 +26,14 @@ def run_fig7a(
     scenario: Optional[Scenario] = None,
     theta_values: Optional[Sequence[float]] = None,
     k: int = 20,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> EDCurve:
-    """Θ sweep at fixed k (paper: Θ from 0 to 3, step 0.2)."""
+    """Θ sweep at fixed k (paper: Θ from 0 to 3, step 0.2).
+
+    Pass an ``executor`` to fan the Θ grid across worker processes; the
+    curve is identical to the serial sweep.
+    """
     if scenario is None:
         scenario = default_scenario()
     if theta_values is None:
@@ -38,6 +45,8 @@ def run_fig7a(
             scenario.profiles, SchedulerConfig(theta=theta, k=k)
         ),
         knob_values=list(theta_values),
+        executor=executor,
+        spec_factory=lambda theta: StrategySpec.make("etrain", theta=theta, k=k),
     )
 
 
@@ -45,6 +54,8 @@ def run_fig7b(
     scenario: Optional[Scenario] = None,
     k_values: Sequence[int] = (2, 4, 8, 16),
     theta_values: Optional[Sequence[float]] = None,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> Dict[int, EDCurve]:
     """E-D panel: one Θ-sweep curve per k."""
     if scenario is None:
@@ -52,23 +63,26 @@ def run_fig7b(
     if theta_values is None:
         theta_values = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
     return {
-        k: run_fig7a(scenario, theta_values=theta_values, k=k) for k in k_values
+        k: run_fig7a(scenario, theta_values=theta_values, k=k, executor=executor)
+        for k in k_values
     }
 
 
-def main(quick: bool = False) -> str:
+def main(quick: bool = False, executor: Optional[ExperimentExecutor] = None) -> str:
     """Run both panels and print their tables; returns the report."""
     scenario = default_scenario(horizon=3600.0 if quick else 7200.0)
     thetas = [0.0, 1.0, 2.0, 3.0] if quick else None
 
-    curve_a = run_fig7a(scenario, theta_values=thetas)
+    curve_a = run_fig7a(scenario, theta_values=thetas, executor=executor)
     table_a = format_table(
         ["theta", "energy (J)", "delay (s)", "violations"],
         [[p.knob, p.energy_j, p.delay_s, p.violation_ratio] for p in curve_a.points],
         title="Fig. 7(a): impact of the cost bound Theta (k=20)",
     )
 
-    panel = run_fig7b(scenario, theta_values=thetas or [0.0, 1.0, 2.0, 3.0])
+    panel = run_fig7b(
+        scenario, theta_values=thetas or [0.0, 1.0, 2.0, 3.0], executor=executor
+    )
     rows_b: List[List[object]] = []
     for k, curve in panel.items():
         for p in curve.points:

@@ -20,13 +20,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.ed_panel import EDCurve, interpolate_energy_at_delay, sweep
+from repro.analysis.ed_panel import (
+    EDCurve,
+    EDPoint,
+    ed_point_from_summary,
+    interpolate_energy_at_delay,
+    sweep,
+)
 from repro.analysis.summarize import format_table
 from repro.baselines.etime import ETimeStrategy
 from repro.baselines.etrain import ETrainStrategy
 from repro.baselines.immediate import ImmediateStrategy
 from repro.baselines.peres import PerESStrategy
 from repro.core.scheduler import SchedulerConfig
+from repro.sim.parallel import (
+    ExperimentExecutor,
+    JobSpec,
+    ScenarioSpec,
+    StrategySpec,
+)
 from repro.sim.runner import Scenario, default_scenario, run_strategy
 from repro.workload.cargo import profiles_for_total_rate
 
@@ -38,14 +50,27 @@ OMEGA_GRID = (0.05, 0.1, 0.2, 0.4, 0.8, 1.6)
 V_GRID = (5_000.0, 15_000.0, 40_000.0, 100_000.0, 250_000.0, 600_000.0)
 
 
+#: Knob grid per swept strategy: (curve label, registry name, spec param).
+_SWEPT = (
+    ("eTrain", "etrain", "theta"),
+    ("PerES", "peres", "omega"),
+    ("eTime", "etime", "v"),
+)
+
+
 def run_fig8a(
     scenario: Optional[Scenario] = None,
     *,
     theta_grid: Sequence[float] = THETA_GRID,
     omega_grid: Sequence[float] = OMEGA_GRID,
     v_grid: Sequence[float] = V_GRID,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> Dict[str, EDCurve]:
-    """E-D frontier of each strategy at the reference rate."""
+    """E-D frontier of each strategy at the reference rate.
+
+    With an ``executor``, the three knob sweeps and the baseline run as
+    one job grid across its workers, bit-identical to the serial loop.
+    """
     if scenario is None:
         scenario = default_scenario()
 
@@ -55,31 +80,39 @@ def run_fig8a(
         scenario,
         lambda theta: ETrainStrategy(scenario.profiles, SchedulerConfig(theta=theta)),
         list(theta_grid),
+        executor=executor,
+        spec_factory=lambda theta: StrategySpec.make("etrain", theta=theta),
     )
     curves["PerES"] = sweep(
         "PerES",
         scenario,
         lambda omega: PerESStrategy(scenario.profiles, scenario.estimator(), omega=omega),
         list(omega_grid),
+        executor=executor,
+        spec_factory=lambda omega: StrategySpec.make("peres", omega=omega),
     )
     curves["eTime"] = sweep(
         "eTime",
         scenario,
         lambda v: ETimeStrategy(scenario.estimator(), v=v),
         list(v_grid),
+        executor=executor,
+        spec_factory=lambda v: StrategySpec.make("etime", v=v),
     )
-    baseline = run_strategy(ImmediateStrategy(), scenario)
-    curves["baseline"] = EDCurve(
-        label="baseline",
-        points=[
-            type(curves["eTrain"].points[0])(
-                knob=0.0,
-                energy_j=baseline.total_energy,
-                delay_s=baseline.normalized_delay,
-                violation_ratio=baseline.deadline_violation_ratio,
-            )
-        ],
-    )
+    if executor is not None and getattr(scenario, "spec", None) is not None:
+        (job_result,) = executor.run(
+            [JobSpec(StrategySpec.make("immediate"), scenario.spec, tag="baseline")]
+        )
+        baseline_point = ed_point_from_summary(0.0, job_result.summary)
+    else:
+        baseline = run_strategy(ImmediateStrategy(), scenario)
+        baseline_point = EDPoint(
+            knob=0.0,
+            energy_j=baseline.total_energy,
+            delay_s=baseline.normalized_delay,
+            violation_ratio=baseline.deadline_violation_ratio,
+        )
+    curves["baseline"] = EDCurve(label="baseline", points=[baseline_point])
     return curves
 
 
@@ -117,8 +150,60 @@ def run_fig8b(
     theta_grid: Sequence[float] = THETA_GRID,
     omega_grid: Sequence[float] = OMEGA_GRID,
     v_grid: Sequence[float] = V_GRID,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> List[RateRow]:
-    """Energy at a fixed normalized delay across arrival rates."""
+    """Energy at a fixed normalized delay across arrival rates.
+
+    With an ``executor``, the full (rate × strategy × knob) grid is
+    submitted as one batch, so every cell — across all arrival rates —
+    can run concurrently and hit the result cache.
+    """
+    grids = {"theta": list(theta_grid), "omega": list(omega_grid), "v": list(v_grid)}
+
+    if executor is not None:
+        jobs: List[JobSpec] = []
+        keys: List[tuple] = []
+        for rate in rates:
+            sspec = ScenarioSpec(seed=seed, horizon=horizon, rate=rate)
+            for label, name, knob_param in _SWEPT:
+                for knob in grids[knob_param]:
+                    jobs.append(
+                        JobSpec(
+                            StrategySpec.make(name, **{knob_param: knob}),
+                            sspec,
+                            tag=f"{label} rate={rate:g} {knob_param}={knob:g}",
+                        )
+                    )
+                    keys.append((rate, label, knob))
+            jobs.append(
+                JobSpec(StrategySpec.make("immediate"), sspec, tag=f"baseline rate={rate:g}")
+            )
+            keys.append((rate, "baseline", 0.0))
+
+        results = executor.run(jobs)
+        curves: Dict[tuple, List[EDPoint]] = {}
+        for (rate, label, knob), r in zip(keys, results):
+            curves.setdefault((rate, label), []).append(
+                ed_point_from_summary(knob, r.summary)
+            )
+        rows = []
+        for rate in rates:
+            baseline = curves[(rate, "baseline")][0].energy_j
+            by_label = {
+                label: EDCurve(label=label, points=curves[(rate, label)])
+                for label, _, _ in _SWEPT
+            }
+            rows.append(
+                RateRow(
+                    rate=rate,
+                    baseline_j=baseline,
+                    etrain_j=_energy_at_delay(by_label["eTrain"], target_delay),
+                    peres_j=_energy_at_delay(by_label["PerES"], target_delay),
+                    etime_j=_energy_at_delay(by_label["eTime"], target_delay),
+                )
+            )
+        return rows
+
     rows: List[RateRow] = []
     for rate in rates:
         profiles = profiles_for_total_rate(rate)
@@ -139,11 +224,11 @@ def run_fig8b(
     return rows
 
 
-def main(quick: bool = False) -> str:
+def main(quick: bool = False, executor: Optional[ExperimentExecutor] = None) -> str:
     """Run both panels and print their tables; returns the report."""
     horizon = 3600.0 if quick else 7200.0
     scenario = default_scenario(horizon=horizon)
-    curves = run_fig8a(scenario)
+    curves = run_fig8a(scenario, executor=executor)
     rows_a: List[List[object]] = []
     for name, curve in curves.items():
         for p in curve.points:
@@ -167,7 +252,7 @@ def main(quick: bool = False) -> str:
     )
 
     rates = (0.04, 0.08, 0.12) if quick else (0.04, 0.06, 0.08, 0.10, 0.12)
-    rows = run_fig8b(rates, horizon=horizon)
+    rows = run_fig8b(rates, horizon=horizon, executor=executor)
     table_b = format_table(
         ["lambda", "baseline (J)", "eTrain (J)", "PerES (J)", "eTime (J)", "eTrain saving (J)"],
         [

@@ -10,21 +10,25 @@ periodic alarms.  These sweeps vary each and watch eTrain's saving:
   scaling T_tail from 0.25× to 2× spans aggressive-to-lazy carriers.
 * **heartbeat jitter** — real alarms drift; how much timing slack can
   the monitor-based design absorb before savings erode?
+
+Every sweep point is a ``(baseline, eTrain)`` pair of declarative jobs
+run through :class:`repro.sim.parallel.ExperimentExecutor` — pass a
+pooled/cached executor to fan a sweep across cores, or let the default
+serial executor reproduce the classic single-core behaviour exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.analysis.summarize import format_table
-from repro.baselines.etrain import ETrainStrategy
-from repro.baselines.immediate import ImmediateStrategy
-from repro.core.profiles import TrainAppProfile
-from repro.core.scheduler import SchedulerConfig
-from repro.heartbeat.generators import FixedCycleGenerator, JitteredCycleGenerator
-from repro.radio.power_model import GALAXY_S4_3G, PowerModel
-from repro.sim.runner import Scenario, default_scenario, run_strategy
+from repro.sim.parallel import (
+    ExperimentExecutor,
+    JobSpec,
+    ScenarioSpec,
+    StrategySpec,
+)
 
 __all__ = [
     "SensitivityRow",
@@ -53,12 +57,40 @@ class SensitivityRow:
         return 100.0 * self.saving_j / self.baseline_j if self.baseline_j else 0.0
 
 
-def _run_pair(scenario: Scenario, theta: float) -> tuple:
-    baseline = run_strategy(ImmediateStrategy(), scenario)
-    etrain = run_strategy(
-        ETrainStrategy(scenario.profiles, SchedulerConfig(theta=theta)), scenario
-    )
-    return baseline, etrain
+def _run_pair_sweep(
+    knobs: Sequence[float],
+    scenario_for_knob,
+    theta: float,
+    executor: Optional[ExperimentExecutor],
+) -> List[SensitivityRow]:
+    """Run (baseline, eTrain) for every knob's scenario spec as one grid."""
+    runner = executor if executor is not None else ExperimentExecutor()
+    jobs: List[JobSpec] = []
+    for knob in knobs:
+        sspec = scenario_for_knob(knob)
+        jobs.append(
+            JobSpec(StrategySpec.make("immediate"), sspec, tag=f"baseline knob={knob:g}")
+        )
+        jobs.append(
+            JobSpec(
+                StrategySpec.make("etrain", theta=theta),
+                sspec,
+                tag=f"etrain knob={knob:g}",
+            )
+        )
+    results = runner.run(jobs)
+    rows: List[SensitivityRow] = []
+    for i, knob in enumerate(knobs):
+        base, etrain = results[2 * i].summary, results[2 * i + 1].summary
+        rows.append(
+            SensitivityRow(
+                knob=knob,
+                baseline_j=base["total_energy_j"],
+                etrain_j=etrain["total_energy_j"],
+                etrain_delay_s=etrain["normalized_delay_s"],
+            )
+        )
+    return rows
 
 
 def sweep_heartbeat_cycle(
@@ -67,6 +99,7 @@ def sweep_heartbeat_cycle(
     horizon: float = 7200.0,
     seed: int = 0,
     theta: float = 1.0,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> List[SensitivityRow]:
     """All three trains share one cycle, swept from chatty to calm.
 
@@ -74,38 +107,12 @@ def sweep_heartbeat_cycle(
     heartbeat floor; longer cycles → the inverse, with delay growing
     toward cycle/2.
     """
-    rows: List[SensitivityRow] = []
-    base = default_scenario(seed=seed, horizon=horizon)
-    for cycle in cycles:
-        generators = [
-            FixedCycleGenerator(
-                TrainAppProfile(
-                    app_id=f"train{i}",
-                    cycle=cycle,
-                    heartbeat_size_bytes=120,
-                    first_heartbeat=i * cycle / 3.0,
-                )
-            )
-            for i in range(3)
-        ]
-        scenario = Scenario(
-            profiles=base.profiles,
-            train_generators=generators,
-            packets=base.fresh_packets(),
-            bandwidth=base.bandwidth,
-            power_model=base.power_model,
-            horizon=horizon,
-        )
-        baseline, etrain = _run_pair(scenario, theta)
-        rows.append(
-            SensitivityRow(
-                knob=cycle,
-                baseline_j=baseline.total_energy,
-                etrain_j=etrain.total_energy,
-                etrain_delay_s=etrain.normalized_delay,
-            )
-        )
-    return rows
+    return _run_pair_sweep(
+        list(cycles),
+        lambda cycle: ScenarioSpec(seed=seed, horizon=horizon, train_cycle=cycle),
+        theta,
+        executor,
+    )
 
 
 def sweep_tail_length(
@@ -114,33 +121,19 @@ def sweep_tail_length(
     horizon: float = 7200.0,
     seed: int = 0,
     theta: float = 1.0,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> List[SensitivityRow]:
     """Scale both tail timers (δ_D, δ_F) around the measured values.
 
     Expect: savings grow with tail length — the longer the carrier
     lingers, the more each avoided burst was worth.
     """
-    rows: List[SensitivityRow] = []
-    for scale in scales:
-        pm = PowerModel(
-            p_idle=GALAXY_S4_3G.p_idle,
-            p_dch_extra=GALAXY_S4_3G.p_dch_extra,
-            p_fach_extra=GALAXY_S4_3G.p_fach_extra,
-            delta_dch=GALAXY_S4_3G.delta_dch * scale,
-            delta_fach=GALAXY_S4_3G.delta_fach * scale,
-            p_tx_extra=GALAXY_S4_3G.p_tx_extra,
-        )
-        scenario = default_scenario(seed=seed, horizon=horizon, power_model=pm)
-        baseline, etrain = _run_pair(scenario, theta)
-        rows.append(
-            SensitivityRow(
-                knob=scale,
-                baseline_j=baseline.total_energy,
-                etrain_j=etrain.total_energy,
-                etrain_delay_s=etrain.normalized_delay,
-            )
-        )
-    return rows
+    return _run_pair_sweep(
+        list(scales),
+        lambda scale: ScenarioSpec(seed=seed, horizon=horizon, tail_scale=scale),
+        theta,
+        executor,
+    )
 
 
 def sweep_heartbeat_jitter(
@@ -149,39 +142,19 @@ def sweep_heartbeat_jitter(
     horizon: float = 7200.0,
     seed: int = 0,
     theta: float = 1.0,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> List[SensitivityRow]:
     """Add uniform departure jitter to every train's heartbeats.
 
     eTrain's engine reacts to *observed* departures (hooks), not
     predictions, so savings should degrade only mildly with jitter.
     """
-    rows: List[SensitivityRow] = []
-    base = default_scenario(seed=seed, horizon=horizon)
-    for jitter in jitters:
-        generators = [
-            JitteredCycleGenerator(g, max_jitter=jitter, seed=seed + i)
-            for i, g in enumerate(default_scenario(
-                seed=seed, horizon=horizon
-            ).train_generators)
-        ] if jitter > 0 else list(base.train_generators)
-        scenario = Scenario(
-            profiles=base.profiles,
-            train_generators=generators,
-            packets=base.fresh_packets(),
-            bandwidth=base.bandwidth,
-            power_model=base.power_model,
-            horizon=horizon,
-        )
-        baseline, etrain = _run_pair(scenario, theta)
-        rows.append(
-            SensitivityRow(
-                knob=jitter,
-                baseline_j=baseline.total_energy,
-                etrain_j=etrain.total_energy,
-                etrain_delay_s=etrain.normalized_delay,
-            )
-        )
-    return rows
+    return _run_pair_sweep(
+        list(jitters),
+        lambda jitter: ScenarioSpec(seed=seed, horizon=horizon, train_jitter=jitter),
+        theta,
+        executor,
+    )
 
 
 def _table(title: str, knob_name: str, rows: List[SensitivityRow]) -> str:
@@ -193,24 +166,24 @@ def _table(title: str, knob_name: str, rows: List[SensitivityRow]) -> str:
     )
 
 
-def main(quick: bool = False) -> str:
+def main(quick: bool = False, executor: Optional[ExperimentExecutor] = None) -> str:
     """Run all three sweeps and print their tables; returns the report."""
     horizon = 1800.0 if quick else 7200.0
     parts = [
         _table(
             "Sensitivity: shared heartbeat cycle",
             "cycle (s)",
-            sweep_heartbeat_cycle(horizon=horizon),
+            sweep_heartbeat_cycle(horizon=horizon, executor=executor),
         ),
         _table(
             "Sensitivity: tail-timer scale",
             "scale",
-            sweep_tail_length(horizon=horizon),
+            sweep_tail_length(horizon=horizon, executor=executor),
         ),
         _table(
             "Sensitivity: heartbeat jitter",
             "jitter (s)",
-            sweep_heartbeat_jitter(horizon=horizon),
+            sweep_heartbeat_jitter(horizon=horizon, executor=executor),
         ),
     ]
     report = "\n\n".join(parts)

@@ -2,6 +2,14 @@
 
 from repro.sim.battery import GALAXY_S4_BATTERY, Battery
 from repro.sim.engine import Simulation
+from repro.sim.parallel import (
+    ExecutorStats,
+    ExperimentExecutor,
+    JobResult,
+    JobSpec,
+    ScenarioSpec,
+    StrategySpec,
+)
 from repro.sim.power_trace import PowerTrace, sample_power_trace
 from repro.sim.results import AppStats, SimulationResult
 from repro.sim.runner import Scenario, default_scenario, run_strategy
@@ -11,6 +19,12 @@ __all__ = [
     "GALAXY_S4_BATTERY",
     "Battery",
     "Simulation",
+    "ExecutorStats",
+    "ExperimentExecutor",
+    "JobResult",
+    "JobSpec",
+    "ScenarioSpec",
+    "StrategySpec",
     "PowerTrace",
     "sample_power_trace",
     "AppStats",

@@ -62,11 +62,30 @@ class Simulation:
         self.flush_at_end = flush_at_end
         self.radio: Optional[RadioInterface] = None
 
+    @property
+    def _granularity(self) -> float:
+        """Effective decision period (never finer than the engine slot)."""
+        return max(self.strategy.slot, self.slot)
+
     def _is_decision_slot(self, t: float) -> bool:
-        """Whether the strategy decides at slot start ``t``."""
-        granularity = max(self.strategy.slot, self.slot)
-        ratio = t / granularity
-        return abs(ratio - round(ratio)) < 1e-9
+        """Whether the strategy decides in the slot starting at ``t``.
+
+        The strategy decides in the first slot whose start is at or after
+        each multiple of its decision granularity.  This stays correct
+        when the granularity is not an integer multiple of the engine
+        slot (e.g. slot 0.25 s with a 0.3 s strategy) and is immune to
+        accumulated float error in ``t``: the comparison happens in the
+        time domain with a granularity-relative epsilon, not on a raw
+        ratio.
+        """
+        granularity = self._granularity
+        eps = 1e-9 * granularity
+        m_curr = math.floor((t + eps) / granularity)
+        # Index of the last decision point at or before the previous slot.
+        prev = t - self.slot
+        m_prev = math.floor((prev + eps) / granularity) if prev >= 0.0 else -1
+        # Decide iff a new decision point landed in (t - slot, t].
+        return m_curr > m_prev
 
     def run(self) -> SimulationResult:
         """Execute the simulation and return the collected result."""

@@ -1,0 +1,77 @@
+"""On-disk result cache keyed by job-spec content hashes.
+
+Layout (two-level fan-out keeps directories small on big sweeps)::
+
+    <root>/
+        ab/
+            abcdef...0123.json      # one completed job
+
+Each entry stores the spec (for auditing), the summary dict, and the
+wall time of the run that produced it.  Writes go through a temp file +
+``os.replace`` so concurrent writers (pool workers finishing the same
+cell, two sweeps sharing a cache) can never leave a torn entry; a corrupt
+or unreadable entry is treated as a miss and rewritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A directory of completed job results, addressed by content hash."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached entry for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(entry, dict) or "summary" not in entry:
+            return None
+        return entry
+
+    def put(self, key: str, entry: Dict[str, Any]) -> None:
+        """Atomically store ``entry`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

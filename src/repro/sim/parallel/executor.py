@@ -1,0 +1,216 @@
+"""Process-pool experiment executor with caching and instrumentation.
+
+The executor fans a grid of :class:`~repro.sim.parallel.specs.JobSpec`
+cells across worker processes.  Three properties the rest of the library
+leans on:
+
+* **Determinism** — each worker rebuilds its job from the spec alone
+  (fresh packet-id counter, seeded traces), so a parallel run returns
+  summaries bit-identical to a serial run of the same grid, in the same
+  order as the submitted jobs.
+* **Caching** — with a ``cache_dir``, completed cells are stored under
+  their spec's content hash; reruns and overlapping sweeps skip the
+  simulation entirely (visible in :class:`ExecutorStats`).
+* **Instrumentation** — jobs done, per-job wall time, cache hits and
+  worker utilization accumulate in ``executor.stats`` and stream through
+  the optional ``progress`` callback.
+
+``workers=None`` (the default) runs jobs in-process, in submission
+order — the drop-in replacement for the old serial loops, sharing the
+exact code path workers use.  ``workers=N`` uses a pool of N processes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sim.parallel.cache import ResultCache
+from repro.sim.parallel.specs import JobSpec, run_job
+
+__all__ = ["JobResult", "ExecutorStats", "ExperimentExecutor"]
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one grid cell."""
+
+    spec: JobSpec
+    summary: Dict[str, float]
+    wall_time: float
+    worker_pid: int
+    cached: bool = False
+
+
+@dataclass
+class ExecutorStats:
+    """Lifetime counters of one executor (accumulated across ``run`` calls)."""
+
+    jobs_total: int = 0
+    jobs_run: int = 0
+    cache_hits: int = 0
+    wall_time: float = 0.0
+    busy_time: float = 0.0
+    workers: int = 1
+    job_times: List[float] = field(default_factory=list)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of worker-seconds spent simulating (0 when idle)."""
+        capacity = self.workers * self.wall_time
+        return self.busy_time / capacity if capacity > 0 else 0.0
+
+    @property
+    def mean_job_time(self) -> float:
+        return sum(self.job_times) / len(self.job_times) if self.job_times else 0.0
+
+    def describe(self) -> str:
+        """One-line human summary (used by the CLI)."""
+        return (
+            f"{self.jobs_total} jobs ({self.jobs_run} run, "
+            f"{self.cache_hits} cached) in {self.wall_time:.2f}s wall, "
+            f"mean job {self.mean_job_time * 1000:.0f}ms, "
+            f"{self.workers} worker(s) at {100 * self.worker_utilization:.0f}% "
+            "utilization"
+        )
+
+
+def _execute_indexed(payload):
+    """Pool entry point: run one (index, spec) pair, timing it."""
+    index, spec = payload
+    started = time.perf_counter()
+    summary = run_job(spec)
+    return index, summary, time.perf_counter() - started, os.getpid()
+
+
+class ExperimentExecutor:
+    """Runs job grids serially in-process or across a process pool."""
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        cache_dir=None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1 or None, got {workers}")
+        self.workers = workers
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.progress = progress
+        self.stats = ExecutorStats(workers=workers if workers else 1)
+
+    # -- internals ---------------------------------------------------------
+
+    def _report(self, done: int, total: int, result: JobResult) -> None:
+        if self.progress is None:
+            return
+        origin = "cache" if result.cached else f"{result.wall_time:.2f}s"
+        self.progress(f"[{done}/{total}] {result.spec.describe()} ({origin})")
+
+    def _from_cache(self, spec: JobSpec) -> Optional[JobResult]:
+        if self.cache is None:
+            return None
+        entry = self.cache.get(spec.content_hash())
+        if entry is None:
+            return None
+        return JobResult(
+            spec=spec,
+            summary=dict(entry["summary"]),
+            wall_time=float(entry.get("wall_time", 0.0)),
+            worker_pid=0,
+            cached=True,
+        )
+
+    def _store(self, result: JobResult) -> None:
+        if self.cache is None or result.cached:
+            return
+        self.cache.put(
+            result.spec.content_hash(),
+            {
+                "spec": result.spec.to_dict(),
+                "tag": result.spec.tag,
+                "summary": result.summary,
+                "wall_time": result.wall_time,
+            },
+        )
+
+    def _run_pool(
+        self, misses: List[int], jobs: Sequence[JobSpec], results: List[Optional[JobResult]]
+    ) -> None:
+        done = len(jobs) - len(misses)
+        max_workers = min(self.workers or 1, len(misses))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            pending = {
+                pool.submit(_execute_indexed, (i, jobs[i])) for i in misses
+            }
+            while pending:
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index, summary, elapsed, pid = future.result()
+                    result = JobResult(
+                        spec=jobs[index],
+                        summary=summary,
+                        wall_time=elapsed,
+                        worker_pid=pid,
+                    )
+                    results[index] = result
+                    self._store(result)
+                    done += 1
+                    self._report(done, len(jobs), result)
+
+    def _run_serial(
+        self, misses: List[int], jobs: Sequence[JobSpec], results: List[Optional[JobResult]]
+    ) -> None:
+        done = len(jobs) - len(misses)
+        for i in misses:
+            index, summary, elapsed, pid = _execute_indexed((i, jobs[i]))
+            result = JobResult(
+                spec=jobs[index], summary=summary, wall_time=elapsed, worker_pid=pid
+            )
+            results[index] = result
+            self._store(result)
+            done += 1
+            self._report(done, len(jobs), result)
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, jobs: Sequence[JobSpec]) -> List[JobResult]:
+        """Execute a grid; results come back in submission order."""
+        jobs = list(jobs)
+        started = time.perf_counter()
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+
+        misses: List[int] = []
+        for i, spec in enumerate(jobs):
+            hit = self._from_cache(spec)
+            if hit is not None:
+                results[i] = hit
+            else:
+                misses.append(i)
+        # Cache hits are reported up front, before any simulation starts.
+        reported = 0
+        for r in results:
+            if r is not None:
+                reported += 1
+                self._report(reported, len(jobs), r)
+
+        if misses:
+            if self.workers is not None and self.workers > 1 and len(misses) > 1:
+                self._run_pool(misses, jobs, results)
+            else:
+                self._run_serial(misses, jobs, results)
+
+        elapsed = time.perf_counter() - started
+        finished = [r for r in results if r is not None]
+        executed = [r for r in finished if not r.cached]
+        self.stats.jobs_total += len(jobs)
+        self.stats.jobs_run += len(executed)
+        self.stats.cache_hits += len(finished) - len(executed)
+        self.stats.wall_time += elapsed
+        self.stats.busy_time += sum(r.wall_time for r in executed)
+        self.stats.job_times.extend(r.wall_time for r in executed)
+        return finished  # type: ignore[return-value]

@@ -41,12 +41,19 @@ class Scenario:
     power_model: PowerModel = GALAXY_S4_3G
     horizon: float = 7200.0
     slot: float = 1.0
+    #: Declarative origin of this scenario, when it was built from (or is
+    #: representable as) a :class:`repro.sim.parallel.specs.ScenarioSpec`.
+    #: Experiments use it to fan equivalent runs across worker processes.
+    spec: Optional[object] = None
 
     def fresh_packets(self) -> List[Packet]:
-        """Deep-ish copy of the packet trace with scheduling state reset.
+        """Copy of the packet trace with scheduling state reset.
 
         Strategies mutate packets (scheduled/completion times), so each
         run must receive its own copies for results to be independent.
+        Copies keep the original ``packet_id`` — allocating new ids from
+        the global counter would make ids drift across repeated runs of
+        the same scenario (and across processes replaying one job spec).
         """
         return [
             Packet(
@@ -54,6 +61,7 @@ class Scenario:
                 arrival_time=p.arrival_time,
                 size_bytes=p.size_bytes,
                 deadline=p.deadline,
+                packet_id=p.packet_id,
                 direction=p.direction,
             )
             for p in self.packets
@@ -76,6 +84,23 @@ def default_scenario(
     """The Sec. VI-A setup: 3 trains, 3 cargos, Wuhan trace, S4 power."""
     profile_list = list(profiles) if profiles is not None else DEFAULT_CARGO_PROFILES()
     reset_packet_ids()
+
+    # When every input is the stock default (or a registered power
+    # model), the scenario is representable as a declarative spec —
+    # attach it so experiments can replay this scenario in pool workers.
+    spec = None
+    if profiles is None and bandwidth is None:
+        from repro.sim.parallel.specs import ScenarioSpec, power_model_name
+
+        pm_name = power_model_name(power_model)
+        if pm_name is not None:
+            spec = ScenarioSpec(
+                seed=seed,
+                horizon=horizon,
+                train_count=train_count,
+                power_model=pm_name,
+            )
+
     return Scenario(
         profiles=profile_list,
         train_generators=default_train_generators(train_count),
@@ -83,6 +108,7 @@ def default_scenario(
         bandwidth=bandwidth if bandwidth is not None else wuhan_bandwidth_model(),
         power_model=power_model,
         horizon=horizon,
+        spec=spec,
     )
 
 

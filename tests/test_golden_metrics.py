@@ -1,0 +1,82 @@
+"""Golden-metrics snapshot for the paper's reference setup.
+
+``tests/data/golden_metrics.json`` pins the full ``summary()`` dict of
+``default_scenario(seed=0)`` (7200 s, Wuhan trace, Galaxy S4 power)
+under the baseline and all three scheduling algorithms, along with each
+job's content hash.  Any engine, workload, radio or seeding change that
+shifts these numbers — however slightly — fails here and must either be
+a deliberate, reviewed re-baselining of the snapshot or a bug.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -c "
+    import json
+    from repro.sim.parallel import JobSpec, ScenarioSpec, run_job
+    from tests.test_golden_metrics import GOLDEN_PATH, GOLDEN_STRATEGIES, GOLDEN_SCENARIO
+    golden = {
+        label: {'job_hash': (job := JobSpec(s, GOLDEN_SCENARIO)).content_hash(),
+                'summary': run_job(job)}
+        for label, s in GOLDEN_STRATEGIES.items()}
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True))"
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.sim.parallel import JobSpec, ScenarioSpec, StrategySpec, run_job
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_metrics.json"
+
+GOLDEN_STRATEGIES = {
+    "immediate": StrategySpec.make("immediate"),
+    "etrain_theta0.2": StrategySpec.make("etrain", theta=0.2),
+    "peres_omega0.5": StrategySpec.make("peres", omega=0.5),
+    "etime_v200000": StrategySpec.make("etime", v=200_000.0),
+}
+
+GOLDEN_SCENARIO = ScenarioSpec(seed=0, horizon=7200.0)
+
+
+def _golden():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def test_snapshot_covers_all_reference_strategies():
+    assert sorted(_golden()) == sorted(GOLDEN_STRATEGIES)
+
+
+@pytest.mark.parametrize("label", sorted(GOLDEN_STRATEGIES))
+def test_summary_matches_golden_snapshot(label):
+    job = JobSpec(GOLDEN_STRATEGIES[label], GOLDEN_SCENARIO)
+    expected = _golden()[label]
+
+    # The job-spec hash pins the *inputs*: a hash change means the cache
+    # key space moved and old caches silently miss.
+    assert job.content_hash() == expected["job_hash"]
+
+    summary = run_job(job)
+    assert sorted(summary) == sorted(expected["summary"])
+    for key, value in expected["summary"].items():
+        assert summary[key] == pytest.approx(value, rel=1e-9), (
+            f"{label}.{key} drifted from the golden snapshot"
+        )
+
+
+def test_golden_snapshot_sanity():
+    """The snapshot itself must tell the paper's story."""
+    golden = {k: v["summary"] for k, v in _golden().items()}
+    # eTrain saves substantially over the baseline (paper: ~40-77 %).
+    assert (
+        golden["etrain_theta0.2"]["total_energy_j"]
+        < 0.5 * golden["immediate"]["total_energy_j"]
+    )
+    # The baseline serves (nearly) immediately; eTrain trades delay.
+    assert golden["immediate"]["normalized_delay_s"] < 5.0
+    assert golden["etrain_theta0.2"]["normalized_delay_s"] > 10.0
+    # Every strategy transmits the same packet population.
+    packet_counts = {s["packets"] for s in golden.values()}
+    assert len(packet_counts) == 1

@@ -1,0 +1,290 @@
+"""Parallel experiment executor: determinism, caching, instrumentation.
+
+The acceptance criteria of the parallel-runner issue live here:
+
+* a 5-seed x 4-strategy grid produces bit-identical summary dicts
+  whether executed serially in-process or across a process pool;
+* re-running a grid against a warm on-disk cache executes **zero**
+  simulations (asserted via :class:`ExecutorStats`);
+* job-spec content hashes are stable, order-insensitive, and exclude
+  the display ``tag``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.multiseed import replicate_jobs, replicate_strategy
+from repro.baselines.etrain import ETrainStrategy
+from repro.core.scheduler import SchedulerConfig
+from repro.sim.parallel import (
+    ExperimentExecutor,
+    JobSpec,
+    ResultCache,
+    ScenarioSpec,
+    StrategySpec,
+    run_job,
+    seed_grid,
+)
+
+#: The comparison set the issue names: the baseline plus all three
+#: scheduling algorithms, at their Fig. 8 operating points.
+GRID_STRATEGIES = [
+    StrategySpec.make("immediate"),
+    StrategySpec.make("etrain", theta=1.0),
+    StrategySpec.make("peres", omega=0.4),
+    StrategySpec.make("etime", v=40_000.0),
+]
+GRID_SEEDS = [0, 1, 2, 3, 4]
+
+
+def _grid_jobs(horizon: float = 450.0):
+    return seed_grid(
+        GRID_STRATEGIES, GRID_SEEDS, ScenarioSpec(horizon=horizon)
+    )
+
+
+def test_serial_and_parallel_grids_bit_identical():
+    """5 seeds x 4 strategies: pool summaries == in-process summaries."""
+    jobs = _grid_jobs()
+    serial = ExperimentExecutor().run(jobs)
+    parallel = ExperimentExecutor(workers=2).run(jobs)
+
+    assert len(serial) == len(parallel) == 20
+    for s, p in zip(serial, parallel):
+        assert s.spec == p.spec
+        assert s.summary == p.summary  # dict equality: bit-identical floats
+
+
+def test_results_come_back_in_submission_order():
+    jobs = _grid_jobs(horizon=240.0)
+    results = ExperimentExecutor(workers=2).run(jobs)
+    assert [r.spec for r in results] == jobs
+
+
+def test_warm_cache_rerun_executes_zero_simulations(tmp_path):
+    """Second run of the same grid: all cache hits, no simulations."""
+    jobs = _grid_jobs(horizon=240.0)
+
+    cold = ExperimentExecutor(cache_dir=tmp_path / "cache")
+    first = cold.run(jobs)
+    assert cold.stats.jobs_run == len(jobs)
+    assert cold.stats.cache_hits == 0
+
+    warm = ExperimentExecutor(cache_dir=tmp_path / "cache", workers=2)
+    second = warm.run(jobs)
+    assert warm.stats.jobs_run == 0
+    assert warm.stats.cache_hits == len(jobs)
+    assert all(r.cached for r in second)
+    for a, b in zip(first, second):
+        assert a.summary == b.summary
+
+
+def test_partial_cache_only_runs_missing_cells(tmp_path):
+    jobs = _grid_jobs(horizon=240.0)
+    seeded = ExperimentExecutor(cache_dir=tmp_path / "cache")
+    seeded.run(jobs[:8])
+
+    rest = ExperimentExecutor(cache_dir=tmp_path / "cache")
+    results = rest.run(jobs)
+    assert rest.stats.cache_hits == 8
+    assert rest.stats.jobs_run == len(jobs) - 8
+    assert [r.spec for r in results] == jobs
+
+
+def test_cached_results_identical_to_fresh(tmp_path):
+    job = _grid_jobs(horizon=240.0)[5]
+    executor = ExperimentExecutor(cache_dir=tmp_path / "cache")
+    (fresh,) = executor.run([job])
+    (cached,) = executor.run([job])
+    assert cached.cached and not fresh.cached
+    assert cached.summary == fresh.summary
+    assert cached.summary == run_job(job)
+
+
+def test_executor_stats_accumulate_and_describe(tmp_path):
+    executor = ExperimentExecutor(cache_dir=tmp_path / "cache")
+    jobs = _grid_jobs(horizon=240.0)[:4]
+    executor.run(jobs)
+    executor.run(jobs)
+    stats = executor.stats
+    assert stats.jobs_total == 8
+    assert stats.jobs_run == 4
+    assert stats.cache_hits == 4
+    assert stats.mean_job_time > 0
+    assert 0.0 <= stats.worker_utilization <= 1.0
+    text = stats.describe()
+    assert "8 jobs" in text and "4 run" in text and "4 cached" in text
+
+
+def test_progress_callback_streams_every_job(tmp_path):
+    lines = []
+    executor = ExperimentExecutor(
+        cache_dir=tmp_path / "cache", progress=lines.append
+    )
+    jobs = _grid_jobs(horizon=240.0)[:3]
+    executor.run(jobs)
+    assert len(lines) == 3
+    assert lines[0].startswith("[1/3]")
+
+    executor.run(jobs)  # warm: still one line per job, marked cached
+    assert len(lines) == 6
+    assert all("(cache)" in line for line in lines[3:])
+
+
+# ---------------------------------------------------------------------------
+# Content hashing
+# ---------------------------------------------------------------------------
+
+
+def test_content_hash_is_stable_and_order_insensitive():
+    a = JobSpec(
+        StrategySpec.make("etrain", theta=0.5, k=8),
+        ScenarioSpec(seed=3, horizon=600.0),
+    )
+    b = JobSpec(
+        StrategySpec.make("etrain", k=8, theta=0.5),  # kwargs reordered
+        ScenarioSpec(seed=3, horizon=600.0),
+    )
+    assert a.content_hash() == b.content_hash()
+    assert len(a.content_hash()) == 64  # sha-256 hex
+
+
+def test_content_hash_excludes_tag():
+    base = JobSpec(
+        StrategySpec.make("immediate"), ScenarioSpec(seed=0, horizon=600.0)
+    )
+    tagged = JobSpec(
+        StrategySpec.make("immediate"),
+        ScenarioSpec(seed=0, horizon=600.0),
+        tag="relabelled sweep cell",
+    )
+    assert base.content_hash() == tagged.content_hash()
+
+
+def test_content_hash_distinguishes_every_spec_field():
+    base = JobSpec(
+        StrategySpec.make("etrain", theta=0.5),
+        ScenarioSpec(seed=0, horizon=600.0),
+    )
+    variants = [
+        JobSpec(StrategySpec.make("etrain", theta=0.6), base.scenario),
+        JobSpec(StrategySpec.make("immediate"), base.scenario),
+        JobSpec(base.strategy, ScenarioSpec(seed=1, horizon=600.0)),
+        JobSpec(base.strategy, ScenarioSpec(seed=0, horizon=601.0)),
+        JobSpec(base.strategy, ScenarioSpec(seed=0, horizon=600.0, rate=0.1)),
+        JobSpec(
+            base.strategy,
+            ScenarioSpec(seed=0, horizon=600.0, power_model="lte_cat4"),
+        ),
+        JobSpec(base.strategy, ScenarioSpec(seed=0, horizon=600.0, slot=0.5)),
+    ]
+    hashes = {base.content_hash()} | {v.content_hash() for v in variants}
+    assert len(hashes) == len(variants) + 1
+
+
+def test_cache_survives_corrupt_entries(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    job = JobSpec(StrategySpec.make("immediate"), ScenarioSpec(horizon=240.0))
+    key = job.content_hash()
+    cache.put(key, {"summary": {"total_energy_j": 1.0}})
+    assert cache.get(key)["summary"]["total_energy_j"] == 1.0
+
+    path = cache._path(key)
+    path.write_text("{not json", encoding="utf-8")
+    assert cache.get(key) is None  # corrupt entry reads as a miss
+
+
+def test_cache_entry_records_spec_for_auditing(tmp_path):
+    executor = ExperimentExecutor(cache_dir=tmp_path / "cache")
+    job = JobSpec(
+        StrategySpec.make("etrain", theta=1.0),
+        ScenarioSpec(horizon=240.0),
+        tag="audit me",
+    )
+    executor.run([job])
+    entry = json.loads(
+        ResultCache(tmp_path / "cache")._path(job.content_hash()).read_text()
+    )
+    assert entry["spec"] == job.to_dict()
+    assert entry["tag"] == "audit me"
+    assert "summary" in entry and "wall_time" in entry
+
+
+# ---------------------------------------------------------------------------
+# replicate_strategy: declarative vs legacy-callable equivalence
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,params,factory",
+    [
+        (
+            "immediate",
+            {},
+            lambda s: __import__(
+                "repro.baselines.immediate", fromlist=["ImmediateStrategy"]
+            ).ImmediateStrategy(),
+        ),
+        (
+            "etrain",
+            {"theta": 1.0},
+            lambda s: ETrainStrategy(s.profiles, SchedulerConfig(theta=1.0)),
+        ),
+        (
+            "peres",
+            {"omega": 0.4},
+            lambda s: __import__(
+                "repro.baselines.peres", fromlist=["PerESStrategy"]
+            ).PerESStrategy(s.profiles, s.estimator(), omega=0.4),
+        ),
+        (
+            "etime",
+            {"v": 40_000.0},
+            lambda s: __import__(
+                "repro.baselines.etime", fromlist=["ETimeStrategy"]
+            ).ETimeStrategy(s.estimator(), v=40_000.0),
+        ),
+    ],
+)
+def test_replicate_strategy_declarative_matches_callable(name, params, factory):
+    """Issue satellite: serial-vs-parallel replicate_strategy regression.
+
+    For each of the four comparison strategies, the declarative
+    (executor-backed, possibly pooled) path must reproduce the legacy
+    callable path's per-seed metrics exactly.
+    """
+    seeds = (0, 1, 2)
+    legacy = replicate_strategy(factory, seeds, horizon=450.0)
+    serial = replicate_strategy(
+        StrategySpec.make(name, **params), seeds, horizon=450.0
+    )
+    pooled = replicate_strategy(
+        StrategySpec.make(name, **params),
+        seeds,
+        horizon=450.0,
+        executor=ExperimentExecutor(workers=2),
+    )
+    for key, summary in legacy.items():
+        assert serial[key] == summary, f"serial mismatch on {key}"
+        assert pooled[key] == summary, f"pooled mismatch on {key}"
+
+
+def test_replicate_jobs_template_seeds():
+    jobs = replicate_jobs(
+        "etrain", [4, 7], ScenarioSpec(horizon=450.0, rate=0.1)
+    )
+    assert [j.scenario.seed for j in jobs] == [4, 7]
+    assert all(j.scenario.rate == 0.1 for j in jobs)
+    assert all(j.strategy.name == "etrain" for j in jobs)
+
+
+def test_replicate_strategy_rejects_mixed_forms():
+    with pytest.raises(ValueError):
+        replicate_strategy(
+            "etrain",
+            (0, 1),
+            scenario_factory=lambda seed: None,
+        )
