@@ -1,0 +1,50 @@
+"""Engine fast-path bench — the event-horizon loop vs the dense reference.
+
+Wraps :mod:`repro.sim.perf` (the ``etrain bench`` harness) in the
+benchmark suite's idiom: timed once, printed, and shape-asserted.  The
+hard ≥5×/≥10× speedup claims live in the committed ``BENCH_engine.json``
+baseline and are gated in CI by ``etrain bench --mode smoke --check``;
+here we only assert the direction (the event loop must actually win and
+actually skip), so a noisy CI box cannot flake the suite.
+
+All tests are ``smoke``-marked: they are part of the seconds-long CI
+subset (``-m smoke`` / ``ETRAIN_BENCH_SMOKE=1``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.sim.perf import BENCH_CASES, run_case
+
+
+def _case(name: str):
+    return next(c for c in BENCH_CASES if c.name == name)
+
+
+@pytest.mark.smoke
+def test_sparse_strategy_engine_speedup(benchmark, report):
+    row = run_once(benchmark, run_case, _case("periodic300_2h"), 3)
+    report(
+        "Engine fast path [periodic(300 s), 2 h scenario]\n"
+        f"  dense {row['dense_s'] * 1e3:7.2f} ms over {row['dense_iterations']} slots\n"
+        f"  event {row['event_s'] * 1e3:7.2f} ms over {row['event_iterations']} slots\n"
+        f"  speedup {row['speedup']:.2f}x"
+    )
+    # run_case itself asserts dense/event summaries are bit-identical.
+    assert row["speedup"] > 1.5
+    assert row["event_iterations"] < row["dense_iterations"] / 10
+
+
+@pytest.mark.smoke
+def test_daylong_horizon_engine_speedup(benchmark, report):
+    row = run_once(benchmark, run_case, _case("periodic600_day"), 2)
+    report(
+        "Engine fast path [periodic(600 s), 24 h horizon]\n"
+        f"  dense {row['dense_s'] * 1e3:7.2f} ms over {row['dense_iterations']} slots\n"
+        f"  event {row['event_s'] * 1e3:7.2f} ms over {row['event_iterations']} slots\n"
+        f"  speedup {row['speedup']:.2f}x"
+    )
+    assert row["speedup"] > 3.0
+    assert row["event_iterations"] < row["dense_iterations"] / 100

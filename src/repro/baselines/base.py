@@ -14,7 +14,7 @@ interfere original heartbeat transmission").
 from __future__ import annotations
 
 import abc
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.core.packet import Packet
 
@@ -84,6 +84,20 @@ class TransmissionStrategy(abc.ABC):
     #: but only calls :meth:`decide` at multiples of this value.
     slot: float = 1.0
 
+    #: Whether a packet arrival must wake the event-driven engine at the
+    #: arrival's own slot.  The conservative default True delivers every
+    #: arrival exactly when the dense loop would.  A strategy may set
+    #: False when (a) :meth:`on_arrival` ignores its ``now`` argument and
+    #: (b) no arrival can move the strategy's next acting decision
+    #: earlier (its decision schedule is arrival-independent — e.g. a
+    #: fixed-period batcher or a fixed-cadence Lyapunov scheduler).  The
+    #: engine then delivers queued arrivals in bulk, in order, right
+    #: before the next decision or heartbeat slot that could observe
+    #: them, which is indistinguishable to the strategy.  A strategy
+    #: setting this False must report :attr:`is_idle` as False (its
+    #: decision schedule, not idleness, drives the engine's wake-ups).
+    arrival_wakes: bool = True
+
     #: eTrain's Q_TX semantics (Sec. IV): released packets transmit "as
     #: soon as possible ... whenever there is radio resource available".
     #: When True, the simulator transmits a non-heartbeat release
@@ -96,6 +110,17 @@ class TransmissionStrategy(abc.ABC):
     @abc.abstractmethod
     def on_arrival(self, packet: Packet, now: float) -> None:
         """A cargo packet arrived and is available from the next slot."""
+
+    def on_arrivals(self, packets: Sequence[Packet], now: float) -> None:
+        """Deliver a chronological batch of arrivals due at ``now``.
+
+        Semantically identical to calling :meth:`on_arrival` once per
+        packet (the default does exactly that); queue-append strategies
+        override this with a single ``list.extend`` so the event engine
+        can deliver bulked-up arrivals cheaply.
+        """
+        for packet in packets:
+            self.on_arrival(packet, now)
 
     @abc.abstractmethod
     def decide(self, now: float, heartbeat_present: bool) -> List[Packet]:
@@ -116,3 +141,61 @@ class TransmissionStrategy(abc.ABC):
     def waiting_count(self) -> int:
         """Packets currently held back by the strategy."""
         return 0
+
+    @property
+    def pending_count(self) -> int:
+        """Conservative count of packets the strategy may still release.
+
+        The event-driven engine only uses this for reporting; correctness
+        hinges on :attr:`is_idle`.  Defaults to :attr:`waiting_count`.
+        """
+        return self.waiting_count
+
+    @property
+    def is_idle(self) -> bool:
+        """Whether :meth:`decide` is *guaranteed* to be an output-affecting
+        no-op until the next :meth:`on_arrival` or heartbeat slot.
+
+        Contract: while this returns True, ``decide(t, False)`` must
+        return ``[]`` and must not mutate any state that influences a
+        future decision's outcome.  Time-keeping state that *does* evolve
+        with skipped decision slots (e.g. a periodic fire clock) must be
+        replayed in :meth:`on_decisions_skipped` instead.
+
+        The event-driven engine skips decision slots only while a
+        strategy reports idle; the conservative default ``False`` keeps
+        dense slot-by-slot behaviour for strategies that do not opt in.
+        """
+        return False
+
+    def decision_horizon(self, now: float) -> float:
+        """Earliest future time at which :meth:`decide` may act.
+
+        Contract: for every decision time ``t`` with ``now < t`` and
+        ``t < decision_horizon(now)``, ``decide(t, False)`` would return
+        ``[]`` and would not mutate output-affecting state — *assuming no
+        intervening arrival or heartbeat* (either of those wakes the
+        engine anyway and re-queries the horizon).  Implementations
+        should subtract a small float-safety margin so rounding in the
+        engine's slot arithmetic can never land a skipped decision at or
+        past the promised horizon.
+
+        Unlike :attr:`is_idle`, this lets a strategy with pending work
+        declare a quiet stretch (a periodic batcher between fires, a
+        deadline scheduler far from its earliest due time).  The default
+        ``now`` promises nothing and keeps dense behaviour.  The return
+        value must be a finite float (use a large sentinel such as the
+        simulation horizon rather than ``inf``).
+        """
+        return now
+
+    def on_decisions_skipped(self, window) -> None:
+        """The engine skipped the decision slots described by ``window``.
+
+        ``window`` is a :class:`repro.sim.engine.DecisionWindow`: the
+        decision times the dense loop would have passed to
+        :meth:`decide` while this strategy reported :attr:`is_idle`.
+        Strategies whose internal clock advances even on empty decisions
+        (e.g. periodic batching) replay it here; the default is a no-op.
+        """
+        return None

@@ -105,3 +105,11 @@ class ChannelAwareETrainStrategy(ETrainStrategy):
     @property
     def waiting_count(self) -> int:
         return super().waiting_count + len(self._deferred)
+
+    @property
+    def is_idle(self) -> bool:
+        """Never idle, overriding the eTrain parent: every :meth:`decide`
+        records a channel sample into the estimator, and the running
+        average built from those samples gates future dribble releases.
+        Skipping decision slots would change the sample stream."""
+        return False

@@ -24,7 +24,7 @@ the energy-delay knob (bigger V → longer waits → fewer, larger bursts).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.baselines.base import BandwidthEstimator, TransmissionStrategy
 from repro.core.packet import Packet
@@ -54,9 +54,24 @@ class ETimeStrategy(TransmissionStrategy):
     def on_arrival(self, packet: Packet, now: float) -> None:
         self._queue.append(packet)
 
+    def on_arrivals(self, packets: Sequence[Packet], now: float) -> None:
+        self._queue.extend(packets)
+
+    #: eTime's decision cadence is its fixed 60 s Lyapunov slot — an
+    #: arrival never moves a decision earlier, and on_arrival ignores its
+    #: timestamp, so the engine may deliver arrivals in bulk right before
+    #: the decision slot that first observes them.
+    arrival_wakes = False
+
     @property
     def waiting_count(self) -> int:
         return len(self._queue)
+
+    # eTime keeps the base never-idle protocol: every decide() records a
+    # channel sample into the estimator, and the running average those
+    # samples feed changes future release decisions, so no decision slot
+    # may be skipped.  The event engine still skips the 59 non-decision
+    # slots between its 60 s decision points.
 
     @property
     def backlog_bytes(self) -> int:

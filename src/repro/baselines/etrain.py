@@ -49,3 +49,19 @@ class ETrainStrategy(TransmissionStrategy):
     @property
     def waiting_count(self) -> int:
         return self.scheduler.waiting_count
+
+    @property
+    def is_idle(self) -> bool:
+        """Idle when every waiting queue and Q_TX are empty.
+
+        In that state ``ETrainScheduler.decide`` computes P(t) = 0 and —
+        whatever Θ — selects nothing from empty queues, so the result is
+        unchanged.  It does append a :class:`SchedulerDecision` to the
+        scheduler's audit log; that log is diagnostic only and never
+        feeds :class:`~repro.sim.results.SimulationResult`, which the
+        :attr:`is_idle` contract permits.
+        """
+        return (
+            self.scheduler.waiting_count == 0
+            and len(self.scheduler.tx_queue) == 0
+        )

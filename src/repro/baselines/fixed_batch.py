@@ -9,7 +9,7 @@ tails*.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.baselines.base import TransmissionStrategy
 from repro.core.packet import Packet
@@ -34,6 +34,9 @@ class PeriodicBatchStrategy(TransmissionStrategy):
     def on_arrival(self, packet: Packet, now: float) -> None:
         self._queue.append(packet)
 
+    def on_arrivals(self, packets: Sequence[Packet], now: float) -> None:
+        self._queue.extend(packets)
+
     @property
     def waiting_count(self) -> int:
         return len(self._queue)
@@ -48,3 +51,24 @@ class PeriodicBatchStrategy(TransmissionStrategy):
     def flush(self, now: float) -> List[Packet]:
         released, self._queue = self._queue, []
         return released
+
+    #: The fire clock is pure wall-clock — arrivals never move a fire
+    #: earlier, and on_arrival ignores its timestamp — so the engine may
+    #: deliver arrivals in bulk right before the fire (or heartbeat) slot
+    #: that first observes them.
+    arrival_wakes = False
+
+    # Never idle (as arrival_wakes=False requires): the fire clock ticks
+    # on *every* fire slot, queued packets or not — decide() advances
+    # _last_fire even when it releases nothing — so the engine must wake
+    # at each fire.  decision_horizon keeps everything in between
+    # skippable.
+
+    def decision_horizon(self, now: float) -> float:
+        """Quiet until just below the next time the fire predicate holds.
+
+        :meth:`decide` fires at ``t`` iff ``t - _last_fire + 1e-9 >=
+        period``; the extra margin absorbs engine-side slot-arithmetic
+        rounding so no qualifying decision time is ever promised away.
+        """
+        return self._last_fire + self.period - 1e-9 - 1e-6 * max(self.period, 1.0)

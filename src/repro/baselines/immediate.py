@@ -39,3 +39,9 @@ class ImmediateStrategy(TransmissionStrategy):
     @property
     def waiting_count(self) -> int:
         return len(self._pending)
+
+    @property
+    def is_idle(self) -> bool:
+        """With nothing pending, :meth:`decide` swaps an empty list for an
+        empty list — a pure no-op, so the engine may skip ahead."""
+        return not self._pending

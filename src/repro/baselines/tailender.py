@@ -82,6 +82,24 @@ class TailEnderStrategy(TransmissionStrategy):
         released, self._queue = self._queue, []
         return released
 
+    @property
+    def is_idle(self) -> bool:
+        """Idle when nothing is queued — :meth:`decide` is then pure."""
+        return not self._queue
+
+    def decision_horizon(self, now: float) -> float:
+        """Quiet until one slot before the earliest deadline.
+
+        :meth:`decide` fires at ``t`` iff ``earliest_due() <= t + slot``,
+        and a decision between now and then neither releases packets nor
+        mutates state.  The margin keeps engine-side float rounding from
+        landing a skipped decision at the firing boundary.
+        """
+        due = self.earliest_due()
+        if due is None:
+            return now
+        return due - self.slot - 1e-6 * max(1.0, self.slot)
+
     def flush(self, now: float) -> List[Packet]:
         released, self._queue = self._queue, []
         return released

@@ -14,6 +14,8 @@ Examples::
     etrain sweep --strategies immediate,etrain --seeds 5 --workers 4
     etrain sweep --param theta=0.5,1,2 --cache-dir .sweep-cache
     etrain fig8 --workers 4 --cache-dir .sweep-cache
+    etrain bench                            # engine microbenchmarks
+    etrain bench --mode smoke --check BENCH_engine.json
 """
 
 from __future__ import annotations
@@ -25,7 +27,13 @@ from typing import Any, Dict, List, Optional
 
 from repro.experiments import ALL_EXPERIMENTS
 
-__all__ = ["main", "build_parser", "run_trace_command", "run_sweep_command"]
+__all__ = [
+    "main",
+    "build_parser",
+    "run_trace_command",
+    "run_sweep_command",
+    "run_bench_command",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -370,6 +378,77 @@ def run_sweep_command(argv: List[str]) -> int:
     return 0
 
 
+def build_bench_parser() -> argparse.ArgumentParser:
+    """Parser for the ``etrain bench`` engine microbenchmarks."""
+    parser = argparse.ArgumentParser(
+        prog="etrain bench",
+        description=(
+            "Benchmark the dense reference loop against the event-horizon "
+            "engine on fixed scenarios, optionally gating against a "
+            "committed baseline (see docs/performance.md)."
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_engine.json",
+        help="where to write the benchmark JSON (default: BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("full", "smoke"),
+        default="full",
+        help="'smoke' runs the CI subset with fewer repeats",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per case (best-of-N; default 15 full / 10 smoke)",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare speedups against this baseline JSON; non-zero exit "
+        "on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup drop vs the baseline (default 0.25)",
+    )
+    return parser
+
+
+def run_bench_command(argv: List[str]) -> int:
+    """Execute ``etrain bench ...``; returns an exit code."""
+    from repro.sim.perf import (
+        check_results,
+        load_baseline,
+        run_benchmarks,
+        write_results,
+    )
+
+    args = build_bench_parser().parse_args(argv)
+    results = run_benchmarks(
+        mode=args.mode, repeats=args.repeats, progress=print
+    )
+    write_results(args.out, results)
+    print(f"wrote {len(results['cases'])} cases to {args.out}")
+
+    if args.check is not None:
+        failures = check_results(
+            results, load_baseline(args.check), tolerance=args.tolerance
+        )
+        if failures:
+            for line in failures:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"all cases within {args.tolerance:.0%} of {args.check}")
+    return 0
+
+
 def _run_one(name: str, quick: bool, executor=None) -> None:
     module = ALL_EXPERIMENTS[name]
     main_fn = module.main
@@ -392,6 +471,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if argv and argv[0] == "sweep":
         return run_sweep_command(argv[1:])
+
+    if argv and argv[0] == "bench":
+        return run_bench_command(argv[1:])
 
     if argv and argv[0] == "report":
         report_parser = argparse.ArgumentParser(prog="etrain report")

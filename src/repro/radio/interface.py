@@ -46,6 +46,10 @@ class RadioInterface:
         self.rrc = RRCMachine(self.power_model)
         self._accountant = EnergyAccountant(self.power_model)
         self._last_requested = 0.0
+        # Bursts are chronological and serialised, so the last burst's
+        # end is always the latest; cache it instead of re-deriving it
+        # from the record list on the engine's hot path.
+        self._busy_until = 0.0
         #: Bursts that began from a fully demoted (IDLE) radio and paid
         #: a state promotion (only counted when the power model defines
         #: a promotion delay or energy).
@@ -54,7 +58,7 @@ class RadioInterface:
     @property
     def busy_until(self) -> float:
         """Time the current/last burst finishes (0.0 if never used)."""
-        return self.records[-1].end if self.records else 0.0
+        return self._busy_until
 
     def transmit(
         self,
@@ -80,7 +84,8 @@ class RadioInterface:
                 f"{requested_start} < {self._last_requested}"
             )
         self._last_requested = requested_start
-        start = max(requested_start, self.busy_until)
+        busy = self._busy_until
+        start = requested_start if requested_start > busy else busy
 
         # Cold start: the radio is fully demoted, so data waits for the
         # IDLE→DCH promotion.  The promotion window is folded into the
@@ -88,7 +93,7 @@ class RadioInterface:
         # and per-promotion signaling energy is accounted separately.
         pm = self.power_model
         promotion = 0.0
-        is_cold = not self.records or start >= self.records[-1].end + pm.tail_time
+        is_cold = not self.records or start >= busy + pm.tail_time
         if is_cold and (pm.promotion_delay > 0 or pm.promotion_energy > 0):
             promotion = pm.promotion_delay
             self.cold_starts += 1
@@ -104,6 +109,7 @@ class RadioInterface:
             packet_ids=tuple(packet_ids),
         )
         self.records.append(record)
+        self._busy_until = start + duration
         self.rrc.add_burst(start, duration)
         return record
 
@@ -119,17 +125,27 @@ class RadioInterface:
     def _transmit_direction_group(
         self, start: float, packets: Sequence[Packet], kind: str, direction: str
     ) -> TransmissionRecord:
+        # Single pass over the batch; batches can hold thousands of
+        # packets on day-long horizons, so this sits on the hot path.
+        size = 0
+        ids = []
+        apps = set()
+        for p in packets:
+            size += p.size_bytes
+            ids.append(p.packet_id)
+            apps.add(p.app_id)
         record = self.transmit(
             start,
-            sum(p.size_bytes for p in packets),
+            size,
             kind,
-            app_ids=tuple(sorted({p.app_id for p in packets})),
-            packet_ids=tuple(p.packet_id for p in packets),
+            app_ids=tuple(sorted(apps)),
+            packet_ids=tuple(ids),
             direction=direction,
         )
+        burst_start, burst_end = record.start, record.end
         for p in packets:
-            p.scheduled_time = record.start
-            p.completion_time = record.end
+            p.scheduled_time = burst_start
+            p.completion_time = burst_end
         return record
 
     def transmit_packets(
@@ -144,12 +160,18 @@ class RadioInterface:
         if not packets:
             raise ValueError("transmit_packets requires at least one packet")
         records: List[TransmissionRecord] = []
-        for direction in ("up", "down"):
-            group = [p for p in packets if p.direction == direction]
-            if group:
-                records.append(
-                    self._transmit_direction_group(start, group, "data", direction)
-                )
+        uplink: List[Packet] = []
+        downlink: List[Packet] = []
+        for p in packets:
+            (uplink if p.direction == "up" else downlink).append(p)
+        if uplink:
+            records.append(
+                self._transmit_direction_group(start, uplink, "data", "up")
+            )
+        if downlink:
+            records.append(
+                self._transmit_direction_group(start, downlink, "data", "down")
+            )
         return records
 
     def transmit_piggyback(
@@ -164,21 +186,30 @@ class RadioInterface:
         if not packets:
             return [self.transmit_heartbeat(heartbeat)]
         records: List[TransmissionRecord] = []
-        uplink = [p for p in packets if p.direction == "up"]
-        downlink = [p for p in packets if p.direction == "down"]
+        uplink: List[Packet] = []
+        downlink: List[Packet] = []
+        for p in packets:
+            (uplink if p.direction == "up" else downlink).append(p)
         if uplink:
+            size = heartbeat.size_bytes
+            ids = []
+            apps = set()
+            for p in uplink:
+                size += p.size_bytes
+                ids.append(p.packet_id)
+                apps.add(p.app_id)
             record = self.transmit(
                 heartbeat.time,
-                heartbeat.size_bytes + sum(p.size_bytes for p in uplink),
+                size,
                 "piggyback",
-                app_ids=(heartbeat.app_id,)
-                + tuple(sorted({p.app_id for p in uplink})),
-                packet_ids=tuple(p.packet_id for p in uplink),
+                app_ids=(heartbeat.app_id,) + tuple(sorted(apps)),
+                packet_ids=tuple(ids),
                 direction="up",
             )
+            burst_start, burst_end = record.start, record.end
             for p in uplink:
-                p.scheduled_time = record.start
-                p.completion_time = record.end
+                p.scheduled_time = burst_start
+                p.completion_time = burst_end
             records.append(record)
         else:
             records.append(self.transmit_heartbeat(heartbeat))

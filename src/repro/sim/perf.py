@@ -1,0 +1,248 @@
+"""Single-run engine microbenchmarks: dense loop vs event-horizon loop.
+
+The event engine's claim is *performance at zero semantic cost*: both
+paths must produce bit-identical results, with the event path skipping
+the empty slots.  This harness measures that speedup on a fixed set of
+scenario/strategy cases and writes a machine-readable baseline
+(``BENCH_engine.json``) that CI compares against.
+
+Only ``Simulation.run()`` is timed — scenario synthesis, packet copying
+and strategy construction happen outside the timed region — and each
+measurement is the best of ``repeats`` runs, which is robust against
+scheduler noise on shared machines.  The committed baseline stores the
+dense/event *ratio* per case (machine-independent to first order), not
+absolute times.
+
+Usage::
+
+    etrain bench                               # full suite -> BENCH_engine.json
+    etrain bench --mode smoke --check BENCH_engine.json
+    PYTHONPATH=src python -m repro.sim.perf    # same as `etrain bench`
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.base import TransmissionStrategy
+from repro.sim.engine import Simulation
+from repro.sim.runner import Scenario, default_scenario
+
+__all__ = [
+    "BenchCase",
+    "BENCH_CASES",
+    "run_case",
+    "run_benchmarks",
+    "check_results",
+    "load_baseline",
+    "write_results",
+]
+
+#: Schema version of the benchmark JSON document.
+BENCH_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One (scenario, strategy) benchmark cell."""
+
+    name: str
+    seed: int
+    horizon: float
+    train_count: int
+    make_strategy: Callable[[Scenario], TransmissionStrategy]
+    #: Included in ``--mode smoke`` (CI) runs.
+    smoke: bool = False
+
+
+def _immediate(scenario: Scenario) -> TransmissionStrategy:
+    from repro.baselines.immediate import ImmediateStrategy
+
+    return ImmediateStrategy()
+
+
+def _periodic(period: float) -> Callable[[Scenario], TransmissionStrategy]:
+    def make(scenario: Scenario) -> TransmissionStrategy:
+        from repro.baselines.fixed_batch import PeriodicBatchStrategy
+
+        return PeriodicBatchStrategy(period=period)
+
+    return make
+
+
+def _tailender(scenario: Scenario) -> TransmissionStrategy:
+    from repro.baselines.tailender import TailEnderStrategy
+
+    return TailEnderStrategy(profiles=scenario.profiles)
+
+
+def _etime(scenario: Scenario) -> TransmissionStrategy:
+    from repro.baselines.etime import ETimeStrategy
+
+    return ETimeStrategy(scenario.estimator(), v=200_000.0)
+
+
+#: The benchmark suite.  The 2-hour cases match the paper's default
+#: Sec. VI-A scenario; the day-long single-train case is where slot
+#: skipping pays off most (sparse decisions over 86,400 slots).
+BENCH_CASES: List[BenchCase] = [
+    BenchCase("immediate_2h", 0, 7200.0, 3, _immediate, smoke=True),
+    BenchCase("periodic60_2h", 0, 7200.0, 3, _periodic(60.0)),
+    BenchCase("periodic300_2h", 0, 7200.0, 3, _periodic(300.0), smoke=True),
+    BenchCase("tailender_2h", 0, 7200.0, 3, _tailender),
+    BenchCase("etime_2h", 0, 7200.0, 3, _etime),
+    BenchCase("periodic600_day", 0, 86400.0, 1, _periodic(600.0), smoke=True),
+]
+
+
+def _timed_run(case: BenchCase, scenario: Scenario, dense: bool) -> tuple:
+    """One ``Simulation.run()`` with only the run itself timed."""
+    sim = Simulation(
+        case.make_strategy(scenario),
+        scenario.train_generators,
+        scenario.fresh_packets(),
+        power_model=scenario.power_model,
+        bandwidth=scenario.bandwidth,
+        horizon=scenario.horizon,
+        slot=scenario.slot,
+        dense=dense,
+    )
+    gc.collect()
+    t0 = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - t0
+    return elapsed, sim.loop_iterations, result.summary()
+
+
+def run_case(case: BenchCase, repeats: int = 3) -> Dict[str, object]:
+    """Benchmark one case; also asserts dense/event bit-equality.
+
+    Dense and event runs are interleaved (and the collector held off —
+    a mid-run GC pass over the packet graph dwarfs a millisecond-scale
+    signal) so slow machine-state drift hits both paths alike instead of
+    skewing the ratio; each side's time is its best over ``repeats``.
+    """
+    scenario = default_scenario(
+        seed=case.seed, horizon=case.horizon, train_count=case.train_count
+    )
+    dense_s = event_s = float("inf")
+    dense_iters = event_iters = 0
+    dense_summary: Dict[str, float] = {}
+    event_summary: Dict[str, float] = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            elapsed, dense_iters, dense_summary = _timed_run(
+                case, scenario, True
+            )
+            dense_s = min(dense_s, elapsed)
+            elapsed, event_iters, event_summary = _timed_run(
+                case, scenario, False
+            )
+            event_s = min(event_s, elapsed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    if event_summary != dense_summary:
+        raise AssertionError(
+            f"{case.name}: event summary diverged from dense reference:\n"
+            f"  dense: {dense_summary}\n  event: {event_summary}"
+        )
+    return {
+        "name": case.name,
+        "seed": case.seed,
+        "horizon": case.horizon,
+        "train_count": case.train_count,
+        "smoke": case.smoke,
+        "dense_s": dense_s,
+        "event_s": event_s,
+        "speedup": dense_s / event_s if event_s > 0 else float("inf"),
+        "dense_iterations": dense_iters,
+        "event_iterations": event_iters,
+    }
+
+
+def run_benchmarks(
+    mode: str = "full",
+    repeats: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the suite and return the benchmark document."""
+    if mode not in ("full", "smoke"):
+        raise ValueError(f"mode must be 'full' or 'smoke', got {mode!r}")
+    if repeats is None:
+        # Event-path runs are a handful of milliseconds, so the best-of
+        # needs enough repeats to shake off scheduler noise.
+        repeats = 15 if mode == "full" else 10
+    cases = [c for c in BENCH_CASES if mode == "full" or c.smoke]
+    rows: List[Dict[str, object]] = []
+    for case in cases:
+        row = run_case(case, repeats=repeats)
+        rows.append(row)
+        if progress is not None:
+            progress(
+                f"{row['name']:18s} dense {row['dense_s'] * 1e3:8.1f} ms  "
+                f"event {row['event_s'] * 1e3:8.1f} ms  "
+                f"speedup {row['speedup']:6.2f}x  "
+                f"({row['event_iterations']}/{row['dense_iterations']} slots)"
+            )
+    return {
+        "version": BENCH_VERSION,
+        "mode": mode,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "cases": rows,
+    }
+
+
+def load_baseline(path: str) -> Dict[str, object]:
+    """Read a previously written benchmark document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_results(path: str, results: Dict[str, object]) -> None:
+    """Write a benchmark document as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def check_results(
+    results: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = 0.25,
+) -> List[str]:
+    """Compare observed speedups against the baseline's.
+
+    A case fails when its observed dense/event speedup drops more than
+    ``tolerance`` (fractional) below the baseline speedup.  Only the
+    ratio is compared — absolute times are machine-dependent.  Cases
+    missing from either side are skipped (smoke runs cover a subset).
+    """
+    base_by_name = {c["name"]: c for c in baseline.get("cases", [])}
+    failures: List[str] = []
+    for row in results["cases"]:
+        base = base_by_name.get(row["name"])
+        if base is None:
+            continue
+        floor = base["speedup"] * (1.0 - tolerance)
+        if row["speedup"] < floor:
+            failures.append(
+                f"{row['name']}: speedup {row['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+if __name__ == "__main__":
+    from repro.cli import main
+
+    sys.exit(main(["bench"] + sys.argv[1:]))

@@ -66,6 +66,63 @@ class SimulationResult:
     energy: EnergyBreakdown
     flushed_packets: int = 0
     decisions: int = 0
+    #: Lazily computed derived metrics; every metric property reads from
+    #: this single-pass cache, so repeated ``summary()`` calls never
+    #: re-scan ``packets``/``records``.  Results are treated as immutable
+    #: once constructed — mutating their lists afterwards is unsupported.
+    _metrics: Optional[Dict[str, float]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _app_stats: Optional[Dict[str, AppStats]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _computed(self) -> Dict[str, float]:
+        """One pass over packets and records feeding every derived metric."""
+        if self._metrics is None:
+            piggybacked: set = set()
+            for r in self.records:
+                if r.kind == "piggyback":
+                    piggybacked.update(r.packet_ids)
+            scheduled = 0
+            delay_sum = 0.0
+            violations = 0
+            piggyback_hits = 0
+            by_app: Dict[str, List[Packet]] = {}
+            for p in self.packets:
+                if not p.is_scheduled:
+                    continue
+                scheduled += 1
+                delay_sum += p.delay
+                if p.violates_deadline():
+                    violations += 1
+                if p.packet_id in piggybacked:
+                    piggyback_hits += 1
+                by_app.setdefault(p.app_id, []).append(p)
+            stats: Dict[str, AppStats] = {}
+            for app_id, pkts in sorted(by_app.items()):
+                delays = [p.delay for p in pkts]
+                stats[app_id] = AppStats(
+                    app_id=app_id,
+                    packets=len(pkts),
+                    mean_delay=sum(delays) / len(delays),
+                    max_delay=max(delays),
+                    violations=sum(1 for p in pkts if p.violates_deadline()),
+                )
+            self._app_stats = stats
+            self._metrics = {
+                "scheduled": float(scheduled),
+                "normalized_delay_s": delay_sum / scheduled if scheduled else 0.0,
+                "deadline_violation_ratio": (
+                    violations / scheduled if scheduled else 0.0
+                ),
+                "piggyback_ratio": (
+                    piggyback_hits / scheduled if scheduled else 0.0
+                ),
+                "bursts": float(len(self.records)),
+                "packets": float(len(self.packets)),
+            }
+        return self._metrics
 
     @property
     def total_energy(self) -> float:
@@ -80,65 +137,39 @@ class SimulationResult:
     @property
     def normalized_delay(self) -> float:
         """Average per-packet queueing delay (seconds); 0 with no packets."""
-        scheduled = [p for p in self.packets if p.is_scheduled]
-        if not scheduled:
-            return 0.0
-        return sum(p.delay for p in scheduled) / len(scheduled)
+        return self._computed()["normalized_delay_s"]
 
     @property
     def deadline_violation_ratio(self) -> float:
         """Fraction of scheduled packets that missed their deadline."""
-        scheduled = [p for p in self.packets if p.is_scheduled]
-        if not scheduled:
-            return 0.0
-        return sum(1 for p in scheduled if p.violates_deadline()) / len(scheduled)
+        return self._computed()["deadline_violation_ratio"]
 
     @property
     def piggyback_ratio(self) -> float:
         """Fraction of cargo packets that rode a heartbeat burst."""
-        scheduled = [p for p in self.packets if p.is_scheduled]
-        if not scheduled:
-            return 0.0
-        piggybacked = set()
-        for r in self.records:
-            if r.kind == "piggyback":
-                piggybacked.update(r.packet_ids)
-        return sum(1 for p in scheduled if p.packet_id in piggybacked) / len(
-            scheduled
-        )
+        return self._computed()["piggyback_ratio"]
 
     @property
     def burst_count(self) -> int:
         """Number of radio bursts (fewer = better aggregation)."""
-        return len(self.records)
+        return int(self._computed()["bursts"])
 
     def app_stats(self) -> Dict[str, AppStats]:
-        """Per-app delay/violation statistics."""
-        by_app: Dict[str, List[Packet]] = {}
-        for p in self.packets:
-            if p.is_scheduled:
-                by_app.setdefault(p.app_id, []).append(p)
-        out: Dict[str, AppStats] = {}
-        for app_id, pkts in sorted(by_app.items()):
-            delays = [p.delay for p in pkts]
-            out[app_id] = AppStats(
-                app_id=app_id,
-                packets=len(pkts),
-                mean_delay=sum(delays) / len(delays),
-                max_delay=max(delays),
-                violations=sum(1 for p in pkts if p.violates_deadline()),
-            )
-        return out
+        """Per-app delay/violation statistics (computed once, then cached)."""
+        self._computed()
+        assert self._app_stats is not None
+        return dict(self._app_stats)
 
     def summary(self) -> Dict[str, float]:
         """Flat dict of headline metrics (for tables and benchmarks)."""
+        m = self._computed()
         return {
             "total_energy_j": self.total_energy,
             "tail_energy_j": self.tail_energy,
             "transmission_energy_j": self.energy.transmission,
-            "normalized_delay_s": self.normalized_delay,
-            "deadline_violation_ratio": self.deadline_violation_ratio,
-            "piggyback_ratio": self.piggyback_ratio,
-            "bursts": float(self.burst_count),
-            "packets": float(len(self.packets)),
+            "normalized_delay_s": m["normalized_delay_s"],
+            "deadline_violation_ratio": m["deadline_violation_ratio"],
+            "piggyback_ratio": m["piggyback_ratio"],
+            "bursts": m["bursts"],
+            "packets": m["packets"],
         }

@@ -113,9 +113,14 @@ def default_scenario(
 
 
 def run_strategy(
-    strategy: TransmissionStrategy, scenario: Scenario
+    strategy: TransmissionStrategy, scenario: Scenario, *, dense: bool = False
 ) -> SimulationResult:
-    """Run one strategy over a scenario (on a fresh packet copy)."""
+    """Run one strategy over a scenario (on a fresh packet copy).
+
+    ``dense=True`` selects the slot-by-slot reference loop instead of the
+    event-horizon loop; both produce bit-identical results (see
+    ``docs/performance.md``).
+    """
     sim = Simulation(
         strategy,
         scenario.train_generators,
@@ -124,5 +129,6 @@ def run_strategy(
         bandwidth=scenario.bandwidth,
         horizon=scenario.horizon,
         slot=scenario.slot,
+        dense=dense,
     )
     return sim.run()

@@ -83,3 +83,48 @@ class TestTraceTooling:
 
         capture = PacketCapture.load_csv(out)
         assert set(capture.app_ids()) == {"qq", "netease"}
+
+
+class TestBenchCommand:
+    def _run(self, tmp_path, *extra):
+        out = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--out", str(out), "--mode", "smoke", "--repeats", "1",
+             *extra]
+        )
+        return code, out
+
+    def test_writes_benchmark_json(self, tmp_path, capsys):
+        import json
+
+        code, out = self._run(tmp_path)
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["mode"] == "smoke"
+        names = {c["name"] for c in doc["cases"]}
+        assert "periodic600_day" in names
+        for case in doc["cases"]:
+            assert case["speedup"] > 0
+            assert case["event_iterations"] <= case["dense_iterations"]
+        assert "wrote" in capsys.readouterr().out
+
+    def test_check_against_self_passes(self, tmp_path, capsys):
+        code, out = self._run(tmp_path)
+        assert code == 0
+        code, _ = self._run(tmp_path, "--check", str(out), "--tolerance", "0.9")
+        assert code == 0
+        assert "all cases within" in capsys.readouterr().out
+
+    def test_check_flags_regression(self, tmp_path, capsys):
+        import json
+
+        code, out = self._run(tmp_path)
+        assert code == 0
+        doc = json.loads(out.read_text())
+        for case in doc["cases"]:
+            case["speedup"] *= 100.0  # impossible baseline
+        baseline = tmp_path / "inflated.json"
+        baseline.write_text(json.dumps(doc))
+        code, _ = self._run(tmp_path, "--check", str(baseline))
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err

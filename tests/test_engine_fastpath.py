@@ -1,0 +1,234 @@
+"""Dense-vs-event engine equivalence: the fast path must be bit-identical.
+
+The event-horizon loop (``Simulation(dense=False)``, the default) earns
+its speedup purely by *not visiting* slots where provably nothing can
+happen; every slot it does visit runs the same expressions in the same
+order as the dense reference loop.  These tests enforce the contract at
+full strength — exact float equality of every record, energy total,
+per-packet timestamp and summary metric — across all eight baselines on
+the golden scenario plus a battery of randomized scenarios, including
+non-dyadic slot grids where the engine's exact-arithmetic shortcuts must
+stand down.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+import pytest
+
+from repro.baselines.adaptive import AdaptiveThetaETrainStrategy
+from repro.baselines.base import TransmissionStrategy
+from repro.core.packet import Packet
+from repro.sim.engine import DecisionWindow, Simulation
+from repro.sim.parallel import STRATEGY_BUILDERS
+from repro.sim.runner import Scenario, default_scenario, run_strategy
+
+#: All eight baselines.  Seven come from the parallel-executor registry;
+#: adaptive-Θ eTrain is constructed directly (it is not a sweepable spec).
+ALL_STRATEGIES = sorted(STRATEGY_BUILDERS) + ["adaptive"]
+
+
+def build_strategy(name: str, scenario: Scenario) -> TransmissionStrategy:
+    if name == "adaptive":
+        return AdaptiveThetaETrainStrategy(scenario.profiles, target_delay=30.0)
+    return STRATEGY_BUILDERS[name](scenario)
+
+
+def run_both(name: str, scenario: Scenario):
+    dense = run_strategy(build_strategy(name, scenario), scenario, dense=True)
+    event = run_strategy(build_strategy(name, scenario), scenario, dense=False)
+    return dense, event
+
+
+def assert_bit_identical(dense, event) -> None:
+    """Every observable output must match exactly — no tolerances."""
+    assert event.summary() == dense.summary()
+    assert event.decisions == dense.decisions
+    assert event.flushed_packets == dense.flushed_packets
+    assert event.energy == dense.energy
+    assert len(event.records) == len(dense.records)
+    for rd, re_ in zip(dense.records, event.records):
+        assert re_ == rd
+    assert len(event.packets) == len(dense.packets)
+    for pd, pe in zip(dense.packets, event.packets):
+        assert pe.packet_id == pd.packet_id
+        assert pe.scheduled_time == pd.scheduled_time
+        assert pe.completion_time == pd.completion_time
+
+
+@pytest.mark.parametrize("name", ALL_STRATEGIES)
+def test_golden_scenario_equivalence(name):
+    scenario = default_scenario(seed=0)
+    dense, event = run_both(name, scenario)
+    assert_bit_identical(dense, event)
+
+
+def _random_scenarios(count: int) -> List[Scenario]:
+    """Deterministic battery of varied scenarios (incl. odd slot grids)."""
+    rng = random.Random(20150629)
+    scenarios = []
+    for i in range(count):
+        scenario = default_scenario(
+            seed=rng.randrange(10_000),
+            horizon=float(rng.randrange(400, 2400)),
+            train_count=rng.choice([1, 2, 3]),
+        )
+        if i % 5 == 4:
+            # Non-dyadic slots: ceil-division grids and inexact float
+            # multiples, forcing the non-exact-grid engine paths.
+            scenario.slot = rng.choice([0.3, 0.7, 2.5])
+        elif i % 5 == 2:
+            scenario.slot = 0.5
+        scenarios.append(scenario)
+    return scenarios
+
+
+_SCENARIOS = _random_scenarios(21)
+
+
+@pytest.mark.parametrize("name", ALL_STRATEGIES)
+def test_randomized_scenario_equivalence(name):
+    for scenario in _SCENARIOS:
+        dense, event = run_both(name, scenario)
+        try:
+            assert_bit_identical(dense, event)
+        except AssertionError:  # pragma: no cover - diagnostic context
+            spec = (
+                f"seed-ish scenario horizon={scenario.horizon} "
+                f"slot={scenario.slot} trains={len(scenario.train_generators)}"
+            )
+            raise AssertionError(f"{name} diverged on {spec}") from None
+
+
+def _simulate(strategy: TransmissionStrategy, scenario: Scenario, dense: bool):
+    sim = Simulation(
+        strategy,
+        scenario.train_generators,
+        scenario.fresh_packets(),
+        power_model=scenario.power_model,
+        bandwidth=scenario.bandwidth,
+        horizon=scenario.horizon,
+        slot=scenario.slot,
+        dense=dense,
+    )
+    return sim, sim.run()
+
+
+class TestSlotSkipping:
+    """The event loop must actually skip, and only when allowed."""
+
+    def test_sparse_strategy_visits_few_slots(self):
+        scenario = default_scenario(seed=0)
+        strategy = STRATEGY_BUILDERS["periodic"](scenario, period=300.0)
+        sim, _ = _simulate(strategy, scenario, dense=False)
+        n_slots = int(math.ceil(scenario.horizon / scenario.slot))
+        assert sim.loop_iterations < n_slots / 10
+
+    def test_dense_flag_forces_reference_loop(self):
+        scenario = default_scenario(seed=0)
+        strategy = STRATEGY_BUILDERS["periodic"](scenario, period=300.0)
+        sim, _ = _simulate(strategy, scenario, dense=True)
+        assert sim.loop_iterations == int(
+            math.ceil(scenario.horizon / scenario.slot)
+        )
+
+    def test_default_protocol_strategy_runs_dense(self):
+        """PerES keeps the base never-idle/no-horizon protocol, so the
+        engine detects there is nothing to skip and steps densely."""
+        scenario = default_scenario(seed=0)
+        strategy = STRATEGY_BUILDERS["peres"](scenario)
+        sim, _ = _simulate(strategy, scenario, dense=False)
+        assert sim.loop_iterations == int(
+            math.ceil(scenario.horizon / scenario.slot)
+        )
+
+
+class ClockKeepingPeriodic(TransmissionStrategy):
+    """Periodic releaser that reconstructs its full decision clock.
+
+    Keeps the base never-idle protocol but promises quiet periods via
+    ``decision_horizon`` and replays the skipped decision times through
+    ``on_decisions_skipped`` — the strategy-visible clock must therefore
+    be identical under both engine paths.
+    """
+
+    def __init__(self, period: float = 45.0, granularity: float = 3.0) -> None:
+        self.slot = granularity
+        self.period = period
+        self.name = "clock-keeper"
+        self._queue: List[Packet] = []
+        self._last_fire = 0.0
+        self.clock: List[float] = []
+
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        self._queue.append(packet)
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._queue)
+
+    def decide(self, now: float, heartbeat_present: bool) -> List[Packet]:
+        self.clock.append(now)
+        if now - self._last_fire + 1e-9 < self.period:
+            return []
+        self._last_fire = now
+        released, self._queue = self._queue, []
+        return released
+
+    def flush(self, now: float) -> List[Packet]:
+        released, self._queue = self._queue, []
+        return released
+
+    def decision_horizon(self, now: float) -> float:
+        return self._last_fire + self.period - 1e-9 - 1e-6 * max(
+            self.period, 1.0
+        )
+
+    def on_decisions_skipped(self, window: DecisionWindow) -> None:
+        self.clock.extend(window.times())
+
+
+class TestDecisionWindowReplay:
+    """on_decisions_skipped hands back exactly the elided decision times."""
+
+    @pytest.mark.parametrize(
+        "slot,period,granularity",
+        [
+            (1.0, 45.0, 3.0),  # exact grid, grid-backed windows
+            (1.0, 45.0, 1.0),  # exact grid, every slot decides
+            (0.3, 45.0, 2.1),  # inexact grid, times-backed windows
+            (0.7, 30.0, 0.7),  # inexact grid, every slot decides
+        ],
+    )
+    def test_clock_identical_across_paths(self, slot, period, granularity):
+        scenario = default_scenario(seed=3, horizon=900.0, train_count=2)
+        scenario.slot = slot
+        keeper_dense = ClockKeepingPeriodic(period, granularity)
+        keeper_event = ClockKeepingPeriodic(period, granularity)
+        _, dense = _simulate(keeper_dense, scenario, dense=True)
+        sim, event = _simulate(keeper_event, scenario, dense=False)
+        assert_bit_identical(dense, event)
+        assert keeper_event.clock == keeper_dense.clock
+        # The replayed clock must cover every decision the engine counted.
+        assert len(keeper_dense.clock) == dense.decisions
+        if granularity > slot:
+            n_slots = int(math.ceil(scenario.horizon / scenario.slot))
+            assert sim.loop_iterations < n_slots
+
+    def test_decision_window_times_roundtrip(self):
+        """Grid- and times-backed windows agree on their contents."""
+        # slot=1, granularity=3: multiples 2..6 are served at t=6..18.
+        grid = DecisionWindow.from_grid(1.0, 3.0, 3e-9, 2, 1, 6)
+        assert grid.count == 5
+        assert grid.times() == [6.0, 9.0, 12.0, 15.0, 18.0]
+        times = DecisionWindow.from_times(grid.times())
+        assert times.count == grid.count
+        assert times.times() == grid.times()
+        for probe in [0.0, 5.9, 6.0, 6.1, 14.9, 15.0, 18.0, 18.1, 100.0]:
+            assert grid.first_at_or_after(probe) == times.first_at_or_after(
+                probe
+            )
+            assert grid.next_after(probe) == times.next_after(probe)

@@ -66,6 +66,23 @@ def test_summary_matches_golden_snapshot(label):
         )
 
 
+@pytest.mark.parametrize("label", sorted(GOLDEN_STRATEGIES))
+def test_dense_reference_path_matches_golden_snapshot(label):
+    """The dense loop must reproduce the same snapshot as the default
+    event-horizon loop — one golden file pins both engine paths."""
+    from repro.sim.runner import run_strategy
+
+    scenario = GOLDEN_SCENARIO.build()
+    strategy = GOLDEN_STRATEGIES[label].build(scenario)
+    summary = run_strategy(strategy, scenario, dense=True).summary()
+    expected = _golden()[label]["summary"]
+    assert sorted(summary) == sorted(expected)
+    for key, value in expected.items():
+        assert summary[key] == pytest.approx(value, rel=1e-9), (
+            f"dense-path {label}.{key} drifted from the golden snapshot"
+        )
+
+
 def test_golden_snapshot_sanity():
     """The snapshot itself must tell the paper's story."""
     golden = {k: v["summary"] for k, v in _golden().items()}

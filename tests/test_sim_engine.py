@@ -116,6 +116,10 @@ class TestDecisionGranularity:
     def test_strategy_slot_respected(self):
         class CountingStrategy(ImmediateStrategy):
             slot = 60.0
+            # Counting decide calls is observable state, so this strategy
+            # must not advertise idleness (the engine would legitimately
+            # skip the calls otherwise).
+            is_idle = False
 
             def __init__(self):
                 super().__init__()
@@ -128,6 +132,12 @@ class TestDecisionGranularity:
         strategy = CountingStrategy()
         run(strategy, [], horizon=300.0)
         assert strategy.decide_times == [0.0, 60.0, 120.0, 180.0, 240.0]
+
+    def test_skipped_decisions_still_counted(self):
+        """An idle-capable strategy skips decide() calls but the result's
+        decision count must match the dense schedule."""
+        result = run(ImmediateStrategy(), [], horizon=300.0)
+        assert result.decisions == 300
 
 
 class TestCausality:

@@ -74,6 +74,41 @@ class TestMetrics:
         assert "deadline_violation_ratio" in summary
 
 
+class TestMetricsCache:
+    """Derived metrics come from one pass, computed once."""
+
+    def test_repeated_summary_does_not_rescan(self):
+        p1 = scheduled_packet()
+        p2 = scheduled_packet()
+        records = [
+            TransmissionRecord(
+                start=10.0,
+                duration=0.1,
+                size_bytes=100,
+                kind="piggyback",
+                packet_ids=(p1.packet_id,),
+            )
+        ]
+        r = result([p1, p2], records)
+        first = r.summary()
+        # Poison the underlying lists: a re-scan would now change every
+        # packet/record-derived metric (or crash on the bogus entries).
+        r.packets.append(scheduled_packet(scheduled=90.0, deadline=1.0))
+        r.packets.append(object())
+        r.records.append(object())
+        assert r.summary() == first
+        assert r.piggyback_ratio == first["piggyback_ratio"]
+        assert r.normalized_delay == first["normalized_delay_s"]
+        assert r.burst_count == int(first["bursts"])
+        assert "weibo" in r.app_stats()
+
+    def test_app_stats_returns_copy(self):
+        r = result([scheduled_packet()])
+        stats = r.app_stats()
+        stats.clear()
+        assert "weibo" in r.app_stats()
+
+
 class TestAppStats:
     def test_per_app_breakdown(self):
         packets = [
