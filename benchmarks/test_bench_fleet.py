@@ -1,0 +1,54 @@
+"""Fleet engine bench — batched NumPy chunks vs the per-device loop.
+
+Wraps :mod:`repro.sim.fleet.perf` (the ``etrain bench --suite fleet``
+harness) in the benchmark suite's idiom.  The committed baseline lives
+in ``BENCH_fleet.json`` and CI gates regressions with ``etrain bench
+--suite fleet --mode smoke --check``; here we time one run, print the
+throughput table, and assert the acceptance floor for the paper-default
+strategy: the eTrain fleet path must beat the per-device scalar loop by
+at least :data:`~repro.sim.fleet.perf.FLEET_SPEEDUP_FLOOR` (20×).
+
+All tests are ``smoke``-marked (seconds-long at the smoke horizon).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import bench_horizon, run_once
+from repro.sim.fleet.perf import FLEET_BENCH_CASES, FLEET_SPEEDUP_FLOOR, run_fleet_case
+
+
+def _case(name: str):
+    case = next(c for c in FLEET_BENCH_CASES if c.name == name)
+    return dataclasses.replace(case, horizon=bench_horizon(case.horizon))
+
+
+def _report_row(report, title, row):
+    report(
+        f"{title}\n"
+        f"  fleet  {row['devices']:6d} devices in {row['fleet_s']:6.2f} s "
+        f"({row['fleet_devices_per_s']:8.0f} dev/s)\n"
+        f"  scalar {row['scalar_devices']:6d} devices in {row['scalar_s']:6.2f} s "
+        f"({row['scalar_devices_per_s']:8.1f} dev/s)\n"
+        f"  speedup {row['speedup']:.1f}x"
+    )
+
+
+@pytest.mark.smoke
+def test_etrain_fleet_clears_speedup_floor(benchmark, report):
+    row = run_once(benchmark, run_fleet_case, _case("etrain_fleet_2h"), 1)
+    _report_row(report, "Fleet engine [etrain, paper-default scenario]", row)
+    assert row["speedup"] >= FLEET_SPEEDUP_FLOOR
+    assert row["energy_per_device_j"] > 0
+
+
+@pytest.mark.smoke
+def test_immediate_fleet_beats_scalar(benchmark, report):
+    row = run_once(benchmark, run_fleet_case, _case("immediate_fleet_2h"), 1)
+    _report_row(report, "Fleet engine [immediate]", row)
+    # No 20x floor here: the scalar immediate path is itself fast.  The
+    # vectorized path must simply win clearly.
+    assert row["speedup"] > 2.0

@@ -16,6 +16,9 @@ Examples::
     etrain fig8 --workers 4 --cache-dir .sweep-cache
     etrain bench                            # engine microbenchmarks
     etrain bench --mode smoke --check BENCH_engine.json
+    etrain bench --suite fleet              # fleet throughput -> BENCH_fleet.json
+    etrain fleet --devices 100000 --workers 4
+    etrain fleet --devices 8192 --strategy immediate --out fleet.json
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ __all__ = [
     "run_trace_command",
     "run_sweep_command",
     "run_bench_command",
+    "run_fleet_command",
 ]
 
 
@@ -225,6 +229,16 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, help="on-disk result cache directory"
     )
     parser.add_argument(
+        "--cache-prune",
+        type=int,
+        default=None,
+        metavar="MAX_ENTRIES",
+        help=(
+            "after the sweep, prune the result cache down to its most "
+            "recently touched MAX_ENTRIES entries (requires --cache-dir)"
+        ),
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
     return parser
@@ -375,6 +389,18 @@ def run_sweep_command(argv: List[str]) -> int:
         )
     )
     print(executor.stats.describe())
+    cache_line = executor.describe_cache()
+    if cache_line is not None:
+        print(cache_line)
+    if args.cache_prune is not None:
+        if executor.cache is None:
+            print("--cache-prune ignored: no --cache-dir given", file=sys.stderr)
+        else:
+            removed = executor.cache.prune(max_entries=args.cache_prune)
+            print(
+                f"pruned {removed} cache entrie(s); "
+                f"{len(executor.cache)} remain"
+            )
     return 0
 
 
@@ -389,9 +415,17 @@ def build_bench_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--suite",
+        choices=("engine", "fleet"),
+        default="engine",
+        help="'engine' times dense vs event loops; 'fleet' times the "
+        "vectorized fleet path against the per-device scalar loop",
+    )
+    parser.add_argument(
         "--out",
-        default="BENCH_engine.json",
-        help="where to write the benchmark JSON (default: BENCH_engine.json)",
+        default=None,
+        help="where to write the benchmark JSON (default: "
+        "BENCH_engine.json / BENCH_fleet.json by suite)",
     )
     parser.add_argument(
         "--mode",
@@ -431,21 +465,171 @@ def run_bench_command(argv: List[str]) -> int:
     )
 
     args = build_bench_parser().parse_args(argv)
-    results = run_benchmarks(
-        mode=args.mode, repeats=args.repeats, progress=print
-    )
-    write_results(args.out, results)
-    print(f"wrote {len(results['cases'])} cases to {args.out}")
+    if args.suite == "fleet":
+        from repro.sim.fleet.perf import check_floor, run_fleet_benchmarks
 
-    if args.check is not None:
-        failures = check_results(
-            results, load_baseline(args.check), tolerance=args.tolerance
+        results = run_fleet_benchmarks(
+            mode=args.mode, repeats=args.repeats, progress=print
         )
-        if failures:
-            for line in failures:
-                print(f"REGRESSION: {line}", file=sys.stderr)
-            return 1
+    else:
+        results = run_benchmarks(
+            mode=args.mode, repeats=args.repeats, progress=print
+        )
+    out = args.out or (
+        "BENCH_fleet.json" if args.suite == "fleet" else "BENCH_engine.json"
+    )
+    write_results(out, results)
+    print(f"wrote {len(results['cases'])} cases to {out}")
+
+    failures: List[str] = []
+    if args.suite == "fleet":
+        failures.extend(check_floor(results))
+    if args.check is not None:
+        failures.extend(
+            check_results(
+                results, load_baseline(args.check), tolerance=args.tolerance
+            )
+        )
+    if failures:
+        for line in failures:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        return 1
+    if args.check is not None:
         print(f"all cases within {args.tolerance:.0%} of {args.check}")
+    return 0
+
+
+def build_fleet_parser() -> argparse.ArgumentParser:
+    """Parser for ``etrain fleet`` population-scale runs."""
+    parser = argparse.ArgumentParser(
+        prog="etrain fleet",
+        description=(
+            "Simulate a large device population through the vectorized "
+            "fleet engine (chunked, streaming aggregation; strategies "
+            "without a vectorized path fall back to the scalar loop)."
+        ),
+    )
+    parser.add_argument(
+        "--devices", type=int, default=8192, help="population size (default 8192)"
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=8192,
+        help="devices simulated per chunk; bounds worker memory (default 8192)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan chunks across N worker processes (default: in-process)",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="etrain",
+        help="strategy name (default etrain); non-vectorizable strategies "
+        "run through the scalar fallback",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="strategy parameter override (repeatable), e.g. theta=0.5",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--horizon", type=float, default=7200.0, help="simulated seconds"
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="total cargo packet rate (packets/s); default: Sec. VI-A mix",
+    )
+    parser.add_argument("--power-model", default="galaxy_s4_3g")
+    parser.add_argument(
+        "--phase-mode",
+        choices=("fixed", "random"),
+        default="fixed",
+        help="'random' staggers each device's heartbeat phases uniformly",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="on-disk chunk-result cache"
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the merged summary JSON here"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-chunk progress"
+    )
+    return parser
+
+
+def run_fleet_command(argv: List[str]) -> int:
+    """Execute ``etrain fleet ...``; returns an exit code."""
+    import json
+
+    from repro.sim.fleet import FleetSpec, run_fleet
+
+    args = build_fleet_parser().parse_args(argv)
+    params = {}
+    for item in args.param:
+        if "=" not in item:
+            print(f"bad --param {item!r}; expected NAME=VALUE", file=sys.stderr)
+            return 2
+        key, _, value = item.partition("=")
+        params[key.strip()] = _parse_param_value(value)
+    try:
+        spec = FleetSpec.make(
+            args.devices,
+            args.strategy,
+            params=params,
+            chunk_size=args.chunk_size,
+            seed=args.seed,
+            horizon=args.horizon,
+            rate=args.rate,
+            power_model=args.power_model,
+            phase_mode=args.phase_mode,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"invalid fleet spec: {exc}", file=sys.stderr)
+        return 2
+    result = run_fleet(
+        spec,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        progress=None if args.quiet else print,
+    )
+    print(result.describe())
+    summary = result.summary.summary()
+    for key in sorted(summary):
+        print(f"  {key:26s} {summary[key]:.6g}")
+    if args.out is not None:
+        doc = {
+            "spec": {
+                "devices": spec.devices,
+                "chunk_size": spec.chunk_size,
+                "strategy": spec.strategy,
+                "params": dict(spec.params),
+                "seed": spec.seed,
+                "horizon": spec.horizon,
+                "rate": spec.rate,
+                "power_model": spec.power_model,
+                "phase_mode": spec.phase_mode,
+            },
+            "vectorized": result.vectorized,
+            "wall_time_s": result.wall_time,
+            "devices_per_sec": result.devices_per_sec,
+            "peak_rss_bytes": result.peak_rss,
+            "chunks": result.chunks,
+            "cached_chunks": result.cached_chunks,
+            "summary": summary,
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -474,6 +658,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if argv and argv[0] == "bench":
         return run_bench_command(argv[1:])
+
+    if argv and argv[0] == "fleet":
+        return run_fleet_command(argv[1:])
 
     if argv and argv[0] == "report":
         report_parser = argparse.ArgumentParser(prog="etrain report")

@@ -1,0 +1,191 @@
+"""Streaming, associatively-mergeable per-chunk summaries.
+
+A million-device run must not hold a million devices' worth of results.
+Each chunk reduces to a :class:`FleetChunkSummary` — a fixed-size record
+of sums, counts and fixed-bin histograms — and summaries merge
+associatively, so any chunking (and any merge order across workers)
+yields the same fleet-level totals and the whole reduction needs
+O(chunks) memory, never O(devices).
+
+Percentiles come from the histograms and are therefore approximate to
+one bin width (2 J for per-device energy, 1 s for per-packet delay);
+totals and ratios are exact sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DELAY_BIN_S",
+    "DELAY_BINS",
+    "ENERGY_BIN_J",
+    "ENERGY_BINS",
+    "FleetChunkSummary",
+    "histogram_counts",
+]
+
+#: Per-device total-energy histogram: 512 bins of 2 J covers 0..1024 J
+#: (a 2 h horizon of continuous transmission stays well under that);
+#: overflow clips into the last bin.
+ENERGY_BIN_J = 2.0
+ENERGY_BINS = 512
+
+#: Per-packet delay histogram: 1 s bins up to 1024 s (deadlines are
+#: 30-120 s; the tail above ~17 min clips into the last bin).
+DELAY_BIN_S = 1.0
+DELAY_BINS = 1024
+
+
+def histogram_counts(values: np.ndarray, bin_width: float, n_bins: int) -> np.ndarray:
+    """Clip values into ``n_bins`` fixed bins of ``bin_width`` (int64)."""
+    if values.size == 0:
+        return np.zeros(n_bins, dtype=np.int64)
+    idx = np.floor(np.asarray(values, dtype=np.float64) / bin_width).astype(np.int64)
+    np.clip(idx, 0, n_bins - 1, out=idx)
+    return np.bincount(idx, minlength=n_bins).astype(np.int64)
+
+
+def _percentile_from_hist(
+    hist: np.ndarray, bin_width: float, q: float, total: Optional[int] = None
+) -> float:
+    """Approximate q-th percentile (0..100) from a fixed-bin histogram.
+
+    Returns the upper edge of the bin where the cumulative count crosses
+    q% — an over-estimate by at most one bin width.
+    """
+    if total is None:
+        total = int(hist.sum())
+    if total == 0:
+        return 0.0
+    target = total * (q / 100.0)
+    cum = np.cumsum(hist)
+    bin_idx = int(np.searchsorted(cum, target, side="left"))
+    return (bin_idx + 1) * bin_width
+
+
+@dataclass
+class FleetChunkSummary:
+    """Fixed-size reduction of one simulated chunk (or a merge of many).
+
+    ``merge`` is associative and commutative: every field is a sum.
+    """
+
+    devices: int = 0
+    packets: int = 0
+    bursts: int = 0
+    heartbeats: int = 0
+    piggyback_hits: int = 0
+    delay_sum: float = 0.0
+    delay_cost_sum: float = 0.0
+    violations: int = 0
+    energy_total_j: float = 0.0
+    energy_tail_j: float = 0.0
+    energy_tx_j: float = 0.0
+    energy_hist: np.ndarray = field(
+        default_factory=lambda: np.zeros(ENERGY_BINS, dtype=np.int64)
+    )
+    delay_hist: np.ndarray = field(
+        default_factory=lambda: np.zeros(DELAY_BINS, dtype=np.int64)
+    )
+
+    def merge(self, other: "FleetChunkSummary") -> "FleetChunkSummary":
+        """Combine two summaries into a new one (neither input mutated)."""
+        return FleetChunkSummary(
+            devices=self.devices + other.devices,
+            packets=self.packets + other.packets,
+            bursts=self.bursts + other.bursts,
+            heartbeats=self.heartbeats + other.heartbeats,
+            piggyback_hits=self.piggyback_hits + other.piggyback_hits,
+            delay_sum=self.delay_sum + other.delay_sum,
+            delay_cost_sum=self.delay_cost_sum + other.delay_cost_sum,
+            violations=self.violations + other.violations,
+            energy_total_j=self.energy_total_j + other.energy_total_j,
+            energy_tail_j=self.energy_tail_j + other.energy_tail_j,
+            energy_tx_j=self.energy_tx_j + other.energy_tx_j,
+            energy_hist=self.energy_hist + other.energy_hist,
+            delay_hist=self.delay_hist + other.delay_hist,
+        )
+
+    def __add__(self, other: "FleetChunkSummary") -> "FleetChunkSummary":
+        return self.merge(other)
+
+    @classmethod
+    def merge_all(cls, summaries: Sequence["FleetChunkSummary"]) -> "FleetChunkSummary":
+        out = cls()
+        for s in summaries:
+            out = out.merge(s)
+        return out
+
+    # -- derived metrics (mirroring repro.sim.results naming) --
+
+    def energy_percentile_j(self, q: float) -> float:
+        """Approximate per-device total-energy percentile (±2 J)."""
+        return _percentile_from_hist(self.energy_hist, ENERGY_BIN_J, q, self.devices)
+
+    def delay_percentile_s(self, q: float) -> float:
+        """Approximate per-packet delay percentile (±1 s)."""
+        return _percentile_from_hist(self.delay_hist, DELAY_BIN_S, q, self.packets)
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar-result-style metric dict (keys match RunResult.summary)."""
+        pk = max(self.packets, 1)
+        dv = max(self.devices, 1)
+        return {
+            "devices": self.devices,
+            "packets": self.packets,
+            "bursts": self.bursts,
+            "total_energy_j": self.energy_total_j,
+            "tail_energy_j": self.energy_tail_j,
+            "transmission_energy_j": self.energy_tx_j,
+            "energy_per_device_j": self.energy_total_j / dv,
+            "normalized_delay_s": self.delay_sum / pk,
+            "deadline_violation_ratio": self.violations / pk,
+            "piggyback_ratio": self.piggyback_hits / pk,
+            "delay_cost_total": self.delay_cost_sum,
+            "delay_cost_per_device": self.delay_cost_sum / dv,
+            "energy_p50_j": self.energy_percentile_j(50.0),
+            "energy_p95_j": self.energy_percentile_j(95.0),
+            "delay_p50_s": self.delay_percentile_s(50.0),
+            "delay_p95_s": self.delay_percentile_s(95.0),
+        }
+
+    # -- serialization (for cache / cross-process transport) --
+
+    def to_dict(self) -> Dict:
+        return {
+            "devices": self.devices,
+            "packets": self.packets,
+            "bursts": self.bursts,
+            "heartbeats": self.heartbeats,
+            "piggyback_hits": self.piggyback_hits,
+            "delay_sum": self.delay_sum,
+            "delay_cost_sum": self.delay_cost_sum,
+            "violations": self.violations,
+            "energy_total_j": self.energy_total_j,
+            "energy_tail_j": self.energy_tail_j,
+            "energy_tx_j": self.energy_tx_j,
+            "energy_hist": self.energy_hist.tolist(),
+            "delay_hist": self.delay_hist.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FleetChunkSummary":
+        return cls(
+            devices=int(payload["devices"]),
+            packets=int(payload["packets"]),
+            bursts=int(payload["bursts"]),
+            heartbeats=int(payload["heartbeats"]),
+            piggyback_hits=int(payload["piggyback_hits"]),
+            delay_sum=float(payload["delay_sum"]),
+            delay_cost_sum=float(payload["delay_cost_sum"]),
+            violations=int(payload["violations"]),
+            energy_total_j=float(payload["energy_total_j"]),
+            energy_tail_j=float(payload["energy_tail_j"]),
+            energy_tx_j=float(payload["energy_tx_j"]),
+            energy_hist=np.asarray(payload["energy_hist"], dtype=np.int64),
+            delay_hist=np.asarray(payload["delay_hist"], dtype=np.int64),
+        )

@@ -1,0 +1,857 @@
+"""Vectorized slot dynamics over device columns.
+
+One :class:`~repro.sim.engine.Simulation` walks 7 200 one-second slots
+per device with Python objects per packet.  This module restates the
+same dense-loop semantics over NumPy arrays indexed by device, for the
+strategies whose decision rules admit column form:
+
+* **immediate** and **periodic** release on slots that are a pure
+  function of arrival times (and the shared fire clock), so the whole
+  run collapses to array arithmetic with no slot loop at all;
+* **tailender** needs one cheap slot loop (its earliest-deadline fire
+  clock resets on every release) but no channel access inside it;
+* **etrain** runs the real per-slot loop — Θ-threshold checks, the
+  Lyapunov greedy pick, warm-radio gating and heartbeat drains — but
+  vectorized across all devices of the chunk, with the delay-cost sums
+  P_i(t) maintained as closed-form aggregates instead of per-packet
+  scans (see below).
+
+Aggregate delay costs
+---------------------
+Every supported cost function is affine in the packet's arrival time on
+each side of its deadline, so an app's queue cost at time ``u`` is a
+function of four running sums — pre/post-deadline packet counts and
+arrival-time sums::
+
+    mail  (f1):  P = (n_post·u − s_post)/D − n_post
+    weibo (f2):  P = (n_pre·u − s_pre)/D + 2·n_post
+    cloud (f3):  P = (n_pre·u − s_pre)/D + 3·(n_post·u − s_post)/D − 2·n_post
+
+The engine keeps *two* aggregate sets per (app, device): one classifying
+packets at slot time ``t`` (the Θ check) and one at ``t+1`` (the
+speculative costs the greedy gain uses).  A packet's pre→post transition
+slot is precomputed with the same float comparison ``(k − arrival) > D``
+the scalar branches on, so the split is bit-faithful; only the *sums*
+round differently from the scalar sequential additions (~1e-13, reset to
+exact zero at every heartbeat drain).
+
+Equivalence to a per-device scalar loop is covered by
+``tests/test_fleet_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.radio.power_model import GALAXY_S4_3G, PowerModel
+from repro.sim.fleet.channel import ChannelTable
+from repro.sim.fleet.workload import FleetWorkload
+
+__all__ = [
+    "VECTOR_STRATEGIES",
+    "FleetChunkRaw",
+    "simulate_fleet_chunk",
+]
+
+#: Strategies with a vectorized fleet path; everything else falls back
+#: to the per-device scalar engine (see repro.sim.fleet.reference).
+VECTOR_STRATEGIES = ("immediate", "periodic", "tailender", "etrain")
+
+#: Burst kinds, mirroring TransmissionRecord.kind.
+KIND_HEARTBEAT, KIND_DATA, KIND_PIGGYBACK = 0, 1, 2
+
+_SERIALIZE_MAX_ITER = 500
+
+
+@dataclass
+class FleetChunkRaw:
+    """Raw simulation output of one chunk: bursts plus packet→burst map.
+
+    Burst rows are ordered chronologically within each device (a stable
+    sort by ``burst_dev`` yields each device's burst sequence).  Every
+    packet is scheduled — end-of-horizon flushes transmit leftovers just
+    like the scalar engine — so ``pk_burst`` is total.
+    """
+
+    n_devices: int
+    horizon: float
+    n_slots: int
+    # bursts
+    burst_dev: np.ndarray  # int64
+    burst_start: np.ndarray  # float64
+    burst_dur: np.ndarray  # float64
+    burst_size: np.ndarray  # float64 (bytes)
+    burst_kind: np.ndarray  # int8
+    # packets (app-major flat order: app 0's CSR, then app 1's, ...)
+    pk_app: np.ndarray  # int64
+    pk_dev: np.ndarray  # int64
+    pk_arr: np.ndarray  # float64
+    pk_size: np.ndarray  # int64
+    pk_burst: np.ndarray  # int64 row into burst arrays
+    # per-app metadata (copied from the workload)
+    cost_kinds: np.ndarray
+    deadlines: np.ndarray
+
+
+# ---------------------------------------------------------------------------
+# shared pieces
+# ---------------------------------------------------------------------------
+
+
+def _flat_packets(w: FleetWorkload):
+    """App-major flat packet arrays + per-app flat base offsets."""
+    devs, apps = [], []
+    base = np.zeros(w.n_apps + 1, dtype=np.int64)
+    for a in range(w.n_apps):
+        counts = np.diff(w.offsets[a])
+        devs.append(np.repeat(np.arange(w.n_devices, dtype=np.int64), counts))
+        apps.append(np.full(w.arrivals[a].size, a, dtype=np.int64))
+        base[a + 1] = base[a] + w.arrivals[a].size
+    pk_app = np.concatenate(apps) if apps else np.empty(0, np.int64)
+    pk_dev = np.concatenate(devs) if devs else np.empty(0, np.int64)
+    pk_arr = np.concatenate(w.arrivals) if w.arrivals else np.empty(0, np.float64)
+    pk_size = np.concatenate(w.sizes) if w.sizes else np.empty(0, np.int64)
+    return pk_app, pk_dev, pk_arr, pk_size, base
+
+
+def _delivery_slots(arr: np.ndarray, n_slots: int) -> np.ndarray:
+    """First slot whose start time is >= the arrival (the dense loop
+    delivers at step 1 of slot i when arrival <= i)."""
+    kd = np.ceil(arr).astype(np.int64)
+    return np.minimum(kd, n_slots)
+
+
+def _transition_slots(arr: np.ndarray, deadline: float) -> np.ndarray:
+    """Smallest integer k with ``(k − arrival) > deadline`` — evaluated
+    with the same float64 subtraction the scalar cost branches use, so
+    aggregate pre/post splits agree with per-packet comparisons exactly."""
+    k = np.floor(arr + deadline).astype(np.int64) - 2
+    for _ in range(6):
+        post = (k.astype(np.float64) - arr) > deadline
+        k = np.where(post, k, k + 1)
+    return k
+
+
+def _heartbeat_table(w: FleetWorkload, n_slots: int):
+    """All heartbeats of the chunk as flat arrays.
+
+    Returns (time, dev, train, slot, rank) sorted by (dev, slot, time,
+    alphabetical app id) — rank 0 marks each (dev, slot) group's first
+    heartbeat, the payload carrier, matching merge_heartbeats' tie-break.
+    """
+    D, T = w.n_devices, w.n_trains
+    times, devs, trains = [], [], []
+    for t in range(T):
+        cycle = float(w.train_cycles[t])
+        phases = w.train_phases[t]
+        counts = np.ceil((w.horizon - phases) / cycle).astype(np.int64)
+        np.maximum(counts, 0, out=counts)
+        total = int(counts.sum())
+        if total == 0:
+            continue
+        dev = np.repeat(np.arange(D, dtype=np.int64), counts)
+        csum = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        seq = np.arange(total, dtype=np.int64) - np.repeat(csum, counts)
+        tm = phases[dev] + seq.astype(np.float64) * cycle
+        keep = tm < w.horizon
+        times.append(tm[keep])
+        devs.append(dev[keep])
+        trains.append(np.full(int(keep.sum()), t, dtype=np.int64))
+    if not times:
+        z = np.empty(0, np.int64)
+        return np.empty(0, np.float64), z, z, z, z
+    time = np.concatenate(times)
+    dev = np.concatenate(devs)
+    train = np.concatenate(trains)
+    slot = np.minimum(np.floor(time).astype(np.int64), n_slots - 1)
+    alpha = np.argsort(np.argsort(np.asarray(w.train_ids)))  # alphabetical rank
+    order = np.lexsort((alpha[train], time, slot, dev))
+    time, dev, train, slot = time[order], dev[order], train[order], slot[order]
+    newgrp = np.ones(time.size, dtype=bool)
+    newgrp[1:] = (dev[1:] != dev[:-1]) | (slot[1:] != slot[:-1])
+    grp = np.cumsum(newgrp) - 1
+    starts = np.nonzero(newgrp)[0]  # first row of each (dev, slot) group
+    rank = np.arange(time.size, dtype=np.int64) - starts[grp]
+    return time, dev, train, slot, rank
+
+
+def _csr_expand(lo: np.ndarray, hi: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Expand [lo, hi) ranges to flat indices; also returns per-range
+    repeat counts (for np.repeat of per-range payloads)."""
+    lens = hi - lo
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, np.int64), lens
+    csum = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    idx = np.repeat(lo, lens) + (np.arange(total, dtype=np.int64) - np.repeat(csum, lens))
+    return idx, lens
+
+
+def _serialize(table, req, dev, size, tie):
+    """Radio serialisation: start_k = max(req_k, end_{k-1}) per device.
+
+    Solved as a monotone fixed point so the whole fleet's bursts go
+    through batched channel solves; the least fixed point equals the
+    scalar radio's sequential recurrence.  Returns (perm, starts, durs)
+    with all inputs to be reindexed by ``perm`` (sorted by device, then
+    requested time, then ``tie``).
+    """
+    perm = np.lexsort((tie, req, dev))
+    req_s, dev_s, size_s = req[perm], dev[perm], size[perm]
+    seg_start = np.ones(req_s.size, dtype=bool)
+    seg_start[1:] = dev_s[1:] != dev_s[:-1]
+    starts = req_s.copy()
+    for _ in range(_SERIALIZE_MAX_ITER):
+        durs = table.durations(starts, size_s)
+        ends = starts + durs
+        prev_end = np.empty_like(ends)
+        prev_end[0] = 0.0
+        prev_end[1:] = ends[:-1]
+        prev_end[seg_start] = 0.0
+        new = np.maximum(req_s, prev_end)
+        if np.array_equal(new, starts):
+            return perm, starts, durs
+        starts = new
+    raise RuntimeError("burst serialisation did not converge")
+
+
+# ---------------------------------------------------------------------------
+# loop-free release slots (immediate / periodic) + tailender's slot loop
+# ---------------------------------------------------------------------------
+
+
+def _periodic_fires(n_slots: int, period: float) -> np.ndarray:
+    """Replay FixedBatchStrategy's fire clock over integer slots."""
+    fires = []
+    last = 0.0
+    for i in range(n_slots):
+        if i - last + 1e-9 >= period:
+            fires.append(i)
+            last = float(i)
+    return np.asarray(fires, dtype=np.int64)
+
+
+def _release_slots_tailender(
+    w: FleetWorkload,
+    pk_app,
+    pk_dev,
+    pk_arr,
+    n_slots: int,
+    slack: float,
+) -> np.ndarray:
+    """TailEnder's per-device fire clock, vectorized across devices.
+
+    Fires at slot i iff the earliest queued due time is <= i + 1 and
+    releases the whole queue; the queue is a contiguous range of the
+    device's arrival-sorted packets, so each fire is one (lo, hi) event.
+    """
+    D = w.n_devices
+    perm = np.lexsort((pk_arr, pk_dev))
+    dev_s = pk_dev[perm]
+    arr_s = pk_arr[perm]
+    due_s = arr_s + w.deadlines[pk_app[perm]] - slack
+    kd_s = _delivery_slots(arr_s, n_slots)
+    border = np.argsort(kd_s, kind="stable")
+    bnd = np.searchsorted(kd_s[border], np.arange(n_slots + 1))
+    seg = np.searchsorted(dev_s, np.arange(D + 1))
+    qhead = seg[:-1].copy()
+    qtail = seg[:-1].copy()
+    min_due = np.full(D, np.inf)
+    ev_dev: List[np.ndarray] = []
+    ev_slot: List[int] = []
+    ev_lo: List[np.ndarray] = []
+    ev_hi: List[np.ndarray] = []
+    for i in range(n_slots):
+        sl = border[bnd[i] : bnd[i + 1]]
+        if sl.size:
+            np.minimum.at(min_due, dev_s[sl], due_s[sl])
+            np.add.at(qtail, dev_s[sl], 1)
+        fired = np.nonzero(min_due <= i + 1.0)[0]
+        if fired.size:
+            ev_dev.append(fired)
+            ev_slot.append(i)
+            ev_lo.append(qhead[fired].copy())
+            ev_hi.append(qtail[fired].copy())
+            qhead[fired] = qtail[fired]
+            min_due[fired] = np.inf
+    r_s = np.full(dev_s.size, n_slots, dtype=np.int64)
+    if ev_dev:
+        lo = np.concatenate(ev_lo)
+        hi = np.concatenate(ev_hi)
+        slots = np.concatenate(
+            [np.full(d.size, s, dtype=np.int64) for d, s in zip(ev_dev, ev_slot)]
+        )
+        idx, lens = _csr_expand(lo, hi)
+        r_s[idx] = np.repeat(slots, lens)
+    r = np.empty(dev_s.size, dtype=np.int64)
+    r[perm] = r_s
+    return r
+
+
+def _build_loopfree(
+    w: FleetWorkload,
+    table: ChannelTable,
+    release: np.ndarray,
+    pk_app,
+    pk_dev,
+    pk_arr,
+    pk_size,
+    n_slots: int,
+) -> FleetChunkRaw:
+    """Turn per-packet release slots into serialized bursts.
+
+    Valid only for strategies with ``requires_warm_radio=False``:
+    released packets transmit in their release slot (piggybacked when
+    that slot carries a heartbeat for the device, a data burst at the
+    slot start otherwise), and nothing is ever held for warmth.
+    """
+    key_mod = n_slots + 1
+    h_time, h_dev, h_train, h_slot, h_rank = _heartbeat_table(w, n_slots)
+    carrier = h_rank == 0
+    ckey = h_dev[carrier] * key_mod + h_slot[carrier]  # ascending by build order
+    c_index = np.nonzero(carrier)[0]
+
+    pkey = pk_dev * key_mod + release
+    pos = np.searchsorted(ckey, pkey)
+    pos_c = np.minimum(pos, max(ckey.size - 1, 0))
+    matched = (
+        (ckey.size > 0) & (pos < ckey.size) & (ckey[pos_c] == pkey)
+        if ckey.size
+        else np.zeros(pkey.size, dtype=bool)
+    )
+    if np.ndim(matched) == 0:
+        matched = np.broadcast_to(matched, pkey.shape).copy()
+
+    # heartbeat bursts (one per heartbeat; carriers absorb matched bytes)
+    hb_size = w.train_sizes[h_train].astype(np.float64)
+    payload = np.zeros(c_index.size, dtype=np.float64)
+    pay_cnt = np.zeros(c_index.size, dtype=np.int64)
+    if matched.any():
+        ci = pos[matched]
+        np.add.at(payload, ci, pk_size[matched].astype(np.float64))
+        np.add.at(pay_cnt, ci, 1)
+    hb_burst_size = hb_size.copy()
+    hb_burst_size[c_index] += payload
+    hb_kind = np.full(h_time.size, KIND_HEARTBEAT, dtype=np.int8)
+    hb_kind[c_index[pay_cnt > 0]] = KIND_PIGGYBACK
+
+    # data bursts: unmatched releases before the horizon, one per (dev, slot)
+    um = ~matched & (release < n_slots)
+    dkeys, dinv = np.unique(pkey[um], return_inverse=True)
+    data_size = np.bincount(dinv, weights=pk_size[um], minlength=dkeys.size)
+    data_dev = dkeys // key_mod
+    data_req = (dkeys % key_mod).astype(np.float64)
+
+    # flush bursts: whatever was never released transmits at the horizon
+    fm = release >= n_slots
+    fdevs, finv = np.unique(pk_dev[fm], return_inverse=True)
+    flush_size = np.bincount(finv, weights=pk_size[fm], minlength=fdevs.size)
+
+    req = np.concatenate((h_time, data_req, np.full(fdevs.size, w.horizon)))
+    dev = np.concatenate((h_dev, data_dev, fdevs))
+    size = np.concatenate((hb_burst_size, data_size, flush_size))
+    kind = np.concatenate(
+        (
+            hb_kind,
+            np.full(dkeys.size, KIND_DATA, dtype=np.int8),
+            np.full(fdevs.size, KIND_DATA, dtype=np.int8),
+        )
+    )
+    tie = np.concatenate(
+        (h_rank, np.full(dkeys.size, 90, np.int64), np.full(fdevs.size, 99, np.int64))
+    )
+
+    # packet -> burst rows (pre-sort indices, remapped after serialization)
+    pk_burst = np.empty(pkey.size, dtype=np.int64)
+    if matched.any():
+        pk_burst[matched] = c_index[pos[matched]]
+    pk_burst[um] = h_time.size + dinv
+    pk_burst[fm] = h_time.size + dkeys.size + finv
+
+    perm, starts, durs = _serialize(table, req, dev, size, tie)
+    inv = np.empty(perm.size, dtype=np.int64)
+    inv[perm] = np.arange(perm.size, dtype=np.int64)
+    return FleetChunkRaw(
+        n_devices=w.n_devices,
+        horizon=w.horizon,
+        n_slots=n_slots,
+        burst_dev=dev[perm],
+        burst_start=starts,
+        burst_dur=durs,
+        burst_size=size[perm],
+        burst_kind=kind[perm],
+        pk_app=pk_app,
+        pk_dev=pk_dev,
+        pk_arr=pk_arr,
+        pk_size=pk_size,
+        pk_burst=inv[pk_burst],
+        cost_kinds=w.cost_kinds.copy(),
+        deadlines=w.deadlines.copy(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# eTrain: the real per-slot loop, vectorized across devices
+# ---------------------------------------------------------------------------
+
+
+def _cost_aggregate(kind: int, deadline: float, u: float, n_pre, s_pre, n_post, s_post):
+    """Closed-form Σ φ(u − arrival) from the four running sums."""
+    if kind == 0:  # mail: pre-deadline packets cost 0
+        return (n_post * u - s_post) / deadline - n_post
+    if kind == 1:  # weibo: post-deadline packets saturate at 2
+        return (n_pre * u - s_pre) / deadline + 2.0 * n_post
+    # cloud
+    return (
+        (n_pre * u - s_pre) / deadline
+        + 3.0 * (n_post * u - s_post) / deadline
+        - 2.0 * n_post
+    )
+
+
+def _head_spec(kind: int, deadline: float, d: np.ndarray) -> np.ndarray:
+    """φ(d) with the exact scalar branch arithmetic, vectorized."""
+    with np.errstate(invalid="ignore"):
+        if kind == 0:
+            return np.where(d <= deadline, 0.0, d / deadline - 1.0)
+        if kind == 1:
+            return np.where(d <= deadline, d / deadline, 2.0)
+        return np.where(d <= deadline, d / deadline, 3.0 * d / deadline - 2.0)
+
+
+def _simulate_etrain(
+    w: FleetWorkload,
+    table: ChannelTable,
+    pk_app,
+    pk_dev,
+    pk_arr,
+    pk_size,
+    base,
+    n_slots: int,
+    theta: float,
+    warm_gate: bool,
+    pm: PowerModel,
+) -> FleetChunkRaw:
+    A, D = w.n_apps, w.n_devices
+    tail_time = pm.tail_time
+    horizon = w.horizon
+
+    garr = [w.arrivals[a] for a in range(A)]
+    gsize = [w.sizes[a].astype(np.float64) for a in range(A)]
+    gdev = [
+        np.repeat(np.arange(D, dtype=np.int64), np.diff(w.offsets[a])) for a in range(A)
+    ]
+    kinds = [int(k) for k in w.cost_kinds]
+    dls = [float(d) for d in w.deadlines]
+
+    # per-slot buckets: deliveries by k_d, pre->post transitions by k_p
+    dorder, dbnd, kp, torder, tbnd = [], [], [], [], []
+    for a in range(A):
+        kd = _delivery_slots(garr[a], n_slots)
+        o = np.argsort(kd, kind="stable")
+        dorder.append(o)
+        dbnd.append(np.searchsorted(kd[o], np.arange(n_slots + 1)))
+        k = _transition_slots(garr[a], dls[a])
+        kp.append(k)
+        kc = np.minimum(k, n_slots + 2)
+        o2 = np.argsort(kc, kind="stable")
+        torder.append(o2)
+        tbnd.append(np.searchsorted(kc[o2], np.arange(n_slots + 3)))
+
+    # heartbeat table bucketed by slot (within a slot: by device, rank)
+    h_time, h_dev, h_train, h_slot, h_rank = _heartbeat_table(w, n_slots)
+    horder = np.lexsort((h_rank, h_dev, h_slot))
+    h_time, h_dev, h_train, h_slot, h_rank = (
+        h_time[horder],
+        h_dev[horder],
+        h_train[horder],
+        h_slot[horder],
+        h_rank[horder],
+    )
+    hbnd = np.searchsorted(h_slot, np.arange(n_slots + 1))
+    h_sizes = w.train_sizes.astype(np.float64)
+    max_rank = int(h_rank.max()) if h_rank.size else 0
+
+    # state
+    zeros = lambda dt: np.zeros((A, D), dtype=dt)  # noqa: E731
+    in_pre_n, in_pre_s = zeros(np.float64), zeros(np.float64)
+    in_post_n, in_post_s = zeros(np.float64), zeros(np.float64)
+    sp_pre_n, sp_pre_s = zeros(np.float64), zeros(np.float64)
+    sp_post_n, sp_post_s = zeros(np.float64), zeros(np.float64)
+    wait_bytes = zeros(np.float64)
+    head = [w.offsets[a][:-1].copy() for a in range(A)]
+    tail = [w.offsets[a][:-1].copy() for a in range(A)]
+    held_bytes = np.zeros(D, dtype=np.float64)
+    held_cnt = np.zeros(D, dtype=np.int64)
+    busy = np.zeros(D, dtype=np.float64)
+    has_rec = np.zeros(D, dtype=bool)
+
+    # outputs accumulated per slot
+    b_dev: List[np.ndarray] = []
+    b_start: List[np.ndarray] = []
+    b_dur: List[np.ndarray] = []
+    b_size: List[np.ndarray] = []
+    b_kind: List[np.ndarray] = []
+    b_count = 0
+    dd_dev: List[np.ndarray] = []
+    dd_slot: List[np.ndarray] = []
+    dd_row: List[np.ndarray] = []
+    dd_lo: List[List[np.ndarray]] = [[] for _ in range(A)]
+    dd_hi: List[List[np.ndarray]] = [[] for _ in range(A)]
+    pw_flat: List[np.ndarray] = []
+    pw_row: List[np.ndarray] = []
+    pc_flat: List[np.ndarray] = []
+    pc_dev: List[np.ndarray] = []
+    pc_slot: List[np.ndarray] = []
+
+    def emit(devs, reqs, sizes, kind):
+        nonlocal b_count
+        starts = np.maximum(reqs, busy[devs])
+        durs = table.durations(starts, sizes)
+        busy[devs] = starts + durs
+        has_rec[devs] = True
+        rows = b_count + np.arange(devs.size, dtype=np.int64)
+        b_count += devs.size
+        b_dev.append(devs)
+        b_start.append(starts)
+        b_dur.append(durs)
+        b_size.append(sizes)
+        b_kind.append(np.full(devs.size, kind, dtype=np.int8))
+        return rows
+
+    agg_sets = (
+        in_pre_n,
+        in_pre_s,
+        in_post_n,
+        in_post_s,
+        sp_pre_n,
+        sp_pre_s,
+        sp_post_n,
+        sp_post_s,
+    )
+
+    for i in range(n_slots):
+        t = float(i)
+        # 1. deliveries (arrival <= t): enter both aggregate sets as pre
+        for a in range(A):
+            sl = dorder[a][dbnd[a][i] : dbnd[a][i + 1]]
+            if sl.size:
+                dv = gdev[a][sl]
+                ar = garr[a][sl]
+                np.add.at(in_pre_n[a], dv, 1.0)
+                np.add.at(in_pre_s[a], dv, ar)
+                np.add.at(sp_pre_n[a], dv, 1.0)
+                np.add.at(sp_pre_s[a], dv, ar)
+                np.add.at(wait_bytes[a], dv, gsize[a][sl])
+                np.add.at(tail[a], dv, 1)
+        # 2. pre->post transitions for still-queued packets
+        for a in range(A):
+            for bucket, (npre, spre, npost, spost) in (
+                (i, (in_pre_n[a], in_pre_s[a], in_post_n[a], in_post_s[a])),
+                (i + 1, (sp_pre_n[a], sp_pre_s[a], sp_post_n[a], sp_post_s[a])),
+            ):
+                sl = torder[a][tbnd[a][bucket] : tbnd[a][bucket + 1]]
+                if sl.size:
+                    dv = gdev[a][sl]
+                    act = sl >= head[a][dv]
+                    if act.any():
+                        g = sl[act]
+                        dv = dv[act]
+                        ar = garr[a][g]
+                        np.add.at(npre, dv, -1.0)
+                        np.add.at(spre, dv, -ar)
+                        np.add.at(npost, dv, 1.0)
+                        np.add.at(spost, dv, ar)
+        # 3. which devices see a heartbeat this slot
+        hsl = slice(hbnd[i], hbnd[i + 1])
+        hb_any = hbnd[i + 1] > hbnd[i]
+        if hb_any:
+            sl_rank = h_rank[hsl]
+            hb_devs = h_dev[hsl][sl_rank == 0]  # unique, ascending
+        # 4. theta check on non-heartbeat devices
+        P = np.zeros(D)
+        for a in range(A):
+            P += _cost_aggregate(
+                kinds[a], dls[a], t, in_pre_n[a], in_pre_s[a], in_post_n[a], in_post_s[a]
+            )
+        fire = P >= theta
+        if hb_any:
+            fire[hb_devs] = False
+        fd = np.nonzero(fire)[0]
+        # 5. single greedy pick per fired device
+        if fd.size:
+            u = t + 1.0
+            G = np.full((A, fd.size), -np.inf)
+            for a in range(A):
+                h = head[a][fd]
+                has = h < tail[a][fd]
+                if not has.any():
+                    continue
+                pb = _cost_aggregate(
+                    kinds[a],
+                    dls[a],
+                    u,
+                    sp_pre_n[a][fd],
+                    sp_pre_s[a][fd],
+                    sp_post_n[a][fd],
+                    sp_post_s[a][fd],
+                )
+                ar_h = garr[a][np.minimum(h, garr[a].size - 1)]
+                s = _head_spec(kinds[a], dls[a], u - ar_h)
+                G[a] = np.where(has, pb * s - 0.5 * s * s, -np.inf)
+            best = np.argmax(G, axis=0)  # first max wins, like the greedy scan
+            gmax = G[best, np.arange(fd.size)]
+            picked = gmax > 0.0
+            fd = fd[picked]
+            best = best[picked]
+            warm_devs: List[np.ndarray] = []
+            warm_sizes: List[np.ndarray] = []
+            warm_flats: List[np.ndarray] = []
+            for a in range(A):
+                da = fd[best == a]
+                if not da.size:
+                    continue
+                g = head[a][da]
+                ar = garr[a][g]
+                sz = gsize[a][g]
+                post_i = kp[a][g] <= i
+                post_s = kp[a][g] <= i + 1
+                for post, (npre, spre, npost, spost) in (
+                    (post_i, (in_pre_n[a], in_pre_s[a], in_post_n[a], in_post_s[a])),
+                    (post_s, (sp_pre_n[a], sp_pre_s[a], sp_post_n[a], sp_post_s[a])),
+                ):
+                    dp, ap = da[~post], ar[~post]
+                    npre[dp] -= 1.0
+                    spre[dp] -= ap
+                    dq, aq = da[post], ar[post]
+                    npost[dq] -= 1.0
+                    spost[dq] -= aq
+                wait_bytes[a][da] -= sz
+                head[a][da] += 1
+                warm = (
+                    has_rec[da] & (t < busy[da] + tail_time)
+                    if warm_gate
+                    else np.ones(da.size, dtype=bool)
+                )
+                if not warm.all():
+                    cold = ~warm
+                    cd = da[cold]
+                    held_bytes[cd] += sz[cold]
+                    held_cnt[cd] += 1
+                    pc_flat.append(base[a] + g[cold])
+                    pc_dev.append(cd)
+                    pc_slot.append(np.full(cd.size, i, dtype=np.int64))
+                if warm.any():
+                    warm_devs.append(da[warm])
+                    warm_sizes.append(sz[warm])
+                    warm_flats.append(base[a] + g[warm])
+            if warm_devs:
+                devs = np.concatenate(warm_devs)
+                rows = emit(
+                    devs,
+                    np.full(devs.size, t),
+                    np.concatenate(warm_sizes),
+                    KIND_DATA,
+                )
+                pw_flat.append(np.concatenate(warm_flats))
+                pw_row.append(rows)
+        # 6. heartbeat slots: full drain rides the carrier, rest go bare
+        if hb_any:
+            sl_dev = h_dev[hsl]
+            sl_time = h_time[hsl]
+            sl_train = h_train[hsl]
+            car = sl_rank == 0
+            q_bytes = wait_bytes[:, hb_devs].sum(axis=0)
+            q_cnt = np.zeros(hb_devs.size, dtype=np.int64)
+            for a in range(A):
+                q_cnt += tail[a][hb_devs] - head[a][hb_devs]
+            payload = held_bytes[hb_devs] + q_bytes
+            pay_cnt = held_cnt[hb_devs] + q_cnt
+            c_size = h_sizes[sl_train[car]] + payload
+            rows = emit(hb_devs, sl_time[car], c_size, KIND_HEARTBEAT)
+            # fix kinds for carriers that actually carried payload
+            b_kind[-1][pay_cnt > 0] = KIND_PIGGYBACK
+            dd_dev.append(hb_devs)
+            dd_slot.append(np.full(hb_devs.size, i, dtype=np.int64))
+            dd_row.append(rows)
+            for a in range(A):
+                dd_lo[a].append(head[a][hb_devs].copy())
+                dd_hi[a].append(tail[a][hb_devs].copy())
+                head[a][hb_devs] = tail[a][hb_devs]
+            for arrs in agg_sets:
+                arrs[:, hb_devs] = 0.0
+            wait_bytes[:, hb_devs] = 0.0
+            held_bytes[hb_devs] = 0.0
+            held_cnt[hb_devs] = 0
+            for r in range(1, max_rank + 1):
+                m = sl_rank == r
+                if not m.any():
+                    continue
+                emit(sl_dev[m], sl_time[m], h_sizes[sl_train[m]], KIND_HEARTBEAT)
+
+    # end-of-horizon flush: held + still-queued + never-delivered packets
+    rem_cnt = held_cnt.astype(np.int64).copy()
+    rem_bytes = held_bytes.copy()
+    byte_prefix = []
+    for a in range(A):
+        bp = np.concatenate(([0.0], np.cumsum(gsize[a])))
+        byte_prefix.append(bp)
+        end = w.offsets[a][1:]
+        rem_cnt += end - head[a]
+        rem_bytes += bp[end] - bp[head[a]]
+    fdevs = np.nonzero(rem_cnt > 0)[0]
+    flush_row = np.full(D, -1, dtype=np.int64)
+    if fdevs.size:
+        rows = emit(
+            fdevs, np.full(fdevs.size, horizon), rem_bytes[fdevs], KIND_DATA
+        )
+        flush_row[fdevs] = rows
+
+    # packet -> burst resolution
+    n_pk = pk_arr.size
+    pk_burst = np.full(n_pk, -1, dtype=np.int64)
+    if dd_dev:
+        drow = np.concatenate(dd_row)
+        for a in range(A):
+            lo = np.concatenate(dd_lo[a])
+            hi = np.concatenate(dd_hi[a])
+            idx, lens = _csr_expand(lo, hi)
+            pk_burst[base[a] + idx] = np.repeat(drow, lens)
+    if pw_flat:
+        pk_burst[np.concatenate(pw_flat)] = np.concatenate(pw_row)
+    if pc_flat:
+        cflat = np.concatenate(pc_flat)
+        cdev = np.concatenate(pc_dev)
+        cslot = np.concatenate(pc_slot)
+        if dd_dev:
+            ddev = np.concatenate(dd_dev)
+            dslot = np.concatenate(dd_slot)
+            drow = np.concatenate(dd_row)
+            key_mod = n_slots + 2
+            key = ddev * key_mod + dslot
+            kord = np.argsort(key)
+            key_s = key[kord]
+            drow_s = drow[kord]
+            q = cdev * key_mod + cslot + 1
+            pos = np.searchsorted(key_s, q)
+            pos_c = np.minimum(pos, key_s.size - 1)
+            hit = (pos < key_s.size) & (key_s[pos_c] // key_mod == cdev)
+            res = np.where(hit, drow_s[pos_c], flush_row[cdev])
+        else:
+            res = flush_row[cdev]
+        pk_burst[cflat] = res
+    left = pk_burst < 0
+    if left.any():
+        pk_burst[left] = flush_row[pk_dev[left]]
+    if n_pk and pk_burst.min() < 0:
+        raise AssertionError("unresolved packet -> burst mapping")
+
+    empty_f = np.empty(0, np.float64)
+    empty_i = np.empty(0, np.int64)
+    return FleetChunkRaw(
+        n_devices=D,
+        horizon=horizon,
+        n_slots=n_slots,
+        burst_dev=np.concatenate(b_dev) if b_dev else empty_i,
+        burst_start=np.concatenate(b_start) if b_start else empty_f,
+        burst_dur=np.concatenate(b_dur) if b_dur else empty_f,
+        burst_size=np.concatenate(b_size) if b_size else empty_f,
+        burst_kind=np.concatenate(b_kind) if b_kind else np.empty(0, np.int8),
+        pk_app=pk_app,
+        pk_dev=pk_dev,
+        pk_arr=pk_arr,
+        pk_size=pk_size,
+        pk_burst=pk_burst,
+        cost_kinds=w.cost_kinds.copy(),
+        deadlines=w.deadlines.copy(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def simulate_fleet_chunk(
+    workload: FleetWorkload,
+    table: ChannelTable,
+    *,
+    strategy: str = "etrain",
+    params: Optional[Dict] = None,
+    power_model: PowerModel = GALAXY_S4_3G,
+) -> FleetChunkRaw:
+    """Simulate one chunk of devices under a vectorized strategy.
+
+    ``params`` mirrors the scalar strategy builders' keyword arguments:
+    ``etrain`` takes ``theta`` (default 0.2) and ``warm_gate`` (default
+    True); ``periodic`` takes ``period`` (default 60.0); ``tailender``
+    takes ``slack`` (default 0.0); ``immediate`` takes none.
+    """
+    if strategy not in VECTOR_STRATEGIES:
+        raise ValueError(
+            f"no vectorized path for strategy {strategy!r}; "
+            f"supported: {VECTOR_STRATEGIES} (use the scalar fallback)"
+        )
+    if power_model.promotion_delay != 0.0 or power_model.promotion_energy != 0.0:
+        raise ValueError(
+            "fleet path models promotion-free radios only "
+            "(promotion_delay == promotion_energy == 0)"
+        )
+    params = dict(params or {})
+    n_slots = int(math.ceil(workload.horizon / 1.0))
+    pk_app, pk_dev, pk_arr, pk_size, base = _flat_packets(workload)
+
+    if strategy == "etrain":
+        theta = float(params.pop("theta", 0.2))
+        warm_gate = bool(params.pop("warm_gate", True))
+        if params.pop("k", None) is not None:
+            raise ValueError("fleet etrain supports only k=None (full drain)")
+        if float(params.pop("slot", 1.0)) != 1.0:
+            raise ValueError("fleet etrain supports only slot=1.0")
+        _reject_extra(params)
+        if np.any(workload.deadlines < 2.0):
+            raise ValueError("fleet etrain requires all deadlines >= 2 s")
+        return _simulate_etrain(
+            workload,
+            table,
+            pk_app,
+            pk_dev,
+            pk_arr,
+            pk_size,
+            base,
+            n_slots,
+            theta,
+            warm_gate,
+            power_model,
+        )
+
+    if strategy == "immediate":
+        _reject_extra(params)
+        release = _delivery_slots(pk_arr, n_slots)
+    elif strategy == "periodic":
+        period = float(params.pop("period", 60.0))
+        _reject_extra(params)
+        fires = _periodic_fires(n_slots, period)
+        kd = _delivery_slots(pk_arr, n_slots)
+        pos = np.searchsorted(fires, kd)
+        release = np.where(
+            pos < fires.size, fires[np.minimum(pos, max(fires.size - 1, 0))], n_slots
+        )
+    else:  # tailender
+        slack = float(params.pop("slack", 0.0))
+        _reject_extra(params)
+        release = _release_slots_tailender(
+            workload, pk_app, pk_dev, pk_arr, n_slots, slack
+        )
+    return _build_loopfree(
+        workload, table, release, pk_app, pk_dev, pk_arr, pk_size, n_slots
+    )
+
+
+def _reject_extra(params: Dict) -> None:
+    if params:
+        raise ValueError(f"unsupported fleet strategy params: {sorted(params)}")

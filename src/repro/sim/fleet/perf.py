@@ -1,0 +1,185 @@
+"""Fleet-engine benchmarks: devices/second, vectorized vs scalar loop.
+
+Mirrors :mod:`repro.sim.perf` (the dense-vs-event engine suite) for the
+fleet path: each case simulates ``devices`` devices through
+:func:`~repro.sim.fleet.engine.simulate_fleet_chunk` and a small
+reference population through the per-device scalar loop
+(:func:`~repro.sim.fleet.reference.simulate_reference_chunk`), and
+records the *throughput ratio*
+
+    speedup = (devices / fleet_s) / (scalar_devices / scalar_s)
+
+which is machine-independent to first order — both paths run the same
+Python/NumPy stack on the same machine.  ``BENCH_fleet.json`` commits the
+ratios; CI re-runs the smoke subset and fails on >25% regression, plus a
+hard floor of 20x for the eTrain case (the paper-default strategy the
+``etrain fleet`` CLI runs).
+
+Workload synthesis and channel-table construction happen outside the
+timed region on both sides: the comparison is engine against engine.
+Peak RSS is recorded per case for the memory-bound documentation in
+``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.perf import BENCH_VERSION, check_results, load_baseline, write_results
+
+__all__ = [
+    "FLEET_SPEEDUP_FLOOR",
+    "FleetBenchCase",
+    "FLEET_BENCH_CASES",
+    "run_fleet_case",
+    "run_fleet_benchmarks",
+    "check_results",
+    "load_baseline",
+    "write_results",
+]
+
+#: Hard acceptance floor for the eTrain fleet case (ISSUE acceptance
+#: criterion; the CI smoke test asserts it independently of baselines).
+FLEET_SPEEDUP_FLOOR = 20.0
+
+
+@dataclass(frozen=True)
+class FleetBenchCase:
+    """One fleet-vs-scalar throughput cell."""
+
+    name: str
+    strategy: str
+    devices: int  # fleet population for the vectorized side
+    scalar_devices: int  # reference population for the scalar side
+    horizon: float = 7200.0
+    seed: int = 0
+    params: tuple = ()
+    smoke: bool = False
+    #: Assert speedup >= FLEET_SPEEDUP_FLOOR for this case.
+    gate: bool = False
+
+
+#: eTrain needs a real per-slot loop, so its vectorized side amortizes a
+#: fixed ~0.3 ms/slot cost — benchmark it at a population large enough
+#: (4096) that the per-device signal dominates.  The loop-free strategies
+#: scale near-linearly and run at larger populations.
+FLEET_BENCH_CASES: List[FleetBenchCase] = [
+    FleetBenchCase(
+        "etrain_fleet_2h", "etrain", 4096, 4, smoke=True, gate=True
+    ),
+    # Full-mode only: the loop-free strategies' scalar sides are quick
+    # but noisy at CI-sized populations, so a 25% gate on them would
+    # flake; the gated etrain case alone rides the smoke subset.
+    FleetBenchCase("immediate_fleet_2h", "immediate", 8192, 4),
+    FleetBenchCase("periodic60_fleet_2h", "periodic", 8192, 4),
+    FleetBenchCase("tailender_fleet_2h", "tailender", 4096, 4),
+]
+
+
+def run_fleet_case(case: FleetBenchCase, repeats: int = 2) -> Dict[str, object]:
+    """Benchmark one case; simulation only is timed (best of ``repeats``)."""
+    from repro.bandwidth.synth import wuhan_bandwidth_model
+    from repro.radio.power_model import GALAXY_S4_3G
+    from repro.sim.fleet.accounting import summarize_chunk
+    from repro.sim.fleet.channel import ChannelTable
+    from repro.sim.fleet.engine import simulate_fleet_chunk
+    from repro.sim.fleet.reference import simulate_reference_chunk
+    from repro.sim.fleet.runner import peak_rss_bytes
+    from repro.sim.fleet.workload import synthesize_fleet
+
+    bw = wuhan_bandwidth_model()
+    table = ChannelTable.from_model(bw, case.horizon)
+    fleet_w = synthesize_fleet(case.devices, case.horizon, case.seed)
+    scalar_w = synthesize_fleet(case.scalar_devices, case.horizon, case.seed)
+    params = dict(case.params)
+
+    fleet_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        raw = simulate_fleet_chunk(
+            fleet_w, table, strategy=case.strategy, params=dict(params)
+        )
+        summary = summarize_chunk(raw, GALAXY_S4_3G)
+        fleet_s = min(fleet_s, time.perf_counter() - t0)
+
+    scalar_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        simulate_reference_chunk(
+            scalar_w, bw, strategy=case.strategy, params=dict(params)
+        )
+        scalar_s = min(scalar_s, time.perf_counter() - t0)
+
+    fleet_rate = case.devices / fleet_s
+    scalar_rate = case.scalar_devices / scalar_s
+    return {
+        "name": case.name,
+        "strategy": case.strategy,
+        "devices": case.devices,
+        "scalar_devices": case.scalar_devices,
+        "horizon": case.horizon,
+        "seed": case.seed,
+        "smoke": case.smoke,
+        "gate": case.gate,
+        "fleet_s": fleet_s,
+        "scalar_s": scalar_s,
+        "fleet_devices_per_s": fleet_rate,
+        "scalar_devices_per_s": scalar_rate,
+        "speedup": fleet_rate / scalar_rate if scalar_rate > 0 else float("inf"),
+        "energy_per_device_j": summary.energy_total_j / max(summary.devices, 1),
+        "peak_rss_bytes": peak_rss_bytes(include_children=False),
+    }
+
+
+def run_fleet_benchmarks(
+    mode: str = "full",
+    repeats: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the fleet suite and return the benchmark document."""
+    if mode not in ("full", "smoke"):
+        raise ValueError(f"mode must be 'full' or 'smoke', got {mode!r}")
+    if repeats is None:
+        # Fleet runs are seconds each; a couple of repeats suffices.
+        repeats = 2 if mode == "full" else 1
+    cases = [c for c in FLEET_BENCH_CASES if mode == "full" or c.smoke]
+    rows: List[Dict[str, object]] = []
+    for case in cases:
+        row = run_fleet_case(case, repeats=repeats)
+        rows.append(row)
+        if progress is not None:
+            progress(
+                f"{row['name']:20s} fleet {row['fleet_devices_per_s']:8.0f} dev/s  "
+                f"scalar {row['scalar_devices_per_s']:6.1f} dev/s  "
+                f"speedup {row['speedup']:7.1f}x  "
+                f"(rss {row['peak_rss_bytes'] / 2**20:.0f} MiB)"
+            )
+    return {
+        "version": BENCH_VERSION,
+        "suite": "fleet",
+        "mode": mode,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "cases": rows,
+    }
+
+
+def check_floor(results: Dict[str, object]) -> List[str]:
+    """Gated cases must clear the absolute FLEET_SPEEDUP_FLOOR."""
+    failures = []
+    for row in results["cases"]:
+        if row.get("gate") and row["speedup"] < FLEET_SPEEDUP_FLOOR:
+            failures.append(
+                f"{row['name']}: speedup {row['speedup']:.1f}x below the "
+                f"{FLEET_SPEEDUP_FLOOR:.0f}x acceptance floor"
+            )
+    return failures
+
+
+if __name__ == "__main__":
+    from repro.cli import main
+
+    sys.exit(main(["bench", "--suite", "fleet"] + sys.argv[1:]))

@@ -1,0 +1,204 @@
+"""Per-device scalar replay of a fleet workload.
+
+Two jobs:
+
+* **fallback** — strategies without a vectorized path (PerES, eTime,
+  channel-aware) still run at fleet scale, one scalar
+  :class:`repro.sim.engine.Simulation` per device, producing the same
+  :class:`~repro.sim.fleet.aggregate.FleetChunkSummary` shape;
+* **ground truth** — the equivalence harness replays the *same*
+  synthesized arrays through the scalar engine and compares aggregates
+  against :func:`repro.sim.fleet.engine.simulate_fleet_chunk`, so the
+  NumPy path is tested against the reference loop, not against itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bandwidth.models import BandwidthModel
+from repro.core.cost_functions import CloudCost, MailCost, WeiboCost
+from repro.core.packet import Packet, reset_packet_ids
+from repro.core.profiles import CargoAppProfile, TrainAppProfile
+from repro.heartbeat.generators import FixedCycleGenerator
+from repro.radio.power_model import GALAXY_S4_3G, PowerModel
+from repro.sim.fleet.aggregate import (
+    DELAY_BIN_S,
+    DELAY_BINS,
+    ENERGY_BIN_J,
+    ENERGY_BINS,
+    FleetChunkSummary,
+    histogram_counts,
+)
+from repro.sim.fleet.workload import FleetWorkload
+
+__all__ = [
+    "reference_profiles",
+    "simulate_reference_chunk",
+    "summarize_scalar_result",
+]
+
+_COST_CLASSES = {0: MailCost, 1: WeiboCost, 2: CloudCost}
+
+
+def reference_profiles(workload: FleetWorkload) -> List[CargoAppProfile]:
+    """Rebuild cargo profiles from what the workload arrays record.
+
+    Cost shape and deadline round-trip exactly; size/interarrival means
+    do not (the arrays already realize them), so strategies that read
+    those fields at decision time (PerES) should be given the original
+    profile list instead.
+    """
+    out = []
+    for a in range(workload.n_apps):
+        deadline = float(workload.deadlines[a])
+        cost = _COST_CLASSES[int(workload.cost_kinds[a])](deadline)
+        out.append(
+            CargoAppProfile(
+                app_id=workload.app_ids[a],
+                cost_function=cost,
+                mean_size_bytes=1000,
+                min_size_bytes=1,
+                deadline=deadline,
+                mean_interarrival=60.0,
+            )
+        )
+    return out
+
+
+def _device_scenario(
+    workload: FleetWorkload,
+    device: int,
+    profiles: Sequence[CargoAppProfile],
+    bandwidth: BandwidthModel,
+    power_model: PowerModel,
+):
+    from repro.sim.runner import Scenario
+
+    reset_packet_ids()
+    packets: List[Tuple[float, str, int, float]] = []
+    for a in range(workload.n_apps):
+        arr, sizes = workload.device_slice(a, device)
+        app_id = workload.app_ids[a]
+        deadline = float(workload.deadlines[a])
+        for t, s in zip(arr, sizes):
+            packets.append((float(t), app_id, int(s), deadline))
+    packets.sort(key=lambda p: (p[0], p[1]))
+    packet_objs = [
+        Packet(app_id=app, arrival_time=t, size_bytes=s, deadline=d)
+        for t, app, s, d in packets
+    ]
+    gens = [
+        FixedCycleGenerator(
+            TrainAppProfile(
+                app_id=workload.train_ids[t],
+                cycle=float(workload.train_cycles[t]),
+                heartbeat_size_bytes=int(workload.train_sizes[t]),
+                first_heartbeat=float(workload.train_phases[t, device]),
+            )
+        )
+        for t in range(workload.n_trains)
+    ]
+    return Scenario(
+        profiles=list(profiles),
+        train_generators=gens,
+        packets=packet_objs,
+        bandwidth=bandwidth,
+        power_model=power_model,
+        horizon=workload.horizon,
+    )
+
+
+def summarize_scalar_result(result, profiles: Sequence[CargoAppProfile]) -> FleetChunkSummary:
+    """Reduce one device's SimulationResult to a one-device summary."""
+    costs = {p.app_id: p.cost_function for p in profiles}
+    piggy_ids = set()
+    for r in result.records:
+        if r.kind == "piggyback":
+            piggy_ids.update(r.packet_ids)
+    delays = []
+    delay_cost = 0.0
+    violations = 0
+    piggy_hits = 0
+    for p in result.packets:
+        if not p.is_scheduled:
+            continue
+        d = p.delay
+        delays.append(d)
+        delay_cost += costs[p.app_id](d)
+        if p.violates_deadline():
+            violations += 1
+        if p.packet_id in piggy_ids:
+            piggy_hits += 1
+    hb_bursts = sum(1 for r in result.records if r.kind in ("heartbeat", "piggyback"))
+    delays_arr = np.asarray(delays, dtype=np.float64)
+    total = result.energy.total
+    return FleetChunkSummary(
+        devices=1,
+        packets=len(delays),
+        bursts=len(result.records),
+        heartbeats=hb_bursts,
+        piggyback_hits=piggy_hits,
+        delay_sum=float(delays_arr.sum()),
+        delay_cost_sum=delay_cost,
+        violations=violations,
+        energy_total_j=total,
+        energy_tail_j=result.energy.tail,
+        energy_tx_j=result.energy.transmission,
+        energy_hist=histogram_counts(
+            np.asarray([total]), ENERGY_BIN_J, ENERGY_BINS
+        ),
+        delay_hist=histogram_counts(delays_arr, DELAY_BIN_S, DELAY_BINS),
+    )
+
+
+def reference_device_summaries(
+    workload: FleetWorkload,
+    bandwidth: BandwidthModel,
+    *,
+    strategy: str = "etrain",
+    params: Optional[Dict] = None,
+    power_model: PowerModel = GALAXY_S4_3G,
+    profiles: Optional[Sequence[CargoAppProfile]] = None,
+) -> Iterator[FleetChunkSummary]:
+    """Yield one summary per device, scalar-engine semantics throughout."""
+    from repro.sim.parallel.specs import STRATEGY_BUILDERS
+    from repro.sim.runner import run_strategy
+
+    if strategy not in STRATEGY_BUILDERS:
+        raise KeyError(
+            f"unknown strategy {strategy!r}; known: {sorted(STRATEGY_BUILDERS)}"
+        )
+    if profiles is None:
+        profiles = reference_profiles(workload)
+    params = dict(params or {})
+    for d in range(workload.n_devices):
+        scenario = _device_scenario(workload, d, profiles, bandwidth, power_model)
+        strat = STRATEGY_BUILDERS[strategy](scenario, **params)
+        result = run_strategy(strat, scenario)
+        yield summarize_scalar_result(result, profiles)
+
+
+def simulate_reference_chunk(
+    workload: FleetWorkload,
+    bandwidth: BandwidthModel,
+    *,
+    strategy: str = "etrain",
+    params: Optional[Dict] = None,
+    power_model: PowerModel = GALAXY_S4_3G,
+    profiles: Optional[Sequence[CargoAppProfile]] = None,
+) -> FleetChunkSummary:
+    """Simulate a chunk device-by-device with the scalar engine."""
+    out = FleetChunkSummary()
+    for s in reference_device_summaries(
+        workload,
+        bandwidth,
+        strategy=strategy,
+        params=params,
+        power_model=power_model,
+        profiles=profiles,
+    ):
+        out = out.merge(s)
+    return out

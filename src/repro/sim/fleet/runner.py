@@ -1,0 +1,114 @@
+"""Fleet orchestration: chunks through the experiment executor.
+
+``run_fleet`` is the one call the CLI and examples use: it publishes the
+channel table to shared memory once, fans the fleet's chunks across the
+:class:`~repro.sim.parallel.executor.ExperimentExecutor` (serial
+in-process or a worker pool — same code path either way), merges the
+streamed chunk summaries, and reports throughput plus peak RSS.
+
+Memory stays O(chunk_size): no structure here grows with the fleet's
+device count except the list of fixed-size chunk summaries (O(chunks)).
+``docs/performance.md`` records measured RSS for a 1M-device run.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.sim.fleet.aggregate import FleetChunkSummary
+from repro.sim.fleet.channel import ChannelTable, SharedChannel
+from repro.sim.fleet.spec import FleetSpec
+
+__all__ = ["FleetRunResult", "run_fleet", "peak_rss_bytes"]
+
+
+def peak_rss_bytes(include_children: bool = True) -> int:
+    """Peak resident set size of this process (and reaped children), bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux; children matter because pool
+    workers do the actual simulation in parallel runs.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if include_children:
+        peak = max(peak, resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    return int(peak) * 1024
+
+
+@dataclass
+class FleetRunResult:
+    """Merged outcome of one fleet run."""
+
+    spec: FleetSpec
+    summary: FleetChunkSummary
+    wall_time: float
+    chunks: int
+    cached_chunks: int
+    vectorized: bool
+    peak_rss: int  # bytes, publisher process + reaped workers
+
+    @property
+    def devices_per_sec(self) -> float:
+        return self.spec.devices / self.wall_time if self.wall_time > 0 else 0.0
+
+    def describe(self) -> str:
+        mode = "vectorized" if self.vectorized else "scalar fallback"
+        return (
+            f"{self.spec.devices} devices ({self.spec.strategy}, {mode}) in "
+            f"{self.wall_time:.2f}s — {self.devices_per_sec:,.0f} devices/s, "
+            f"{self.chunks} chunk(s), peak RSS {self.peak_rss / 2**20:.0f} MiB"
+        )
+
+
+def run_fleet(
+    spec: FleetSpec,
+    *,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    progress: Optional[Callable[[str], None]] = None,
+    share_channel: Optional[bool] = None,
+) -> FleetRunResult:
+    """Run a fleet spec end to end and merge its chunk summaries.
+
+    ``share_channel`` defaults to "when vectorized": the prefix table is
+    published to ``multiprocessing.shared_memory`` once and every chunk
+    (in-process or pool worker) attaches instead of re-deriving it.  The
+    publisher closes *and* unlinks in a ``finally``; workers only close.
+    """
+    from repro.sim.parallel.executor import ExperimentExecutor
+
+    vectorized = spec.vectorized
+    if share_channel is None:
+        share_channel = vectorized
+    started = time.perf_counter()
+    shared = None
+    try:
+        if share_channel and vectorized:
+            table = ChannelTable.from_model(spec.bandwidth_model(), spec.horizon)
+            shared = SharedChannel.publish(table)
+            chunks = spec.chunk_specs(channel=shared.handle)
+        else:
+            chunks = spec.chunk_specs()
+        executor = ExperimentExecutor(
+            workers=workers, cache_dir=cache_dir, progress=progress
+        )
+        results = executor.run(chunks)
+    finally:
+        if shared is not None:
+            shared.close()
+            shared.unlink()
+    merged = FleetChunkSummary.merge_all(
+        [FleetChunkSummary.from_dict(r.summary) for r in results]
+    )
+    wall = time.perf_counter() - started
+    return FleetRunResult(
+        spec=spec,
+        summary=merged,
+        wall_time=wall,
+        chunks=len(results),
+        cached_chunks=sum(1 for r in results if r.cached),
+        vectorized=vectorized,
+        peak_rss=peak_rss_bytes(include_children=workers is not None and workers > 1),
+    )

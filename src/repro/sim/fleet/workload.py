@@ -1,0 +1,230 @@
+"""Vectorized workload synthesis: one RNG stream per device.
+
+The scalar generator (:mod:`repro.workload.cargo`) draws one device's
+packets with Python's ``random`` module.  The fleet path keeps the same
+statistical model — independent Poisson arrivals per cargo app,
+truncated-normal sizes with σ = mean/4 — but draws whole device columns
+with ``numpy.random.Generator`` block calls.
+
+Determinism and chunk invariance
+--------------------------------
+Device ``d`` of a fleet seeded with ``seed`` always gets the generator
+``default_rng(SeedSequence(entropy=seed, spawn_key=(d,)))``, where ``d``
+is the device's *global* index (``device_offset + local``).  The spawn
+key, not the chunk boundary, identifies the stream, so splitting a
+100 000-device fleet into chunks of 8 192 or 24 576 yields byte-identical
+per-device workloads.  Each device's generator is consumed in a fixed
+order — per cargo app: arrival gaps, then sizes; then train phases when
+``phase_mode="random"`` — so adding devices never perturbs existing ones.
+
+The pure-Python generators remain the reference path; equivalence is at
+the simulation level (the reference chunk replays *these* arrays through
+the scalar engine, see :mod:`repro.sim.fleet.reference`), so the two
+synthesis paths never need bit-equal streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cost_functions import CloudCost, MailCost, WeiboCost
+from repro.core.profiles import CargoAppProfile, TrainAppProfile
+from repro.heartbeat.apps import ANDROID_TRAIN_APPS
+from repro.workload.cargo import DEFAULT_CARGO_PROFILES
+
+__all__ = ["FleetWorkload", "synthesize_fleet", "COST_KINDS", "default_fleet_trains"]
+
+#: Cost-function classes the vectorized accounting understands, keyed to
+#: the small integers stored per app in :class:`FleetWorkload`.
+COST_KINDS = {MailCost: 0, WeiboCost: 1, CloudCost: 2}
+
+#: The evaluation's default phase stagger (see ``default_train_generators``).
+DEFAULT_STAGGER = 97.0
+
+
+def default_fleet_trains() -> List[TrainAppProfile]:
+    """QQ / WeChat / WhatsApp, matching ``default_train_generators(3)``."""
+    return [ANDROID_TRAIN_APPS[a] for a in ("qq", "wechat", "whatsapp")]
+
+
+@dataclass
+class FleetWorkload:
+    """Column-form workload of one device chunk.
+
+    Cargo packets live in per-app CSR arrays: app ``a``'s packets for
+    device ``d`` are ``arrivals[a][offsets[a][d]:offsets[a][d+1]]``
+    (sorted ascending) with matching ``sizes[a]``.  Train apps are
+    described by their cycles/sizes plus a per-device phase matrix.
+    """
+
+    n_devices: int
+    horizon: float
+    seed: int
+    device_offset: int
+    # -- cargo apps (parallel lists, one entry per app) --
+    app_ids: List[str]
+    cost_kinds: np.ndarray  # (A,) int64, values from COST_KINDS
+    deadlines: np.ndarray  # (A,) float64
+    arrivals: List[np.ndarray]  # A arrays of float64
+    sizes: List[np.ndarray]  # A arrays of int64
+    offsets: List[np.ndarray]  # A arrays of int64, each (D+1,)
+    # -- train apps --
+    train_ids: List[str]
+    train_cycles: np.ndarray  # (T,) float64
+    train_sizes: np.ndarray  # (T,) int64
+    train_phases: np.ndarray  # (T, D) float64
+
+    @property
+    def n_apps(self) -> int:
+        return len(self.app_ids)
+
+    @property
+    def n_trains(self) -> int:
+        return len(self.train_ids)
+
+    @property
+    def n_packets(self) -> int:
+        return int(sum(a.size for a in self.arrivals))
+
+    def device_slice(self, app: int, device: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(arrivals, sizes) of one app on one local device index."""
+        off = self.offsets[app]
+        lo, hi = int(off[device]), int(off[device + 1])
+        return self.arrivals[app][lo:hi], self.sizes[app][lo:hi]
+
+
+def _poisson_arrivals(
+    rng: np.random.Generator, mean: float, horizon: float
+) -> np.ndarray:
+    """Arrival instants of one homogeneous Poisson process on [0, horizon).
+
+    Draws exponential gaps in galloping blocks and cumsums, so the
+    expected number of RNG calls is O(1) regardless of packet count.
+    """
+    block = max(16, int(horizon / mean * 1.25) + 8)
+    chunks = []
+    total = 0.0
+    while total < horizon:
+        gaps = rng.exponential(mean, block)
+        times = total + np.cumsum(gaps)
+        chunks.append(times)
+        total = float(times[-1])
+    times = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+    return times[times < horizon]
+
+
+def _truncated_normal_sizes(
+    rng: np.random.Generator, mean: float, minimum: float, n: int
+) -> np.ndarray:
+    """``n`` sizes from Normal(mean, mean/4) truncated below at ``minimum``.
+
+    Vector rejection: with minimum <= mean the acceptance probability is
+    >= 0.5, so a handful of passes converge; stragglers clamp.
+    """
+    sigma = mean / 4.0
+    vals = rng.normal(mean, sigma, n)
+    for _ in range(64):
+        bad = vals < minimum
+        n_bad = int(bad.sum())
+        if n_bad == 0:
+            break
+        vals[bad] = rng.normal(mean, sigma, n_bad)
+    np.maximum(vals, minimum, out=vals)
+    return np.maximum(1, np.rint(vals)).astype(np.int64)
+
+
+def synthesize_fleet(
+    n_devices: int,
+    horizon: float,
+    seed: int,
+    *,
+    device_offset: int = 0,
+    profiles: Optional[Sequence[CargoAppProfile]] = None,
+    trains: Optional[Sequence[TrainAppProfile]] = None,
+    phase_mode: str = "fixed",
+    stagger: float = DEFAULT_STAGGER,
+) -> FleetWorkload:
+    """Synthesize a chunk of ``n_devices`` device workloads.
+
+    ``phase_mode="fixed"`` gives every device the scalar default phases
+    (``i * stagger`` for train ``i``); ``"random"`` draws each device's
+    phases uniformly on ``[0, cycle)`` from its own stream, modelling app
+    daemons started at arbitrary times across a population.
+    """
+    if n_devices < 1:
+        raise ValueError(f"n_devices must be >= 1, got {n_devices}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    if phase_mode not in ("fixed", "random"):
+        raise ValueError(f"phase_mode must be 'fixed' or 'random', got {phase_mode!r}")
+    if profiles is None:
+        profiles = DEFAULT_CARGO_PROFILES()
+    if trains is None:
+        trains = default_fleet_trains()
+
+    cost_kinds = []
+    for p in profiles:
+        kind = COST_KINDS.get(type(p.cost_function))
+        if kind is None:
+            raise TypeError(
+                f"app {p.app_id!r} uses {type(p.cost_function).__name__}, "
+                "which the fleet accounting cannot vectorize"
+            )
+        cost_kinds.append(kind)
+
+    A, D, T = len(profiles), n_devices, len(trains)
+    per_app_arr: List[List[np.ndarray]] = [[] for _ in range(A)]
+    per_app_sizes: List[List[np.ndarray]] = [[] for _ in range(A)]
+    counts = np.zeros((A, D), dtype=np.int64)
+    train_phases = np.empty((T, D), dtype=np.float64)
+    if phase_mode == "fixed":
+        for t in range(T):
+            train_phases[t, :] = t * stagger
+
+    for d in range(D):
+        ss = np.random.SeedSequence(entropy=seed, spawn_key=(device_offset + d,))
+        rng = np.random.default_rng(ss)
+        for a, p in enumerate(profiles):
+            arr = _poisson_arrivals(rng, p.mean_interarrival, horizon)
+            per_app_arr[a].append(arr)
+            per_app_sizes[a].append(
+                _truncated_normal_sizes(
+                    rng, p.mean_size_bytes, p.min_size_bytes, arr.size
+                )
+            )
+            counts[a, d] = arr.size
+        if phase_mode == "random":
+            for t, tr in enumerate(trains):
+                train_phases[t, d] = rng.uniform(0.0, tr.cycle)
+
+    arrivals, sizes, offsets = [], [], []
+    for a in range(A):
+        off = np.zeros(D + 1, dtype=np.int64)
+        np.cumsum(counts[a], out=off[1:])
+        arrivals.append(
+            np.concatenate(per_app_arr[a]) if off[-1] else np.empty(0, dtype=np.float64)
+        )
+        sizes.append(
+            np.concatenate(per_app_sizes[a]) if off[-1] else np.empty(0, dtype=np.int64)
+        )
+        offsets.append(off)
+
+    return FleetWorkload(
+        n_devices=D,
+        horizon=float(horizon),
+        seed=seed,
+        device_offset=device_offset,
+        app_ids=[p.app_id for p in profiles],
+        cost_kinds=np.asarray(cost_kinds, dtype=np.int64),
+        deadlines=np.asarray([p.deadline for p in profiles], dtype=np.float64),
+        arrivals=arrivals,
+        sizes=sizes,
+        offsets=offsets,
+        train_ids=[t.app_id for t in trains],
+        train_cycles=np.asarray([t.cycle for t in trains], dtype=np.float64),
+        train_sizes=np.asarray([t.heartbeat_size_bytes for t in trains], dtype=np.int64),
+        train_phases=train_phases,
+    )

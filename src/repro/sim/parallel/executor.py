@@ -52,6 +52,7 @@ class ExecutorStats:
     jobs_total: int = 0
     jobs_run: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0  # lookups that went to simulation (cache configured)
     wall_time: float = 0.0
     busy_time: float = 0.0
     workers: int = 1
@@ -178,6 +179,17 @@ class ExperimentExecutor:
 
     # -- public API --------------------------------------------------------
 
+    def describe_cache(self) -> Optional[str]:
+        """One-line cache summary (None when no cache is configured)."""
+        if self.cache is None:
+            return None
+        return (
+            f"cache: {self.stats.cache_hits} hit(s), "
+            f"{self.stats.cache_misses} miss(es), "
+            f"{len(self.cache)} entries, "
+            f"{self.cache.size_bytes() / 1024:.1f} KiB on disk"
+        )
+
     def run(self, jobs: Sequence[JobSpec]) -> List[JobResult]:
         """Execute a grid; results come back in submission order."""
         jobs = list(jobs)
@@ -210,6 +222,8 @@ class ExperimentExecutor:
         self.stats.jobs_total += len(jobs)
         self.stats.jobs_run += len(executed)
         self.stats.cache_hits += len(finished) - len(executed)
+        if self.cache is not None:
+            self.stats.cache_misses += len(misses)
         self.stats.wall_time += elapsed
         self.stats.busy_time += sum(r.wall_time for r in executed)
         self.stats.job_times.extend(r.wall_time for r in executed)

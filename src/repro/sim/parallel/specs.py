@@ -348,6 +348,13 @@ def run_job(spec: JobSpec) -> Dict[str, float]:
     flat summary dict.  Pure function of ``spec`` — see the module
     docstring for why.
     """
+    # Specs that carry their own worker entry point (fleet chunks, and
+    # anything else shaped like them) dispatch to it; duck-typed so this
+    # module never imports the NumPy-backed fleet package.
+    runner = getattr(spec, "run_in_worker", None)
+    if runner is not None:
+        return runner()
+
     from repro.sim.runner import run_strategy
 
     scenario = spec.scenario.build()

@@ -15,15 +15,34 @@ __all__ = [
 
 
 class ArrivalProcess(abc.ABC):
-    """Generates arrival instants on ``[start, horizon)``."""
+    """Generates arrival instants on ``[start, horizon)``.
+
+    RNG reuse contract: stochastic processes construct their RNG once, at
+    ``__init__`` (or on :meth:`reset`), *not* per :meth:`arrivals` call.
+    The first call after construction therefore draws the same stream it
+    always has, but a second call on the same instance **continues** the
+    stream instead of silently replaying it — which is what windowed
+    callers (e.g. generating a day in two-hour chunks) need.  Callers
+    that want the historical replay behaviour construct a fresh instance
+    per call (every production call site does) or call :meth:`reset`.
+    """
 
     @abc.abstractmethod
     def arrivals(self, start: float, horizon: float) -> List[float]:
         """Sorted arrival times in ``[start, horizon)``."""
 
+    def reset(self) -> None:
+        """Rewind the process to its freshly-constructed state (no-op by
+        default; stochastic subclasses re-seed their RNG)."""
+
 
 class PoissonArrivals(ArrivalProcess):
-    """Homogeneous Poisson process with a given mean inter-arrival time."""
+    """Homogeneous Poisson process with a given mean inter-arrival time.
+
+    The RNG is seeded once at construction; successive :meth:`arrivals`
+    calls continue the exponential stream (see :class:`ArrivalProcess`
+    for the reuse contract).
+    """
 
     def __init__(self, mean_interarrival: float, seed: int = 0) -> None:
         if mean_interarrival <= 0:
@@ -32,16 +51,20 @@ class PoissonArrivals(ArrivalProcess):
             )
         self.mean_interarrival = float(mean_interarrival)
         self.seed = seed
+        self._rng = random.Random(seed)
 
     @property
     def rate(self) -> float:
         """λ = 1 / mean inter-arrival (packets/second)."""
         return 1.0 / self.mean_interarrival
 
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
+
     def arrivals(self, start: float, horizon: float) -> List[float]:
         if horizon < start:
             raise ValueError("horizon must be >= start")
-        rng = random.Random(self.seed)
+        rng = self._rng
         out: List[float] = []
         t = start + rng.expovariate(self.rate)
         while t < horizon:
@@ -94,11 +117,17 @@ class BurstyArrivals(ArrivalProcess):
         self.mean_calm_duration = mean_calm_duration
         self.mean_burst_duration = mean_burst_duration
         self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self.seed)
 
     def arrivals(self, start: float, horizon: float) -> List[float]:
+        """Arrivals on ``[start, horizon)``; the RNG stream continues
+        across calls but the phase machine restarts calm at ``start``."""
         if horizon < start:
             raise ValueError("horizon must be >= start")
-        rng = random.Random(self.seed)
+        rng = self._rng
         out: List[float] = []
         t = start
         in_burst = False

@@ -16,9 +16,20 @@ class SizeModel(abc.ABC):
     def sample(self, rng: random.Random) -> int:
         """One size draw (bytes, >= 1)."""
 
-    def sample_many(self, n: int, seed: int = 0) -> List[int]:
-        """``n`` deterministic draws from a fresh RNG seeded ``seed``."""
-        rng = random.Random(seed)
+    def sample_many(
+        self, n: int, seed: int = 0, rng: "random.Random | None" = None
+    ) -> List[int]:
+        """``n`` deterministic draws.
+
+        RNG reuse contract: with only ``seed`` given, each call constructs
+        a fresh RNG and so *replays* the identical stream — right for
+        one-shot synthesis, wrong for windowed callers.  To draw several
+        windows from one logical stream, construct the RNG once (e.g.
+        ``random.Random(seed)``) and pass it via ``rng``; successive calls
+        then continue the stream instead of replaying it.
+        """
+        if rng is None:
+            rng = random.Random(seed)
         return [self.sample(rng) for _ in range(n)]
 
 

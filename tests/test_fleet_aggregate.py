@@ -1,0 +1,145 @@
+"""FleetChunkSummary: streaming aggregation algebra.
+
+The fleet runner merges thousands of chunk summaries in arbitrary
+association order, serializes them across process boundaries as JSON,
+and answers percentile queries from fixed-bin sketches.  These tests pin
+the algebra (associativity, identity), the sketch semantics (upper-edge
+percentiles, clipping), and the wire format.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.sim.fleet.aggregate import (
+    DELAY_BINS,
+    ENERGY_BIN_J,
+    ENERGY_BINS,
+    FleetChunkSummary,
+    histogram_counts,
+)
+
+
+def random_summary(rng):
+    return FleetChunkSummary(
+        devices=int(rng.integers(1, 100)),
+        packets=int(rng.integers(0, 1000)),
+        bursts=int(rng.integers(0, 500)),
+        heartbeats=int(rng.integers(0, 400)),
+        piggyback_hits=int(rng.integers(0, 300)),
+        delay_sum=float(rng.uniform(0, 1e4)),
+        delay_cost_sum=float(rng.uniform(0, 1e3)),
+        violations=int(rng.integers(0, 50)),
+        energy_total_j=float(rng.uniform(0, 1e5)),
+        energy_tail_j=float(rng.uniform(0, 5e4)),
+        energy_tx_j=float(rng.uniform(0, 5e4)),
+        energy_hist=rng.integers(0, 20, size=ENERGY_BINS).astype(np.int64),
+        delay_hist=rng.integers(0, 20, size=DELAY_BINS).astype(np.int64),
+    )
+
+
+def assert_equal(a: FleetChunkSummary, b: FleetChunkSummary):
+    assert a.devices == b.devices
+    assert a.packets == b.packets
+    assert a.energy_total_j == pytest.approx(b.energy_total_j, rel=1e-12)
+    assert a.delay_cost_sum == pytest.approx(b.delay_cost_sum, rel=1e-12)
+    np.testing.assert_array_equal(a.energy_hist, b.energy_hist)
+    np.testing.assert_array_equal(a.delay_hist, b.delay_hist)
+
+
+def test_merge_associative_and_commutative():
+    rng = np.random.default_rng(0)
+    a, b, c = (random_summary(rng) for _ in range(3))
+    assert_equal((a + b) + c, a + (b + c))
+    assert_equal(a + b, b + a)
+
+
+def test_merge_identity():
+    rng = np.random.default_rng(1)
+    a = random_summary(rng)
+    assert_equal(a + FleetChunkSummary(), a)
+
+
+def test_merge_all_matches_pairwise():
+    rng = np.random.default_rng(2)
+    parts = [random_summary(rng) for _ in range(7)]
+    folded = parts[0]
+    for p in parts[1:]:
+        folded = folded + p
+    assert_equal(FleetChunkSummary.merge_all(parts), folded)
+
+
+def test_merge_does_not_mutate_inputs():
+    rng = np.random.default_rng(3)
+    a, b = random_summary(rng), random_summary(rng)
+    a_hist = a.energy_hist.copy()
+    _ = a + b
+    np.testing.assert_array_equal(a.energy_hist, a_hist)
+
+
+def test_histogram_counts_bins_and_clips():
+    values = np.array([0.0, 0.5, 1.9, 2.0, 99.0, 1e9, -3.0])
+    counts = histogram_counts(values, bin_width=2.0, n_bins=4)
+    assert counts.shape == (4,)
+    # bins: [0,2) [2,4) [4,6) [6,inf) — overflow and negatives clip to edges
+    assert counts[0] == 4  # 0.0, 0.5, 1.9, and -3.0 clipped up
+    assert counts[1] == 1  # 2.0
+    assert counts[3] == 2  # 99.0 and 1e9 clipped down
+    assert counts.sum() == values.size
+
+
+def test_energy_percentiles_known_distribution():
+    # 100 devices at exactly one bin each: bin i holds device i.
+    s = FleetChunkSummary(devices=100)
+    s.energy_hist[:100] = 1
+    # percentile reports the upper edge of the bin where the cumulative
+    # count crosses q% of the population
+    assert s.energy_percentile_j(50) == pytest.approx(50 * ENERGY_BIN_J)
+    assert s.energy_percentile_j(95) == pytest.approx(95 * ENERGY_BIN_J)
+
+
+def test_percentile_empty_is_zero():
+    assert FleetChunkSummary().energy_percentile_j(95) == 0.0
+    assert FleetChunkSummary().delay_percentile_s(50) == 0.0
+
+
+def test_dict_roundtrip_is_json_safe():
+    rng = np.random.default_rng(4)
+    a = random_summary(rng)
+    wire = json.loads(json.dumps(a.to_dict()))
+    assert_equal(FleetChunkSummary.from_dict(wire), a)
+
+
+def test_summary_keys_and_ratios():
+    s = FleetChunkSummary(
+        devices=10,
+        packets=100,
+        bursts=40,
+        heartbeats=50,
+        piggyback_hits=25,
+        delay_sum=200.0,
+        delay_cost_sum=30.0,
+        violations=5,
+        energy_total_j=1000.0,
+        energy_tail_j=700.0,
+        energy_tx_j=300.0,
+    )
+    out = s.summary()
+    assert out["energy_per_device_j"] == pytest.approx(100.0)
+    assert out["normalized_delay_s"] == pytest.approx(2.0)
+    assert out["deadline_violation_ratio"] == pytest.approx(0.05)
+    assert out["piggyback_ratio"] == pytest.approx(0.25)  # hits / packets
+    assert out["delay_cost_per_device"] == pytest.approx(3.0)
+    for key in (
+        "devices",
+        "total_energy_j",
+        "tail_energy_j",
+        "transmission_energy_j",
+        "energy_p50_j",
+        "energy_p95_j",
+        "delay_p50_s",
+        "delay_p95_s",
+        "delay_cost_total",
+    ):
+        assert key in out

@@ -1,0 +1,117 @@
+"""ChannelTable and SharedChannel: correctness and shm discipline.
+
+The prefix-sum table must reproduce ``BandwidthModel.transfer_duration``
+for arbitrary (possibly fractional) start times, including starts past
+the simulated horizon (bursts serialized into the guard band) — and the
+shared-memory wrapper must round-trip the table bit-exactly while
+honouring the publish/attach/close/unlink lifecycle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bandwidth.models import ConstantBandwidth
+from repro.bandwidth.synth import wuhan_bandwidth_model
+from repro.sim.fleet.channel import ChannelTable, SharedChannel
+
+
+@pytest.fixture(scope="module")
+def wuhan():
+    return wuhan_bandwidth_model()
+
+
+@pytest.fixture(scope="module")
+def table(wuhan):
+    return ChannelTable.from_model(wuhan, 600.0)
+
+
+def test_durations_match_model_integer_starts(wuhan, table):
+    starts = np.arange(0.0, 500.0, 13.0)
+    sizes = np.full(starts.shape, 50_000.0)
+    got = table.durations(starts, sizes)
+    want = np.array(
+        [wuhan.transfer_duration(s, 50_000.0) for s in starts]
+    )
+    np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+
+def test_durations_match_model_fractional_starts(wuhan, table):
+    rng = np.random.default_rng(42)
+    starts = rng.uniform(0.0, 590.0, size=64)
+    sizes = rng.uniform(100.0, 500_000.0, size=64)
+    got = table.durations(starts, sizes)
+    want = np.array(
+        [wuhan.transfer_duration(s, b) for s, b in zip(starts, sizes)]
+    )
+    np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+
+def test_durations_past_horizon_still_match(wuhan, table):
+    """Serialized bursts can start after the horizon; the guard band in
+    the table must cover them exactly like the live model does."""
+    starts = np.array([600.0, 601.5, 750.25, 3600.0])
+    sizes = np.array([10_000.0, 120_000.0, 50_000.0, 80_000.0])
+    got = table.durations(starts, sizes)
+    want = np.array(
+        [wuhan.transfer_duration(s, b) for s, b in zip(starts, sizes)]
+    )
+    np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+
+def test_constant_bandwidth_table():
+    bw = ConstantBandwidth(rate=1_000_000.0)
+    table = ChannelTable.from_model(bw, 300.0)
+    starts = np.array([0.0, 10.5, 299.0])
+    sizes = np.array([125_000.0, 125_000.0, 250_000.0])
+    got = table.durations(starts, sizes)
+    want = np.array(
+        [bw.transfer_duration(s, b) for s, b in zip(starts, sizes)]
+    )
+    np.testing.assert_allclose(got, want, rtol=1e-9)
+
+
+def test_zero_size_zero_duration(table):
+    got = table.durations(np.array([5.0, 100.3]), np.array([0.0, 0.0]))
+    np.testing.assert_allclose(got, np.zeros(2), atol=1e-12)
+
+
+def test_shared_channel_roundtrip(table):
+    shared = SharedChannel.publish(table)
+    try:
+        view = SharedChannel.attach(shared.handle)
+        try:
+            np.testing.assert_array_equal(view.table.samples, table.samples)
+            np.testing.assert_array_equal(view.table.prefix, table.prefix)
+            starts = np.array([1.25, 42.0, 599.9])
+            sizes = np.array([5_000.0, 80_000.0, 12_345.0])
+            np.testing.assert_allclose(
+                view.table.durations(starts, sizes),
+                table.durations(starts, sizes),
+                rtol=1e-12,
+            )
+        finally:
+            view.close()
+        # double-close is safe
+        view.close()
+        # attachers never unlink
+        with pytest.raises(RuntimeError):
+            view.unlink()
+    finally:
+        shared.close()
+        shared.unlink()
+
+
+def test_shared_channel_handle_is_plain_data(table):
+    import pickle
+
+    shared = SharedChannel.publish(table)
+    try:
+        handle = pickle.loads(pickle.dumps(shared.handle))
+        view = SharedChannel.attach(handle)
+        try:
+            assert view.table.prefix.shape == table.prefix.shape
+        finally:
+            view.close()
+    finally:
+        shared.close()
+        shared.unlink()

@@ -1,0 +1,178 @@
+"""Fleet engine vs per-device scalar loop: aggregate equivalence.
+
+The batched NumPy engine (`repro.sim.fleet.engine`) promises the *same
+aggregate numbers* as running each device through the scalar slotted
+simulation — seed for seed, strategy for strategy.  These tests hold it
+to that: fixed-seed checks for every vectorized strategy, a hypothesis
+sweep over small fleets (satellite requirement: total energy, piggyback
+ratio and delay-cost totals must match a per-device loop), and chunk
+invariance (splitting a fleet into chunks never changes the merge).
+
+Tolerances: the vectorized accounting sums per-packet costs in a
+different association order than the scalar loop, so totals agree to
+float round-off (rtol 1e-6 is generous; observed drift ~1e-13).  Chunk
+splits reuse identical per-device streams, so they agree to 1e-9.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bandwidth.synth import wuhan_bandwidth_model
+from repro.radio.power_model import GALAXY_S4_3G
+from repro.sim.fleet.accounting import summarize_chunk
+from repro.sim.fleet.aggregate import FleetChunkSummary
+from repro.sim.fleet.channel import ChannelTable
+from repro.sim.fleet.engine import VECTOR_STRATEGIES, simulate_fleet_chunk
+from repro.sim.fleet.reference import simulate_reference_chunk
+from repro.sim.fleet.workload import synthesize_fleet
+
+#: Aggregate keys the fleet engine must reproduce from the scalar loop.
+MATCH_KEYS = (
+    "total_energy_j",
+    "tail_energy_j",
+    "transmission_energy_j",
+    "normalized_delay_s",
+    "deadline_violation_ratio",
+    "piggyback_ratio",
+    "delay_cost_total",
+    "packets",
+    "bursts",
+)
+
+_BW = wuhan_bandwidth_model()
+_TABLES = {}
+
+
+def channel_table(horizon: float) -> ChannelTable:
+    if horizon not in _TABLES:
+        _TABLES[horizon] = ChannelTable.from_model(_BW, horizon)
+    return _TABLES[horizon]
+
+
+def fleet_summary(devices, horizon, seed, strategy, params=None, phase_mode="fixed"):
+    workload = synthesize_fleet(devices, horizon, seed, phase_mode=phase_mode)
+    raw = simulate_fleet_chunk(
+        workload, channel_table(horizon), strategy=strategy, params=params
+    )
+    return summarize_chunk(raw, GALAXY_S4_3G).summary()
+
+
+def scalar_summary(devices, horizon, seed, strategy, params=None, phase_mode="fixed"):
+    workload = synthesize_fleet(devices, horizon, seed, phase_mode=phase_mode)
+    return simulate_reference_chunk(
+        workload, _BW, strategy=strategy, params=params
+    ).summary()
+
+
+def assert_summaries_match(fleet, scalar, rtol=1e-6):
+    for key in MATCH_KEYS:
+        assert fleet[key] == pytest.approx(scalar[key], rel=rtol, abs=1e-9), (
+            f"{key}: fleet {fleet[key]!r} != scalar {scalar[key]!r}"
+        )
+
+
+CASES = [
+    ("immediate", None),
+    ("periodic", {"period": 45.0}),
+    ("tailender", None),
+    ("etrain", None),
+    ("etrain", {"warm_gate": False}),
+    ("etrain", {"theta": 0.5}),
+]
+
+
+@pytest.mark.parametrize("strategy,params", CASES)
+def test_fixed_seed_equivalence(strategy, params):
+    fleet = fleet_summary(6, 450.0, 3, strategy, params)
+    scalar = scalar_summary(6, 450.0, 3, strategy, params)
+    assert_summaries_match(fleet, scalar)
+
+
+@pytest.mark.parametrize("strategy", VECTOR_STRATEGIES)
+def test_random_phase_equivalence(strategy):
+    fleet = fleet_summary(5, 450.0, 7, strategy, phase_mode="random")
+    scalar = scalar_summary(5, 450.0, 7, strategy, phase_mode="random")
+    assert_summaries_match(fleet, scalar)
+
+
+def test_full_horizon_etrain_equivalence():
+    """One slow full-length check: 2 devices over the paper's 2h horizon."""
+    fleet = fleet_summary(2, 7200.0, 0, "etrain")
+    scalar = scalar_summary(2, 7200.0, 0, "etrain")
+    assert_summaries_match(fleet, scalar)
+    assert fleet["piggyback_ratio"] > 0.3  # eTrain actually piggybacks
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    devices=st.integers(min_value=1, max_value=8),
+    horizon=st.sampled_from([300.0, 450.0, 600.0, 900.0]),
+    seed=st.integers(min_value=0, max_value=200),
+    strategy=st.sampled_from(VECTOR_STRATEGIES),
+    phase_mode=st.sampled_from(["fixed", "random"]),
+)
+def test_property_fleet_matches_scalar(devices, horizon, seed, strategy, phase_mode):
+    """Satellite (c): any small fleet matches a per-device scalar loop on
+    total energy, piggyback ratio and delay-cost totals, seed for seed."""
+    fleet = fleet_summary(devices, horizon, seed, strategy, phase_mode=phase_mode)
+    scalar = scalar_summary(devices, horizon, seed, strategy, phase_mode=phase_mode)
+    assert fleet["devices"] == scalar["devices"] == devices
+    assert fleet["total_energy_j"] == pytest.approx(
+        scalar["total_energy_j"], rel=1e-6
+    )
+    assert fleet["piggyback_ratio"] == pytest.approx(
+        scalar["piggyback_ratio"], rel=1e-6, abs=1e-12
+    )
+    assert fleet["delay_cost_total"] == pytest.approx(
+        scalar["delay_cost_total"], rel=1e-6, abs=1e-9
+    )
+
+
+@pytest.mark.parametrize("strategy", ["immediate", "etrain"])
+def test_chunk_invariance(strategy):
+    """Chunking is invisible: per-device streams are keyed by absolute
+    device index, and the summary merge is associative."""
+    devices, horizon, seed = 20, 450.0, 1
+    table = channel_table(horizon)
+    whole = summarize_chunk(
+        simulate_fleet_chunk(
+            synthesize_fleet(devices, horizon, seed), table, strategy=strategy
+        ),
+        GALAXY_S4_3G,
+    )
+    parts = []
+    for offset, count in ((0, 7), (7, 7), (14, 6)):
+        w = synthesize_fleet(count, horizon, seed, device_offset=offset)
+        parts.append(
+            summarize_chunk(
+                simulate_fleet_chunk(w, table, strategy=strategy), GALAXY_S4_3G
+            )
+        )
+    merged = FleetChunkSummary.merge_all(parts)
+    assert merged.devices == whole.devices
+    assert merged.packets == whole.packets
+    assert merged.bursts == whole.bursts
+    assert merged.piggyback_hits == whole.piggyback_hits
+    assert merged.energy_total_j == pytest.approx(whole.energy_total_j, rel=1e-9)
+    assert merged.delay_cost_sum == pytest.approx(whole.delay_cost_sum, rel=1e-9)
+    np.testing.assert_array_equal(merged.energy_hist, whole.energy_hist)
+    np.testing.assert_array_equal(merged.delay_hist, whole.delay_hist)
+
+
+def test_rejects_non_vectorized_strategy():
+    w = synthesize_fleet(1, 60.0, 0)
+    with pytest.raises(ValueError, match="peres"):
+        simulate_fleet_chunk(w, channel_table(60.0), strategy="peres")
+
+
+def test_rejects_unknown_params():
+    w = synthesize_fleet(1, 60.0, 0)
+    with pytest.raises((TypeError, ValueError)):
+        simulate_fleet_chunk(
+            w, channel_table(60.0), strategy="etrain", params={"bogus": 1}
+        )
