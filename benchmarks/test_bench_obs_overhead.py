@@ -1,0 +1,208 @@
+"""Observability overhead bench: off means off, and merges obey algebra.
+
+The tracing/metrics layer promises *zero overhead when disabled*: a run
+with ``recorder=None`` outside any :func:`~repro.obs.metrics.metrics_scope`
+does one registry gate-check per ``run()`` — never per slot, packet or
+burst — and touches no tracer code at all.  Three angles pin that:
+
+* **Structural** — monkeypatched seams prove the disabled path performs
+  exactly one ``current_registry()`` lookup per run and zero tracer calls.
+* **Microbench** — the gate's measured per-run cost is bounded against
+  the measured run time: far under the 5% budget the CI gate allows.
+* **Macro sanity** — interleaved best-of-N timing shows a disabled run
+  is not slower than a fully instrumented one (which does strictly more
+  work) beyond a 5% noise margin.
+
+The second half pins the metrics algebra the executor and fleet
+aggregation rely on: registry merge is associative and commutative, so
+totals are independent of chunk ordering, scheduling and cache state.
+
+All tests are ``smoke``- and ``obs``-marked (seconds-long; part of the
+CI subset and the ``-m obs`` lane).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.obs import ListRecorder, MetricsRegistry, metrics_scope
+from repro.obs.events import app_cost_table
+from repro.obs.metrics import current_registry
+from repro.sim.engine import Simulation
+from repro.sim.parallel.specs import StrategySpec
+from repro.sim.runner import default_scenario
+
+pytestmark = [pytest.mark.smoke, pytest.mark.obs]
+
+#: The CI gate's budget for disabled-instrumentation overhead.
+OVERHEAD_BUDGET = 0.05
+
+
+def make_sim(scenario, *, instrument: bool) -> Simulation:
+    return Simulation(
+        StrategySpec.make("etrain").build(scenario),
+        scenario.train_generators,
+        scenario.fresh_packets(),
+        power_model=scenario.power_model,
+        bandwidth=scenario.bandwidth,
+        horizon=scenario.horizon,
+        slot=scenario.slot,
+        recorder=ListRecorder() if instrument else None,
+        trace_app_costs=app_cost_table(scenario.profiles) if instrument else None,
+    )
+
+
+class TestDisabledPathIsStructurallyFree:
+    def test_one_gate_check_per_run_and_no_tracer(self, monkeypatch):
+        """A disabled run makes exactly one registry lookup and never
+        imports into the tracer — O(1) per run, not O(slots)."""
+        import repro.obs.metrics as metrics_mod
+        import repro.obs.tracer as tracer_mod
+
+        calls = []
+        real = metrics_mod.current_registry
+        monkeypatch.setattr(
+            metrics_mod, "current_registry", lambda: calls.append(1) or real()
+        )
+
+        def boom(*args, **kwargs):
+            raise AssertionError("tracer invoked on a disabled run")
+
+        monkeypatch.setattr(tracer_mod, "emit_simulation_trace", boom)
+
+        scenario = default_scenario(seed=0, horizon=3600.0)
+        result = make_sim(scenario, instrument=False).run()
+        assert result.burst_count > 0
+        assert len(calls) == 1
+
+    def test_outside_scope_registry_is_none(self):
+        assert current_registry() is None
+
+
+class TestDisabledOverheadWithinBudget:
+    def test_gate_cost_bounded_by_budget(self, benchmark, report):
+        """Measured per-run cost of the disabled-path gate (one
+        ``current_registry()`` + one ``perf_counter()``) against the
+        measured run time: orders of magnitude under the 5% budget."""
+        scenario = default_scenario(seed=0, horizon=7200.0)
+
+        def one_run():
+            return make_sim(scenario, instrument=False).run()
+
+        t0 = time.perf_counter()
+        result = run_once(benchmark, one_run)
+        run_s = time.perf_counter() - t0
+        assert result.burst_count > 0
+
+        n = 10_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            current_registry()
+            time.perf_counter()
+        gate_s = (time.perf_counter() - t0) / n
+
+        report(
+            "Disabled-instrumentation gate cost [etrain, 2 h scenario]\n"
+            f"  run          {run_s * 1e3:9.3f} ms\n"
+            f"  gate         {gate_s * 1e9:9.1f} ns/run\n"
+            f"  overhead     {gate_s / run_s:9.2%} (budget {OVERHEAD_BUDGET:.0%})"
+        )
+        assert gate_s / run_s < OVERHEAD_BUDGET
+
+    def test_disabled_not_slower_than_enabled(self, report):
+        """Interleaved best-of-N: the disabled path must not cost more
+        than the enabled path (which does strictly more work) plus noise
+        — i.e. disabling instrumentation actually disables it."""
+        scenario = default_scenario(seed=0, horizon=7200.0)
+        off_s = on_s = float("inf")
+        for _ in range(7):
+            sim = make_sim(scenario, instrument=False)
+            t0 = time.perf_counter()
+            sim.run()
+            off_s = min(off_s, time.perf_counter() - t0)
+            with metrics_scope():
+                sim = make_sim(scenario, instrument=True)
+                t0 = time.perf_counter()
+                sim.run()
+                on_s = min(on_s, time.perf_counter() - t0)
+        report(
+            "Disabled vs enabled run [etrain, 2 h scenario, best of 7]\n"
+            f"  disabled {off_s * 1e3:8.2f} ms\n"
+            f"  enabled  {on_s * 1e3:8.2f} ms\n"
+            f"  ratio    {off_s / on_s:8.3f}"
+        )
+        assert off_s <= on_s * (1.0 + OVERHEAD_BUDGET)
+
+
+def chunk_registries(seeds):
+    """One registry per 'chunk': a short instrumented run per seed."""
+    registries = []
+    for seed in seeds:
+        scenario = default_scenario(seed=seed, horizon=900.0)
+        with metrics_scope() as registry:
+            make_sim(scenario, instrument=False).run()
+        registries.append(registry)
+    return registries
+
+
+def merged(registries):
+    """Fold fresh copies left-to-right (merge mutates the receiver)."""
+    out = MetricsRegistry()
+    for r in registries:
+        out.merge(MetricsRegistry.from_dict(r.to_dict()))
+    return out.to_dict()
+
+
+class TestMetricsMergeAlgebra:
+    def test_merge_is_commutative_and_associative(self):
+        a, b, c = chunk_registries([0, 1, 2])
+        assert merged([a, b]) == merged([b, a])
+        ab_then_c = MetricsRegistry.from_dict(merged([a, b]))
+        bc = MetricsRegistry.from_dict(merged([b, c]))
+        left = merged([ab_then_c, c])
+        right = merged([MetricsRegistry.from_dict(a.to_dict()), bc])
+        assert left == right
+
+    def test_totals_independent_of_chunk_ordering(self):
+        registries = chunk_registries([0, 1, 2, 3])
+        forward = merged(registries)
+        reverse = merged(list(reversed(registries)))
+        shuffled = merged([registries[2], registries[0], registries[3], registries[1]])
+        assert forward == reverse == shuffled
+        assert forward["engine.runs"]["value"] == 4
+
+    def test_executor_totals_independent_of_job_order(self):
+        """End to end: the executor's merged metrics are identical for
+        the same grid submitted in opposite orders."""
+        from repro.sim.parallel.executor import ExperimentExecutor
+        from repro.sim.parallel.specs import JobSpec, ScenarioSpec
+
+        jobs = [
+            JobSpec(
+                scenario=ScenarioSpec(seed=seed, horizon=900.0),
+                strategy=StrategySpec.make(name),
+            )
+            for seed in (0, 1)
+            for name in ("etrain", "immediate")
+        ]
+        def deterministic_view(registry):
+            # Wall-clock histogram sums/extremes vary run to run; the
+            # counters and observation counts must not.
+            view = {}
+            for name, data in registry.to_dict().items():
+                if data["kind"] == "histogram":
+                    view[name] = {"count": data["count"], "counts": data["counts"]}
+                else:
+                    view[name] = data
+            return view
+
+        forward = ExperimentExecutor()
+        forward.run(jobs)
+        backward = ExperimentExecutor()
+        backward.run(list(reversed(jobs)))
+        assert deterministic_view(forward.metrics) == deterministic_view(
+            backward.metrics
+        )

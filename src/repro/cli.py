@@ -19,6 +19,9 @@ Examples::
     etrain bench --suite fleet              # fleet throughput -> BENCH_fleet.json
     etrain fleet --devices 100000 --workers 4
     etrain fleet --devices 8192 --strategy immediate --out fleet.json
+    etrain record --strategy etrain --trace-out run.jsonl
+    etrain trace-replay run.jsonl           # recompute metrics from events
+    etrain sweep --seeds 3 --metrics-out metrics.json
 """
 
 from __future__ import annotations
@@ -37,6 +40,8 @@ __all__ = [
     "run_sweep_command",
     "run_bench_command",
     "run_fleet_command",
+    "run_record_command",
+    "run_trace_replay_command",
 ]
 
 
@@ -241,6 +246,11 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the merged per-worker metrics registry JSON here",
+    )
     return parser
 
 
@@ -389,6 +399,9 @@ def run_sweep_command(argv: List[str]) -> int:
         )
     )
     print(executor.stats.describe())
+    if args.metrics_out is not None:
+        executor.metrics.dump_json(args.metrics_out)
+        print(f"wrote {len(executor.metrics)} metric(s) to {args.metrics_out}")
     cache_line = executor.describe_cache()
     if cache_line is not None:
         print(cache_line)
@@ -401,6 +414,155 @@ def run_sweep_command(argv: List[str]) -> int:
                 f"pruned {removed} cache entrie(s); "
                 f"{len(executor.cache)} remain"
             )
+    return 0
+
+
+def build_record_parser() -> argparse.ArgumentParser:
+    """Parser for ``etrain record`` instrumented single runs."""
+    parser = argparse.ArgumentParser(
+        prog="etrain record",
+        description=(
+            "Run one (scenario, strategy) simulation with the structured "
+            "event tracer attached and stream its trace to a JSONL file; "
+            "replay it with `etrain trace-replay`."
+        ),
+    )
+    parser.add_argument(
+        "--strategy", default="etrain", help="registered strategy name"
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="strategy parameter override (repeatable), e.g. theta=0.5",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--horizon", type=float, default=7200.0, help="seconds")
+    parser.add_argument(
+        "--rate", type=float, default=None, help="total cargo arrival rate (pkts/s)"
+    )
+    parser.add_argument("--power-model", default="galaxy_s4_3g")
+    parser.add_argument(
+        "--dense",
+        action="store_true",
+        help="run the dense reference loop instead of the event engine",
+    )
+    parser.add_argument(
+        "--trace-out", required=True, help="output JSONL trace path"
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, help="write the run's metrics registry JSON"
+    )
+    return parser
+
+
+def run_record_command(argv: List[str]) -> int:
+    """Execute ``etrain record ...``; returns an exit code."""
+    from repro.obs import JsonlRecorder, metrics_scope
+    from repro.obs.events import app_cost_table
+    from repro.sim.engine import Simulation
+    from repro.sim.parallel import STRATEGY_BUILDERS, ScenarioSpec, StrategySpec
+
+    args = build_record_parser().parse_args(argv)
+    if args.strategy not in STRATEGY_BUILDERS:
+        print(
+            f"unknown strategy {args.strategy!r}; available: "
+            f"{sorted(STRATEGY_BUILDERS)}",
+            file=sys.stderr,
+        )
+        return 2
+    params = {}
+    for item in args.param:
+        if "=" not in item:
+            print(f"bad --param {item!r}; expected NAME=VALUE", file=sys.stderr)
+            return 2
+        key, _, value = item.partition("=")
+        params[key.strip()] = _parse_param_value(value)
+
+    scenario = ScenarioSpec(
+        seed=args.seed,
+        horizon=args.horizon,
+        rate=args.rate,
+        power_model=args.power_model,
+    ).build()
+    strategy = StrategySpec.make(args.strategy, **params).build(scenario)
+    with metrics_scope() as registry, JsonlRecorder(args.trace_out) as recorder:
+        sim = Simulation(
+            strategy,
+            scenario.train_generators,
+            scenario.fresh_packets(),
+            power_model=scenario.power_model,
+            bandwidth=scenario.bandwidth,
+            horizon=scenario.horizon,
+            slot=scenario.slot,
+            dense=args.dense,
+            recorder=recorder,
+            trace_app_costs=app_cost_table(scenario.profiles),
+        )
+        result = sim.run()
+    print(
+        f"wrote {recorder.count} events to {args.trace_out} "
+        f"({args.strategy}, seed {args.seed}, horizon {args.horizon:.0f}s)"
+    )
+    summary = result.summary()
+    for key in sorted(summary):
+        print(f"  {key:26s} {summary[key]:.6g}")
+    if args.metrics_out is not None:
+        registry.dump_json(args.metrics_out)
+        print(f"wrote {len(registry)} metric(s) to {args.metrics_out}")
+    return 0
+
+
+def run_trace_replay_command(argv: List[str]) -> int:
+    """Execute ``etrain trace-replay <trace.jsonl>``; returns an exit code.
+
+    Exit status 0 means every replayed metric equals the recorded
+    ``run_end`` summary exactly; 1 means the trace and its summary
+    disagree (a correctness failure, not a tolerance issue).
+    """
+    import json
+
+    from repro.obs import read_jsonl
+    from repro.obs.replay import REPLAYED_KEYS, verify_trace
+
+    parser = argparse.ArgumentParser(
+        prog="etrain trace-replay",
+        description=(
+            "Recompute a recorded run's summary metrics (total energy, "
+            "piggyback ratio, delay cost, ...) from its event trace alone "
+            "and verify them against the trace's run_end summary."
+        ),
+    )
+    parser.add_argument("trace", help="JSONL trace written by `etrain record`")
+    parser.add_argument(
+        "--json", default=None, help="write the replayed summary JSON here"
+    )
+    args = parser.parse_args(argv)
+
+    events = read_jsonl(args.trace)
+    try:
+        ok, replayed, recorded, mismatches = verify_trace(events)
+    except ValueError as exc:
+        print(f"cannot replay {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    width = max(len(k) for k in REPLAYED_KEYS)
+    for key in REPLAYED_KEYS:
+        flag = "==" if replayed.get(key) == recorded.get(key) else "!="
+        print(
+            f"  {key:{width}s}  replayed {replayed.get(key):.17g}  "
+            f"{flag} recorded {recorded.get(key, float('nan')):.17g}"
+        )
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(replayed, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if not ok:
+        for line in mismatches:
+            print(f"MISMATCH: {line}", file=sys.stderr)
+        return 1
+    print(f"replayed {len(events)} events: all metrics reproduced exactly")
     return 0
 
 
@@ -438,6 +600,11 @@ def build_bench_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="timing repeats per case (best-of-N; default 15 full / 10 smoke)",
+    )
+    parser.add_argument(
+        "--phases",
+        action="store_true",
+        help="print each case's per-phase wall/CPU breakdown",
     )
     parser.add_argument(
         "--check",
@@ -480,6 +647,14 @@ def run_bench_command(argv: List[str]) -> int:
     )
     write_results(out, results)
     print(f"wrote {len(results['cases'])} cases to {out}")
+    if args.phases:
+        from repro.obs.profiling import PhaseProfiler
+
+        for row in results["cases"]:
+            if not row.get("phases"):
+                continue
+            print(f"{row['name']} phases:")
+            print(PhaseProfiler.from_dict(row["phases"]).format_lines("  "))
 
     failures: List[str] = []
     if args.suite == "fleet":
@@ -561,6 +736,11 @@ def build_fleet_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the merged summary JSON here"
     )
     parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the merged per-worker metrics registry JSON here",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-chunk progress"
     )
     return parser
@@ -605,6 +785,18 @@ def run_fleet_command(argv: List[str]) -> int:
     summary = result.summary.summary()
     for key in sorted(summary):
         print(f"  {key:26s} {summary[key]:.6g}")
+    if result.phases and not args.quiet:
+        print("phases:")
+        for name, v in result.phases.items():
+            print(
+                f"  {name:16s} wall {v['wall_s'] * 1e3:9.2f} ms  "
+                f"cpu {v['cpu_s'] * 1e3:9.2f} ms"
+            )
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(result.metrics, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(result.metrics)} metric(s) to {args.metrics_out}")
     if args.out is not None:
         doc = {
             "spec": {
@@ -625,6 +817,8 @@ def run_fleet_command(argv: List[str]) -> int:
             "chunks": result.chunks,
             "cached_chunks": result.cached_chunks,
             "summary": summary,
+            "phases": result.phases,
+            "metrics": result.metrics,
         }
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
@@ -658,6 +852,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if argv and argv[0] == "bench":
         return run_bench_command(argv[1:])
+
+    if argv and argv[0] == "record":
+        return run_record_command(argv[1:])
+
+    if argv and argv[0] == "trace-replay":
+        return run_trace_replay_command(argv[1:])
 
     if argv and argv[0] == "fleet":
         return run_fleet_command(argv[1:])

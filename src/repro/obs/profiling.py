@@ -1,0 +1,88 @@
+"""Per-phase wall/CPU timers for the bench harnesses.
+
+:class:`PhaseProfiler` wraps named phases of a benchmark or pipeline run
+(workload synthesis, channel integration, decision loop, aggregation)
+and accumulates wall-clock and process-CPU time per phase.  The result
+is a plain dict that rides inside ``etrain bench`` rows and the
+``BENCH_*.json`` documents — the baseline comparator
+(:func:`repro.sim.perf.check_results`) only reads ``name``/``speedup``,
+so adding a ``"phases"`` field is additive and never trips a gate.
+
+Re-entering a phase name accumulates (useful when a phase runs once per
+repeat); ``calls`` counts the entries so a mean can be derived.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Accumulating wall/CPU timers keyed by phase name."""
+
+    def __init__(self) -> None:
+        self._phases: Dict[str, Dict[str, float]] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name`` (accumulating)."""
+        w0 = time.perf_counter()
+        c0 = time.process_time()
+        try:
+            yield
+        finally:
+            wall = time.perf_counter() - w0
+            cpu = time.process_time() - c0
+            slot = self._phases.setdefault(
+                name, {"wall_s": 0.0, "cpu_s": 0.0, "calls": 0}
+            )
+            slot["wall_s"] += wall
+            slot["cpu_s"] += cpu
+            slot["calls"] += 1
+
+    def wall(self, name: str) -> float:
+        return self._phases.get(name, {}).get("wall_s", 0.0)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Phase table ordered by insertion (pipeline order)."""
+        return {name: dict(v) for name, v in self._phases.items()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Dict[str, float]]) -> "PhaseProfiler":
+        """Rebuild a profiler from :meth:`as_dict` output (e.g. a bench row)."""
+        profiler = cls()
+        for name, v in data.items():
+            profiler._phases[name] = {
+                "wall_s": float(v.get("wall_s", 0.0)),
+                "cpu_s": float(v.get("cpu_s", 0.0)),
+                "calls": int(v.get("calls", 0)),
+            }
+        return profiler
+
+    def merge(self, other: "PhaseProfiler") -> "PhaseProfiler":
+        """Accumulate another profiler's phases into this one."""
+        for name, v in other._phases.items():
+            slot = self._phases.setdefault(
+                name, {"wall_s": 0.0, "cpu_s": 0.0, "calls": 0}
+            )
+            slot["wall_s"] += v["wall_s"]
+            slot["cpu_s"] += v["cpu_s"]
+            slot["calls"] += v["calls"]
+        return self
+
+    def format_lines(self, indent: str = "  ") -> str:
+        """Human-readable phase table for ``etrain bench`` output."""
+        if not self._phases:
+            return ""
+        width = max(len(n) for n in self._phases)
+        lines = []
+        for name, v in self._phases.items():
+            lines.append(
+                f"{indent}{name:<{width}s}  wall {v['wall_s'] * 1e3:9.2f} ms  "
+                f"cpu {v['cpu_s'] * 1e3:9.2f} ms  x{v['calls']}"
+            )
+        return "\n".join(lines)

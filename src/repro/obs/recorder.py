@@ -1,0 +1,140 @@
+"""Trace sinks: the ``Recorder`` protocol and its implementations.
+
+A recorder is anything with an ``emit(event: dict) -> None`` method.
+The engines never construct recorders themselves — callers pass one in
+(``Simulation(..., recorder=...)``) and the engine's tracer forwards
+structured events to it.  When no recorder is passed the engines build
+no tracer at all, so the disabled path carries zero instrumentation
+objects (see ``benchmarks/test_bench_obs_overhead.py``).
+
+Implementations:
+
+* :class:`NullRecorder` — swallows events; useful for overhead timing.
+* :class:`ListRecorder` — unbounded in-memory list (tests, replay).
+* :class:`RingBufferRecorder` — bounded deque keeping the newest N
+  events; for always-on flight-recorder style capture.
+* :class:`JsonlRecorder` — streams events as JSON Lines to a file or
+  file-like object; the format ``etrain trace-replay`` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Dict, Iterator, List, Optional, Protocol, runtime_checkable
+
+__all__ = [
+    "Recorder",
+    "NullRecorder",
+    "ListRecorder",
+    "RingBufferRecorder",
+    "JsonlRecorder",
+    "read_jsonl",
+]
+
+
+@runtime_checkable
+class Recorder(Protocol):
+    """Narrow sink protocol: anything with ``emit(event_dict)``."""
+
+    def emit(self, event: Dict) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class NullRecorder:
+    """Accepts and discards every event."""
+
+    def emit(self, event: Dict) -> None:
+        pass
+
+
+class ListRecorder:
+    """Keeps every event in order in :attr:`events`."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict] = []
+
+    def emit(self, event: Dict) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Dict]:
+        return iter(self.events)
+
+
+class RingBufferRecorder:
+    """Keeps only the newest ``capacity`` events (flight recorder).
+
+    A bounded :class:`collections.deque` gives O(1) emit regardless of
+    how long the run is; :attr:`dropped` counts evicted events so a
+    consumer can tell a complete trace from a truncated one.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._buf: deque = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def emit(self, event: Dict) -> None:
+        if len(self._buf) == self.capacity:
+            self.dropped += 1
+        self._buf.append(event)
+
+    @property
+    def events(self) -> List[Dict]:
+        return list(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __iter__(self) -> Iterator[Dict]:
+        return iter(self._buf)
+
+
+class JsonlRecorder:
+    """Streams events as JSON Lines to ``path`` (or a file-like object).
+
+    Events are written with sorted keys and compact separators so traces
+    of identical runs are byte-identical — the property the golden-trace
+    snapshot test pins.  Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(self, path_or_file, *, _owns: Optional[bool] = None) -> None:
+        if hasattr(path_or_file, "write"):
+            self._fh: IO[str] = path_or_file
+            self._owns = bool(_owns)
+        else:
+            self._fh = open(path_or_file, "w", encoding="utf-8")
+            self._owns = True
+        self.count = 0
+
+    def emit(self, event: Dict) -> None:
+        self._fh.write(
+            json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self.count += 1
+
+    def close(self) -> None:
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl(path) -> List[Dict]:
+    """Load a JSONL trace file back into a list of event dicts."""
+    events: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

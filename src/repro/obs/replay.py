@@ -1,0 +1,186 @@
+"""Trace replay: recompute a run's summary metrics from its events alone.
+
+A trace is a correctness artifact, not just a log: ``replay_events``
+rebuilds the burst log and packet schedule from the event stream and
+recomputes total energy (through the same
+:class:`~repro.radio.energy.EnergyAccountant` arithmetic the live radio
+used, including cold-start signaling), piggyback ratio, delay metrics
+and the delay-cost total — then ``verify_trace`` compares them against
+the ``run_end`` summary the live run recorded, to **exact float
+equality**.
+
+Exactness relies on three facts the tracer guarantees:
+
+* burst events carry the *actual* start/duration floats of each
+  ``TransmissionRecord``, and JSON round-trips doubles exactly
+  (``repr``-based serialisation);
+* arrival events are emitted in the engine's canonical packet order
+  (ascending ``(arrival, packet_id)``), so float accumulations here sum
+  in the same order as ``SimulationResult._computed``;
+* the delay-cost total on both sides goes through
+  :func:`repro.obs.tracer.eval_delay_cost`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.obs.events import TRACE_SCHEMA_VERSION, EventType
+from repro.obs.recorder import read_jsonl
+
+__all__ = ["replay_events", "replay_trace_file", "verify_trace", "REPLAYED_KEYS"]
+
+#: ``run_end`` summary keys the replay recomputes and verifies exactly.
+REPLAYED_KEYS = (
+    "total_energy_j",
+    "tail_energy_j",
+    "transmission_energy_j",
+    "normalized_delay_s",
+    "deadline_violation_ratio",
+    "piggyback_ratio",
+    "delay_cost_total",
+    "bursts",
+    "packets",
+    "flushed_packets",
+)
+
+
+def _power_model(run_start: Mapping):
+    from repro.radio.power_model import PowerModel
+
+    fields = run_start.get("power_model")
+    return PowerModel(**fields) if fields else PowerModel()
+
+
+def replay_events(events: Sequence[Mapping]) -> Dict[str, float]:
+    """Recompute the summary metrics of a scalar-run trace.
+
+    Raises :class:`ValueError` on a missing/duplicated ``run_start`` or a
+    schema version newer than this library understands.
+    """
+    from repro.core.packet import TransmissionRecord
+    from repro.obs.tracer import cold_flags, eval_delay_cost
+    from repro.radio.energy import EnergyAccountant
+
+    run_start = None
+    arrivals: List[Mapping] = []
+    bursts: List[Mapping] = []
+    flushed = 0
+    for ev in events:
+        kind = ev.get("ev")
+        if kind == EventType.RUN_START:
+            if run_start is not None:
+                raise ValueError("trace contains more than one run_start event")
+            schema = ev.get("schema", 0)
+            if schema > TRACE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"trace schema {schema} is newer than supported "
+                    f"({TRACE_SCHEMA_VERSION})"
+                )
+            run_start = ev
+        elif kind == EventType.ARRIVAL:
+            arrivals.append(ev)
+        elif kind == EventType.BURST:
+            bursts.append(ev)
+        elif kind == EventType.FLUSH:
+            flushed = int(ev["count"])
+    if run_start is None:
+        raise ValueError("trace has no run_start event")
+
+    pm = _power_model(run_start)
+    records = [
+        TransmissionRecord(
+            start=b["t"],
+            duration=b["dur"],
+            size_bytes=int(b["size"]),
+            kind=b["kind"],
+            app_ids=tuple(b.get("apps", ())),
+            packet_ids=tuple(b["pkts"]),
+        )
+        for b in bursts
+    ]
+
+    # Energy: identical arithmetic to RadioInterface.energy_breakdown —
+    # accountant over the reconstructed records plus cold-start signaling.
+    breakdown = EnergyAccountant(pm).breakdown(records)
+    if pm.promotion_delay > 0 or pm.promotion_energy > 0:
+        signaling = sum(cold_flags(records, pm.tail_time)) * pm.promotion_energy
+    else:
+        signaling = 0.0
+    total_energy = breakdown.total + signaling
+
+    # Packet schedule: a packet's scheduled time is the actual start of
+    # the burst that carried it; piggybacked ids rode a piggyback burst.
+    scheduled_at: Dict[int, float] = {}
+    piggybacked: set = set()
+    for r in records:
+        for pid in r.packet_ids:
+            scheduled_at[pid] = r.start
+        if r.kind == "piggyback":
+            piggybacked.update(r.packet_ids)
+
+    scheduled = 0
+    delay_sum = 0.0
+    violations = 0
+    piggyback_hits = 0
+    delay_cost_total = 0.0
+    for a in arrivals:
+        start = scheduled_at.get(a["id"])
+        if start is None:
+            continue
+        scheduled += 1
+        delay = max(0.0, start - a["t"])
+        delay_sum += delay
+        deadline = a.get("deadline")
+        if deadline is not None and delay > deadline:
+            violations += 1
+        if a["id"] in piggybacked:
+            piggyback_hits += 1
+        delay_cost_total += eval_delay_cost(
+            a.get("cost_kind"), a.get("cost_deadline"), delay
+        )
+
+    return {
+        "total_energy_j": total_energy,
+        "tail_energy_j": breakdown.tail,
+        "transmission_energy_j": breakdown.transmission,
+        "normalized_delay_s": delay_sum / scheduled if scheduled else 0.0,
+        "deadline_violation_ratio": violations / scheduled if scheduled else 0.0,
+        "piggyback_ratio": piggyback_hits / scheduled if scheduled else 0.0,
+        "delay_cost_total": delay_cost_total,
+        "bursts": float(len(records)),
+        "packets": float(len(arrivals)),
+        "flushed_packets": float(flushed),
+    }
+
+
+def replay_trace_file(path) -> Dict[str, float]:
+    """Replay a JSONL trace file (see :class:`~repro.obs.recorder.JsonlRecorder`)."""
+    return replay_events(read_jsonl(path))
+
+
+def verify_trace(
+    events: Sequence[Mapping],
+) -> Tuple[bool, Dict[str, float], Dict[str, float], List[str]]:
+    """Replay a trace and compare against its recorded ``run_end`` summary.
+
+    Returns ``(ok, replayed, recorded, mismatches)`` where ``mismatches``
+    lists human-readable per-key diffs.  Comparison is exact equality on
+    every key in :data:`REPLAYED_KEYS` present in the recorded summary.
+    """
+    recorded: Dict[str, float] = {}
+    for ev in events:
+        if ev.get("ev") == EventType.RUN_END:
+            recorded = dict(ev.get("summary", {}))
+    replayed = replay_events(events)
+    mismatches: List[str] = []
+    if not recorded:
+        mismatches.append("trace has no run_end summary to verify against")
+    for key in REPLAYED_KEYS:
+        if key not in recorded:
+            continue
+        if replayed[key] != recorded[key]:
+            mismatches.append(
+                f"{key}: replayed {replayed[key]!r} != recorded {recorded[key]!r}"
+            )
+    return (not mismatches, replayed, recorded, mismatches)

@@ -1,0 +1,279 @@
+"""Engine-side trace emission.
+
+The scalar engine keeps everything a trace needs — the sorted packet
+list, the merged heartbeat schedule, the chronological burst log — alive
+in its :class:`~repro.sim.results.SimulationResult`, so the tracer
+derives the event stream *after* the run instead of interleaving
+callbacks with the hot slot loops.  Two properties fall out:
+
+* **bit-identical results** — the simulation itself is untouched; the
+  tracer only reads what the run produced;
+* **zero overhead when off** — with no recorder attached the engine
+  performs a single ``is None`` check per run, and even with one
+  attached the slot loops run at full speed (emission cost is paid once,
+  after the run).
+
+Cold-start flags and RRC transitions are *recomputed* from the burst log
+with exactly the arithmetic :class:`~repro.radio.interface.RadioInterface`
+and :class:`~repro.radio.rrc.RRCMachine` use, so the trace carries the
+same booleans and boundary times the live run saw.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.events import TRACE_SCHEMA_VERSION, EventType, power_model_fields
+from repro.obs.recorder import Recorder
+
+__all__ = [
+    "cold_flags",
+    "rrc_transitions",
+    "eval_delay_cost",
+    "emit_simulation_trace",
+    "emit_fleet_chunk_trace",
+]
+
+
+def cold_flags(
+    records: Sequence, tail_time: float
+) -> List[bool]:
+    """Whether each burst began from a fully demoted (IDLE) radio.
+
+    Replays the exact predicate of ``RadioInterface.transmit``: a burst
+    is cold iff it is the first one or it starts at/after the previous
+    burst's tail expired.
+    """
+    flags: List[bool] = []
+    busy = 0.0
+    for i, r in enumerate(records):
+        flags.append(i == 0 or r.start >= busy + tail_time)
+        busy = r.start + r.duration
+    return flags
+
+
+def rrc_transitions(records: Sequence, power_model) -> List[Dict]:
+    """RRC state transitions implied by a chronological burst log.
+
+    Built from :class:`~repro.radio.rrc.RRCMachine` segments so the
+    boundary times match the power-timeline semantics exactly; the final
+    FACH→IDLE demotion at the natural end of the last tail is included.
+    """
+    from repro.radio.rrc import RRCMachine
+    from repro.radio.states import RRCState
+
+    machine = RRCMachine(power_model)
+    for r in records:
+        machine.add_burst(r.start, r.duration)
+    events: List[Dict] = []
+    state = RRCState.IDLE
+    end = 0.0
+    for seg in machine.segments():
+        if seg.state is not state:
+            events.append(
+                {
+                    "ev": EventType.RRC,
+                    "t": seg.start,
+                    "frm": state.name,
+                    "to": seg.state.name,
+                }
+            )
+            state = seg.state
+        end = seg.end
+    if state is not RRCState.IDLE:
+        events.append(
+            {"ev": EventType.RRC, "t": end, "frm": state.name, "to": "IDLE"}
+        )
+    return events
+
+
+def eval_delay_cost(
+    cost_kind: Optional[int], deadline: Optional[float], delay: float
+) -> float:
+    """φ(delay) for a small-integer cost kind (mail=0, weibo=1, cloud=2).
+
+    Same arithmetic, in the same order, as the corresponding
+    :mod:`repro.core.cost_functions` classes — the replay engine and the
+    tracer both call this, so live and replayed totals agree bit-for-bit.
+    Unknown kinds and missing deadlines cost nothing.
+    """
+    if cost_kind is None or deadline is None:
+        return 0.0
+    if cost_kind == 0:  # MailCost
+        return 0.0 if delay <= deadline else delay / deadline - 1.0
+    if cost_kind == 1:  # WeiboCost
+        return delay / deadline if delay <= deadline else 2.0
+    if cost_kind == 2:  # CloudCost
+        return (
+            delay / deadline if delay <= deadline else 3.0 * delay / deadline - 2.0
+        )
+    return 0.0
+
+
+def emit_simulation_trace(
+    recorder: Recorder,
+    result,
+    *,
+    power_model,
+    slot: float = 1.0,
+    app_costs: Optional[Mapping[str, Mapping]] = None,
+) -> None:
+    """Emit the full event stream of a completed scalar run.
+
+    Parameters
+    ----------
+    recorder:
+        Any :class:`~repro.obs.recorder.Recorder` sink.
+    result:
+        The :class:`~repro.sim.results.SimulationResult` of the run.
+    power_model:
+        The :class:`~repro.radio.power_model.PowerModel` the radio used;
+        its parameters ride the ``run_start`` event so the replay can
+        recompute energy analytically.
+    app_costs:
+        Optional ``{app_id: {"cost_kind": k, "deadline": d}}`` table (see
+        :func:`repro.obs.events.app_cost_table`).  When an app is absent
+        its packets carry ``cost_kind=None`` and cost nothing in the
+        delay-cost total — on both the live and the replay side.
+    """
+    app_costs = app_costs or {}
+    records = result.records
+    tail_time = power_model.tail_time
+    colds = cold_flags(records, tail_time)
+
+    # Timed event streams, merged chronologically.  Ties break by stream
+    # rank (arrival < heartbeat < burst < rrc) then stream order, which
+    # keeps emission deterministic for the golden-trace pins.
+    timed: List = []
+    delay_cost_total = 0.0
+    for n, p in enumerate(result.packets):
+        cost = app_costs.get(p.app_id, {})
+        cost_kind = cost.get("cost_kind")
+        # The packet's own deadline drives violation accounting; the cost
+        # table may parameterise φ with a different one (usually equal).
+        cost_deadline = cost.get("deadline", p.deadline)
+        if p.is_scheduled:
+            delay_cost_total += eval_delay_cost(cost_kind, cost_deadline, p.delay)
+        timed.append(
+            (
+                p.arrival_time,
+                0,
+                n,
+                {
+                    "ev": EventType.ARRIVAL,
+                    "id": p.packet_id,
+                    "app": p.app_id,
+                    "t": p.arrival_time,
+                    "size": p.size_bytes,
+                    "deadline": p.deadline,
+                    "cost_kind": cost_kind,
+                    "cost_deadline": cost_deadline,
+                    "dir": p.direction,
+                },
+            )
+        )
+    for n, hb in enumerate(result.heartbeats):
+        timed.append(
+            (
+                hb.time,
+                1,
+                n,
+                {
+                    "ev": EventType.HEARTBEAT,
+                    "app": hb.app_id,
+                    "seq": hb.seq,
+                    "t": hb.time,
+                    "size": hb.size_bytes,
+                },
+            )
+        )
+    for n, r in enumerate(records):
+        timed.append(
+            (
+                r.start,
+                2,
+                n,
+                {
+                    "ev": EventType.BURST,
+                    "t": r.start,
+                    "dur": r.duration,
+                    "size": r.size_bytes,
+                    "kind": r.kind,
+                    "apps": list(r.app_ids),
+                    "pkts": list(r.packet_ids),
+                    "cold": colds[n],
+                },
+            )
+        )
+    for n, ev in enumerate(rrc_transitions(records, power_model)):
+        timed.append((ev["t"], 3, n, ev))
+    timed.sort(key=lambda item: item[:3])
+
+    summary = dict(result.summary())
+    summary["delay_cost_total"] = delay_cost_total
+    summary["flushed_packets"] = float(result.flushed_packets)
+
+    recorder.emit(
+        {
+            "ev": EventType.RUN_START,
+            "schema": TRACE_SCHEMA_VERSION,
+            "strategy": result.strategy_name,
+            "horizon": result.horizon,
+            "slot": slot,
+            "power_model": power_model_fields(power_model),
+        }
+    )
+    for _, _, _, event in timed:
+        recorder.emit(event)
+    recorder.emit(
+        {
+            "ev": EventType.FLUSH,
+            "t": result.horizon,
+            "count": result.flushed_packets,
+        }
+    )
+    recorder.emit(
+        {
+            "ev": EventType.RUN_END,
+            "decisions": result.decisions,
+            "summary": summary,
+        }
+    )
+
+
+_FLEET_KIND_NAMES = ("heartbeat", "data", "piggyback")
+
+
+def emit_fleet_chunk_trace(recorder: Recorder, raw) -> None:
+    """Emit per-burst events plus a summary event for one fleet chunk.
+
+    ``raw`` is a :class:`~repro.sim.fleet.engine.FleetChunkRaw`; bursts
+    are emitted device-major in the chunk's own row order (chronological
+    within each device).
+    """
+    recorder.emit(
+        {
+            "ev": EventType.FLEET_CHUNK,
+            "schema": TRACE_SCHEMA_VERSION,
+            "devices": int(raw.n_devices),
+            "horizon": float(raw.horizon),
+            "packets": int(raw.pk_arr.size),
+            "bursts": int(raw.burst_start.size),
+        }
+    )
+    dev = raw.burst_dev
+    start = raw.burst_start
+    dur = raw.burst_dur
+    size = raw.burst_size
+    kind = raw.burst_kind
+    for i in range(start.size):
+        recorder.emit(
+            {
+                "ev": EventType.FLEET_BURST,
+                "dev": int(dev[i]),
+                "t": float(start[i]),
+                "dur": float(dur[i]),
+                "size": float(size[i]),
+                "kind": _FLEET_KIND_NAMES[int(kind[i])],
+            }
+        )

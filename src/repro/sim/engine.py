@@ -42,6 +42,7 @@ exactly.  See ``docs/performance.md``.
 from __future__ import annotations
 
 import math
+import time
 from bisect import bisect_left, bisect_right
 from fractions import Fraction
 from typing import List, Optional, Sequence, Tuple
@@ -158,6 +159,8 @@ class Simulation:
         slot: float = 1.0,
         flush_at_end: bool = True,
         dense: bool = False,
+        recorder=None,
+        trace_app_costs=None,
     ) -> None:
         if horizon <= 0:
             raise ValueError(f"horizon must be > 0, got {horizon}")
@@ -175,6 +178,15 @@ class Simulation:
         #: loop.  Both produce bit-identical results; dense exists for
         #: A/B equivalence testing and as the micro-benchmark baseline.
         self.dense = dense
+        #: Optional :class:`repro.obs.recorder.Recorder` sink.  When None
+        #: (the default) the run constructs no observability objects at
+        #: all; when set, the full event trace is derived from the
+        #: completed result after the slot loops finish, so the hot paths
+        #: are identical either way (see ``repro.obs.tracer``).
+        self.recorder = recorder
+        #: Optional ``{app_id: {"cost_kind", "deadline"}}`` table for the
+        #: trace's delay-cost accounting (``repro.obs.events.app_cost_table``).
+        self.trace_app_costs = trace_app_costs
         self.radio: Optional[RadioInterface] = None
         #: Slots actually visited by the last run (dense: every slot).
         self.loop_iterations: int = 0
@@ -235,6 +247,10 @@ class Simulation:
 
     def run(self) -> SimulationResult:
         """Execute the simulation and return the collected result."""
+        from repro.obs.metrics import current_registry
+
+        registry = current_registry()
+        t0 = time.perf_counter() if registry is not None else 0.0
         radio = RadioInterface(self.power_model, self.bandwidth)
         self.radio = radio
         heartbeats = merge_heartbeats(self.train_generators, self.horizon)
@@ -256,7 +272,7 @@ class Simulation:
         else:
             flushed = len(held)
 
-        return SimulationResult(
+        result = SimulationResult(
             strategy_name=self.strategy.name,
             horizon=self.horizon,
             records=list(radio.records),
@@ -266,6 +282,28 @@ class Simulation:
             flushed_packets=flushed,
             decisions=decisions,
         )
+        if registry is not None:
+            registry.counter("engine.runs").inc()
+            registry.counter("engine.slots_visited").inc(self.loop_iterations)
+            registry.counter("engine.decisions").inc(decisions)
+            registry.counter("engine.bursts").inc(len(result.records))
+            registry.counter("engine.packets").inc(len(self.packets))
+            registry.counter("engine.flushed_packets").inc(flushed)
+            registry.counter("engine.cold_starts").inc(radio.cold_starts)
+            registry.histogram("engine.run_wall_s").observe(
+                time.perf_counter() - t0
+            )
+        if self.recorder is not None:
+            from repro.obs.tracer import emit_simulation_trace
+
+            emit_simulation_trace(
+                self.recorder,
+                result,
+                power_model=radio.power_model,
+                slot=self.slot,
+                app_costs=self.trace_app_costs,
+            )
+        return result
 
     # ------------------------------------------------------------------
     # Dense reference loop

@@ -115,9 +115,18 @@ class FleetChunkSummary:
 
     @classmethod
     def merge_all(cls, summaries: Sequence["FleetChunkSummary"]) -> "FleetChunkSummary":
+        from repro.obs.metrics import current_registry
+
         out = cls()
         for s in summaries:
             out = out.merge(s)
+        registry = current_registry()
+        if registry is not None:
+            registry.counter("aggregate.merges").inc(len(summaries))
+            registry.counter("aggregate.devices").inc(out.devices)
+            registry.gauge("aggregate.max_chunk_devices").set(
+                float(max((s.devices for s in summaries), default=0))
+            )
         return out
 
     # -- derived metrics (mirroring repro.sim.results naming) --

@@ -783,6 +783,7 @@ def simulate_fleet_chunk(
     strategy: str = "etrain",
     params: Optional[Dict] = None,
     power_model: PowerModel = GALAXY_S4_3G,
+    recorder=None,
 ) -> FleetChunkRaw:
     """Simulate one chunk of devices under a vectorized strategy.
 
@@ -790,7 +791,35 @@ def simulate_fleet_chunk(
     ``etrain`` takes ``theta`` (default 0.2) and ``warm_gate`` (default
     True); ``periodic`` takes ``period`` (default 60.0); ``tailender``
     takes ``slack`` (default 0.0); ``immediate`` takes none.
+
+    ``recorder`` optionally receives the chunk's event trace (one
+    ``fleet_chunk`` summary plus a ``fleet_burst`` event per burst row)
+    after simulation — see :mod:`repro.obs.tracer`.  The simulation
+    itself is identical with or without it.
     """
+    raw = _dispatch_fleet_chunk(workload, table, strategy, params, power_model)
+    if recorder is not None:
+        from repro.obs.tracer import emit_fleet_chunk_trace
+
+        emit_fleet_chunk_trace(recorder, raw)
+    from repro.obs.metrics import current_registry
+
+    registry = current_registry()
+    if registry is not None:
+        registry.counter("fleet.chunks").inc()
+        registry.counter("fleet.devices").inc(workload.n_devices)
+        registry.counter("fleet.bursts").inc(int(raw.burst_start.size))
+        registry.counter("fleet.packets").inc(int(raw.pk_arr.size))
+    return raw
+
+
+def _dispatch_fleet_chunk(
+    workload: FleetWorkload,
+    table: ChannelTable,
+    strategy: str,
+    params: Optional[Dict],
+    power_model: PowerModel,
+) -> FleetChunkRaw:
     if strategy not in VECTOR_STRATEGIES:
         raise ValueError(
             f"no vectorized path for strategy {strategy!r}; "

@@ -80,8 +80,15 @@ FLEET_BENCH_CASES: List[FleetBenchCase] = [
 
 
 def run_fleet_case(case: FleetBenchCase, repeats: int = 2) -> Dict[str, object]:
-    """Benchmark one case; simulation only is timed (best of ``repeats``)."""
+    """Benchmark one case; simulation only is timed (best of ``repeats``).
+
+    The row's ``"phases"`` table breaks the pipeline into workload
+    synthesis, channel-table construction, fleet simulation, aggregation
+    and the scalar reference run (wall/CPU, accumulated over repeats);
+    the baseline comparator ignores it, so the field is additive.
+    """
     from repro.bandwidth.synth import wuhan_bandwidth_model
+    from repro.obs.profiling import PhaseProfiler
     from repro.radio.power_model import GALAXY_S4_3G
     from repro.sim.fleet.accounting import summarize_chunk
     from repro.sim.fleet.channel import ChannelTable
@@ -90,27 +97,33 @@ def run_fleet_case(case: FleetBenchCase, repeats: int = 2) -> Dict[str, object]:
     from repro.sim.fleet.runner import peak_rss_bytes
     from repro.sim.fleet.workload import synthesize_fleet
 
+    profiler = PhaseProfiler()
     bw = wuhan_bandwidth_model()
-    table = ChannelTable.from_model(bw, case.horizon)
-    fleet_w = synthesize_fleet(case.devices, case.horizon, case.seed)
-    scalar_w = synthesize_fleet(case.scalar_devices, case.horizon, case.seed)
+    with profiler.phase("channel_table"):
+        table = ChannelTable.from_model(bw, case.horizon)
+    with profiler.phase("workload_synthesis"):
+        fleet_w = synthesize_fleet(case.devices, case.horizon, case.seed)
+        scalar_w = synthesize_fleet(case.scalar_devices, case.horizon, case.seed)
     params = dict(case.params)
 
     fleet_s = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        raw = simulate_fleet_chunk(
-            fleet_w, table, strategy=case.strategy, params=dict(params)
-        )
-        summary = summarize_chunk(raw, GALAXY_S4_3G)
+        with profiler.phase("fleet_sim"):
+            raw = simulate_fleet_chunk(
+                fleet_w, table, strategy=case.strategy, params=dict(params)
+            )
+        with profiler.phase("aggregation"):
+            summary = summarize_chunk(raw, GALAXY_S4_3G)
         fleet_s = min(fleet_s, time.perf_counter() - t0)
 
     scalar_s = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        simulate_reference_chunk(
-            scalar_w, bw, strategy=case.strategy, params=dict(params)
-        )
+        with profiler.phase("scalar_sim"):
+            simulate_reference_chunk(
+                scalar_w, bw, strategy=case.strategy, params=dict(params)
+            )
         scalar_s = min(scalar_s, time.perf_counter() - t0)
 
     fleet_rate = case.devices / fleet_s
@@ -131,6 +144,7 @@ def run_fleet_case(case: FleetBenchCase, repeats: int = 2) -> Dict[str, object]:
         "speedup": fleet_rate / scalar_rate if scalar_rate > 0 else float("inf"),
         "energy_per_device_j": summary.energy_total_j / max(summary.devices, 1),
         "peak_rss_bytes": peak_rss_bytes(include_children=False),
+        "phases": profiler.as_dict(),
     }
 
 

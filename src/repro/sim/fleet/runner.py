@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import resource
 import time
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
 
+from repro.obs.events import TRACE_SCHEMA_VERSION, EventType
+from repro.obs.profiling import PhaseProfiler
 from repro.sim.fleet.aggregate import FleetChunkSummary
 from repro.sim.fleet.channel import ChannelTable, SharedChannel
 from repro.sim.fleet.spec import FleetSpec
@@ -48,6 +50,10 @@ class FleetRunResult:
     cached_chunks: int
     vectorized: bool
     peak_rss: int  # bytes, publisher process + reaped workers
+    #: Merged per-worker metrics (serialised MetricsRegistry dict).
+    metrics: Dict = field(default_factory=dict)
+    #: Per-phase wall/CPU timings of the orchestration pipeline.
+    phases: Dict = field(default_factory=dict)
 
     @property
     def devices_per_sec(self) -> float:
@@ -69,6 +75,7 @@ def run_fleet(
     cache_dir=None,
     progress: Optional[Callable[[str], None]] = None,
     share_channel: Optional[bool] = None,
+    recorder=None,
 ) -> FleetRunResult:
     """Run a fleet spec end to end and merge its chunk summaries.
 
@@ -76,33 +83,62 @@ def run_fleet(
     published to ``multiprocessing.shared_memory`` once and every chunk
     (in-process or pool worker) attaches instead of re-deriving it.  The
     publisher closes *and* unlinks in a ``finally``; workers only close.
+
+    ``recorder`` optionally receives one ``fleet_chunk`` event per chunk
+    summary plus a closing ``fleet_run`` event.  (Chunk specs cross
+    process boundaries, so per-burst tracing is only available through
+    the direct ``simulate_fleet_chunk(..., recorder=...)`` API.)
     """
     from repro.sim.parallel.executor import ExperimentExecutor
 
     vectorized = spec.vectorized
     if share_channel is None:
         share_channel = vectorized
+    profiler = PhaseProfiler()
     started = time.perf_counter()
     shared = None
     try:
-        if share_channel and vectorized:
-            table = ChannelTable.from_model(spec.bandwidth_model(), spec.horizon)
-            shared = SharedChannel.publish(table)
-            chunks = spec.chunk_specs(channel=shared.handle)
-        else:
-            chunks = spec.chunk_specs()
+        with profiler.phase("channel_publish"):
+            if share_channel and vectorized:
+                table = ChannelTable.from_model(spec.bandwidth_model(), spec.horizon)
+                shared = SharedChannel.publish(table)
+                chunks = spec.chunk_specs(channel=shared.handle)
+            else:
+                chunks = spec.chunk_specs()
         executor = ExperimentExecutor(
             workers=workers, cache_dir=cache_dir, progress=progress
         )
-        results = executor.run(chunks)
+        with profiler.phase("simulate"):
+            results = executor.run(chunks)
     finally:
         if shared is not None:
             shared.close()
             shared.unlink()
-    merged = FleetChunkSummary.merge_all(
-        [FleetChunkSummary.from_dict(r.summary) for r in results]
-    )
+    with profiler.phase("aggregate"):
+        summaries = [FleetChunkSummary.from_dict(r.summary) for r in results]
+        merged = FleetChunkSummary.merge_all(summaries)
     wall = time.perf_counter() - started
+    if recorder is not None:
+        for s in summaries:
+            recorder.emit(
+                {
+                    "ev": EventType.FLEET_CHUNK,
+                    "schema": TRACE_SCHEMA_VERSION,
+                    "devices": int(s.devices),
+                    "packets": int(s.packets),
+                    "bursts": int(s.bursts),
+                    "energy_total_j": float(s.energy_total_j),
+                    "piggyback_hits": int(s.piggyback_hits),
+                }
+            )
+        recorder.emit(
+            {
+                "ev": EventType.FLEET_RUN,
+                "devices": int(merged.devices),
+                "chunks": len(results),
+                "summary": {k: float(v) for k, v in merged.summary().items()},
+            }
+        )
     return FleetRunResult(
         spec=spec,
         summary=merged,
@@ -111,4 +147,6 @@ def run_fleet(
         cached_chunks=sum(1 for r in results if r.cached),
         vectorized=vectorized,
         peak_rss=peak_rss_bytes(include_children=workers is not None and workers > 1),
+        metrics=executor.metrics.to_dict(),
+        phases=profiler.as_dict(),
     )

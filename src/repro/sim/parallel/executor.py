@@ -28,6 +28,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.obs.metrics import MetricsRegistry, metrics_scope
 from repro.sim.parallel.cache import ResultCache
 from repro.sim.parallel.specs import JobSpec, run_job
 
@@ -43,6 +44,10 @@ class JobResult:
     wall_time: float
     worker_pid: int
     cached: bool = False
+    #: Serialised :class:`~repro.obs.metrics.MetricsRegistry` the job's
+    #: worker recorded (None for cache entries written before metrics
+    #: existed).  The executor folds these into ``executor.metrics``.
+    metrics: Optional[Dict] = None
 
 
 @dataclass
@@ -80,11 +85,21 @@ class ExecutorStats:
 
 
 def _execute_indexed(payload):
-    """Pool entry point: run one (index, spec) pair, timing it."""
+    """Pool entry point: run one (index, spec) pair, timing it.
+
+    Each job runs inside its own :func:`~repro.obs.metrics.metrics_scope`
+    so engine-side instrumentation lands in a per-job registry that ships
+    back with the summary; the executor merges the registries
+    associatively, exactly like fleet chunk summaries.
+    """
     index, spec = payload
     started = time.perf_counter()
-    summary = run_job(spec)
-    return index, summary, time.perf_counter() - started, os.getpid()
+    with metrics_scope() as registry:
+        summary = run_job(spec)
+    elapsed = time.perf_counter() - started
+    registry.counter("executor.jobs").inc()
+    registry.histogram("executor.job_wall_s").observe(elapsed)
+    return index, summary, elapsed, os.getpid(), registry.to_dict()
 
 
 class ExperimentExecutor:
@@ -103,6 +118,14 @@ class ExperimentExecutor:
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress
         self.stats = ExecutorStats(workers=workers if workers else 1)
+        #: Merge of every job's per-worker registry (run or cached), in
+        #: completion order — the merge is associative and commutative,
+        #: so the totals are independent of scheduling and cache state.
+        self.metrics = MetricsRegistry()
+
+    def _absorb_metrics(self, result: JobResult) -> None:
+        if result.metrics:
+            self.metrics.merge(MetricsRegistry.from_dict(result.metrics))
 
     # -- internals ---------------------------------------------------------
 
@@ -124,6 +147,7 @@ class ExperimentExecutor:
             wall_time=float(entry.get("wall_time", 0.0)),
             worker_pid=0,
             cached=True,
+            metrics=entry.get("metrics"),
         )
 
     def _store(self, result: JobResult) -> None:
@@ -136,6 +160,7 @@ class ExperimentExecutor:
                 "tag": result.spec.tag,
                 "summary": result.summary,
                 "wall_time": result.wall_time,
+                "metrics": result.metrics,
             },
         )
 
@@ -151,15 +176,17 @@ class ExperimentExecutor:
             while pending:
                 finished, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in finished:
-                    index, summary, elapsed, pid = future.result()
+                    index, summary, elapsed, pid, metrics = future.result()
                     result = JobResult(
                         spec=jobs[index],
                         summary=summary,
                         wall_time=elapsed,
                         worker_pid=pid,
+                        metrics=metrics,
                     )
                     results[index] = result
                     self._store(result)
+                    self._absorb_metrics(result)
                     done += 1
                     self._report(done, len(jobs), result)
 
@@ -168,12 +195,17 @@ class ExperimentExecutor:
     ) -> None:
         done = len(jobs) - len(misses)
         for i in misses:
-            index, summary, elapsed, pid = _execute_indexed((i, jobs[i]))
+            index, summary, elapsed, pid, metrics = _execute_indexed((i, jobs[i]))
             result = JobResult(
-                spec=jobs[index], summary=summary, wall_time=elapsed, worker_pid=pid
+                spec=jobs[index],
+                summary=summary,
+                wall_time=elapsed,
+                worker_pid=pid,
+                metrics=metrics,
             )
             results[index] = result
             self._store(result)
+            self._absorb_metrics(result)
             done += 1
             self._report(done, len(jobs), result)
 
@@ -201,6 +233,7 @@ class ExperimentExecutor:
             hit = self._from_cache(spec)
             if hit is not None:
                 results[i] = hit
+                self._absorb_metrics(hit)
             else:
                 misses.append(i)
         # Cache hits are reported up front, before any simulation starts.

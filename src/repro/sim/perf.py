@@ -126,10 +126,19 @@ def run_case(case: BenchCase, repeats: int = 3) -> Dict[str, object]:
     a mid-run GC pass over the packet graph dwarfs a millisecond-scale
     signal) so slow machine-state drift hits both paths alike instead of
     skewing the ratio; each side's time is its best over ``repeats``.
+
+    The returned row carries a ``"phases"`` table (wall/CPU per pipeline
+    phase, accumulated over repeats — see
+    :class:`~repro.obs.profiling.PhaseProfiler`).  The baseline
+    comparator only reads ``name``/``speedup``, so the field is additive.
     """
-    scenario = default_scenario(
-        seed=case.seed, horizon=case.horizon, train_count=case.train_count
-    )
+    from repro.obs.profiling import PhaseProfiler
+
+    profiler = PhaseProfiler()
+    with profiler.phase("synthesize"):
+        scenario = default_scenario(
+            seed=case.seed, horizon=case.horizon, train_count=case.train_count
+        )
     dense_s = event_s = float("inf")
     dense_iters = event_iters = 0
     dense_summary: Dict[str, float] = {}
@@ -138,13 +147,15 @@ def run_case(case: BenchCase, repeats: int = 3) -> Dict[str, object]:
     gc.disable()
     try:
         for _ in range(repeats):
-            elapsed, dense_iters, dense_summary = _timed_run(
-                case, scenario, True
-            )
+            with profiler.phase("dense_run"):
+                elapsed, dense_iters, dense_summary = _timed_run(
+                    case, scenario, True
+                )
             dense_s = min(dense_s, elapsed)
-            elapsed, event_iters, event_summary = _timed_run(
-                case, scenario, False
-            )
+            with profiler.phase("event_run"):
+                elapsed, event_iters, event_summary = _timed_run(
+                    case, scenario, False
+                )
             event_s = min(event_s, elapsed)
     finally:
         if gc_was_enabled:
@@ -165,6 +176,7 @@ def run_case(case: BenchCase, repeats: int = 3) -> Dict[str, object]:
         "speedup": dense_s / event_s if event_s > 0 else float("inf"),
         "dense_iterations": dense_iters,
         "event_iterations": event_iters,
+        "phases": profiler.as_dict(),
     }
 
 

@@ -27,6 +27,43 @@ class TestNoTrains:
         sim = Simulation(etrain(), [], packets, horizon=400.0)
         result = sim.run()
         assert all(p.is_scheduled for p in packets)
+        # Delivered-byte conservation: with no heartbeat trains, every
+        # byte the radio moved is a cargo byte — no more, no less.
+        delivered = sum(r.size_bytes for r in result.records)
+        assert delivered == sum(p.size_bytes for p in packets)
+        # And every packet id appears in exactly one burst.
+        carried = [pid for r in result.records for pid in r.packet_ids]
+        assert sorted(carried) == sorted(p.packet_id for p in packets)
+
+    def test_fleet_engine_without_trains_conserves_bytes(self):
+        """Fleet counterpart: ``trains=[]`` must still schedule every
+        packet, and the burst rows' bytes must sum to the workload's."""
+        import numpy as np
+
+        from repro.bandwidth.synth import wuhan_bandwidth_model
+        from repro.sim.fleet.channel import ChannelTable
+        from repro.sim.fleet.engine import simulate_fleet_chunk
+        from repro.sim.fleet.workload import synthesize_fleet
+
+        horizon = 1800.0
+        workload = synthesize_fleet(16, horizon, seed=7, trains=[])
+        table = ChannelTable.from_model(wuhan_bandwidth_model(), horizon)
+        raw = simulate_fleet_chunk(workload, table, strategy="etrain")
+
+        # Every packet mapped to a valid burst row (the map is total).
+        assert raw.pk_burst.shape[0] == workload.n_packets
+        assert (raw.pk_burst >= 0).all()
+        assert (raw.pk_burst < raw.burst_dev.shape[0]).all()
+        # Byte conservation, chunk-wide and per device.
+        workload_bytes = int(sum(int(s.sum()) for s in workload.sizes))
+        assert int(raw.burst_size.sum()) == workload_bytes
+        per_dev_burst = np.bincount(
+            raw.burst_dev, weights=raw.burst_size, minlength=raw.n_devices
+        )
+        per_dev_pkt = np.bincount(
+            raw.pk_dev, weights=raw.pk_size, minlength=raw.n_devices
+        )
+        assert np.array_equal(per_dev_burst, per_dev_pkt)
 
     def test_empty_workload_with_trains(self):
         sim = Simulation(etrain(), [make_generator("qq")], [], horizon=700.0)

@@ -1,0 +1,120 @@
+"""Golden trace snapshots: the event stream itself is pinned.
+
+``tests/data/golden_trace_{etrain,immediate}_2h.jsonl`` hold the full
+event traces of the paper-default 2-hour scenario (seed 0) as written by
+``etrain record``.  The comparator is *schema-versioned*: it projects
+each event onto its type's ``CORE_FIELDS`` before comparing, so adding
+new fields to events later (an additive schema change) never breaks the
+pins — only changing the simulation, removing a core field, or bumping
+``TRACE_SCHEMA_VERSION`` past the comparator does.
+
+Regenerate after an intentional semantic change with::
+
+    PYTHONPATH=src python -m repro.cli record --strategy etrain \
+        --trace-out tests/data/golden_trace_etrain_2h.jsonl --horizon 7200
+    PYTHONPATH=src python -m repro.cli record --strategy immediate \
+        --trace-out tests/data/golden_trace_immediate_2h.jsonl --horizon 7200
+"""
+
+import pathlib
+
+import pytest
+
+from repro.obs import ListRecorder, read_jsonl, verify_trace
+from repro.obs.events import TRACE_SCHEMA_VERSION, core_view
+from repro.obs.tracer import emit_simulation_trace
+
+pytestmark = pytest.mark.obs
+
+DATA = pathlib.Path(__file__).parent / "data"
+
+GOLDEN = {
+    "etrain": DATA / "golden_trace_etrain_2h.jsonl",
+    "immediate": DATA / "golden_trace_immediate_2h.jsonl",
+}
+
+
+def fresh_trace(name):
+    """Re-run the pinned scenario and trace it in memory."""
+    from repro.obs.events import app_cost_table
+    from repro.sim.engine import Simulation
+    from repro.sim.parallel.specs import StrategySpec
+    from repro.sim.runner import default_scenario
+
+    scenario = default_scenario(seed=0, horizon=7200.0)
+    sim = Simulation(
+        StrategySpec.make(name).build(scenario),
+        scenario.train_generators,
+        scenario.fresh_packets(),
+        power_model=scenario.power_model,
+        bandwidth=scenario.bandwidth,
+        horizon=scenario.horizon,
+        slot=scenario.slot,
+    )
+    result = sim.run()
+    recorder = ListRecorder()
+    emit_simulation_trace(
+        recorder,
+        result,
+        power_model=scenario.power_model,
+        slot=scenario.slot,
+        app_costs=app_cost_table(scenario.profiles),
+    )
+    return recorder.events
+
+
+def diff_traces(fresh, pinned):
+    """Core-field differences between two event streams (empty == match)."""
+    diffs = []
+    if len(fresh) != len(pinned):
+        diffs.append(f"event count {len(fresh)} != pinned {len(pinned)}")
+    for i, (a, b) in enumerate(zip(fresh, pinned)):
+        va, vb = core_view(a), core_view(b)
+        if va != vb:
+            diffs.append(f"event {i}: {va} != {vb}")
+            if len(diffs) > 5:
+                diffs.append("... (truncated)")
+                break
+    return diffs
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+class TestGoldenTraces:
+    def test_pin_exists_and_schema_supported(self, name):
+        events = read_jsonl(GOLDEN[name])
+        assert events, f"{GOLDEN[name]} is empty"
+        head = events[0]
+        assert head["ev"] == "run_start"
+        assert head["schema"] <= TRACE_SCHEMA_VERSION, (
+            "pinned trace written by a newer schema; regenerate or "
+            "upgrade the comparator"
+        )
+
+    def test_fresh_run_matches_pin(self, name):
+        diffs = diff_traces(fresh_trace(name), read_jsonl(GOLDEN[name]))
+        assert not diffs, (
+            f"{name} trace drifted from its golden pin "
+            f"(regenerate only if the change is intentional):\n"
+            + "\n".join(diffs)
+        )
+
+    def test_pin_replays_exactly(self, name):
+        """The pinned bytes alone reproduce the recorded summary."""
+        ok, _, _, mismatches = verify_trace(read_jsonl(GOLDEN[name]))
+        assert ok, f"{name} pin no longer replays: {mismatches}"
+
+
+class TestComparatorToleratesAdditiveFields:
+    def test_extra_fields_are_ignored(self):
+        pinned = read_jsonl(GOLDEN["etrain"])
+        widened = [dict(e, future_field=123) for e in pinned]
+        assert not diff_traces(widened, pinned)
+
+    def test_core_field_change_is_caught(self):
+        pinned = read_jsonl(GOLDEN["etrain"])
+        mutated = [dict(e) for e in pinned]
+        for event in mutated:
+            if event["ev"] == "burst":
+                event["size"] = event["size"] + 1
+                break
+        assert diff_traces(mutated, pinned)
