@@ -251,7 +251,110 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the merged per-worker metrics registry JSON here",
     )
+    _add_fault_tolerance_args(parser)
     return parser
+
+
+def _add_fault_tolerance_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``sweep`` and ``fleet`` (see docs/robustness.md)."""
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume a previously killed run of the same grid from its "
+            "checkpoint journal (requires --cache-dir)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a job lost to a worker crash/hang up to N times (default 2)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "kill and retry any pool job running longer than this "
+            "(default: no timeout)"
+        ),
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject deterministic worker faults, e.g. "
+            "'crash=0.2,hang=0.05,seed=3' (testing; also honours the "
+            "ETRAIN_FAULTS environment variable)"
+        ),
+    )
+
+
+def _build_retry_policy(args):
+    """A RetryPolicy from CLI flags, or None for executor defaults."""
+    if args.max_retries is None and args.job_timeout is None:
+        return None
+    import dataclasses
+
+    from repro.sim.parallel import RetryPolicy
+
+    policy = RetryPolicy()
+    if args.max_retries is not None:
+        policy = dataclasses.replace(policy, max_retries=args.max_retries)
+    if args.job_timeout is not None:
+        policy = dataclasses.replace(policy, job_timeout=args.job_timeout)
+    return policy
+
+
+def _build_fault_plan(args):
+    """The FaultPlan from --faults or ETRAIN_FAULTS, or None."""
+    from repro.faults import FaultPlan
+
+    if args.faults:
+        try:
+            return FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            print(f"bad --faults spec: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+    return FaultPlan.from_env()
+
+
+def _attach_journal(args, run_key: str, total_jobs: int):
+    """Open the run's checkpoint journal under the cache directory.
+
+    Returns (journal, exit_code): journal is None either on error
+    (exit_code set) or when there is no --cache-dir to journal into
+    (checkpointing without a result cache cannot make resume cheap, so
+    it is pointless — a bare run just recomputes).
+    """
+    from pathlib import Path
+
+    from repro.sim.parallel import JournalMismatchError, RunJournal
+
+    if args.cache_dir is None:
+        if args.resume:
+            print(
+                "--resume requires --cache-dir (results are resumed from "
+                "the cache; the journal only tracks progress)",
+                file=sys.stderr,
+            )
+            return None, 2
+        return None, None
+    path = Path(args.cache_dir) / "journal" / f"{run_key[:16]}.jsonl"
+    try:
+        journal = RunJournal.attach(
+            path, run_key, total_jobs, resume=args.resume
+        )
+    except JournalMismatchError as exc:
+        print(f"cannot resume: {exc}", file=sys.stderr)
+        return None, 2
+    if args.resume:
+        print(f"resuming: {journal.describe()}")
+    return journal, None
 
 
 def _parse_seeds(text: str) -> List[int]:
@@ -351,12 +454,25 @@ def run_sweep_command(argv: List[str]) -> int:
                 )
                 groups.append((spec, seed))
 
+    from repro.sim.parallel import run_key_of
+
+    run_key = run_key_of(job.content_hash() for job in jobs)
+    journal, code = _attach_journal(args, run_key, len(jobs))
+    if code is not None:
+        return code
     executor = ExperimentExecutor(
         workers=args.workers,
         cache_dir=args.cache_dir,
         progress=None if args.quiet else print,
+        retry=_build_retry_policy(args),
+        faults=_build_fault_plan(args),
+        journal=journal,
     )
-    results = executor.run(jobs)
+    try:
+        results = executor.run(jobs)
+    finally:
+        if journal is not None:
+            journal.close()
 
     # Aggregate each strategy variant across its seeds.
     by_variant: Dict[Any, List[Dict[str, float]]] = {}
@@ -519,11 +635,14 @@ def run_trace_replay_command(argv: List[str]) -> int:
 
     Exit status 0 means every replayed metric equals the recorded
     ``run_end`` summary exactly; 1 means the trace and its summary
-    disagree (a correctness failure, not a tolerance issue).
+    disagree (a correctness failure, not a tolerance issue); 2 means the
+    trace cannot be replayed at all; 3 means the file is truncated — it
+    ends in a torn partial line, i.e. the recording process was killed
+    mid-write.
     """
     import json
 
-    from repro.obs import read_jsonl
+    from repro.obs import TruncatedTraceError, read_jsonl
     from repro.obs.replay import REPLAYED_KEYS, verify_trace
 
     parser = argparse.ArgumentParser(
@@ -540,7 +659,16 @@ def run_trace_replay_command(argv: List[str]) -> int:
     )
     args = parser.parse_args(argv)
 
-    events = read_jsonl(args.trace)
+    try:
+        events = read_jsonl(args.trace)
+    except TruncatedTraceError as exc:
+        print(f"truncated trace: {exc}", file=sys.stderr)
+        print(
+            f"  {exc.valid_lines} intact event(s) precede the torn tail; "
+            "the recorder was likely killed mid-write",
+            file=sys.stderr,
+        )
+        return 3
     try:
         ok, replayed, recorded, mismatches = verify_trace(events)
     except ValueError as exc:
@@ -743,6 +871,15 @@ def build_fleet_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-chunk progress"
     )
+    parser.add_argument(
+        "--cleanup-shm",
+        action="store_true",
+        help=(
+            "sweep stale etrain-* shared-memory segments left in /dev/shm "
+            "by killed runs, then exit (no simulation)"
+        ),
+    )
+    _add_fault_tolerance_args(parser)
     return parser
 
 
@@ -753,6 +890,14 @@ def run_fleet_command(argv: List[str]) -> int:
     from repro.sim.fleet import FleetSpec, run_fleet
 
     args = build_fleet_parser().parse_args(argv)
+    if args.cleanup_shm:
+        from repro.sim.fleet.channel import cleanup_stale_segments
+
+        removed = cleanup_stale_segments()
+        for name in removed:
+            print(f"removed stale shm segment {name}")
+        print(f"swept {len(removed)} stale etrain-* segment(s) from /dev/shm")
+        return 0
     params = {}
     for item in args.param:
         if "=" not in item:
@@ -775,13 +920,28 @@ def run_fleet_command(argv: List[str]) -> int:
     except (KeyError, ValueError) as exc:
         print(f"invalid fleet spec: {exc}", file=sys.stderr)
         return 2
-    result = run_fleet(
-        spec,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
-        progress=None if args.quiet else print,
-    )
+    journal, code = _attach_journal(args, spec.content_hash(), spec.n_chunks)
+    if code is not None:
+        return code
+    try:
+        result = run_fleet(
+            spec,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            progress=None if args.quiet else print,
+            retry=_build_retry_policy(args),
+            faults=_build_fault_plan(args),
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     print(result.describe())
+    stats = result.executor_stats
+    if stats is not None and (
+        stats.worker_failures or stats.timeouts or stats.retries
+    ):
+        print(stats.describe())
     summary = result.summary.summary()
     for key in sorted(summary):
         print(f"  {key:26s} {summary[key]:.6g}")

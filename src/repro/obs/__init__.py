@@ -35,6 +35,7 @@ from repro.obs.recorder import (
     NullRecorder,
     Recorder,
     RingBufferRecorder,
+    TruncatedTraceError,
     read_jsonl,
 )
 from repro.obs.replay import replay_events, replay_trace_file, verify_trace
@@ -47,6 +48,7 @@ __all__ = [
     "ListRecorder",
     "RingBufferRecorder",
     "JsonlRecorder",
+    "TruncatedTraceError",
     "read_jsonl",
     "MetricsRegistry",
     "metrics_scope",

@@ -80,6 +80,11 @@ class EventType:
     FLEET_CHUNK = "fleet_chunk"
     FLEET_BURST = "fleet_burst"
     FLEET_RUN = "fleet_run"
+    # Execution-layer fault events (emitted by the fault-tolerant
+    # executor, not by the simulation engines; see docs/robustness.md).
+    JOB_RETRY = "job_retry"
+    WORKER_FAILURE = "worker_failure"
+    SERIAL_FALLBACK = "serial_fallback"
 
 
 #: The schema-stable fields per event type.  The golden-trace comparator
@@ -96,6 +101,9 @@ CORE_FIELDS: Dict[str, Tuple[str, ...]] = {
     EventType.FLEET_CHUNK: ("ev", "devices", "packets", "bursts"),
     EventType.FLEET_BURST: ("ev", "dev", "t", "dur", "size", "kind"),
     EventType.FLEET_RUN: ("ev", "devices", "chunks"),
+    EventType.JOB_RETRY: ("ev", "job", "attempt"),
+    EventType.WORKER_FAILURE: ("ev", "lost", "timed_out"),
+    EventType.SERIAL_FALLBACK: ("ev", "jobs", "breaks"),
 }
 
 

@@ -29,8 +29,29 @@ __all__ = [
     "ListRecorder",
     "RingBufferRecorder",
     "JsonlRecorder",
+    "TruncatedTraceError",
     "read_jsonl",
 ]
+
+
+class TruncatedTraceError(ValueError):
+    """A JSONL trace ends in a torn partial line (writer died mid-write).
+
+    Carries the events that *did* parse (:attr:`events`) plus where the
+    valid prefix ends, so a caller may report precisely or choose to
+    continue with the intact prefix.
+    """
+
+    def __init__(self, path, events: List[Dict], valid_lines: int, tail: str):
+        self.path = str(path)
+        self.events = events
+        self.valid_lines = valid_lines
+        self.tail = tail
+        preview = tail[:60] + ("..." if len(tail) > 60 else "")
+        super().__init__(
+            f"{self.path} is truncated after {valid_lines} complete "
+            f"event(s); torn tail: {preview!r}"
+        )
 
 
 @runtime_checkable
@@ -130,11 +151,34 @@ class JsonlRecorder:
 
 
 def read_jsonl(path) -> List[Dict]:
-    """Load a JSONL trace file back into a list of event dicts."""
+    """Load a JSONL trace file back into a list of event dicts.
+
+    A process killed mid-``emit`` leaves the file ending in a torn
+    partial line.  That tail is detected here — a final line that lacks
+    its newline or does not parse — and reported as
+    :class:`TruncatedTraceError` (carrying the intact prefix) instead of
+    surfacing as a bare ``json.JSONDecodeError`` traceback.  Corruption
+    *before* the final line is not a torn tail and still raises
+    ``json.JSONDecodeError``.
+    """
     events: List[Dict] = []
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    lines = raw.splitlines(keepends=True)
+    for index, line in enumerate(lines):
+        last = index == len(lines) - 1
+        text = line.decode("utf-8", errors="replace")
+        if not line.endswith(b"\n"):
+            # Only ever possible on the final line: a torn tail even if
+            # the fragment happens to parse (the writer always emits a
+            # trailing newline, so its absence proves a mid-write kill).
+            raise TruncatedTraceError(path, events, len(events), text)
+        if not text.strip():
+            continue
+        try:
+            events.append(json.loads(text))
+        except json.JSONDecodeError:
+            if last:
+                raise TruncatedTraceError(path, events, len(events), text)
+            raise
     return events

@@ -28,14 +28,86 @@ block name.  Discipline (see ``docs/parallelism.md``): the publisher
 from __future__ import annotations
 
 import math
+import os
+import secrets
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from pathlib import Path
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.bandwidth.models import ConstantBandwidth, TraceBandwidth
 
-__all__ = ["ChannelTable", "SharedChannel", "SharedChannelHandle"]
+__all__ = [
+    "ChannelTable",
+    "SharedChannel",
+    "SharedChannelHandle",
+    "SHM_PREFIX",
+    "SHM_DIR",
+    "segment_name",
+    "cleanup_stale_segments",
+]
+
+#: Every block this library publishes is named ``etrain-<pid>-<token>``,
+#: so a crashed run's leftovers are recognisable (and sweepable) by name.
+SHM_PREFIX = "etrain-"
+
+#: Where POSIX shared memory surfaces as files (Linux tmpfs).
+SHM_DIR = Path("/dev/shm")
+
+
+def segment_name(*, pid: Optional[int] = None) -> str:
+    """A fresh ``etrain-<pid>-<token>`` shared-memory block name."""
+    if pid is None:
+        pid = os.getpid()
+    return f"{SHM_PREFIX}{pid}-{secrets.token_hex(4)}"
+
+
+def _segment_pid(name: str) -> Optional[int]:
+    """The publisher pid encoded in a segment name, or None if unparseable."""
+    if not name.startswith(SHM_PREFIX):
+        return None
+    head = name[len(SHM_PREFIX):].split("-", 1)[0]
+    try:
+        return int(head)
+    except ValueError:
+        return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    return True
+
+
+def cleanup_stale_segments(*, include_live: bool = False) -> List[str]:
+    """Unlink leftover ``etrain-*`` shm segments; returns removed names.
+
+    A segment is *stale* when the publisher pid baked into its name is no
+    longer alive — i.e. the publisher died between ``publish()`` and
+    ``unlink()``.  ``include_live=True`` sweeps every ``etrain-*``
+    segment regardless (only safe when no fleet run is in flight).
+    Unparseable names are treated as live unless ``include_live``.
+    No-op (empty list) on platforms without ``/dev/shm``.
+    """
+    removed: List[str] = []
+    if not SHM_DIR.is_dir():
+        return removed
+    for path in sorted(SHM_DIR.glob(SHM_PREFIX + "*")):
+        pid = _segment_pid(path.name)
+        stale = pid is not None and not _pid_alive(pid)
+        if not (stale or include_live):
+            continue
+        try:
+            path.unlink()
+            removed.append(path.name)
+        except OSError:  # vanished or not ours; nothing to sweep
+            pass
+    return removed
 
 #: Seconds of rate samples kept past the horizon: the scalar integrator's
 #: transfer guard plus slack for a burst that begins exactly at the
@@ -152,14 +224,22 @@ class SharedChannel:
 
     Lifecycle::
 
-        shared = SharedChannel.publish(table)    # parent, once
-        handle = shared.handle                   # picklable, pass to workers
-        ...
-        view = SharedChannel.attach(handle)      # worker
-        view.table.durations(...)
-        view.close()                             # worker: release mapping
+        with SharedChannel.publish(table) as shared:   # parent, once
+            handle = shared.handle            # picklable, pass to workers
+            ...
+            with SharedChannel.attach(handle) as view: # worker
+                view.table.durations(...)
+        # publisher __exit__ closes AND unlinks; attacher __exit__ only
+        # closes — the same discipline as the explicit calls below.
+
+        shared = SharedChannel.publish(table)
         ...
         shared.close(); shared.unlink()          # parent: free the blocks
+
+    Blocks are named ``etrain-<pid>-<token>`` so that if the publisher
+    dies before ``unlink()`` (kill -9, OOM), the leak is attributable
+    and :func:`cleanup_stale_segments` / ``etrain fleet --cleanup-shm``
+    can sweep it.
     """
 
     def __init__(self, blocks, table: ChannelTable, handle: SharedChannelHandle, owner: bool):
@@ -174,12 +254,30 @@ class SharedChannel:
 
         blocks = []
         arrays = []
-        for src in (table.samples, table.prefix):
-            block = shared_memory.SharedMemory(create=True, size=src.nbytes)
-            dst = np.ndarray(src.shape, dtype=np.float64, buffer=block.buf)
-            dst[:] = src
-            blocks.append(block)
-            arrays.append(dst)
+        try:
+            for src in (table.samples, table.prefix):
+                block = None
+                while block is None:
+                    try:
+                        block = shared_memory.SharedMemory(
+                            create=True, size=src.nbytes, name=segment_name()
+                        )
+                    except FileExistsError:  # pragma: no cover - token clash
+                        continue
+                dst = np.ndarray(src.shape, dtype=np.float64, buffer=block.buf)
+                dst[:] = src
+                blocks.append(block)
+                arrays.append(dst)
+        except BaseException:
+            # Publishing the second block failed: free the first rather
+            # than leaking it for --cleanup-shm to find later.
+            for block in blocks:
+                try:
+                    block.close()
+                    block.unlink()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            raise
         handle = SharedChannelHandle(
             samples_name=blocks[0].name,
             prefix_name=blocks[1].name,
@@ -223,3 +321,14 @@ class SharedChannel:
                 block.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+
+    def __enter__(self) -> "SharedChannel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Close; publishers additionally unlink (even if close raises)."""
+        try:
+            self.close()
+        finally:
+            if self._owner:
+                self.unlink()

@@ -13,6 +13,7 @@ device count except the list of fixed-size chunk summaries (O(chunks)).
 
 from __future__ import annotations
 
+import contextlib
 import resource
 import time
 from dataclasses import dataclass, field
@@ -54,6 +55,9 @@ class FleetRunResult:
     metrics: Dict = field(default_factory=dict)
     #: Per-phase wall/CPU timings of the orchestration pipeline.
     phases: Dict = field(default_factory=dict)
+    #: The executor's :class:`~repro.sim.parallel.executor.ExecutorStats`
+    #: (retries, worker failures, timeouts, ...); None for old callers.
+    executor_stats: Optional[object] = None
 
     @property
     def devices_per_sec(self) -> float:
@@ -76,18 +80,29 @@ def run_fleet(
     progress: Optional[Callable[[str], None]] = None,
     share_channel: Optional[bool] = None,
     recorder=None,
+    retry=None,
+    faults=None,
+    journal=None,
 ) -> FleetRunResult:
     """Run a fleet spec end to end and merge its chunk summaries.
 
     ``share_channel`` defaults to "when vectorized": the prefix table is
     published to ``multiprocessing.shared_memory`` once and every chunk
     (in-process or pool worker) attaches instead of re-deriving it.  The
-    publisher closes *and* unlinks in a ``finally``; workers only close.
+    publisher's context manager closes *and* unlinks even when the run
+    dies mid-flight; workers only close.
 
     ``recorder`` optionally receives one ``fleet_chunk`` event per chunk
     summary plus a closing ``fleet_run`` event.  (Chunk specs cross
     process boundaries, so per-burst tracing is only available through
     the direct ``simulate_fleet_chunk(..., recorder=...)`` API.)
+
+    ``retry`` / ``faults`` / ``journal`` flow straight into
+    :class:`~repro.sim.parallel.executor.ExperimentExecutor`: retry
+    policy for crashed/hung pool workers, a deterministic
+    :class:`~repro.faults.FaultPlan` to inject failures, and a
+    :class:`~repro.sim.parallel.journal.RunJournal` for
+    ``fleet --resume`` bookkeeping.
     """
     from repro.sim.parallel.executor import ExperimentExecutor
 
@@ -96,24 +111,25 @@ def run_fleet(
         share_channel = vectorized
     profiler = PhaseProfiler()
     started = time.perf_counter()
-    shared = None
-    try:
+    with contextlib.ExitStack() as stack:
         with profiler.phase("channel_publish"):
             if share_channel and vectorized:
                 table = ChannelTable.from_model(spec.bandwidth_model(), spec.horizon)
-                shared = SharedChannel.publish(table)
+                shared = stack.enter_context(SharedChannel.publish(table))
                 chunks = spec.chunk_specs(channel=shared.handle)
             else:
                 chunks = spec.chunk_specs()
         executor = ExperimentExecutor(
-            workers=workers, cache_dir=cache_dir, progress=progress
+            workers=workers,
+            cache_dir=cache_dir,
+            progress=progress,
+            retry=retry,
+            faults=faults,
+            journal=journal,
+            recorder=recorder,
         )
         with profiler.phase("simulate"):
             results = executor.run(chunks)
-    finally:
-        if shared is not None:
-            shared.close()
-            shared.unlink()
     with profiler.phase("aggregate"):
         summaries = [FleetChunkSummary.from_dict(r.summary) for r in results]
         merged = FleetChunkSummary.merge_all(summaries)
@@ -149,4 +165,5 @@ def run_fleet(
         peak_rss=peak_rss_bytes(include_children=workers is not None and workers > 1),
         metrics=executor.metrics.to_dict(),
         phases=profiler.as_dict(),
+        executor_stats=executor.stats,
     )

@@ -6,7 +6,17 @@ See :mod:`repro.sim.parallel.specs` for the declarative job model,
 """
 
 from repro.sim.parallel.cache import ResultCache
-from repro.sim.parallel.executor import ExecutorStats, ExperimentExecutor, JobResult
+from repro.sim.parallel.executor import (
+    ExecutorStats,
+    ExperimentExecutor,
+    JobResult,
+    RetryPolicy,
+)
+from repro.sim.parallel.journal import (
+    JournalMismatchError,
+    RunJournal,
+    run_key_of,
+)
 from repro.sim.parallel.specs import (
     CACHE_VERSION,
     POWER_MODELS,
@@ -28,6 +38,10 @@ __all__ = [
     "ExecutorStats",
     "ExperimentExecutor",
     "JobResult",
+    "RetryPolicy",
+    "RunJournal",
+    "JournalMismatchError",
+    "run_key_of",
     "JobSpec",
     "ScenarioSpec",
     "StrategySpec",

@@ -43,6 +43,27 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _scan(self):
+        """Yield entry paths, tolerating concurrent deletion.
+
+        ``Path.glob`` can raise if a shard directory disappears between
+        being listed and being descended into (a concurrent ``clear``/
+        external cleanup); scanning shard-by-shard makes every vanishing
+        path a skip instead of an exception.
+        """
+        try:
+            shards = [d for d in os.scandir(self.root) if d.is_dir()]
+        except OSError:
+            return
+        for shard in shards:
+            try:
+                names = list(os.scandir(shard.path))
+            except OSError:
+                continue  # shard vanished mid-scan
+            for entry in names:
+                if entry.name.endswith(".json"):
+                    yield Path(entry.path)
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The cached entry for ``key``, or None on miss/corruption."""
         path = self._path(key)
@@ -59,29 +80,50 @@ class ResultCache:
         return entry
 
     def put(self, key: str, entry: Dict[str, Any]) -> None:
-        """Atomically store ``entry`` under ``key``."""
+        """Atomically store ``entry`` under ``key``.
+
+        Retries once if the shard directory is ripped out between the
+        ``mkdir`` and the ``os.replace`` (e.g. an external cleanup or an
+        aggressive prune running concurrently).
+        """
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh, sort_keys=True)
-            os.replace(tmp, path)
-            self.puts += 1
-        except BaseException:
+        for attempt in (1, 2):
+            path.parent.mkdir(parents=True, exist_ok=True)
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            except FileNotFoundError:
+                if attempt == 1:
+                    continue
+                raise
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(entry, fh, sort_keys=True)
+                os.replace(tmp, path)
+                self.puts += 1
+                return
+            except FileNotFoundError:
+                self._discard(tmp)
+                if attempt == 1:
+                    continue
+                raise
+            except BaseException:
+                self._discard(tmp)
+                raise
+
+    @staticmethod
+    def _discard(tmp: str) -> None:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self._scan())
 
     def size_bytes(self) -> int:
         """Total on-disk size of all entries (0 for an empty cache)."""
         total = 0
-        for path in self.root.glob("*/*.json"):
+        for path in self._scan():
             try:
                 total += path.stat().st_size
             except OSError:
@@ -106,7 +148,7 @@ class ResultCache:
         if max_age is not None and max_age < 0:
             raise ValueError(f"max_age must be >= 0, got {max_age}")
         entries = []
-        for path in self.root.glob("*/*.json"):
+        for path in self._scan():
             try:
                 entries.append((path.stat().st_mtime, path))
             except OSError:
@@ -132,7 +174,7 @@ class ResultCache:
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
-        for path in self.root.glob("*/*.json"):
+        for path in self._scan():
             try:
                 path.unlink()
                 removed += 1

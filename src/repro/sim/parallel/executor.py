@@ -1,7 +1,7 @@
-"""Process-pool experiment executor with caching and instrumentation.
+"""Process-pool experiment executor with caching and fault tolerance.
 
 The executor fans a grid of :class:`~repro.sim.parallel.specs.JobSpec`
-cells across worker processes.  Three properties the rest of the library
+cells across worker processes.  Four properties the rest of the library
 leans on:
 
 * **Determinism** — each worker rebuilds its job from the spec alone
@@ -11,9 +11,20 @@ leans on:
 * **Caching** — with a ``cache_dir``, completed cells are stored under
   their spec's content hash; reruns and overlapping sweeps skip the
   simulation entirely (visible in :class:`ExecutorStats`).
-* **Instrumentation** — jobs done, per-job wall time, cache hits and
-  worker utilization accumulate in ``executor.stats`` and stream through
-  the optional ``progress`` callback.
+* **Fault tolerance** — a worker dying (OOM kill, segfault, injected
+  crash) breaks the whole ``ProcessPoolExecutor``; this executor requeues
+  the lost jobs under a bounded per-job retry budget, rebuilds the pool
+  with exponential backoff, enforces an optional per-job timeout by
+  killing hung workers, and — when the pool keeps dying — degrades to
+  in-process serial execution rather than failing the run.  Because jobs
+  are pure functions of their specs, a retried job returns the exact
+  bytes the first attempt would have (see ``docs/robustness.md``).
+* **Instrumentation** — jobs done, per-job wall time, cache hits,
+  retries/timeouts/pool rebuilds and worker utilization accumulate in
+  ``executor.stats``, the ``executor.*`` counters of
+  ``executor.metrics``, and stream through the optional ``progress``
+  callback; an optional ``recorder`` receives one structured event per
+  failure-handling action.
 
 ``workers=None`` (the default) runs jobs in-process, in submission
 order — the drop-in replacement for the old serial loops, sharing the
@@ -24,15 +35,18 @@ from __future__ import annotations
 
 import os
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.obs.events import EventType
 from repro.obs.metrics import MetricsRegistry, metrics_scope
 from repro.sim.parallel.cache import ResultCache
 from repro.sim.parallel.specs import JobSpec, run_job
 
-__all__ = ["JobResult", "ExecutorStats", "ExperimentExecutor"]
+__all__ = ["JobResult", "ExecutorStats", "RetryPolicy", "ExperimentExecutor"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +64,50 @@ class JobResult:
     metrics: Optional[Dict] = None
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor responds to worker death and hung jobs.
+
+    ``max_retries`` bounds *resubmissions per job*: a job may be
+    submitted to the pool at most ``1 + max_retries`` times; a job lost
+    beyond that budget gets one last-resort in-process serial run (with
+    fault injection off) instead of failing the sweep.  Pool rebuild
+    ``k`` waits ``backoff_base * backoff_factor**(k-1)`` seconds, and
+    after ``max_pool_rebuilds`` rebuilds the executor stops trusting the
+    pool entirely and finishes the remaining jobs serially.
+    ``job_timeout`` (seconds of *running* time, measured from when the
+    job is first observed executing, not from submission) kills the
+    pool's workers when exceeded — the only way to unstick a hung
+    ``ProcessPoolExecutor`` worker — and requeues the in-flight jobs.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    job_timeout: Optional[float] = None
+    max_pool_rebuilds: int = 3
+    #: Poll period for the timeout watchdog (only used with a timeout).
+    poll_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff needs base >= 0 and factor >= 1")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError(f"job_timeout must be > 0, got {self.job_timeout}")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
+
+    def backoff(self, rebuild: int) -> float:
+        """Seconds to pause before pool rebuild number ``rebuild`` (1-based)."""
+        if rebuild <= 0:
+            return 0.0
+        return self.backoff_base * self.backoff_factor ** (rebuild - 1)
+
+
 @dataclass
 class ExecutorStats:
     """Lifetime counters of one executor (accumulated across ``run`` calls)."""
@@ -62,6 +120,13 @@ class ExecutorStats:
     busy_time: float = 0.0
     workers: int = 1
     job_times: List[float] = field(default_factory=list)
+    # Fault-tolerance counters (all zero on a healthy run).
+    retries: int = 0  # resubmissions after a job was lost
+    worker_failures: int = 0  # pool-break events from worker death
+    timeouts: int = 0  # jobs whose running time exceeded job_timeout
+    pool_rebuilds: int = 0  # pools rebuilt after a break
+    serial_fallbacks: int = 0  # pool given up on entirely
+    serial_rescues: int = 0  # jobs run in-process after exhausting retries
 
     @property
     def worker_utilization(self) -> float:
@@ -75,13 +140,24 @@ class ExecutorStats:
 
     def describe(self) -> str:
         """One-line human summary (used by the CLI)."""
-        return (
+        line = (
             f"{self.jobs_total} jobs ({self.jobs_run} run, "
             f"{self.cache_hits} cached) in {self.wall_time:.2f}s wall, "
             f"mean job {self.mean_job_time * 1000:.0f}ms, "
             f"{self.workers} worker(s) at {100 * self.worker_utilization:.0f}% "
             "utilization"
         )
+        if self.worker_failures or self.timeouts or self.retries:
+            line += (
+                f"; survived {self.worker_failures} worker failure(s), "
+                f"{self.timeouts} timeout(s) via {self.retries} retrie(s)"
+            )
+        return line
+
+
+def _job_key(spec) -> str:
+    """The stable identity faults and journals key on (the cache key)."""
+    return spec.content_hash()
 
 
 def _execute_indexed(payload):
@@ -91,8 +167,15 @@ def _execute_indexed(payload):
     so engine-side instrumentation lands in a per-job registry that ships
     back with the summary; the executor merges the registries
     associatively, exactly like fleet chunk summaries.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan` or None) injects its
+    decision for this (job, attempt) first — an injected crash kills the
+    worker via ``os._exit`` before any simulation state exists, which is
+    what makes retried jobs bit-identical to undisturbed ones.
     """
-    index, spec = payload
+    index, spec, faults, attempt = payload
+    if faults is not None:
+        faults.inject(_job_key(spec), attempt)
     started = time.perf_counter()
     with metrics_scope() as registry:
         summary = run_job(spec)
@@ -111,16 +194,36 @@ class ExperimentExecutor:
         workers: Optional[int] = None,
         cache_dir=None,
         progress: Optional[Callable[[str], None]] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults=None,
+        journal=None,
+        recorder=None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1 or None, got {workers}")
         self.workers = workers
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress
+        #: Failure-handling knobs; the default policy retries twice with
+        #: exponential backoff and never times jobs out.
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Optional :class:`repro.faults.FaultPlan`.  Injected in pool
+        #: workers only — an in-process crash/hang would take down or
+        #: stall the parent, which is the failure mode, not the test.
+        self.faults = faults
+        #: Optional :class:`repro.sim.parallel.journal.RunJournal`; every
+        #: completed cell's key is appended, making the run resumable.
+        self.journal = journal
+        #: Optional trace recorder for failure-handling events
+        #: (``job_retry`` / ``worker_failure``).
+        self.recorder = recorder
         self.stats = ExecutorStats(workers=workers if workers else 1)
         #: Merge of every job's per-worker registry (run or cached), in
         #: completion order — the merge is associative and commutative,
         #: so the totals are independent of scheduling and cache state.
+        #: The parent-side ``executor.retries`` / ``executor.timeouts`` /
+        #: ``executor.worker_failures`` / ``executor.pool_rebuilds``
+        #: counters land here too.
         self.metrics = MetricsRegistry()
 
     def _absorb_metrics(self, result: JobResult) -> None:
@@ -134,6 +237,25 @@ class ExperimentExecutor:
             return
         origin = "cache" if result.cached else f"{result.wall_time:.2f}s"
         self.progress(f"[{done}/{total}] {result.spec.describe()} ({origin})")
+
+    def _count_fault(self, name: str, amount: int = 1) -> None:
+        """Bump a parent-side fault counter in stats and metrics together."""
+        setattr(self.stats, name, getattr(self.stats, name) + amount)
+        self.metrics.counter(f"executor.{name}").inc(amount)
+
+    def _emit(self, event: Dict) -> None:
+        if self.recorder is not None:
+            self.recorder.emit(event)
+
+    def _finish(self, result: JobResult, done: int, total: int) -> int:
+        """Common completion path: store, merge metrics, journal, report."""
+        self._store(result)
+        self._absorb_metrics(result)
+        if self.journal is not None:
+            self.journal.record(_job_key(result.spec), tag=result.spec.tag)
+        done += 1
+        self._report(done, total, result)
+        return done
 
     def _from_cache(self, spec: JobSpec) -> Optional[JobResult]:
         if self.cache is None:
@@ -167,16 +289,98 @@ class ExperimentExecutor:
     def _run_pool(
         self, misses: List[int], jobs: Sequence[JobSpec], results: List[Optional[JobResult]]
     ) -> None:
-        done = len(jobs) - len(misses)
-        max_workers = min(self.workers or 1, len(misses))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            pending = {
-                pool.submit(_execute_indexed, (i, jobs[i])) for i in misses
-            }
-            while pending:
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+        """Pooled execution that survives worker death and hung workers.
+
+        The loop runs one *pool generation* at a time: submit everything
+        queued, collect until the generation either drains or breaks
+        (worker death / timeout kill), requeue whatever was lost, and
+        rebuild.  Each requeue consumes one unit of the lost job's retry
+        budget; jobs over budget — and every remaining job once the pool
+        has broken ``max_pool_rebuilds + 1`` times — run in-process
+        instead, so worker failures degrade throughput, never results.
+        """
+        policy = self.retry
+        total = len(jobs)
+        done = total - len(misses)
+        submissions: Dict[int, int] = {i: 0 for i in misses}
+        queue: deque = deque(misses)
+        rescues: List[int] = []  # run serially, faults off
+        breaks = 0
+
+        while queue:
+            if breaks > policy.max_pool_rebuilds:
+                self._count_fault("serial_fallbacks")
+                self._emit(
+                    {"ev": EventType.SERIAL_FALLBACK, "jobs": len(queue), "breaks": breaks}
+                )
+                rescues.extend(queue)
+                queue.clear()
+                break
+            if breaks:
+                self._count_fault("pool_rebuilds")
+                delay = policy.backoff(breaks)
+                if delay > 0:
+                    time.sleep(delay)
+            done, broke = self._pool_generation(
+                queue, jobs, results, submissions, rescues, done, total
+            )
+            if broke:
+                breaks += 1
+
+        for i in rescues:
+            self._count_fault("serial_rescues")
+            done = self._run_one_serial(i, jobs, results, done, total)
+
+    def _pool_generation(
+        self,
+        queue: deque,
+        jobs: Sequence[JobSpec],
+        results: List[Optional[JobResult]],
+        submissions: Dict[int, int],
+        rescues: List[int],
+        done: int,
+        total: int,
+    ):
+        """One pool lifetime; returns ``(done, broke)``."""
+        policy = self.retry
+        max_workers = min(self.workers or 1, len(queue))
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        pending: Dict = {}  # future -> job index
+        first_running: Dict = {}  # future -> perf_counter when seen running
+        lost: List[int] = []
+        timed_out: List[int] = []
+        broke = False
+        try:
+            while queue:
+                i = queue.popleft()
+                submissions[i] += 1
+                if submissions[i] > 1:
+                    self._count_fault("retries")
+                    self._emit(
+                        {
+                            "ev": EventType.JOB_RETRY,
+                            "job": jobs[i].describe(),
+                            "attempt": submissions[i],
+                        }
+                    )
+                future = pool.submit(
+                    _execute_indexed, (i, jobs[i], self.faults, submissions[i])
+                )
+                pending[future] = i
+            poll = policy.poll_interval if policy.job_timeout is not None else None
+            while pending and not broke:
+                finished, _ = wait(
+                    set(pending), timeout=poll, return_when=FIRST_COMPLETED
+                )
                 for future in finished:
-                    index, summary, elapsed, pid, metrics = future.result()
+                    i = pending.pop(future)
+                    first_running.pop(future, None)
+                    try:
+                        index, summary, elapsed, pid, metrics = future.result()
+                    except BrokenProcessPool:
+                        lost.append(i)
+                        broke = True
+                        continue
                     result = JobResult(
                         spec=jobs[index],
                         summary=summary,
@@ -185,29 +389,85 @@ class ExperimentExecutor:
                         metrics=metrics,
                     )
                     results[index] = result
-                    self._store(result)
-                    self._absorb_metrics(result)
-                    done += 1
-                    self._report(done, len(jobs), result)
+                    done = self._finish(result, done, total)
+                if broke or policy.job_timeout is None:
+                    continue
+                now = time.perf_counter()
+                for future in pending:
+                    if future not in first_running and future.running():
+                        first_running[future] = now
+                overdue = [
+                    future
+                    for future, t0 in first_running.items()
+                    if future in pending and now - t0 > policy.job_timeout
+                ]
+                if overdue:
+                    timed_out = [pending[f] for f in overdue]
+                    self._count_fault("timeouts", len(overdue))
+                    self._kill_workers(pool)
+                    broke = True
+        except BrokenProcessPool:  # broke during submission
+            broke = True
+        finally:
+            if broke:
+                # Everything still pending died with the pool; requeue
+                # within budget, collect the rest for serial rescue.
+                lost.extend(pending.values())
+                pending.clear()
+                if lost and not timed_out:
+                    self._count_fault("worker_failures")
+                self._emit(
+                    {
+                        "ev": EventType.WORKER_FAILURE,
+                        "lost": len(lost),
+                        "timed_out": len(timed_out),
+                    }
+                )
+                for i in lost:
+                    if submissions[i] <= policy.max_retries:
+                        queue.append(i)
+                    else:
+                        rescues.append(i)
+            pool.shutdown(wait=True, cancel_futures=True)
+        return done, broke
+
+    @staticmethod
+    def _kill_workers(pool: ProcessPoolExecutor) -> None:
+        """SIGKILL every pool worker — the only cure for a hung job."""
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except (OSError, AttributeError):  # pragma: no cover - racing exit
+                pass
+
+    def _run_one_serial(
+        self,
+        i: int,
+        jobs: Sequence[JobSpec],
+        results: List[Optional[JobResult]],
+        done: int,
+        total: int,
+    ) -> int:
+        """Run one job in-process (no fault injection) and record it."""
+        index, summary, elapsed, pid, metrics = _execute_indexed(
+            (i, jobs[i], None, 1)
+        )
+        result = JobResult(
+            spec=jobs[index],
+            summary=summary,
+            wall_time=elapsed,
+            worker_pid=pid,
+            metrics=metrics,
+        )
+        results[index] = result
+        return self._finish(result, done, total)
 
     def _run_serial(
         self, misses: List[int], jobs: Sequence[JobSpec], results: List[Optional[JobResult]]
     ) -> None:
         done = len(jobs) - len(misses)
         for i in misses:
-            index, summary, elapsed, pid, metrics = _execute_indexed((i, jobs[i]))
-            result = JobResult(
-                spec=jobs[index],
-                summary=summary,
-                wall_time=elapsed,
-                worker_pid=pid,
-                metrics=metrics,
-            )
-            results[index] = result
-            self._store(result)
-            self._absorb_metrics(result)
-            done += 1
-            self._report(done, len(jobs), result)
+            done = self._run_one_serial(i, jobs, results, done, len(jobs))
 
     # -- public API --------------------------------------------------------
 
@@ -234,6 +494,8 @@ class ExperimentExecutor:
             if hit is not None:
                 results[i] = hit
                 self._absorb_metrics(hit)
+                if self.journal is not None:
+                    self.journal.record(_job_key(spec), tag=spec.tag)
             else:
                 misses.append(i)
         # Cache hits are reported up front, before any simulation starts.

@@ -1,0 +1,174 @@
+"""Append-only checkpoint journal for resumable runs.
+
+A sweep or fleet run writes one JSONL line per completed grid cell —
+its spec content hash — into a journal keyed by the whole run's
+``run_key`` (the hash of every job key in submission order).  Because
+results themselves live in the content-addressed
+:class:`~repro.sim.parallel.cache.ResultCache`, the journal does not
+have to store data to make resume bit-identical: determinism plus the
+cache already guarantee that a relaunched run replays completed cells
+as exact cache hits.  What the journal adds is crash-safe *bookkeeping*:
+
+* ``etrain sweep --resume`` / ``etrain fleet --resume`` can say how far
+  the killed run got, and refuse to "resume" a *different* grid into
+  the same journal (the ``run_key`` check);
+* the file is append-only and line-framed, so a SIGKILL mid-write costs
+  at most one torn tail line — :meth:`RunJournal.attach` truncates the
+  torn bytes and carries on, it never refuses to resume over them.
+
+Layout: line 0 is a header ``{"journal": 1, "run_key": ..., "jobs": N}``;
+every further line is ``{"key": <sha256>, "tag": ...}``.  Duplicate keys
+are fine (they dedupe on load), which keeps appends unconditional.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Set, Tuple
+
+__all__ = ["JOURNAL_VERSION", "JournalMismatchError", "RunJournal", "run_key_of"]
+
+#: Bumped on breaking changes to the journal line format.
+JOURNAL_VERSION = 1
+
+
+class JournalMismatchError(ValueError):
+    """``--resume`` pointed an existing journal at a different job grid."""
+
+
+def _read(path: Path) -> Tuple[Dict, Set[str], int, int]:
+    """Parse a journal; returns (header, keys, valid_bytes, torn_bytes).
+
+    Only lines that both parse as JSON *and* end with a newline count —
+    anything after the last such line is a torn tail from a crash
+    mid-write.  ``valid_bytes`` is where an append must resume from.
+    """
+    header: Dict = {}
+    keys: Set[str] = set()
+    valid = 0
+    raw = path.read_bytes()
+    for line in raw.splitlines(keepends=True):
+        if not line.endswith(b"\n"):
+            break
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            break
+        if not isinstance(record, dict):
+            break
+        if valid == 0:
+            if record.get("journal") != JOURNAL_VERSION:
+                break
+            header = record
+        elif "key" in record:
+            keys.add(record["key"])
+        valid += len(line)
+    return header, keys, valid, len(raw) - valid
+
+
+class RunJournal:
+    """One run's append-only record of completed job keys."""
+
+    def __init__(self, path, run_key: str, total_jobs: int) -> None:
+        self.path = Path(path)
+        self.run_key = run_key
+        self.total_jobs = total_jobs
+        self.completed: Set[str] = set()
+        #: Torn bytes dropped while resuming (0 for a clean journal).
+        self.torn_bytes = 0
+        self._fh = None
+
+    @classmethod
+    def attach(
+        cls, path, run_key: str, total_jobs: int, *, resume: bool = False
+    ) -> "RunJournal":
+        """Open (or resume) the journal for a run.
+
+        ``resume=False`` always starts fresh, truncating any previous
+        journal at ``path``.  ``resume=True`` loads the completed keys
+        of a prior run of the *same* grid (same ``run_key``), dropping a
+        torn tail if the previous process died mid-append; resuming onto
+        a journal written by a different grid raises
+        :class:`JournalMismatchError` instead of silently mixing runs.
+        """
+        journal = cls(path, run_key, total_jobs)
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and journal.path.exists():
+            header, keys, valid, torn = _read(journal.path)
+            if header and header.get("run_key") != run_key:
+                raise JournalMismatchError(
+                    f"journal {journal.path} belongs to run "
+                    f"{header.get('run_key', '?')[:12]}..., not "
+                    f"{run_key[:12]}...; refusing to resume a different grid"
+                )
+            journal.completed = keys
+            journal.torn_bytes = torn
+            if header:
+                # Drop the torn tail (if any) and continue appending.
+                with open(journal.path, "r+b") as fh:
+                    fh.truncate(valid)
+                journal._fh = open(journal.path, "a", encoding="utf-8")
+                return journal
+            # Unreadable/foreign file with no valid header: start over.
+        journal._fh = open(journal.path, "w", encoding="utf-8")
+        journal._write(
+            {"journal": JOURNAL_VERSION, "run_key": run_key, "jobs": total_jobs}
+        )
+        return journal
+
+    def _write(self, record: Dict) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        self._fh.write("\n")
+        # Flush per line: a SIGKILLed parent then loses at most the one
+        # line the OS had not been handed yet (fsync would survive power
+        # loss too, but costs ~1ms/line for a guarantee resume does not
+        # need — a lost line is just one redundant cache hit on replay).
+        self._fh.flush()
+
+    def record(self, key: str, tag: str = "") -> None:
+        """Mark one job complete (idempotent; duplicates are skipped)."""
+        if key in self.completed or self._fh is None:
+            return
+        self.completed.add(key)
+        entry: Dict = {"key": key}
+        if tag:
+            entry["tag"] = tag
+        self._write(entry)
+
+    @property
+    def resumed_jobs(self) -> int:
+        """Completed-key count loaded from a previous run."""
+        return len(self.completed)
+
+    def describe(self) -> str:
+        """One-line resume status for the CLI."""
+        torn = f" (dropped {self.torn_bytes} torn byte(s))" if self.torn_bytes else ""
+        return (
+            f"journal {self.path.name}: {len(self.completed)}/{self.total_jobs} "
+            f"job(s) complete{torn}"
+        )
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def run_key_of(job_keys) -> str:
+    """Stable identity of a whole grid: SHA-256 over its job keys in order."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for key in job_keys:
+        digest.update(key.encode("ascii"))
+        digest.update(b"\n")
+    return digest.hexdigest()

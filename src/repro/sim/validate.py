@@ -22,6 +22,21 @@ __all__ = ["validate_result", "assert_valid", "InvalidScheduleError"]
 _EPS = 1e-9
 
 
+def _tol(*timestamps: float) -> float:
+    """Comparison tolerance for timestamps of the given magnitudes.
+
+    Purely absolute 1e-9 is below float64 spacing once timestamps grow
+    past ~2^30 s and — more practically — rejects legitimate last-bit
+    rounding on day-long horizons: at t = 86 400 s one ulp is ~1.5e-11,
+    and a handful of accumulated rounding steps in the burst integrator
+    exceeds 1e-9 absolute while being exactly the kind of noise these
+    checks must ignore.  So: absolute 1e-9 near zero, relative 1e-9 at
+    scale, whichever is larger.
+    """
+    scale = max((abs(t) for t in timestamps), default=0.0)
+    return max(_EPS, _EPS * scale)
+
+
 class InvalidScheduleError(AssertionError):
     """A simulation result violated a schedule invariant."""
 
@@ -32,18 +47,20 @@ def validate_result(result: SimulationResult) -> List[str]:
 
     # (3) Bursts are time-ordered and never overlap.
     for a, b in zip(result.records, result.records[1:]):
-        if b.start < a.start - _EPS:
+        if b.start < a.start - _tol(a.start, b.start):
             violations.append(
                 f"bursts out of order: {b.start:.3f} after {a.start:.3f}"
             )
-        if b.start < a.end - _EPS:
+        if b.start < a.end - _tol(a.end, b.start):
             violations.append(
                 f"burst at {b.start:.3f} overlaps burst ending {a.end:.3f}"
             )
 
     # (2) Causality: no packet scheduled before its arrival.
     for p in result.packets:
-        if p.scheduled_time is not None and p.scheduled_time < p.arrival_time - _EPS:
+        if p.scheduled_time is not None and p.scheduled_time < (
+            p.arrival_time - _tol(p.arrival_time, p.scheduled_time)
+        ):
             violations.append(
                 f"packet {p.packet_id} scheduled at {p.scheduled_time:.3f} "
                 f"before arrival {p.arrival_time:.3f}"
@@ -79,7 +96,7 @@ def validate_result(result: SimulationResult) -> List[str]:
                 f"{len(carriers)} carrier bursts"
             )
         for hb, record in zip(result.heartbeats, carriers):
-            if record.start < hb.time - _EPS:
+            if record.start < hb.time - _tol(hb.time, record.start):
                 violations.append(
                     f"heartbeat burst at {record.start:.3f} departs before "
                     f"nominal time {hb.time:.3f}"
@@ -88,7 +105,7 @@ def validate_result(result: SimulationResult) -> List[str]:
     # Energy attribution is internally consistent.
     e = result.energy
     expected_total = e.transmission + e.tail + e.signaling
-    if abs(e.total - expected_total) > 1e-6:
+    if abs(e.total - expected_total) > max(1e-6, 1e-9 * abs(expected_total)):
         violations.append(
             f"energy total {e.total} != transmission+tail+signaling "
             f"{expected_total}"

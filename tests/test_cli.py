@@ -179,3 +179,66 @@ class TestFleetCommand:
         # still runs via the scalar fallback, so this must succeed.
         assert code == 0
         assert "scalar fallback" in capsys.readouterr().out
+
+
+class TestFaultToleranceFlags:
+    def test_sweep_parser_accepts_fault_flags(self):
+        from repro.cli import build_sweep_parser
+
+        args = build_sweep_parser().parse_args(
+            ["--resume", "--max-retries", "5", "--job-timeout", "2.5",
+             "--faults", "crash=0.1,seed=3"]
+        )
+        assert args.resume and args.max_retries == 5
+        assert args.job_timeout == 2.5 and args.faults == "crash=0.1,seed=3"
+
+    def test_fleet_parser_accepts_fault_flags(self):
+        from repro.cli import build_fleet_parser
+
+        args = build_fleet_parser().parse_args(["--cleanup-shm", "--resume"])
+        assert args.cleanup_shm and args.resume
+
+    def test_bad_faults_spec_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["sweep", "--seeds", "1", "--horizon", "240",
+                  "--quiet", "--faults", "explode=1"])
+        assert exc_info.value.code == 2
+        assert "bad --faults spec" in capsys.readouterr().err
+
+    def test_sweep_resume_needs_cache_dir(self, capsys):
+        assert main(["sweep", "--seeds", "1", "--resume"]) == 2
+        assert "--resume requires --cache-dir" in capsys.readouterr().err
+
+    def test_fleet_resume_needs_cache_dir(self, capsys):
+        assert main(["fleet", "--devices", "1", "--resume"]) == 2
+        assert "--resume requires --cache-dir" in capsys.readouterr().err
+
+    def test_fleet_cleanup_shm_runs_standalone(self, capsys):
+        assert main(["fleet", "--cleanup-shm"]) == 0
+        assert "stale etrain-* segment(s)" in capsys.readouterr().out
+
+    def test_sweep_resume_round_trip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        base = ["sweep", "--strategies", "immediate", "--seeds", "2",
+                "--horizon", "240", "--quiet", "--cache-dir", cache]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resuming:" in second and "2/2 job(s) complete" in second
+        # The result table is identical across the original and resume.
+        table = lambda out: [
+            l for l in out.splitlines()
+            if l.startswith(("immediate", "strategy", "---", "Sweep:"))
+        ]
+        assert table(first) == table(second)
+
+    def test_fleet_resume_round_trip(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        base = ["fleet", "--devices", "4", "--chunk-size", "2",
+                "--horizon", "300", "--quiet", "--cache-dir", cache]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming:" in out and "2/2 job(s) complete" in out

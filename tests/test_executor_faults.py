@@ -1,0 +1,197 @@
+"""Fault-tolerant executor: crash recovery, timeouts, degradation.
+
+Every scenario injects failures through a seeded
+:class:`repro.faults.FaultPlan`, so the injected set is computable in
+the test (``crashes_for`` / ``hangs_for``) and the run is replayable.
+The one invariant every scenario must preserve: summaries are
+bit-identical to a clean serial run of the same grid, whatever died
+along the way.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.obs import ListRecorder
+from repro.obs.events import EventType
+from repro.sim.parallel import (
+    ExperimentExecutor,
+    RetryPolicy,
+    RunJournal,
+    ScenarioSpec,
+    StrategySpec,
+    run_key_of,
+    seed_grid,
+)
+
+pytestmark = pytest.mark.faults
+
+
+def tiny_grid(seeds=3):
+    return seed_grid(
+        [StrategySpec.make("immediate"), StrategySpec.make("etrain", theta=1.0)],
+        list(range(seeds)),
+        ScenarioSpec(horizon=240.0),
+    )
+
+
+def plan_with(keys, *, n_crashes=0, n_hangs=0, hang_seconds=30.0, **kw):
+    """Search seeds for a plan injecting exactly the requested fault counts."""
+    for seed in range(500):
+        plan = FaultPlan(
+            seed=seed,
+            crash_prob=0.25 if n_crashes else 0.0,
+            hang_prob=0.25 if n_hangs else 0.0,
+            hang_seconds=hang_seconds,
+            **kw,
+        )
+        if (
+            len(plan.crashes_for(keys)) == n_crashes
+            and len(plan.hangs_for(keys)) == n_hangs
+        ):
+            return plan
+    raise AssertionError("no seed matches the requested fault counts")
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    return tiny_grid()
+
+
+@pytest.fixture(scope="module")
+def keys(jobs):
+    return [j.content_hash() for j in jobs]
+
+
+@pytest.fixture(scope="module")
+def clean(jobs):
+    return [r.summary for r in ExperimentExecutor().run(jobs)]
+
+
+class TestCrashRecovery:
+    def test_single_crash_converges_bit_identical(self, jobs, keys, clean):
+        plan = plan_with(keys, n_crashes=1)
+        ex = ExperimentExecutor(
+            workers=2, faults=plan, retry=RetryPolicy(backoff_base=0.01)
+        )
+        results = ex.run(jobs)
+        assert [r.summary for r in results] == clean
+        assert ex.stats.worker_failures == 1
+        assert ex.stats.pool_rebuilds == 1
+        assert ex.stats.retries >= 1  # the crashed job, plus in-flight casualties
+        assert ex.stats.serial_fallbacks == 0
+
+    def test_metrics_counters_mirror_stats(self, jobs, keys):
+        plan = plan_with(keys, n_crashes=1)
+        ex = ExperimentExecutor(
+            workers=2, faults=plan, retry=RetryPolicy(backoff_base=0.01)
+        )
+        ex.run(jobs)
+        metrics = ex.metrics.to_dict()
+        assert metrics["executor.worker_failures"]["value"] == ex.stats.worker_failures
+        assert metrics["executor.retries"]["value"] == ex.stats.retries
+        assert metrics["executor.pool_rebuilds"]["value"] == ex.stats.pool_rebuilds
+
+    def test_recorder_sees_failure_events(self, jobs, keys):
+        plan = plan_with(keys, n_crashes=1)
+        recorder = ListRecorder()
+        ex = ExperimentExecutor(
+            workers=2,
+            faults=plan,
+            retry=RetryPolicy(backoff_base=0.01),
+            recorder=recorder,
+        )
+        ex.run(jobs)
+        kinds = [e["ev"] for e in recorder]
+        assert EventType.WORKER_FAILURE in kinds
+        assert EventType.JOB_RETRY in kinds
+
+    def test_stats_describe_mentions_survival(self, jobs, keys):
+        plan = plan_with(keys, n_crashes=1)
+        ex = ExperimentExecutor(
+            workers=2, faults=plan, retry=RetryPolicy(backoff_base=0.01)
+        )
+        ex.run(jobs)
+        assert "survived 1 worker failure(s)" in ex.stats.describe()
+
+
+class TestHangTimeout:
+    def test_hung_worker_is_killed_and_job_retried(self, jobs, keys, clean):
+        plan = plan_with(keys, n_hangs=1, hang_seconds=60.0)
+        ex = ExperimentExecutor(
+            workers=2,
+            faults=plan,
+            retry=RetryPolicy(job_timeout=1.5, backoff_base=0.01, poll_interval=0.02),
+        )
+        results = ex.run(jobs)
+        assert [r.summary for r in results] == clean
+        assert ex.stats.timeouts == 1
+        # A timeout kill is not double-counted as a spontaneous failure.
+        assert ex.stats.worker_failures == 0
+
+    def test_no_timeout_without_policy(self, jobs, keys, clean):
+        # hang shorter than the watchdog-free run just delays completion.
+        plan = plan_with(keys, n_hangs=1, hang_seconds=0.3)
+        ex = ExperimentExecutor(workers=2, faults=plan)
+        results = ex.run(jobs)
+        assert [r.summary for r in results] == clean
+        assert ex.stats.timeouts == 0
+
+
+class TestDegradation:
+    def test_budget_exhaustion_falls_back_to_serial_rescue(self, jobs, keys, clean):
+        # Crash the same job on every attempt; with retries exhausted the
+        # executor must still finish via the in-process rescue path.
+        plan = plan_with(keys, n_crashes=1, max_attempt=10**6)
+        ex = ExperimentExecutor(
+            workers=2,
+            faults=plan,
+            retry=RetryPolicy(max_retries=1, backoff_base=0.01),
+        )
+        results = ex.run(jobs)
+        assert [r.summary for r in results] == clean
+        assert ex.stats.serial_rescues >= 1
+
+    def test_pool_collapse_falls_back_to_serial(self, jobs, clean):
+        # Every attempt of every job crashes: the pool can never survive
+        # a generation, so after max_pool_rebuilds the executor finishes
+        # the whole queue serially (faults off in-process).
+        plan = FaultPlan(seed=0, crash_prob=1.0, max_attempt=10**6)
+        ex = ExperimentExecutor(
+            workers=2,
+            faults=plan,
+            retry=RetryPolicy(
+                max_retries=1, max_pool_rebuilds=1, backoff_base=0.01
+            ),
+        )
+        results = ex.run(jobs)
+        assert [r.summary for r in results] == clean
+        assert ex.stats.serial_fallbacks == 1 or ex.stats.serial_rescues >= 1
+
+    def test_serial_mode_ignores_faults(self, jobs, clean):
+        # workers=None never enters a pool; fault plans only apply to
+        # pool workers, so the serial path must be unaffected.
+        ex = ExperimentExecutor(faults=FaultPlan(seed=0, crash_prob=1.0))
+        assert [r.summary for r in ex.run(jobs)] == clean
+
+
+class TestJournalIntegration:
+    def test_journal_records_every_completed_job(self, tmp_path, jobs, keys):
+        journal = RunJournal.attach(
+            tmp_path / "j.jsonl", run_key_of(keys), len(jobs)
+        )
+        ex = ExperimentExecutor(workers=2, journal=journal)
+        ex.run(jobs)
+        journal.close()
+        assert journal.completed == set(keys)
+
+    def test_cache_hits_are_journalled_too(self, tmp_path, jobs, keys):
+        cache_dir = tmp_path / "cache"
+        ExperimentExecutor(cache_dir=cache_dir).run(jobs)  # warm the cache
+        journal = RunJournal.attach(
+            tmp_path / "j.jsonl", run_key_of(keys), len(jobs)
+        )
+        ex = ExperimentExecutor(cache_dir=cache_dir, journal=journal)
+        ex.run(jobs)
+        journal.close()
+        assert ex.stats.cache_hits == len(jobs)
+        assert journal.completed == set(keys)

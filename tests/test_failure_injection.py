@@ -1,4 +1,20 @@
-"""Failure-injection tests: the system degrades gracefully, not wrongly."""
+"""Failure-injection tests: the system degrades gracefully, not wrongly.
+
+The first half exercises *simulation-level* adversity (missing trains,
+channel outages, degenerate workloads).  The second half (``-m faults``)
+exercises *execution-level* adversity through :mod:`repro.faults`:
+kill -9 mid-sweep then ``--resume``, injected hangs hitting the timeout
+path, injected crashes surfacing in the retry metrics, and shared-memory
+leaks swept by ``etrain fleet --cleanup-shm``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
@@ -170,3 +186,313 @@ class TestMonitorRobustness:
         # Whatever is learned must still produce a future prediction.
         predicted = mon.predict_next("qq", 900.0)
         assert predicted is None or predicted > 900.0
+
+
+# ---------------------------------------------------------------------------
+# Execution-layer fault injection (repro.faults): the scenarios below
+# drive the real CLI, some in subprocesses that get SIGKILLed mid-run.
+# ---------------------------------------------------------------------------
+
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def _cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _spawn_cli(args, cwd):
+    """Start ``etrain <args>`` in its own session (so killpg is clean)."""
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=cwd,
+        env=_cli_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        start_new_session=True,
+    )
+
+
+def _run_cli(args, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        cwd=cwd,
+        env=_cli_env(),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def _sweep_table(stdout: str):
+    """The deterministic region of sweep output: title through data rows.
+
+    The trailing stats/cache lines carry wall times and hit counts that
+    legitimately differ between runs, so byte-identity is asserted on
+    the result table only.
+    """
+    lines = stdout.splitlines()
+    start = next(i for i, l in enumerate(lines) if l.startswith("Sweep:"))
+    table = []
+    for line in lines[start:]:
+        if " wall," in line or line.startswith("cache:"):
+            break
+        table.append(line)
+    assert len(table) >= 3, f"no table in output:\n{stdout}"
+    return table
+
+
+def _sweep_grid(horizon=1200.0):
+    from repro.sim.parallel import ScenarioSpec, StrategySpec, seed_grid
+
+    return seed_grid(
+        [StrategySpec.make("immediate"), StrategySpec.make("etrain")],
+        [0, 1, 2],
+        ScenarioSpec(horizon=horizon),
+    )
+
+
+SWEEP_ARGS = [
+    "sweep", "--strategies", "immediate,etrain", "--seeds", "3",
+    "--horizon", "1200", "--workers", "2", "--quiet",
+]
+
+
+@pytest.mark.faults
+class TestKillNineThenResume:
+    def test_sigkill_mid_sweep_then_resume_is_bit_identical(self, tmp_path):
+        """ISSUE acceptance: SIGKILL a sweep partway, ``--resume`` it, and
+        the final table must be byte-identical to a never-killed run."""
+        from repro.faults import FaultPlan
+        from repro.sim.parallel import run_key_of
+
+        jobs = _sweep_grid()
+        keys = [j.content_hash() for j in jobs]
+        # A plan that hangs about half the grid — but not the first two
+        # jobs, so the two workers are guaranteed to complete (and
+        # journal) some cells before both wedge on hung ones.
+        for seed in range(2000):
+            plan = FaultPlan(seed=seed, hang_prob=0.5, hang_seconds=300.0)
+            hangs = set(plan.hangs_for(keys))
+            if 2 <= len(hangs) <= 4 and keys[0] not in hangs and keys[1] not in hangs:
+                break
+        else:  # pragma: no cover - seed search failed
+            pytest.fail("no suitable hang plan found")
+
+        cache = tmp_path / "cache"
+        journal = cache / "journal" / f"{run_key_of(keys)[:16]}.jsonl"
+        victim = _spawn_cli(
+            SWEEP_ARGS
+            + ["--cache-dir", str(cache), "--faults",
+               f"hang=0.5,seed={seed},hang_seconds=300"],
+            tmp_path,
+        )
+        try:
+            # Wait until some (but not all) cells are journalled, i.e.
+            # the run is genuinely mid-flight, then kill -9 the session.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if journal.exists():
+                    done = len(journal.read_text().splitlines()) - 1  # - header
+                    if done >= 2:
+                        break
+                if victim.poll() is not None:  # pragma: no cover
+                    pytest.fail(f"sweep exited early: {victim.communicate()}")
+                time.sleep(0.05)
+            else:  # pragma: no cover - machine pathologically slow
+                pytest.fail("sweep never reached mid-run state")
+            os.killpg(victim.pid, signal.SIGKILL)
+        finally:
+            victim.wait(timeout=60)
+            victim.stdout.close()
+            victim.stderr.close()
+        assert victim.returncode == -signal.SIGKILL
+
+        partial = len(journal.read_text().splitlines()) - 1
+        assert 0 < partial < len(jobs)  # killed mid-run, not before/after
+
+        resumed = _run_cli(
+            SWEEP_ARGS + ["--cache-dir", str(cache), "--resume"], tmp_path
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resuming:" in resumed.stdout
+
+        reference = _run_cli(
+            SWEEP_ARGS + ["--cache-dir", str(tmp_path / "fresh-cache")], tmp_path
+        )
+        assert reference.returncode == 0, reference.stderr
+        assert _sweep_table(resumed.stdout) == _sweep_table(reference.stdout)
+
+    def test_resume_without_cache_dir_is_an_error(self, tmp_path):
+        from repro.cli import main
+
+        assert main(["sweep", "--seeds", "1", "--resume"]) == 2
+
+    def test_resume_refuses_a_different_grid(self, tmp_path):
+        from repro.cli import main
+        from repro.sim.parallel import RunJournal, run_key_of
+
+        # Plant a journal for some other grid under this run's key path.
+        keys = [j.content_hash() for j in _sweep_grid(horizon=240.0)]
+        path = (
+            tmp_path / "cache" / "journal" / f"{run_key_of(keys)[:16]}.jsonl"
+        )
+        RunJournal.attach(path, "deadbeef" * 8, 1).close()
+        code = main(
+            ["sweep", "--strategies", "immediate,etrain", "--seeds", "3",
+             "--horizon", "240", "--quiet",
+             "--cache-dir", str(tmp_path / "cache"), "--resume"]
+        )
+        assert code == 2
+
+
+@pytest.mark.faults
+class TestInjectedHangHitsTimeout:
+    def test_cli_timeout_path(self, tmp_path, capsys):
+        """ISSUE acceptance: an injected hang trips --job-timeout, the
+        worker is killed, and the retried run still exits 0."""
+        from repro.cli import main
+
+        code = main(
+            ["sweep", "--strategies", "immediate", "--seeds", "2",
+             "--horizon", "240", "--workers", "2", "--quiet",
+             "--faults", "hang=1,seed=0,hang_seconds=60",
+             "--job-timeout", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "timeout(s)" in out and "survived" in out
+
+
+@pytest.mark.faults
+class TestRetryMetricsMatchInjection:
+    def test_crash_counts_surface_in_metrics_out(self, tmp_path):
+        """ISSUE acceptance: seeded crashes complete the sweep, and the
+        metrics JSON reports exactly the injected failure count."""
+        from repro.cli import main
+        from repro.faults import FaultPlan
+
+        jobs = _sweep_grid(horizon=240.0)
+        keys = [j.content_hash() for j in jobs]
+        for seed in range(2000):
+            plan = FaultPlan(seed=seed, crash_prob=0.2)
+            if len(plan.crashes_for(keys)) == 1:
+                break
+        else:  # pragma: no cover
+            pytest.fail("no single-crash plan found")
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            ["sweep", "--strategies", "immediate,etrain", "--seeds", "3",
+             "--horizon", "240", "--workers", "2", "--quiet",
+             "--faults", f"crash=0.2,seed={seed}",
+             "--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        metrics = json.loads(metrics_path.read_text())
+        # One injected crash == one pool break == one worker failure.
+        assert metrics["executor.worker_failures"]["value"] == 1
+        assert metrics["executor.retries"]["value"] >= 1
+        assert metrics["executor.jobs"]["value"] == len(jobs)
+
+
+@pytest.mark.faults
+@pytest.mark.skipif(
+    not Path("/dev/shm").is_dir(), reason="no /dev/shm on this platform"
+)
+class TestShmLeakAndSweep:
+    def test_killed_fleet_run_leaks_then_cleanup_shm_sweeps(self, tmp_path):
+        """ISSUE acceptance: a SIGKILLed fleet run orphans its etrain-*
+        segments; ``etrain fleet --cleanup-shm`` removes them all."""
+        from repro.sim.fleet.channel import SHM_DIR, SHM_PREFIX
+
+        victim = _spawn_cli(
+            ["fleet", "--devices", "64", "--chunk-size", "16",
+             "--workers", "2", "--quiet",
+             "--faults", "hang=1,seed=0,hang_seconds=300"],
+            tmp_path,
+        )
+        mine = f"{SHM_PREFIX}{victim.pid}-"
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                leaked = [p.name for p in SHM_DIR.glob(mine + "*")]
+                if leaked:
+                    break
+                if victim.poll() is not None:  # pragma: no cover
+                    pytest.fail(f"fleet exited early: {victim.communicate()}")
+                time.sleep(0.05)
+            else:  # pragma: no cover
+                pytest.fail("fleet never published its channel table")
+            os.killpg(victim.pid, signal.SIGKILL)
+        finally:
+            victim.wait(timeout=60)
+            victim.stdout.close()
+            victim.stderr.close()
+
+        # The kill orphaned the segments (nothing unlinked them)...
+        assert [p.name for p in SHM_DIR.glob(mine + "*")] == leaked
+        # ...and the cleanup command sweeps every one of them.
+        swept = _run_cli(["fleet", "--cleanup-shm"], tmp_path)
+        assert swept.returncode == 0
+        for name in leaked:
+            assert f"removed stale shm segment {name}" in swept.stdout
+        assert list(SHM_DIR.glob(mine + "*")) == []
+
+
+@pytest.mark.faults
+class TestTornFiles:
+    def _record_trace(self, tmp_path):
+        from repro.cli import main
+
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["record", "--strategy", "immediate", "--horizon", "120",
+             "--trace-out", str(trace)]
+        ) == 0
+        return trace
+
+    def test_torn_trace_raises_truncated_error(self, tmp_path, capsys):
+        from repro.faults import truncate_tail
+        from repro.obs import TruncatedTraceError, read_jsonl
+
+        trace = self._record_trace(tmp_path)
+        capsys.readouterr()
+        intact = read_jsonl(trace)
+        truncate_tail(trace, 5)
+        with pytest.raises(TruncatedTraceError) as exc_info:
+            read_jsonl(trace)
+        # The intact prefix is everything but the torn final event.
+        assert exc_info.value.events == intact[:-1]
+        assert exc_info.value.valid_lines == len(intact) - 1
+
+    def test_trace_replay_reports_truncation_with_exit_3(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.faults import truncate_tail
+
+        trace = self._record_trace(tmp_path)
+        truncate_tail(trace, 5)
+        capsys.readouterr()
+        assert main(["trace-replay", str(trace)]) == 3
+        err = capsys.readouterr().err
+        assert "truncated trace" in err and "torn tail" in err
+
+    def test_intact_trace_still_replays_clean(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = self._record_trace(tmp_path)
+        assert main(["trace-replay", str(trace)]) == 0
+
+    def test_truncated_cache_entry_is_a_miss(self, tmp_path):
+        from repro.faults import truncate_tail
+        from repro.sim.parallel import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        key = "ab" + "0" * 62
+        cache.put(key, {"summary": {"x": 1.0}})
+        truncate_tail(cache._path(key), 8)
+        assert cache.get(key) is None  # torn entry reads as a miss
+

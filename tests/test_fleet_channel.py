@@ -115,3 +115,52 @@ def test_shared_channel_handle_is_plain_data(table):
     finally:
         shared.close()
         shared.unlink()
+
+
+class TestShmLifecycle:
+    """Leak-hygiene satellite: named segments, context managers, sweeping."""
+
+    def test_segments_are_named_after_the_publisher_pid(self, table):
+        import os
+
+        from repro.sim.fleet.channel import SHM_PREFIX
+
+        with SharedChannel.publish(table) as shared:
+            prefix = f"{SHM_PREFIX}{os.getpid()}-"
+            assert shared.handle.samples_name.startswith(prefix)
+            assert shared.handle.prefix_name.startswith(prefix)
+            assert shared.handle.samples_name != shared.handle.prefix_name
+
+    def test_publisher_context_manager_unlinks(self, table):
+        with SharedChannel.publish(table) as shared:
+            handle = shared.handle
+        # Blocks are gone: attaching by name must now fail.
+        with pytest.raises(FileNotFoundError):
+            SharedChannel.attach(handle)
+
+    def test_attacher_context_manager_only_closes(self, table):
+        with SharedChannel.publish(table) as shared:
+            with SharedChannel.attach(shared.handle) as view:
+                assert view.table.n_seconds == table.n_seconds
+            # The attacher exiting must NOT free the publisher's blocks.
+            with SharedChannel.attach(shared.handle) as again:
+                np.testing.assert_array_equal(again.table.samples, table.samples)
+
+    def test_cleanup_stale_segments_skips_this_process(self, table):
+        from repro.sim.fleet.channel import cleanup_stale_segments
+
+        with SharedChannel.publish(table) as shared:
+            removed = cleanup_stale_segments()
+            assert shared.handle.samples_name not in removed
+            assert shared.handle.prefix_name not in removed
+            # Still attachable: the sweep must not have touched them.
+            with SharedChannel.attach(shared.handle):
+                pass
+
+    def test_segment_name_parsing(self):
+        from repro.sim.fleet.channel import _segment_pid, segment_name
+
+        name = segment_name(pid=12345)
+        assert _segment_pid(name) == 12345
+        assert _segment_pid("unrelated-file") is None
+        assert _segment_pid("etrain-notapid-x") is None

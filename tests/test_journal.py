@@ -1,0 +1,93 @@
+"""Unit tests for the checkpoint/resume run journal."""
+
+import json
+
+import pytest
+
+from repro.faults import truncate_tail
+from repro.sim.parallel import JournalMismatchError, RunJournal, run_key_of
+
+pytestmark = pytest.mark.faults
+
+KEY = run_key_of(["a", "b", "c"])
+
+
+class TestFreshJournal:
+    def test_records_and_dedupes(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal.attach(path, KEY, 3) as journal:
+            journal.record("a", tag="first")
+            journal.record("a", tag="dup ignored")
+            journal.record("b")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # header + two unique keys
+        header = json.loads(lines[0])
+        assert header["run_key"] == KEY and header["jobs"] == 3
+        assert json.loads(lines[1]) == {"key": "a", "tag": "first"}
+
+    def test_attach_without_resume_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal.attach(path, KEY, 3) as journal:
+            journal.record("a")
+        with RunJournal.attach(path, KEY, 3, resume=False) as journal:
+            assert journal.completed == set()
+        assert len(path.read_text().splitlines()) == 1  # header only
+
+
+class TestResume:
+    def test_resume_loads_completed_keys(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal.attach(path, KEY, 3) as journal:
+            journal.record("a")
+            journal.record("b")
+        with RunJournal.attach(path, KEY, 3, resume=True) as journal:
+            assert journal.completed == {"a", "b"}
+            assert journal.resumed_jobs == 2
+            assert "2/3" in journal.describe()
+            journal.record("c")
+        with RunJournal.attach(path, KEY, 3, resume=True) as journal:
+            assert journal.completed == {"a", "b", "c"}
+
+    def test_resume_drops_torn_tail(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal.attach(path, KEY, 3) as journal:
+            journal.record("a")
+            journal.record("b")
+        truncate_tail(path, 5)  # kill -9 mid-append: b's line is torn
+        with RunJournal.attach(path, KEY, 3, resume=True) as journal:
+            assert journal.completed == {"a"}
+            assert journal.torn_bytes > 0
+            assert "torn" in journal.describe()
+            journal.record("b")
+        # The rewritten tail is intact JSONL again.
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r.get("key") for r in records[1:]] == ["a", "b"]
+
+    def test_resume_other_grid_refuses(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with RunJournal.attach(path, KEY, 3):
+            pass
+        with pytest.raises(JournalMismatchError):
+            RunJournal.attach(path, run_key_of(["x"]), 1, resume=True)
+
+    def test_resume_over_garbage_starts_fresh(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("this is not a journal\n")
+        with RunJournal.attach(path, KEY, 3, resume=True) as journal:
+            assert journal.completed == set()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["run_key"] == KEY
+
+    def test_resume_missing_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "sub" / "j.jsonl"
+        with RunJournal.attach(path, KEY, 3, resume=True) as journal:
+            assert journal.completed == set()
+        assert path.exists()
+
+
+class TestRunKey:
+    def test_order_sensitive(self):
+        assert run_key_of(["a", "b"]) != run_key_of(["b", "a"])
+
+    def test_stable(self):
+        assert run_key_of(["a", "b"]) == run_key_of(iter(["a", "b"]))

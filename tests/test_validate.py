@@ -103,3 +103,76 @@ class TestRealRunsAreClean:
             horizon=600.0,
         )
         assert_valid(sim.run())
+
+
+class TestDayLongTolerances:
+    """Regression for the absolute-epsilon bug: at day scale (t ~ 86 400 s)
+    float64 rounding routinely exceeds 1e-9 *absolute* while being far
+    below 1e-9 *relative*; the validator must accept the former noise and
+    still flag genuine violations of the same magnitude class."""
+
+    def test_last_bit_rounding_at_day_scale_is_not_a_violation(self):
+        a = rec(86_400.0, duration=10.0)
+        # Burst b starts 1e-8 s "inside" a's end — pure accumulated
+        # rounding at this magnitude (one ulp is ~1.5e-11), yet more
+        # than the old absolute 1e-9 epsilon tolerated.
+        b = rec(86_410.0 - 1e-8, duration=1.0)
+        violations = validate_result(fake_result(records=[a, b]))
+        assert not any("overlaps" in v for v in violations)
+
+    def test_real_overlap_at_day_scale_is_still_flagged(self):
+        a = rec(86_400.0, duration=10.0)
+        b = rec(86_409.0, duration=1.0)  # a full second inside burst a
+        violations = validate_result(fake_result(records=[a, b]))
+        assert any("overlaps" in v for v in violations)
+
+    def test_causality_rounding_at_day_scale_is_not_a_violation(self):
+        p = make_packet(arrival=86_400.0)
+        p.scheduled_time = 86_400.0 - 1e-8
+        violations = validate_result(
+            fake_result(packets=[p], records=[rec(86_400.0, packet_ids=(p.packet_id,))])
+        )
+        assert not any("before arrival" in v for v in violations)
+
+    def test_real_causality_violation_at_day_scale_is_still_flagged(self):
+        p = make_packet(arrival=86_400.0)
+        p.scheduled_time = 86_399.0
+        violations = validate_result(
+            fake_result(packets=[p], records=[rec(86_399.0, packet_ids=(p.packet_id,))])
+        )
+        assert any("before arrival" in v for v in violations)
+
+    def test_heartbeat_rounding_at_day_scale_is_not_a_violation(self):
+        from repro.core.packet import Heartbeat
+
+        hb = Heartbeat(app_id="qq", seq=0, time=86_400.0, size_bytes=378)
+        violations = validate_result(
+            fake_result(
+                heartbeats=[hb],
+                records=[rec(86_400.0 - 1e-8, kind="heartbeat")],
+            )
+        )
+        assert not any("departs before" in v for v in violations)
+
+    def test_day_long_simulations_validate_clean(self):
+        """End-to-end regression: a full day of simulated time, every
+        strategy — the workload that exposed the absolute-epsilon bug."""
+        from repro.sim.engine import Simulation
+        from repro.sim.parallel import ScenarioSpec, StrategySpec
+
+        scenario = ScenarioSpec(seed=0, horizon=86_400.0).build()
+        for name, params in (
+            ("immediate", {}),
+            ("etrain", {"theta": 1.0}),
+        ):
+            strategy = StrategySpec.make(name, **params).build(scenario)
+            result = Simulation(
+                strategy,
+                scenario.train_generators,
+                scenario.fresh_packets(),
+                power_model=scenario.power_model,
+                bandwidth=scenario.bandwidth,
+                horizon=scenario.horizon,
+                slot=scenario.slot,
+            ).run()
+            assert_valid(result)  # raises on any invariant violation
