@@ -154,11 +154,14 @@ def read_jsonl(path) -> List[Dict]:
     """Load a JSONL trace file back into a list of event dicts.
 
     A process killed mid-``emit`` leaves the file ending in a torn
-    partial line.  That tail is detected here — a final line that lacks
-    its newline or does not parse — and reported as
-    :class:`TruncatedTraceError` (carrying the intact prefix) instead of
-    surfacing as a bare ``json.JSONDecodeError`` traceback.  Corruption
-    *before* the final line is not a torn tail and still raises
+    partial line.  That tail is detected here — a final line that does
+    not parse as JSON — and reported as :class:`TruncatedTraceError`
+    (carrying the intact prefix) instead of surfacing as a bare
+    ``json.JSONDecodeError`` traceback.  A final line that *does* parse
+    but lacks its trailing newline is accepted: only the newline was
+    lost, every event survived, and traces re-saved by editors or tools
+    that strip the final newline should still load.  Corruption *before*
+    the final line is not a torn tail and still raises
     ``json.JSONDecodeError``.
     """
     events: List[Dict] = []
@@ -168,17 +171,16 @@ def read_jsonl(path) -> List[Dict]:
     for index, line in enumerate(lines):
         last = index == len(lines) - 1
         text = line.decode("utf-8", errors="replace")
-        if not line.endswith(b"\n"):
-            # Only ever possible on the final line: a torn tail even if
-            # the fragment happens to parse (the writer always emits a
-            # trailing newline, so its absence proves a mid-write kill).
-            raise TruncatedTraceError(path, events, len(events), text)
         if not text.strip():
             continue
         try:
             events.append(json.loads(text))
         except json.JSONDecodeError:
             if last:
+                # JsonlRecorder writes one compact object per line, so
+                # a kill mid-write leaves an unbalanced fragment that
+                # cannot parse — parse failure on the tail IS the torn
+                # signature, newline or not.
                 raise TruncatedTraceError(path, events, len(events), text)
             raise
     return events

@@ -76,9 +76,16 @@ class RetryPolicy:
     after ``max_pool_rebuilds`` rebuilds the executor stops trusting the
     pool entirely and finishes the remaining jobs serially.
     ``job_timeout`` (seconds of *running* time, measured from when the
-    job is first observed executing, not from submission) kills the
-    pool's workers when exceeded — the only way to unstick a hung
-    ``ProcessPoolExecutor`` worker — and requeues the in-flight jobs.
+    job's future is first observed ``running()``, not from submission)
+    kills the pool's workers when exceeded — the only way to unstick a
+    hung ``ProcessPoolExecutor`` worker — and requeues the in-flight
+    jobs.  Caveat: the stdlib marks a future running once it is
+    *prefetched* into the worker call queue (which buffers up to
+    ``max_workers + 1`` items), possibly before any worker picks it up,
+    so a job queued behind a slow one can be charged wait time it never
+    executed.  Budget ``job_timeout`` to cover roughly two back-to-back
+    worst-case jobs, not one, to keep that overcount from tripping a
+    spurious pool kill.
     """
 
     max_retries: int = 2
@@ -353,19 +360,30 @@ class ExperimentExecutor:
         try:
             while queue:
                 i = queue.popleft()
-                submissions[i] += 1
-                if submissions[i] > 1:
+                attempt = submissions[i] + 1
+                try:
+                    future = pool.submit(
+                        _execute_indexed, (i, jobs[i], self.faults, attempt)
+                    )
+                except BrokenProcessPool:
+                    # The pool died under us mid-submission.  This job
+                    # never reached a worker, so it spends no retry
+                    # budget: put it back at the head of the queue for
+                    # the next generation (dropping it here would shift
+                    # every later result in the grid).
+                    queue.appendleft(i)
+                    broke = True
+                    break
+                submissions[i] = attempt
+                if attempt > 1:
                     self._count_fault("retries")
                     self._emit(
                         {
                             "ev": EventType.JOB_RETRY,
                             "job": jobs[i].describe(),
-                            "attempt": submissions[i],
+                            "attempt": attempt,
                         }
                     )
-                future = pool.submit(
-                    _execute_indexed, (i, jobs[i], self.faults, submissions[i])
-                )
                 pending[future] = i
             poll = policy.poll_interval if policy.job_timeout is not None else None
             while pending and not broke:
@@ -394,6 +412,10 @@ class ExperimentExecutor:
                     continue
                 now = time.perf_counter()
                 for future in pending:
+                    # running() flips when the future is prefetched into
+                    # the call queue, not when a worker dequeues it — so
+                    # this clock can start early by up to one preceding
+                    # job's runtime (see the RetryPolicy docstring).
                     if future not in first_running and future.running():
                         first_running[future] = now
                 overdue = [
@@ -406,8 +428,8 @@ class ExperimentExecutor:
                     self._count_fault("timeouts", len(overdue))
                     self._kill_workers(pool)
                     broke = True
-        except BrokenProcessPool:  # broke during submission
-            broke = True
+        except BrokenProcessPool:  # pragma: no cover - safety net; submit
+            broke = True  # and result() handle their breaks locally
         finally:
             if broke:
                 # Everything still pending died with the pool; requeue
@@ -512,7 +534,17 @@ class ExperimentExecutor:
                 self._run_serial(misses, jobs, results)
 
         elapsed = time.perf_counter() - started
-        finished = [r for r in results if r is not None]
+        holes = [i for i, r in enumerate(results) if r is None]
+        if holes:
+            # Completeness is an invariant callers depend on (sweep zips
+            # results against its spec grid, fleet merges chunks by
+            # position); a hole would silently misalign every result
+            # after it, so fail loudly instead of filtering it away.
+            raise RuntimeError(
+                f"executor lost {len(holes)} of {len(jobs)} job(s) "
+                f"(indices {holes[:10]}{'...' if len(holes) > 10 else ''})"
+            )
+        finished: List[JobResult] = [r for r in results if r is not None]
         executed = [r for r in finished if not r.cached]
         self.stats.jobs_total += len(jobs)
         self.stats.jobs_run += len(executed)
@@ -522,4 +554,4 @@ class ExperimentExecutor:
         self.stats.wall_time += elapsed
         self.stats.busy_time += sum(r.wall_time for r in executed)
         self.stats.job_times.extend(r.wall_time for r in executed)
-        return finished  # type: ignore[return-value]
+        return finished

@@ -174,6 +174,48 @@ class TestDegradation:
         assert [r.summary for r in ex.run(jobs)] == clean
 
 
+class TestSubmitRace:
+    def test_pool_break_during_submission_requeues_popped_job(
+        self, monkeypatch, jobs, clean
+    ):
+        """A pool that breaks while jobs are still being submitted must
+        requeue the job just popped from the queue — dropping it would
+        shift every later result against its spec downstream."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        import repro.sim.parallel.executor as ex_mod
+
+        calls = {"n": 0}
+
+        class FlakySubmitPool(ex_mod.ProcessPoolExecutor):
+            def submit(self, fn, *args, **kwargs):
+                calls["n"] += 1
+                if calls["n"] == 2:
+                    raise BrokenProcessPool("worker died mid-submission")
+                return super().submit(fn, *args, **kwargs)
+
+        monkeypatch.setattr(ex_mod, "ProcessPoolExecutor", FlakySubmitPool)
+        ex = ExperimentExecutor(workers=2, retry=RetryPolicy(backoff_base=0.01))
+        results = ex.run(jobs)
+        assert len(results) == len(jobs)
+        assert [r.summary for r in results] == clean
+        assert ex.stats.worker_failures == 1
+        assert ex.stats.pool_rebuilds == 1
+        # Only the one in-flight casualty is charged a retry; the job
+        # whose submit failed never reached a worker and spends nothing.
+        assert ex.stats.retries == 1
+
+    def test_incomplete_results_raise_instead_of_misaligning(
+        self, monkeypatch, jobs
+    ):
+        """Completeness is an invariant: a hole in the result list must
+        fail loudly, never be silently filtered away."""
+        ex = ExperimentExecutor()
+        monkeypatch.setattr(ex, "_run_serial", lambda *a, **k: None)
+        with pytest.raises(RuntimeError, match="lost"):
+            ex.run(jobs)
+
+
 class TestJournalIntegration:
     def test_journal_records_every_completed_job(self, tmp_path, jobs, keys):
         journal = RunJournal.attach(

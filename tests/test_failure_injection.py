@@ -469,6 +469,18 @@ class TestTornFiles:
         assert exc_info.value.events == intact[:-1]
         assert exc_info.value.valid_lines == len(intact) - 1
 
+    def test_stripped_final_newline_is_not_truncation(self, tmp_path, capsys):
+        """Only the newline is gone: every event is intact, so the trace
+        must still load (editors and external tools strip final newlines)."""
+        from repro.faults import truncate_tail
+        from repro.obs import read_jsonl
+
+        trace = self._record_trace(tmp_path)
+        capsys.readouterr()
+        intact = read_jsonl(trace)
+        truncate_tail(trace, 1)  # exactly the trailing "\n"
+        assert read_jsonl(trace) == intact
+
     def test_trace_replay_reports_truncation_with_exit_3(self, tmp_path, capsys):
         from repro.cli import main
         from repro.faults import truncate_tail
