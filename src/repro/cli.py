@@ -17,6 +17,10 @@ Examples::
     etrain bench                            # engine microbenchmarks
     etrain bench --mode smoke --check BENCH_engine.json
     etrain bench --suite fleet              # fleet throughput -> BENCH_fleet.json
+    etrain bench --suite serve              # serving throughput -> BENCH_serve.json
+    etrain serve --port 8075                # online scheduling daemon
+    etrain loadgen --port 8075 --devices 16 # replay a fleet workload at it
+    etrain loadgen --smoke                  # boot + replay in one process (CI)
     etrain fleet --devices 100000 --workers 4
     etrain fleet --devices 8192 --strategy immediate --out fleet.json
     etrain record --strategy etrain --trace-out run.jsonl
@@ -40,6 +44,8 @@ __all__ = [
     "run_sweep_command",
     "run_bench_command",
     "run_fleet_command",
+    "run_serve_command",
+    "run_loadgen_command",
     "run_record_command",
     "run_trace_replay_command",
 ]
@@ -706,16 +712,18 @@ def build_bench_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--suite",
-        choices=("engine", "fleet"),
+        choices=("engine", "fleet", "serve"),
         default="engine",
         help="'engine' times dense vs event loops; 'fleet' times the "
-        "vectorized fleet path against the per-device scalar loop",
+        "vectorized fleet path against the per-device scalar loop; "
+        "'serve' times loadgen replay through a live server against "
+        "the batch scalar reference",
     )
     parser.add_argument(
         "--out",
         default=None,
         help="where to write the benchmark JSON (default: "
-        "BENCH_engine.json / BENCH_fleet.json by suite)",
+        "BENCH_engine.json / BENCH_fleet.json / BENCH_serve.json by suite)",
     )
     parser.add_argument(
         "--mode",
@@ -766,13 +774,17 @@ def run_bench_command(argv: List[str]) -> int:
         results = run_fleet_benchmarks(
             mode=args.mode, repeats=args.repeats, progress=print
         )
+    elif args.suite == "serve":
+        from repro.serve.bench import check_floor, run_serve_benchmarks
+
+        results = run_serve_benchmarks(
+            mode=args.mode, repeats=args.repeats, progress=print
+        )
     else:
         results = run_benchmarks(
             mode=args.mode, repeats=args.repeats, progress=print
         )
-    out = args.out or (
-        "BENCH_fleet.json" if args.suite == "fleet" else "BENCH_engine.json"
-    )
+    out = args.out or f"BENCH_{args.suite}.json"
     write_results(out, results)
     print(f"wrote {len(results['cases'])} cases to {out}")
     if args.phases:
@@ -785,7 +797,7 @@ def run_bench_command(argv: List[str]) -> int:
             print(PhaseProfiler.from_dict(row["phases"]).format_lines("  "))
 
     failures: List[str] = []
-    if args.suite == "fleet":
+    if args.suite in ("fleet", "serve"):
         failures.extend(check_floor(results))
     if args.check is not None:
         failures.extend(
@@ -799,6 +811,175 @@ def run_bench_command(argv: List[str]) -> int:
         return 1
     if args.check is not None:
         print(f"all cases within {args.tolerance:.0%} of {args.check}")
+    return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Parser for the ``etrain serve`` daemon."""
+    parser = argparse.ArgumentParser(
+        prog="etrain serve",
+        description=(
+            "Run the online scheduling service: per-device event streams "
+            "(heartbeats, cargo arrivals) over NDJSON TCP, piggyback "
+            "decisions back in real time (see docs/serving.md)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = ephemeral, printed)"
+    )
+    parser.add_argument(
+        "--max-sessions",
+        type=int,
+        default=4096,
+        help="session-store capacity before LRU eviction (default 4096)",
+    )
+    parser.add_argument(
+        "--inbox-capacity",
+        type=int,
+        default=8192,
+        help="admission-queue hard capacity (default 8192)",
+    )
+    parser.add_argument(
+        "--inbox-watermark",
+        type=int,
+        default=None,
+        help="backlog at which requests are shed with retry_after "
+        "(default: equal to capacity)",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=256,
+        help="max frames per processor micro-batch (default 256)",
+    )
+    return parser
+
+
+def run_serve_command(argv: List[str]) -> int:
+    """Execute ``etrain serve ...``; blocks until interrupted."""
+    from repro.serve.server import ServeConfig, run_serve
+
+    args = build_serve_parser().parse_args(argv)
+    return run_serve(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            max_sessions=args.max_sessions,
+            inbox_capacity=args.inbox_capacity,
+            inbox_watermark=args.inbox_watermark,
+            batch_max=args.batch_max,
+        )
+    )
+
+
+def build_loadgen_parser() -> argparse.ArgumentParser:
+    """Parser for the ``etrain loadgen`` replay client."""
+    parser = argparse.ArgumentParser(
+        prog="etrain loadgen",
+        description=(
+            "Replay a synthesized fleet workload against a live "
+            "'etrain serve' instance and report decisions/sec plus "
+            "p50/p95/p99 request latency."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="server address")
+    parser.add_argument(
+        "--port", type=int, default=None, help="server port (required unless --smoke)"
+    )
+    parser.add_argument(
+        "--devices", type=int, default=4, help="workload population (default 4)"
+    )
+    parser.add_argument(
+        "--horizon", type=float, default=450.0, help="per-device horizon seconds"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--strategy", default="etrain", help="strategy every session runs"
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="strategy parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--connections", type=int, default=2, help="concurrent TCP connections"
+    )
+    parser.add_argument(
+        "--window", type=int, default=64, help="max in-flight requests per connection"
+    )
+    parser.add_argument(
+        "--out", default=None, help="also write the report JSON here"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="boot an in-process server on an ephemeral port, replay the "
+        "default workload at it, and require a non-zero decision count "
+        "(the CI health check)",
+    )
+    return parser
+
+
+def run_loadgen_command(argv: List[str]) -> int:
+    """Execute ``etrain loadgen ...``; returns an exit code."""
+    import asyncio
+    import json
+
+    from repro.serve.loadgen import LoadgenConfig, run_loadgen
+
+    args = build_loadgen_parser().parse_args(argv)
+    params: Dict[str, Any] = {}
+    for option in args.param:
+        key, _, value = option.partition("=")
+        params[key.strip()] = _parse_param_value(value)
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port if args.port is not None else 0,
+        devices=args.devices,
+        horizon=args.horizon,
+        seed=args.seed,
+        strategy=args.strategy,
+        params=params,
+        connections=args.connections,
+        window=args.window,
+    )
+
+    if args.smoke:
+        from repro.serve.server import EtrainServer, ServeConfig
+
+        async def _smoke() -> Dict[str, Any]:
+            server = EtrainServer(ServeConfig())
+            await server.start()
+            try:
+                config.host, config.port = server.host, server.port
+                return await run_loadgen(config)
+            finally:
+                await server.stop()
+
+        report = asyncio.run(_smoke())
+    elif args.port is None:
+        print("loadgen: --port is required unless --smoke", file=sys.stderr)
+        return 2
+    else:
+        report = asyncio.run(run_loadgen(config))
+
+    print(
+        f"{report['requests']} requests over {report['connections']} conn in "
+        f"{report['wall_s']:.3f}s: {report['decisions_per_s']:.0f} decisions/s, "
+        f"latency p50 {report['latency_p50_ms']:.2f} ms / "
+        f"p95 {report['latency_p95_ms']:.2f} ms / "
+        f"p99 {report['latency_p99_ms']:.2f} ms"
+    )
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote report to {args.out}")
+    if args.smoke and report["decisions"] <= 0:
+        print("loadgen: smoke run produced no decisions", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -1021,6 +1202,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if argv and argv[0] == "fleet":
         return run_fleet_command(argv[1:])
+
+    if argv and argv[0] == "serve":
+        return run_serve_command(argv[1:])
+
+    if argv and argv[0] == "loadgen":
+        return run_loadgen_command(argv[1:])
 
     if argv and argv[0] == "report":
         report_parser = argparse.ArgumentParser(prog="etrain report")

@@ -23,6 +23,11 @@ import json
 from collections import deque
 from typing import IO, Dict, Iterator, List, Optional, Protocol, runtime_checkable
 
+# Torn-tail detection is shared with every other NDJSON consumer (the
+# serve layer's TCP framing included); the single definition lives in
+# repro.workload.trace_io and is re-exported here for compatibility.
+from repro.workload.trace_io import NdjsonDecoder, TruncatedTraceError
+
 __all__ = [
     "Recorder",
     "NullRecorder",
@@ -32,26 +37,6 @@ __all__ = [
     "TruncatedTraceError",
     "read_jsonl",
 ]
-
-
-class TruncatedTraceError(ValueError):
-    """A JSONL trace ends in a torn partial line (writer died mid-write).
-
-    Carries the events that *did* parse (:attr:`events`) plus where the
-    valid prefix ends, so a caller may report precisely or choose to
-    continue with the intact prefix.
-    """
-
-    def __init__(self, path, events: List[Dict], valid_lines: int, tail: str):
-        self.path = str(path)
-        self.events = events
-        self.valid_lines = valid_lines
-        self.tail = tail
-        preview = tail[:60] + ("..." if len(tail) > 60 else "")
-        super().__init__(
-            f"{self.path} is truncated after {valid_lines} complete "
-            f"event(s); torn tail: {preview!r}"
-        )
 
 
 @runtime_checkable
@@ -167,20 +152,18 @@ def read_jsonl(path) -> List[Dict]:
     events: List[Dict] = []
     with open(path, "rb") as fh:
         raw = fh.read()
-    lines = raw.splitlines(keepends=True)
-    for index, line in enumerate(lines):
-        last = index == len(lines) - 1
-        text = line.decode("utf-8", errors="replace")
-        if not text.strip():
-            continue
-        try:
-            events.append(json.loads(text))
-        except json.JSONDecodeError:
-            if last:
+    decoder = NdjsonDecoder()
+    frames = decoder.feed(raw) + decoder.flush()
+    for index, frame in enumerate(frames):
+        if frame.error is not None:
+            if index == len(frames) - 1:
                 # JsonlRecorder writes one compact object per line, so
                 # a kill mid-write leaves an unbalanced fragment that
                 # cannot parse — parse failure on the tail IS the torn
                 # signature, newline or not.
-                raise TruncatedTraceError(path, events, len(events), text)
-            raise
+                raise TruncatedTraceError(path, events, len(events), frame.text)
+            raise frame.error
+        if frame.is_blank:
+            continue
+        events.append(frame.obj)
     return events

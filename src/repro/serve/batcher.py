@@ -1,0 +1,75 @@
+"""Bounded admission inbox with deterministic watermark shedding.
+
+Every frame a connection reads is *offered* to the server's single
+:class:`Inbox`.  Below the watermark the offer is accepted and the
+frame waits for the processor's next micro-batch drain; at or above the
+watermark the offer is refused and the caller immediately answers the
+client with a retryable ``overloaded`` error carrying a deterministic
+``retry_after`` hint (backlog × nominal per-request cost — no clocks,
+no randomness, so replays shed identically).
+
+The split between *watermark* (where shedding starts) and *capacity*
+(the hard ceiling) leaves headroom: responses for already-accepted
+frames are never at risk from a burst that is being shed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+__all__ = ["Inbox"]
+
+
+class Inbox:
+    """FIFO admission queue: bounded, watermark-shedding, micro-batched."""
+
+    def __init__(
+        self,
+        capacity: int = 8192,
+        watermark: Optional[int] = None,
+        retry_cost_s: float = 5e-4,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        watermark = capacity if watermark is None else watermark
+        if not 1 <= watermark <= capacity:
+            raise ValueError(
+                f"watermark must be in [1, {capacity}], got {watermark}"
+            )
+        self.capacity = capacity
+        self.watermark = watermark
+        self.retry_cost_s = retry_cost_s
+        self.accepted = 0
+        self.shed = 0
+        self._queue: Deque[object] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    def offer(self, item: object) -> bool:
+        """Admit ``item`` unless the backlog has reached the watermark."""
+        if len(self._queue) >= self.watermark:
+            self.shed += 1
+            return False
+        self._queue.append(item)
+        self.accepted += 1
+        return True
+
+    def retry_after(self) -> float:
+        """Deterministic backoff hint: time to drain the current backlog."""
+        return round(max(1, len(self._queue)) * self.retry_cost_s, 6)
+
+    def drain(self, max_items: int) -> List[object]:
+        """Pop up to ``max_items`` frames, FIFO — one micro-batch."""
+        if max_items < 1:
+            raise ValueError(f"max_items must be >= 1, got {max_items}")
+        queue = self._queue
+        batch: List[object] = []
+        while queue and len(batch) < max_items:
+            batch.append(queue.popleft())
+        return batch

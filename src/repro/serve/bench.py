@@ -1,0 +1,206 @@
+"""Serving benchmarks: decisions/second through a live ``etrain serve``.
+
+Mirrors :mod:`repro.sim.fleet.perf` for the online path: each case
+boots an in-process :class:`~repro.serve.server.EtrainServer` on an
+ephemeral port, replays a synthesized fleet workload through
+:func:`~repro.serve.loadgen.run_loadgen` (real TCP, NDJSON framing,
+admission control — the whole serving stack), and times the same
+workload through the scalar batch reference
+(:func:`~repro.sim.fleet.reference.simulate_reference_chunk`).  Each
+row records:
+
+* ``decisions_per_s`` — served decision throughput, gated by the
+  absolute :data:`SERVE_DECISIONS_FLOOR` (ISSUE acceptance criterion);
+* ``speedup`` — served rate / batch scalar rate, the machine-
+  independent ratio the ``BENCH_serve.json`` baseline pins (CI re-runs
+  the smoke subset and fails on >25% regression).
+
+Workload synthesis, frame building and server boot happen outside the
+timed region; the timed window is the loadgen replay itself, so the
+ratio compares "scheduling over the wire" against "scheduling in a
+loop" — the wire tax is exactly what it measures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.perf import BENCH_VERSION, check_results, load_baseline, write_results
+
+__all__ = [
+    "SERVE_DECISIONS_FLOOR",
+    "ServeBenchCase",
+    "SERVE_BENCH_CASES",
+    "run_serve_case",
+    "run_serve_benchmarks",
+    "check_floor",
+    "check_results",
+    "load_baseline",
+    "write_results",
+]
+
+#: Hard acceptance floor (decisions/second) for gated cases — asserted
+#: by CI independently of the committed baseline ratios.
+SERVE_DECISIONS_FLOOR = 10_000.0
+
+
+@dataclass(frozen=True)
+class ServeBenchCase:
+    """One serve-vs-batch throughput cell."""
+
+    name: str
+    strategy: str
+    devices: int
+    horizon: float = 450.0
+    seed: int = 7
+    connections: int = 2
+    window: int = 64
+    params: tuple = ()
+    smoke: bool = False
+    #: Assert decisions_per_s >= SERVE_DECISIONS_FLOOR for this case.
+    gate: bool = False
+
+
+#: The gated etrain case rides the CI smoke subset; the scalar-fallback
+#: (peres) and larger full-mode cases document the envelope.
+SERVE_BENCH_CASES: List[ServeBenchCase] = [
+    ServeBenchCase("etrain_serve_smoke", "etrain", 8, smoke=True, gate=True),
+    ServeBenchCase("peres_serve_smoke", "peres", 4, smoke=True),
+    # Full-mode only: paper-scale horizon, more devices and connections.
+    ServeBenchCase(
+        "etrain_serve_2h", "etrain", 16, horizon=7200.0, connections=4, gate=True
+    ),
+    ServeBenchCase("immediate_serve_2h", "immediate", 16, horizon=7200.0, connections=4),
+]
+
+
+def run_serve_case(case: ServeBenchCase, repeats: int = 2) -> Dict[str, object]:
+    """Benchmark one case; the loadgen replay is the timed region.
+
+    Best-of-``repeats`` on both sides.  The server is restarted per
+    repeat so every run starts from an empty session store.
+    """
+    from repro.bandwidth.synth import wuhan_bandwidth_model
+    from repro.serve.loadgen import LoadgenConfig, run_loadgen
+    from repro.serve.server import EtrainServer, ServeConfig
+    from repro.sim.fleet.reference import simulate_reference_chunk
+    from repro.sim.fleet.workload import synthesize_fleet
+
+    params = dict(case.params)
+
+    async def _one_replay() -> Dict:
+        server = EtrainServer(ServeConfig())
+        await server.start()
+        try:
+            return await run_loadgen(
+                LoadgenConfig(
+                    port=server.port,
+                    devices=case.devices,
+                    horizon=case.horizon,
+                    seed=case.seed,
+                    strategy=case.strategy,
+                    params=dict(params),
+                    connections=case.connections,
+                    window=case.window,
+                )
+            )
+        finally:
+            await server.stop()
+
+    best: Optional[Dict] = None
+    for _ in range(repeats):
+        report = asyncio.run(_one_replay())
+        if best is None or report["decisions_per_s"] > best["decisions_per_s"]:
+            best = report
+    assert best is not None
+
+    # Batch side: the same arrays through the scalar reference loop.
+    bw = wuhan_bandwidth_model()
+    workload = synthesize_fleet(case.devices, case.horizon, seed=case.seed)
+    batch_s = float("inf")
+    batch_decisions = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        simulate_reference_chunk(
+            workload, bw, strategy=case.strategy, params=dict(params)
+        )
+        batch_s = min(batch_s, time.perf_counter() - t0)
+    # Decisions per device equal the served count (bit-identical replay).
+    batch_decisions = best["decisions"]
+    batch_rate = batch_decisions / batch_s if batch_s > 0 else float("inf")
+    return {
+        "name": case.name,
+        "strategy": case.strategy,
+        "devices": case.devices,
+        "horizon": case.horizon,
+        "seed": case.seed,
+        "connections": best["connections"],
+        "window": case.window,
+        "smoke": case.smoke,
+        "gate": case.gate,
+        "requests": best["requests"],
+        "decisions": best["decisions"],
+        "wall_s": best["wall_s"],
+        "decisions_per_s": best["decisions_per_s"],
+        "requests_per_s": best["requests_per_s"],
+        "latency_p50_ms": best["latency_p50_ms"],
+        "latency_p95_ms": best["latency_p95_ms"],
+        "latency_p99_ms": best["latency_p99_ms"],
+        "batch_s": batch_s,
+        "batch_decisions_per_s": batch_rate,
+        "speedup": best["decisions_per_s"] / batch_rate if batch_rate > 0 else 0.0,
+    }
+
+
+def run_serve_benchmarks(
+    mode: str = "full",
+    repeats: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the serve suite and return the benchmark document."""
+    if mode not in ("full", "smoke"):
+        raise ValueError(f"mode must be 'full' or 'smoke', got {mode!r}")
+    if repeats is None:
+        repeats = 3 if mode == "full" else 2
+    cases = [c for c in SERVE_BENCH_CASES if mode == "full" or c.smoke]
+    rows: List[Dict[str, object]] = []
+    for case in cases:
+        row = run_serve_case(case, repeats=repeats)
+        rows.append(row)
+        if progress is not None:
+            progress(
+                f"{row['name']:20s} serve {row['decisions_per_s']:9.0f} dec/s  "
+                f"batch {row['batch_decisions_per_s']:9.0f} dec/s  "
+                f"ratio {row['speedup']:6.3f}x  "
+                f"p99 {row['latency_p99_ms']:6.1f} ms"
+            )
+    return {
+        "version": BENCH_VERSION,
+        "suite": "serve",
+        "mode": mode,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "cases": rows,
+    }
+
+
+def check_floor(results: Dict[str, object]) -> List[str]:
+    """Gated cases must clear the absolute SERVE_DECISIONS_FLOOR."""
+    failures = []
+    for row in results["cases"]:
+        if row.get("gate") and row["decisions_per_s"] < SERVE_DECISIONS_FLOOR:
+            failures.append(
+                f"{row['name']}: {row['decisions_per_s']:.0f} decisions/s below "
+                f"the {SERVE_DECISIONS_FLOOR:.0f}/s acceptance floor"
+            )
+    return failures
+
+
+if __name__ == "__main__":
+    from repro.cli import main
+
+    sys.exit(main(["bench", "--suite", "serve"] + sys.argv[1:]))

@@ -1,0 +1,284 @@
+"""Workload-replay load generator for ``etrain serve``.
+
+Replays a synthesized fleet workload (:func:`repro.sim.fleet.workload
+.synthesize_fleet` — the same arrays the batch paths consume) against a
+live server as per-device NDJSON event streams, then reports
+decisions/sec and exact p50/p95/p99 request latency.  Because the
+frames carry the identical floats the batch reference feeds the scalar
+engine, the responses are bit-comparable to the batch run — the
+equivalence suite leans on :func:`device_frames` for exactly that.
+
+Requests are pipelined with a bounded in-flight window.  The window
+must stay below the server's inbox watermark: the loadgen replays each
+device's events in order, so a shed frame would corrupt the replay —
+loadgen therefore treats any non-ok response as fatal rather than
+retrying out of order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.protocol import ProtocolError, encode_frame
+
+__all__ = [
+    "LoadgenConfig",
+    "device_frames",
+    "run_loadgen",
+    "run_loadgen_sync",
+    "percentile",
+]
+
+
+@dataclass
+class LoadgenConfig:
+    """One load-generation run (defaults = the CI smoke preset)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    devices: int = 4
+    horizon: float = 450.0
+    seed: int = 7
+    strategy: str = "etrain"
+    params: Dict = field(default_factory=dict)
+    connections: int = 2
+    window: int = 64  # max in-flight requests per connection
+    drain_every: int = 64  # writer.drain() cadence, frames
+
+
+def workload_apps(workload) -> List[Dict]:
+    """The ``open`` op's app specs for a synthesized workload."""
+    return [
+        {
+            "app_id": workload.app_ids[a],
+            "cost_kind": int(workload.cost_kinds[a]),
+            "deadline": float(workload.deadlines[a]),
+        }
+        for a in range(workload.n_apps)
+    ]
+
+
+def device_frames(
+    workload,
+    device: int,
+    *,
+    strategy: str = "etrain",
+    params: Optional[Dict] = None,
+    slot: float = 1.0,
+    bandwidth: Optional[Dict] = None,
+    device_id: Optional[str] = None,
+) -> List[Dict]:
+    """The full request stream for one device: open, events, close.
+
+    Cargo is emitted in (arrival_time, app_id) order and heartbeats via
+    the same generators the batch reference builds, so the event stream
+    carries float-for-float the inputs of
+    ``repro.sim.fleet.reference._device_scenario`` — the precondition
+    for bit-identical replies.  Events at equal times send heartbeats
+    first; either order lands in the same slot, this one is just fixed.
+    """
+    from repro.core.profiles import TrainAppProfile
+    from repro.heartbeat.generators import FixedCycleGenerator, merge_heartbeats
+
+    dev = device_id if device_id is not None else f"dev-{device}"
+    frames: List[Dict] = [
+        {
+            "op": "open",
+            "device": dev,
+            "strategy": strategy,
+            "params": dict(params or {}),
+            "horizon": workload.horizon,
+            "slot": slot,
+            "apps": workload_apps(workload),
+            "bandwidth": bandwidth if bandwidth is not None else {"kind": "wuhan"},
+        }
+    ]
+    cargo: List[Tuple[float, str, int, float]] = []
+    for a in range(workload.n_apps):
+        arrivals, sizes = workload.device_slice(a, device)
+        app_id = workload.app_ids[a]
+        deadline = float(workload.deadlines[a])
+        for t, size in zip(arrivals, sizes):
+            cargo.append((float(t), app_id, int(size), deadline))
+    cargo.sort(key=lambda p: (p[0], p[1]))
+    generators = [
+        FixedCycleGenerator(
+            TrainAppProfile(
+                app_id=workload.train_ids[t],
+                cycle=float(workload.train_cycles[t]),
+                heartbeat_size_bytes=int(workload.train_sizes[t]),
+                first_heartbeat=float(workload.train_phases[t, device]),
+            )
+        )
+        for t in range(workload.n_trains)
+    ]
+    events: List[Dict] = [
+        {
+            "op": "event",
+            "device": dev,
+            "kind": "cargo",
+            "t": t,
+            "app": app,
+            "size": size,
+            "deadline": deadline,
+        }
+        for t, app, size, deadline in cargo
+    ]
+    events.extend(
+        {
+            "op": "event",
+            "device": dev,
+            "kind": "hb",
+            "t": hb.time,
+            "app": hb.app_id,
+            "seq": hb.seq,
+            "size": hb.size_bytes,
+        }
+        for hb in merge_heartbeats(generators, workload.horizon)
+    )
+    events.sort(key=lambda e: (e["t"], 0 if e["kind"] == "hb" else 1))
+    frames.extend(events)
+    frames.append({"op": "close", "device": dev})
+    return frames
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile of an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = math.ceil(q * len(sorted_values) / 100.0)
+    return sorted_values[min(max(rank, 1), len(sorted_values)) - 1]
+
+
+async def _drive_connection(
+    config: LoadgenConfig, frames: List[Dict], stats: Dict
+) -> None:
+    """Stream ``frames`` down one connection with a bounded window."""
+    reader, writer = await asyncio.open_connection(config.host, config.port)
+    window = asyncio.Semaphore(config.window)
+    sent_at: Dict[int, float] = {}
+    failures: List[Dict] = []
+
+    async def _send() -> None:
+        for seq, frame in enumerate(frames):
+            await window.acquire()
+            frame = dict(frame)
+            frame["id"] = seq
+            sent_at[seq] = time.perf_counter()
+            writer.write(encode_frame(frame))
+            if (seq + 1) % config.drain_every == 0:
+                await writer.drain()
+        await writer.drain()
+
+    async def _receive() -> None:
+        from repro.workload.trace_io import NdjsonDecoder
+
+        decoder = NdjsonDecoder()
+        remaining = len(frames)
+        while remaining > 0:
+            data = await reader.read(65536)
+            if not data:
+                raise ConnectionError(
+                    f"server closed with {remaining} responses outstanding"
+                )
+            for frame in decoder.feed(data):
+                if frame.is_blank:
+                    continue
+                if frame.error is not None:
+                    raise frame.error
+                response = frame.obj
+                now = time.perf_counter()
+                stats["latencies"].append(now - sent_at.pop(response["id"]))
+                remaining -= 1
+                window.release()
+                if not response.get("ok"):
+                    failures.append(response)
+                elif response["op"] == "close":
+                    stats["decisions"] += response["decisions"]
+                    stats["tx"] += len(response["tx"])
+                    stats["closes"] += 1
+
+    try:
+        await asyncio.gather(_send(), _receive())
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+    if failures:
+        err = failures[0].get("error", {})
+        raise ProtocolError(
+            err.get("code", "error"),
+            f"{len(failures)} request(s) failed, first: {err.get('message')}",
+        )
+
+
+async def run_loadgen(config: LoadgenConfig) -> Dict:
+    """Replay the workload against a live server; return the report."""
+    from repro.sim.fleet.workload import synthesize_fleet
+
+    if config.window < 1:
+        raise ValueError(f"window must be >= 1, got {config.window}")
+    workload = synthesize_fleet(config.devices, config.horizon, seed=config.seed)
+    streams = [
+        device_frames(
+            workload, device, strategy=config.strategy, params=config.params
+        )
+        for device in range(workload.n_devices)
+    ]
+    n_connections = max(1, min(config.connections, len(streams)))
+    # Round-robin devices over connections; each connection replays its
+    # devices back to back (per-device order is what correctness needs).
+    per_conn: List[List[Dict]] = [[] for _ in range(n_connections)]
+    for device, frames in enumerate(streams):
+        per_conn[device % n_connections].extend(frames)
+    stats = {"latencies": [], "decisions": 0, "tx": 0, "closes": 0}
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(_drive_connection(config, frames, stats) for frames in per_conn)
+    )
+    wall = time.perf_counter() - started
+    latencies = sorted(stats["latencies"])
+    requests = sum(len(frames) for frames in per_conn)
+    report = {
+        "devices": workload.n_devices,
+        "horizon": workload.horizon,
+        "strategy": config.strategy,
+        "connections": n_connections,
+        "window": config.window,
+        "requests": requests,
+        "events": requests - 2 * workload.n_devices,  # minus open/close
+        "decisions": stats["decisions"],
+        "transmissions": stats["tx"],
+        "wall_s": wall,
+        "decisions_per_s": stats["decisions"] / wall if wall > 0 else 0.0,
+        "requests_per_s": requests / wall if wall > 0 else 0.0,
+        "latency_p50_ms": percentile(latencies, 50) * 1e3,
+        "latency_p95_ms": percentile(latencies, 95) * 1e3,
+        "latency_p99_ms": percentile(latencies, 99) * 1e3,
+    }
+    _record_metrics(report)
+    return report
+
+
+def _record_metrics(report: Dict) -> None:
+    from repro.obs.metrics import current_registry
+
+    registry = current_registry()
+    if registry is None:
+        return
+    registry.counter("loadgen.requests").inc(report["requests"])
+    registry.counter("loadgen.decisions").inc(report["decisions"])
+    histogram = registry.histogram("loadgen.latency_ms")
+    for key in ("latency_p50_ms", "latency_p95_ms", "latency_p99_ms"):
+        histogram.observe(report[key])
+
+
+def run_loadgen_sync(config: LoadgenConfig) -> Dict:
+    """Blocking wrapper around :func:`run_loadgen`."""
+    return asyncio.run(run_loadgen(config))

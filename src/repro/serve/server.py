@@ -1,0 +1,477 @@
+"""The ``etrain serve`` daemon: NDJSON TCP, sessions, micro-batching.
+
+Three layers, separable for testing:
+
+* :class:`ServeApp` — transport-free request handling.  ``handle(dict)
+  -> dict`` owns the op dispatch (hello/open/event/close), the session
+  store, and the error mapping; the equivalence and golden tests drive
+  it directly, so protocol behaviour is pinned without sockets.
+* :class:`EtrainServer` — the asyncio shell.  Each connection feeds an
+  incremental NDJSON decoder (:class:`repro.workload.trace_io
+  .NdjsonDecoder`, shared with the trace reader, so a frame split
+  across TCP reads can never mis-parse); decoded frames pass admission
+  control (:class:`repro.serve.batcher.Inbox`) and are drained by a
+  single processor task in micro-batches, which keeps per-frame
+  event-loop overhead amortised under concurrent load.  Shed frames
+  are answered immediately with a retryable ``overloaded`` error.
+* :func:`run_serve` — the blocking CLI entry.
+
+Ordering guarantees: frames from one connection are processed in the
+order received (single FIFO inbox, single processor), so a client that
+streams a device's events down one connection observes the engine's
+exact slot ordering.  Responses to one connection are written in
+processing order; shed responses may overtake queued ones — they carry
+``retry_after`` precisely so the client can tell.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.batcher import Inbox
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    SERVER_NAME,
+    ProtocolError,
+    encode_frame,
+    error_response,
+    tx_to_wire,
+)
+from repro.serve.sessions import DeviceSession, SessionStore, profiles_from_specs
+
+__all__ = ["ServeConfig", "ServeApp", "EtrainServer", "run_serve"]
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one server instance (defaults suit tests and CI)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral, resolved after start()
+    max_sessions: int = 4096
+    inbox_capacity: int = 8192
+    inbox_watermark: Optional[int] = None  # None = no soft limit below capacity
+    batch_max: int = 256
+    read_chunk: int = 65536
+    default_bandwidth: str = "wuhan"
+
+
+class ServeApp:
+    """Transport-independent request handler over a session store."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.store = SessionStore(self.config.max_sessions)
+        self._bandwidth_cache: Dict[str, object] = {}
+        self.requests = 0
+        self.errors = 0
+
+    # -- op dispatch ---------------------------------------------------
+
+    def handle(self, request: object) -> Dict:
+        """One request frame in, one response frame out.  Never raises."""
+        self.requests += 1
+        if not isinstance(request, dict):
+            self.errors += 1
+            return error_response(
+                None,
+                ProtocolError("bad_frame", "request frame must be a JSON object"),
+                {},
+            )
+        op = request.get("op")
+        try:
+            if op == "hello":
+                response = self._hello()
+            elif op == "open":
+                response = self._open(request)
+            elif op == "event":
+                response = self._event(request)
+            elif op == "close":
+                response = self._close(request)
+            else:
+                raise ProtocolError("unknown_op", f"unknown op {op!r}")
+        except ProtocolError as exc:
+            self.errors += 1
+            return error_response(op if isinstance(op, str) else None, exc, request)
+        if "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    def handle_batch(self, requests: List[object]) -> List[Dict]:
+        """Handle one micro-batch, preserving request order."""
+        return [self.handle(request) for request in requests]
+
+    # -- ops -----------------------------------------------------------
+
+    def _hello(self) -> Dict:
+        from repro.sim.fleet.engine import VECTOR_STRATEGIES
+        from repro.sim.parallel.specs import STRATEGY_BUILDERS
+
+        return {
+            "ok": True,
+            "op": "hello",
+            "proto": PROTOCOL_VERSION,
+            "server": SERVER_NAME,
+            "strategies": sorted(STRATEGY_BUILDERS),
+            "scalar_fallback": sorted(
+                set(STRATEGY_BUILDERS) - set(VECTOR_STRATEGIES)
+            ),
+            "sessions": len(self.store),
+        }
+
+    def _open(self, request: Dict) -> Dict:
+        device = self._device(request)
+        strategy = request.get("strategy", "etrain")
+        if not isinstance(strategy, str):
+            raise ProtocolError("bad_request", f"strategy must be a string, got {strategy!r}")
+        params = request.get("params") or {}
+        if not isinstance(params, dict):
+            raise ProtocolError("bad_request", f"params must be an object, got {params!r}")
+        apps = request.get("apps")
+        profiles = None
+        if apps is not None:
+            if not isinstance(apps, list):
+                raise ProtocolError("bad_request", "apps must be a list of app specs")
+            profiles = profiles_from_specs(apps)
+        session = DeviceSession(
+            device,
+            strategy=strategy,
+            params=params,
+            horizon=self._number(request, "horizon", 7200.0),
+            slot=self._number(request, "slot", 1.0),
+            power_model=self._power_model(request.get("power_model")),
+            bandwidth=self._bandwidth(request.get("bandwidth")),
+            profiles=profiles,
+        )
+        evicted = self.store.put(device, session)
+        response = {
+            "ok": True,
+            "op": "open",
+            "device": device,
+            "strategy": strategy,
+            "horizon": session.horizon,
+            "slot": session.slot,
+            "n_slots": session.n_slots,
+        }
+        if evicted is not None:
+            response["evicted"] = evicted
+        return response
+
+    def _event(self, request: Dict) -> Dict:
+        device = self._device(request)
+        session = self.store.get(device)
+        kind = request.get("kind")
+        t = request.get("t")
+        if kind == "cargo":
+            txs, decisions = session.on_cargo(
+                t,
+                request.get("app"),
+                request.get("size", 0),
+                deadline=request.get("deadline"),
+                direction=request.get("direction", "up"),
+            )
+        elif kind == "hb":
+            txs, decisions = session.on_heartbeat(
+                t,
+                request.get("app"),
+                request.get("seq", 0),
+                request.get("size", 0),
+            )
+        else:
+            raise ProtocolError(
+                "bad_event", f"event kind must be 'cargo' or 'hb', got {kind!r}"
+            )
+        return {
+            "ok": True,
+            "op": "event",
+            "device": device,
+            "t": session._watermark,
+            "decisions": decisions,
+            "tx": [tx_to_wire(r) for r in txs],
+            "held": len(session.state.held),
+        }
+
+    def _close(self, request: Dict) -> Dict:
+        from repro.sim.fleet.reference import summarize_scalar_result
+
+        device = self._device(request)
+        session = self.store.get(device)  # surfaces unknown_device before pop
+        result, txs, _ = session.close()
+        self.store.pop(device)
+        return {
+            "ok": True,
+            "op": "close",
+            "device": device,
+            "decisions": result.decisions,
+            "tx": [tx_to_wire(r) for r in txs],
+            "flushed": result.flushed_packets,
+            "summary": result.summary(),
+            "fleet": summarize_scalar_result(result, session.profiles).to_dict(),
+        }
+
+    # -- request parsing helpers ---------------------------------------
+
+    @staticmethod
+    def _device(request: Dict) -> str:
+        device = request.get("device")
+        if not isinstance(device, str) or not device:
+            raise ProtocolError(
+                "bad_request", f"device must be a non-empty string, got {device!r}"
+            )
+        return device
+
+    @staticmethod
+    def _number(request: Dict, field: str, default: float) -> float:
+        value = request.get(field, default)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ProtocolError(
+                "bad_request", f"{field} must be a number, got {value!r}"
+            )
+        return float(value)
+
+    @staticmethod
+    def _power_model(name: Optional[str]):
+        if name is None:
+            return None
+        from repro.sim.parallel.specs import POWER_MODELS
+
+        if name not in POWER_MODELS:
+            raise ProtocolError(
+                "bad_request",
+                f"unknown power model {name!r}; known: {sorted(POWER_MODELS)}",
+            )
+        return POWER_MODELS[name]
+
+    def _bandwidth(self, spec: Optional[Dict]):
+        if spec is None:
+            spec = {"kind": self.config.default_bandwidth}
+        if not isinstance(spec, dict) or "kind" not in spec:
+            raise ProtocolError(
+                "bad_request", f"bandwidth must be an object with 'kind', got {spec!r}"
+            )
+        key = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+        cached = self._bandwidth_cache.get(key)
+        if cached is not None:
+            return cached
+        kind = spec["kind"]
+        if kind == "wuhan":
+            from repro.bandwidth.synth import wuhan_bandwidth_model
+
+            model = wuhan_bandwidth_model()
+        elif kind == "constant":
+            from repro.bandwidth.models import ConstantBandwidth
+
+            rate = spec.get("rate")
+            if isinstance(rate, bool) or not isinstance(rate, (int, float)) or rate <= 0:
+                raise ProtocolError(
+                    "bad_request", f"constant bandwidth needs rate > 0, got {rate!r}"
+                )
+            model = ConstantBandwidth(float(rate))
+        else:
+            raise ProtocolError(
+                "bad_request",
+                f"unknown bandwidth kind {kind!r}; known: ['constant', 'wuhan']",
+            )
+        self._bandwidth_cache[key] = model
+        return model
+
+
+class _Connection:
+    """Per-connection bookkeeping: writer + frames still in flight."""
+
+    __slots__ = ("writer", "outstanding", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.outstanding = 0
+        self.closed = False
+
+    def send(self, payload: bytes) -> None:
+        if not self.closed:
+            try:
+                self.writer.write(payload)
+            except (ConnectionError, RuntimeError):
+                self.closed = True
+
+
+class EtrainServer:
+    """Asyncio NDJSON TCP front-end around a :class:`ServeApp`."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.app = ServeApp(self.config)
+        self.inbox = Inbox(
+            capacity=self.config.inbox_capacity,
+            watermark=self.config.inbox_watermark,
+        )
+        self.host = self.config.host
+        self.port = self.config.port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._processor: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+
+    async def start(self) -> None:
+        """Bind, resolve the ephemeral port, and start the processor."""
+        self._wake = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._processor = asyncio.create_task(self._process_loop())
+
+    async def stop(self) -> None:
+        if self._processor is not None:
+            self._processor.cancel()
+            try:
+                await self._processor
+            except asyncio.CancelledError:
+                pass
+            self._processor = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- connection handling -------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        from repro.workload.trace_io import NdjsonDecoder
+
+        conn = _Connection(writer)
+        decoder = NdjsonDecoder()
+        try:
+            while True:
+                data = await reader.read(self.config.read_chunk)
+                if not data:
+                    break
+                self._ingest(conn, decoder.feed(data))
+            # A final unterminated line is still a complete request once
+            # the peer half-closes — flush and serve it.
+            self._ingest(conn, decoder.flush())
+            while conn.outstanding > 0:
+                await asyncio.sleep(0)
+            try:
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            conn.closed = True
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    def _ingest(self, conn: _Connection, frames) -> None:
+        """Admit decoded frames; answer shed/undecodable ones in place."""
+        assert self._wake is not None
+        for frame in frames:
+            if frame.is_blank:
+                continue
+            if frame.error is not None or not isinstance(frame.obj, dict):
+                detail = (
+                    "frame is not valid JSON"
+                    if frame.error is not None
+                    else "request frame must be a JSON object"
+                )
+                conn.send(
+                    encode_frame(
+                        error_response(None, ProtocolError("bad_frame", detail), {})
+                    )
+                )
+                continue
+            if not self.inbox.offer((conn, frame.obj)):
+                conn.send(
+                    encode_frame(
+                        error_response(
+                            frame.obj.get("op")
+                            if isinstance(frame.obj.get("op"), str)
+                            else None,
+                            ProtocolError(
+                                "overloaded",
+                                f"inbox at watermark ({self.inbox.watermark})",
+                                retryable=True,
+                                retry_after=self.inbox.retry_after(),
+                            ),
+                            frame.obj,
+                        )
+                    )
+                )
+                continue
+            conn.outstanding += 1
+            self._wake.set()
+
+    # -- the processor: micro-batched drain ----------------------------
+
+    async def _process_loop(self) -> None:
+        assert self._wake is not None
+        metrics = self._metrics()
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while len(self.inbox) > 0:
+                batch: List[Tuple[_Connection, Dict]] = self.inbox.drain(
+                    self.config.batch_max
+                )
+                # Coalesce each connection's responses into one write.
+                per_conn: Dict[int, Tuple[_Connection, List[bytes]]] = {}
+                for conn, request in batch:
+                    response = self.app.handle(request)
+                    entry = per_conn.get(id(conn))
+                    if entry is None:
+                        entry = per_conn[id(conn)] = (conn, [])
+                    entry[1].append(encode_frame(response))
+                    conn.outstanding -= 1
+                for conn, payloads in per_conn.values():
+                    conn.send(b"".join(payloads))
+                if metrics is not None:
+                    metrics["frames"].inc(len(batch))
+                    metrics["batches"].inc()
+                # Yield so readers can refill the inbox — this is what
+                # turns concurrent arrivals into the next micro-batch.
+                await asyncio.sleep(0)
+
+    @staticmethod
+    def _metrics():
+        from repro.obs.metrics import current_registry
+
+        registry = current_registry()
+        if registry is None:
+            return None
+        return {
+            "frames": registry.counter("serve.frames"),
+            "batches": registry.counter("serve.batches"),
+        }
+
+
+def run_serve(config: Optional[ServeConfig] = None) -> int:
+    """Blocking entry point for ``etrain serve`` (Ctrl-C to stop)."""
+    config = config or ServeConfig()
+
+    async def _main() -> None:
+        server = EtrainServer(config)
+        await server.start()
+        print(
+            f"{SERVER_NAME} proto={PROTOCOL_VERSION} "
+            f"listening on {server.host}:{server.port}",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print(f"{SERVER_NAME}: shutting down", flush=True)
+    return 0

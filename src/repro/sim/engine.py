@@ -53,6 +53,7 @@ from repro.core.packet import Heartbeat, Packet
 from repro.heartbeat.generators import HeartbeatGenerator, merge_heartbeats
 from repro.radio.interface import RadioInterface
 from repro.radio.power_model import PowerModel
+from repro.sim.decision import is_decision_slot, slot_step
 from repro.sim.results import SimulationResult
 
 __all__ = ["Simulation", "DecisionWindow"]
@@ -206,16 +207,13 @@ class Simulation:
         accumulated float error in ``t``: the comparison happens in the
         time domain with a granularity-relative epsilon, not on a raw
         ratio.  Callers in a loop pass the hoisted ``granularity``.
+
+        The predicate itself lives in :mod:`repro.sim.decision` so the
+        online serving layer evaluates exactly the same floats.
         """
         if granularity is None:
             granularity = self._granularity
-        eps = 1e-9 * granularity
-        m_curr = math.floor((t + eps) / granularity)
-        # Index of the last decision point at or before the previous slot.
-        prev = t - self.slot
-        m_prev = math.floor((prev + eps) / granularity) if prev >= 0.0 else -1
-        # Decide iff a new decision point landed in (t - slot, t].
-        return m_curr > m_prev
+        return is_decision_slot(t, self.slot, granularity)
 
     def _exact_slot_grid(self, n_slots: int) -> bool:
         """Whether ``k * slot`` is exact (and telescopes) for every slot k.
@@ -348,36 +346,14 @@ class Simulation:
                 slot_hbs.append(heartbeats[hb_idx])
                 hb_idx += 1
 
-            # 3. Strategy decision (on its own granularity).
-            released: List[Packet] = []
-            if self._is_decision_slot(t, granularity):
-                released = strategy.decide(t, bool(slot_hbs))
+            # 3+4. Strategy decision (on its own granularity) and
+            #      transmission — the shared kernel in repro.sim.decision.
+            decide_now = self._is_decision_slot(t, granularity)
+            if decide_now:
                 decisions += 1
-
-            # 4. Transmit: piggyback released packets on the slot's first
-            #    heartbeat when available.  Otherwise a warm-radio-gated
-            #    strategy (eTrain's Q_TX) only transmits while the radio
-            #    is still in its tail; a cold release waits for the next
-            #    promotion.  Other strategies transmit on demand.
-            if slot_hbs:
-                first, rest = slot_hbs[0], slot_hbs[1:]
-                payload = held + released
-                held = []
-                if payload:
-                    radio.transmit_piggyback(first, payload)
-                else:
-                    radio.transmit_heartbeat(first)
-                for hb in rest:
-                    radio.transmit_heartbeat(hb)
-            elif released or held:
-                radio_warm = bool(radio.records) and t < radio.busy_until + warm_window
-                if strategy.requires_warm_radio and not radio_warm:
-                    held.extend(released)
-                else:
-                    payload = held + released
-                    held = []
-                    if payload:
-                        radio.transmit_packets(t, payload)
+            held = slot_step(
+                strategy, radio, held, t, slot_hbs, decide_now, warm_window
+            )
 
         self.loop_iterations = n_slots
         return arrival_idx, decisions, held
@@ -443,8 +419,6 @@ class Simulation:
 
         on_arrivals = strategy.on_arrivals
         arrival_times = [p.arrival_time for p in packets]
-        decide = strategy.decide
-        requires_warm = strategy.requires_warm_radio
         floor = math.floor
 
         arrival_idx = 0
@@ -476,30 +450,12 @@ class Simulation:
                 slot_hbs.append(heartbeats[hb_idx])
                 hb_idx += 1
 
-            released: List[Packet] = []
-            if always_decides or self._is_decision_slot(t, granularity):
-                released = decide(t, bool(slot_hbs))
+            decide_now = always_decides or self._is_decision_slot(t, granularity)
+            if decide_now:
                 decisions += 1
-
-            if slot_hbs:
-                first, rest = slot_hbs[0], slot_hbs[1:]
-                payload = held + released
-                held = []
-                if payload:
-                    radio.transmit_piggyback(first, payload)
-                else:
-                    radio.transmit_heartbeat(first)
-                for hb in rest:
-                    radio.transmit_heartbeat(hb)
-            elif released or held:
-                radio_warm = bool(radio.records) and t < radio.busy_until + warm_window
-                if requires_warm and not radio_warm:
-                    held.extend(released)
-                else:
-                    payload = held + released
-                    held = []
-                    if payload:
-                        radio.transmit_packets(t, payload)
+            held = slot_step(
+                strategy, radio, held, t, slot_hbs, decide_now, warm_window
+            )
 
             # ---- fast-forward to the next interesting slot ----
             i1 = i + 1

@@ -1,14 +1,136 @@
-"""Packet-trace (de)serialisation: CSV round-tripping for cargo traces."""
+"""Packet-trace (de)serialisation and shared NDJSON framing.
+
+Two independent concerns live here:
+
+* CSV round-tripping for cargo packet traces (:func:`save_packets_csv`
+  / :func:`load_packets_csv`);
+* the one incremental newline-delimited-JSON parser every NDJSON
+  consumer in the repo shares (:class:`NdjsonDecoder`).  Trace files
+  (``repro.obs.recorder.read_jsonl``) and the serving layer's TCP
+  framing (``repro.serve``) both route through it, so torn-tail
+  detection has a single definition: a *line* is a parse unit only once
+  its terminator has arrived (or the stream is flushed), which is what
+  makes a frame split across TCP reads a non-event rather than a
+  :class:`TruncatedTraceError`.
+"""
 
 from __future__ import annotations
 
 import csv
+import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.packet import Packet
 
-__all__ = ["save_packets_csv", "load_packets_csv"]
+__all__ = [
+    "save_packets_csv",
+    "load_packets_csv",
+    "JsonFrame",
+    "NdjsonDecoder",
+    "TruncatedTraceError",
+]
+
+
+class TruncatedTraceError(ValueError):
+    """A JSONL trace ends in a torn partial line (writer died mid-write).
+
+    Carries the events that *did* parse (:attr:`events`) plus where the
+    valid prefix ends, so a caller may report precisely or choose to
+    continue with the intact prefix.
+    """
+
+    def __init__(self, path, events: List[Dict], valid_lines: int, tail: str):
+        self.path = str(path)
+        self.events = events
+        self.valid_lines = valid_lines
+        self.tail = tail
+        preview = tail[:60] + ("..." if len(tail) > 60 else "")
+        super().__init__(
+            f"{self.path} is truncated after {valid_lines} complete "
+            f"event(s); torn tail: {preview!r}"
+        )
+
+
+@dataclass
+class JsonFrame:
+    """One NDJSON line as the decoder saw it.
+
+    ``text`` keeps the line terminator (when one arrived) so torn-tail
+    reporting can show the raw bytes.  Exactly one of three shapes:
+    parsed (``obj`` set, ``error`` None), blank (both None,
+    :attr:`is_blank`), or failed (``error`` holds the decode exception).
+    """
+
+    text: str
+    obj: Optional[object] = None
+    error: Optional[json.JSONDecodeError] = None
+    #: False only for a flushed, unterminated tail.
+    complete: bool = True
+
+    @property
+    def is_blank(self) -> bool:
+        return self.error is None and not self.text.strip()
+
+
+class NdjsonDecoder:
+    """Incremental NDJSON splitter: bytes in, :class:`JsonFrame` out.
+
+    :meth:`feed` may be called with arbitrarily fragmented input (one
+    TCP segment, half a line, three lines and a torn byte); only lines
+    whose terminator has arrived are emitted, so a frame split across
+    reads never surfaces as a parse failure.  A buffered ``\\r`` is held
+    back one round in case the matching ``\\n`` is in flight.  Call
+    :meth:`flush` at end-of-stream to surface an unterminated tail.
+    """
+
+    def __init__(self) -> None:
+        self._buf = b""
+
+    @property
+    def pending(self) -> bool:
+        """Whether a partial line is buffered awaiting more bytes."""
+        return bool(self._buf)
+
+    @staticmethod
+    def _frame(line: bytes, complete: bool) -> JsonFrame:
+        text = line.decode("utf-8", errors="replace")
+        if not text.strip():
+            return JsonFrame(text=text, complete=complete)
+        try:
+            return JsonFrame(text=text, obj=json.loads(text), complete=complete)
+        except json.JSONDecodeError as exc:
+            return JsonFrame(text=text, error=exc, complete=complete)
+
+    def feed(self, data: bytes) -> List[JsonFrame]:
+        """Consume ``data``; return frames for every newly completed line."""
+        self._buf += data
+        if not self._buf:
+            return []
+        pieces = self._buf.splitlines(keepends=True)
+        last = pieces[-1]
+        # Hold the final piece back when its terminator has not arrived,
+        # or when it ends in '\r' that a later '\n' might extend.
+        hold = not last.endswith((b"\n", b"\r")) or last.endswith(b"\r")
+        if hold:
+            self._buf = last
+            pieces = pieces[:-1]
+        else:
+            self._buf = b""
+        return [self._frame(line, complete=True) for line in pieces]
+
+    def flush(self) -> List[JsonFrame]:
+        """End of stream: emit the buffered tail (if any) as its own frame.
+
+        A tail still ending in ``\\r`` *was* terminated (bare carriage
+        return); anything else is an unterminated fragment and is marked
+        ``complete=False`` so callers can apply torn-tail policy.
+        """
+        if not self._buf:
+            return []
+        line, self._buf = self._buf, b""
+        return [self._frame(line, complete=line.endswith((b"\n", b"\r")))]
 
 _HEADER = ["app_id", "arrival_time", "size_bytes", "deadline", "direction"]
 

@@ -1,0 +1,313 @@
+"""Server-vs-batch equivalence: the tentpole oracle of `repro.serve`.
+
+Replaying a fleet workload's per-device event streams through the
+serving stack must be *bit-identical* to the batch run of the same
+arrays — same burst sequence (starts, durations, sizes, kinds, packet
+ids), same decision counts, same per-device fleet aggregates — because
+server and simulator execute the same decision kernel
+(:mod:`repro.sim.decision`).  Checked three ways:
+
+* in-process :class:`~repro.serve.server.ServeApp` replay vs the scalar
+  reference path (`simulate_reference_chunk`) for every vectorized
+  strategy **and** a scalar-fallback one (peres) — exact equality,
+  survives a JSON round-trip (canonical wire encoding);
+* the merged serve aggregates vs the *vectorized* fleet engine at the
+  fleet suite's own tolerance (rtol 1e-6), closing the triangle
+  serve == scalar == vectorized;
+* one strategy over real TCP against a live :class:`EtrainServer`,
+  certifying that framing, admission control and micro-batching do not
+  perturb the numbers.
+
+Plus a hypothesis purity check of the extracted
+:func:`repro.sim.decision.decide` step: same (state, event) in, same
+outcome out, caller's state never mutated.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bandwidth.models import ConstantBandwidth
+from repro.bandwidth.synth import wuhan_bandwidth_model
+from repro.radio.power_model import GALAXY_S4_3G
+from repro.serve.loadgen import device_frames
+from repro.serve.server import EtrainServer, ServeApp, ServeConfig
+from repro.sim.fleet.aggregate import FleetChunkSummary
+from repro.sim.fleet.reference import (
+    _device_scenario,
+    reference_profiles,
+    summarize_scalar_result,
+)
+from repro.sim.fleet.workload import synthesize_fleet
+from repro.sim.parallel.specs import STRATEGY_BUILDERS
+from repro.sim.runner import run_strategy
+
+pytestmark = pytest.mark.serve
+
+#: Strategies certified bit-identical: every vectorized one plus a
+#: scalar-fallback (peres has no vector path — ISSUE acceptance).
+STRATEGIES = ["etrain", "immediate", "periodic", "tailender", "peres"]
+
+_BW = wuhan_bandwidth_model()
+_WORKLOAD = synthesize_fleet(3, 450.0, seed=7)
+_PROFILES = reference_profiles(_WORKLOAD)
+
+
+def batch_device_run(workload, device, strategy):
+    """Ground truth: one device through the scalar batch engine."""
+    scenario = _device_scenario(workload, device, _PROFILES, _BW, GALAXY_S4_3G)
+    strat = STRATEGY_BUILDERS[strategy](scenario)
+    return run_strategy(strat, scenario)
+
+
+def tx_key(record):
+    return (
+        record.start,
+        record.duration,
+        record.size_bytes,
+        record.kind,
+        tuple(record.app_ids),
+        tuple(record.packet_ids),
+    )
+
+
+def wire_tx_key(tx):
+    return (
+        tx["start"],
+        tx["duration"],
+        tx["size"],
+        tx["kind"],
+        tuple(tx["apps"]),
+        tuple(tx["packet_ids"]),
+    )
+
+
+def replay_device(app, workload, device, strategy):
+    """Drive one device's stream through a ServeApp; collect tx + close."""
+    streamed = []
+    close = None
+    for frame in device_frames(workload, device, strategy=strategy):
+        # Round-trip through the wire encoding: what a TCP client sees.
+        response = json.loads(json.dumps(app.handle(frame)))
+        assert response["ok"], response
+        streamed.extend(wire_tx_key(tx) for tx in response.get("tx", []))
+        if response["op"] == "close":
+            close = response
+    assert close is not None
+    return streamed, close
+
+
+class TestServeMatchesBatchScalar:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_bit_identical_per_device(self, strategy):
+        app = ServeApp(ServeConfig())
+        merged = FleetChunkSummary()
+        for device in range(_WORKLOAD.n_devices):
+            batch = batch_device_run(_WORKLOAD, device, strategy)
+            streamed, close = replay_device(app, _WORKLOAD, device, strategy)
+            # Burst-for-burst: starts, durations, sizes, kinds, packet ids.
+            assert streamed == [tx_key(r) for r in batch.records]
+            assert close["decisions"] == batch.decisions
+            assert close["summary"] == batch.summary()
+            batch_fleet = summarize_scalar_result(batch, _PROFILES)
+            assert close["fleet"] == json.loads(
+                json.dumps(batch_fleet.to_dict())
+            )
+            merged = merged.merge(FleetChunkSummary.from_dict(close["fleet"]))
+        # The store drained: every session was closed and removed.
+        assert len(app.store) == 0
+        assert merged.devices == _WORKLOAD.n_devices
+
+    @pytest.mark.parametrize("strategy", ["etrain", "immediate"])
+    def test_merged_aggregates_match_vectorized_fleet(self, strategy):
+        from repro.sim.fleet.accounting import summarize_chunk
+        from repro.sim.fleet.channel import ChannelTable
+        from repro.sim.fleet.engine import simulate_fleet_chunk
+
+        app = ServeApp(ServeConfig())
+        merged = FleetChunkSummary()
+        for device in range(_WORKLOAD.n_devices):
+            _, close = replay_device(app, _WORKLOAD, device, strategy)
+            merged = merged.merge(FleetChunkSummary.from_dict(close["fleet"]))
+        table = ChannelTable.from_model(_BW, _WORKLOAD.horizon)
+        raw = simulate_fleet_chunk(_WORKLOAD, table, strategy=strategy)
+        vec = summarize_chunk(raw, GALAXY_S4_3G).summary()
+        srv = merged.summary()
+        for key in ("total_energy_j", "piggyback_ratio", "packets", "bursts"):
+            np.testing.assert_allclose(srv[key], vec[key], rtol=1e-6)
+
+
+class TestServeOverTcp:
+    def test_live_server_bit_identical(self):
+        """The full stack — sockets, framing, inbox, batcher — changes nothing."""
+        strategy = "etrain"
+
+        async def replay_over_tcp():
+            server = EtrainServer(ServeConfig())
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                out = {}
+                for device in range(_WORKLOAD.n_devices):
+                    frames = device_frames(_WORKLOAD, device, strategy=strategy)
+                    for frame in frames:
+                        writer.write(
+                            (json.dumps(frame) + "\n").encode("utf-8")
+                        )
+                    await writer.drain()
+                    streamed, close = [], None
+                    buf = b""
+                    got = 0
+                    while got < len(frames):
+                        data = await reader.read(65536)
+                        assert data, "server closed early"
+                        buf += data
+                        *lines, buf = buf.split(b"\n")
+                        for line in lines:
+                            response = json.loads(line)
+                            assert response["ok"], response
+                            got += 1
+                            streamed.extend(
+                                wire_tx_key(tx)
+                                for tx in response.get("tx", [])
+                            )
+                            if response["op"] == "close":
+                                close = response
+                    out[device] = (streamed, close)
+                writer.close()
+                await writer.wait_closed()
+                return out
+            finally:
+                await server.stop()
+
+        by_device = asyncio.run(replay_over_tcp())
+        for device in range(_WORKLOAD.n_devices):
+            batch = batch_device_run(_WORKLOAD, device, strategy)
+            streamed, close = by_device[device]
+            assert streamed == [tx_key(r) for r in batch.records]
+            assert close["decisions"] == batch.decisions
+            assert close["summary"] == json.loads(
+                json.dumps(batch.summary())
+            )
+
+
+class TestDecidePurity:
+    """The extracted decide() step is a pure function of (state, event)."""
+
+    @staticmethod
+    def make_state(strategy_name="etrain"):
+        from repro.radio.interface import RadioInterface
+        from repro.sim.decision import DecisionState
+
+        class _Scenario:
+            profiles = _PROFILES
+            bandwidth = ConstantBandwidth(100_000.0)
+
+            def estimator(self, *, lag=2.0, noise=0.3, seed=0):
+                from repro.baselines.base import BandwidthEstimator
+
+                return BandwidthEstimator(
+                    self.bandwidth, lag=lag, noise=noise, seed=seed
+                )
+
+        strategy = STRATEGY_BUILDERS[strategy_name](_Scenario())
+        radio = RadioInterface(GALAXY_S4_3G, ConstantBandwidth(100_000.0))
+        return DecisionState(
+            strategy=strategy,
+            radio=radio,
+            slot=1.0,
+            granularity=max(strategy.slot, 1.0),
+            warm_window=radio.power_model.tail_time,
+        )
+
+    @given(
+        arrivals=st.lists(
+            st.tuples(
+                st.integers(min_value=100, max_value=20_000),  # size
+                st.floats(min_value=5.0, max_value=60.0),  # deadline
+            ),
+            max_size=4,
+        ),
+        heartbeat=st.booleans(),
+        slots=st.integers(min_value=0, max_value=5),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_same_inputs_same_outcome_no_mutation(
+        self, arrivals, heartbeat, slots
+    ):
+        from repro.core.packet import Heartbeat, Packet
+        from repro.sim.decision import SlotEvent, advance, decide
+
+        state = self.make_state()
+        # Walk the state forward so purity holds mid-session, not just at t=0.
+        for i in range(slots):
+            advance(state, SlotEvent(float(i)))
+        t = float(slots)
+        packets = tuple(
+            Packet(
+                app_id=_PROFILES[0].app_id,
+                arrival_time=t,
+                size_bytes=size,
+                deadline=deadline,
+                packet_id=i,
+            )
+            for i, (size, deadline) in enumerate(arrivals)
+        )
+        hbs = (
+            (Heartbeat(app_id="qq", seq=0, time=t + 0.25, size_bytes=120),)
+            if heartbeat
+            else ()
+        )
+        event = SlotEvent(t, packets, hbs)
+
+        before_records = list(state.radio.records)
+        before_pending = state.pending_cargo
+        before_decisions = state.decisions
+
+        outcome1, state1 = decide(state, event)
+        outcome2, state2 = decide(state, event)
+
+        # Deterministic: identical outcomes and successor states.
+        assert outcome1 == outcome2
+        assert state1.decisions == state2.decisions
+        assert state1.pending_cargo == state2.pending_cargo
+        assert [tx_key(r) for r in state1.radio.records] == [
+            tx_key(r) for r in state2.radio.records
+        ]
+        # Pure: the caller's state and packets were never touched.
+        assert list(state.radio.records) == before_records
+        assert state.pending_cargo == before_pending
+        assert state.decisions == before_decisions
+        assert all(p.scheduled_time is None for p in packets)
+        # And the successor genuinely advanced.
+        assert state1.decisions >= before_decisions
+
+    def test_decide_matches_advance(self):
+        from repro.core.packet import Packet
+        from repro.sim.decision import SlotEvent, advance, decide
+
+        event = SlotEvent(
+            0.0,
+            (
+                Packet(
+                    app_id=_PROFILES[0].app_id,
+                    arrival_time=0.0,
+                    size_bytes=5_000,
+                    deadline=30.0,
+                    packet_id=0,
+                ),
+            ),
+        )
+        pure_outcome, _ = decide(self.make_state("immediate"), event)
+        mutable = self.make_state("immediate")
+        inplace_outcome = advance(mutable, event)
+        assert pure_outcome == inplace_outcome

@@ -1,0 +1,164 @@
+"""Golden wire transcripts: the serve protocol itself is pinned.
+
+``tests/data/golden_serve_requests.jsonl`` and
+``golden_serve_responses.jsonl`` hold the full canonical NDJSON
+transcript of a fixed 5-minute, two-device session (seed 11, eTrain +
+immediate) through :class:`repro.serve.server.ServeApp`.
+
+Two layers of pinning, mirroring the obs-trace pins:
+
+* **requests** are compared byte-for-byte — the client side of the
+  protocol is fully deterministic and canonical encoding makes the
+  bytes unique;
+* **responses** are compared byte-for-byte after projecting each frame
+  onto its op's *declared field set*
+  (:data:`repro.serve.protocol.CORE_RESPONSE_FIELDS` +
+  :data:`~repro.serve.protocol.OP_RESPONSE_FIELDS`), so adding new
+  response fields later (an additive schema change) never breaks the
+  pin — only changing decision semantics, renaming/removing a declared
+  field, or bumping :data:`~repro.serve.protocol.PROTOCOL_VERSION`
+  does.  A separate check asserts every live response still carries
+  all declared fields.
+
+Regenerate after an intentional semantic change with::
+
+    PYTHONPATH=src python tests/test_serve_golden.py --regen
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.serve.protocol import (
+    CORE_RESPONSE_FIELDS,
+    OP_RESPONSE_FIELDS,
+    PROTOCOL_VERSION,
+    encode_frame,
+)
+from repro.serve.server import ServeApp, ServeConfig
+
+pytestmark = pytest.mark.serve
+
+DATA = pathlib.Path(__file__).parent / "data"
+REQUESTS_PIN = DATA / "golden_serve_requests.jsonl"
+RESPONSES_PIN = DATA / "golden_serve_responses.jsonl"
+
+#: The pinned scenario: two devices, 5 minutes, distinct strategies.
+SEED = 11
+HORIZON = 300.0
+STRATEGIES = ("etrain", "immediate")
+
+
+def build_transcript():
+    """Replay the pinned session; return (request_bytes, responses)."""
+    from repro.serve.loadgen import device_frames
+    from repro.sim.fleet.workload import synthesize_fleet
+
+    workload = synthesize_fleet(len(STRATEGIES), HORIZON, seed=SEED)
+    app = ServeApp(ServeConfig())
+    request_blobs = []
+    responses = []
+    next_id = 0
+    frames = [{"op": "hello"}]
+    for device, strategy in enumerate(STRATEGIES):
+        frames.extend(device_frames(workload, device, strategy=strategy))
+    for frame in frames:
+        frame = dict(frame)
+        frame["id"] = next_id
+        next_id += 1
+        request_blobs.append(encode_frame(frame))
+        responses.append(app.handle(frame))
+    return b"".join(request_blobs), responses
+
+
+def project_response(response):
+    """A response reduced to its op's declared (pinned) field set."""
+    declared = CORE_RESPONSE_FIELDS + OP_RESPONSE_FIELDS.get(
+        response.get("op"), ()
+    ) + ("id",)
+    return {k: response[k] for k in declared if k in response}
+
+
+def encode_projected(responses):
+    return b"".join(encode_frame(project_response(r)) for r in responses)
+
+
+class TestGoldenTranscripts:
+    def test_request_stream_byte_identical(self):
+        requests, _ = build_transcript()
+        assert requests == REQUESTS_PIN.read_bytes(), (
+            "client request stream changed; if intentional, regenerate "
+            "with: PYTHONPATH=src python tests/test_serve_golden.py --regen"
+        )
+
+    def test_response_stream_byte_identical_on_declared_fields(self):
+        _, responses = build_transcript()
+        pinned = [
+            json.loads(line)
+            for line in RESPONSES_PIN.read_bytes().splitlines()
+        ]
+        assert encode_projected(responses) == encode_projected(pinned), (
+            "serve responses changed on declared fields; if intentional, "
+            "regenerate with: "
+            "PYTHONPATH=src python tests/test_serve_golden.py --regen"
+        )
+
+    def test_pinned_protocol_version(self):
+        pinned_hello = json.loads(RESPONSES_PIN.read_bytes().splitlines()[0])
+        assert pinned_hello["op"] == "hello"
+        assert pinned_hello["proto"] == PROTOCOL_VERSION, (
+            "protocol version bumped: regenerate the golden transcripts "
+            "and review the breaking change"
+        )
+
+
+class TestSchemaContract:
+    def test_every_response_carries_declared_fields(self):
+        """Additive contract: declared fields are a floor, never missing."""
+        _, responses = build_transcript()
+        assert len(responses) > 40  # two devices' worth of events
+        for response in responses:
+            assert response["ok"] is True
+            declared = CORE_RESPONSE_FIELDS + OP_RESPONSE_FIELDS[response["op"]]
+            missing = [k for k in declared if k not in response]
+            assert not missing, (response["op"], missing)
+
+    def test_canonical_encoding_is_stable(self):
+        """Key order and float formatting cannot drift frame to frame."""
+        frame = {"b": 1.5, "a": [1, 2], "op": "event"}
+        assert encode_frame(frame) == encode_frame(dict(reversed(frame.items())))
+        assert encode_frame(frame).endswith(b"\n")
+
+    def test_error_responses_carry_error_contract(self):
+        from repro.serve.protocol import ERROR_RESPONSE_FIELDS
+
+        app = ServeApp(ServeConfig())
+        for bad in (
+            {"op": "event", "device": "ghost", "kind": "hb", "t": 0.0},
+            {"op": "nope"},
+            {"op": "close", "device": "ghost"},
+        ):
+            response = app.handle(bad)
+            assert response["ok"] is False
+            for key in ERROR_RESPONSE_FIELDS:
+                assert key in response
+            assert response["error"]["code"]
+            assert response["error"]["message"]
+
+
+def regenerate():
+    requests, responses = build_transcript()
+    REQUESTS_PIN.write_bytes(requests)
+    RESPONSES_PIN.write_bytes(b"".join(encode_frame(r) for r in responses))
+    print(f"wrote {REQUESTS_PIN} ({len(requests)} bytes)")
+    print(f"wrote {RESPONSES_PIN} ({len(responses)} frames)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        regenerate()
+    else:
+        print("usage: python tests/test_serve_golden.py --regen")

@@ -1,9 +1,16 @@
-"""Unit tests for packet-trace CSV round-tripping."""
+"""Unit tests for packet-trace CSV round-tripping and NDJSON framing."""
+
+import json
 
 import pytest
 
 from repro.workload.cargo import synthesize_trace
-from repro.workload.trace_io import load_packets_csv, save_packets_csv
+from repro.workload.trace_io import (
+    NdjsonDecoder,
+    TruncatedTraceError,
+    load_packets_csv,
+    save_packets_csv,
+)
 
 from tests.conftest import make_packet
 
@@ -42,3 +49,96 @@ class TestRoundTrip:
         path.write_text("app_id,arrival_time,size_bytes,deadline\nmail,1.0\n")
         with pytest.raises(ValueError):
             load_packets_csv(path)
+
+
+class TestNdjsonDecoder:
+    """The shared incremental framer: torn frames must never mis-parse."""
+
+    FRAMES = [{"op": "event", "t": 1.5, "n": i} for i in range(7)]
+
+    def _wire(self):
+        return b"".join(
+            (json.dumps(f) + "\n").encode("utf-8") for f in self.FRAMES
+        )
+
+    def test_whole_buffer(self):
+        decoder = NdjsonDecoder()
+        frames = decoder.feed(self._wire())
+        assert [f.obj for f in frames] == self.FRAMES
+        assert all(f.complete and f.error is None for f in frames)
+        assert not decoder.pending
+
+    @pytest.mark.parametrize("chunk", [1, 2, 3, 5, 17])
+    def test_any_split_reassembles(self, chunk):
+        """Frames split at every possible TCP read boundary still parse."""
+        wire = self._wire()
+        decoder = NdjsonDecoder()
+        out = []
+        for i in range(0, len(wire), chunk):
+            out.extend(decoder.feed(wire[i : i + chunk]))
+        out.extend(decoder.flush())
+        assert [f.obj for f in out] == self.FRAMES
+        assert all(f.error is None for f in out)
+
+    def test_crlf_split_across_reads(self):
+        """A \\r\\n terminator torn between reads yields one frame, not two."""
+        decoder = NdjsonDecoder()
+        first = decoder.feed(b'{"a":1}\r')
+        assert first == []  # held back: could be \r\n
+        rest = decoder.feed(b'\n{"b":2}\n')
+        assert [f.obj for f in rest] == [{"a": 1}, {"b": 2}]
+
+    def test_flush_marks_torn_tail_incomplete(self):
+        decoder = NdjsonDecoder()
+        complete = decoder.feed(b'{"a":1}\n{"b":')
+        assert [f.obj for f in complete] == [{"a": 1}]
+        tail = decoder.flush()
+        assert len(tail) == 1
+        assert not tail[0].complete
+        assert tail[0].error is not None
+
+    def test_flush_parses_unterminated_tail(self):
+        """A half-closed peer's last line parses, but is flagged torn."""
+        decoder = NdjsonDecoder()
+        decoder.feed(b'{"a":1}')
+        tail = decoder.flush()
+        assert len(tail) == 1
+        assert not tail[0].complete
+        assert tail[0].error is None
+        assert tail[0].obj == {"a": 1}
+
+    def test_blank_lines_are_flagged(self):
+        decoder = NdjsonDecoder()
+        frames = decoder.feed(b'\n  \n{"a":1}\n')
+        assert [f.is_blank for f in frames] == [True, True, False]
+
+
+class TestReadJsonlFraming:
+    """read_jsonl rides the shared decoder: tail semantics preserved."""
+
+    def test_torn_tail_raises_truncated(self, tmp_path):
+        from repro.obs.recorder import read_jsonl
+
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a":1}\n{"b":2}\n{"c":', encoding="utf-8")
+        with pytest.raises(TruncatedTraceError) as excinfo:
+            read_jsonl(path)
+        assert excinfo.value.valid_lines == 2
+
+    def test_mid_file_corruption_raises_decode_error(self, tmp_path):
+        from repro.obs.recorder import read_jsonl
+
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a":1}\nnot json\n{"c":3}\n', encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(path)
+
+    def test_clean_file_roundtrips(self, tmp_path):
+        from repro.obs.recorder import read_jsonl
+
+        path = tmp_path / "t.jsonl"
+        rows = [{"a": 1}, {"b": [1, 2]}, {"c": "x"}]
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in rows), encoding="utf-8"
+        )
+        assert read_jsonl(path) == rows
