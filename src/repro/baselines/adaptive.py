@@ -10,14 +10,14 @@ the target without manual tuning.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.etrain import ETrainStrategy
 from repro.core.packet import Packet
 from repro.core.profiles import CargoAppProfile
 from repro.core.scheduler import SchedulerConfig
 
-__all__ = ["AdaptiveThetaETrainStrategy"]
+__all__ = ["AdaptiveThetaETrainStrategy", "adaptive_fleet_kernel"]
 
 
 class AdaptiveThetaETrainStrategy(ETrainStrategy):
@@ -101,3 +101,141 @@ class AdaptiveThetaETrainStrategy(ETrainStrategy):
                     self._set_theta(self.theta * (1.0 + self.ETA))
                 self._delays = self._delays[-self.window:]
         return released
+
+
+# ---------------------------------------------------------------------------
+# vectorized fleet kernel (registered in repro.sim.fleet.registry)
+# ---------------------------------------------------------------------------
+
+
+def adaptive_fleet_kernel(workload, table, params: Dict, power_model, *, profiler=None):
+    """Batched adaptive-Θ eTrain over the device axis of one fleet chunk.
+
+    The slot dynamics are exactly the shared eTrain kernel with Θ as a
+    per-device vector (the threshold check broadcasts).  The feedback
+    controller itself stays Python: it runs off the engine's
+    ``on_release`` hook, which fires once per slot with that slot's
+    selection-time releases.  Non-heartbeat fires pick exactly one
+    packet per device, so their delays arrive precomputed; heartbeat
+    drains arrive as frozen queue bounds and the callback replays the
+    scalar greedy pick order (per-app heads compete on marginal gain,
+    then FIFO free riders) because the *order* of delay samples decides
+    which ones sit in the controller's trailing window.  All controller
+    arithmetic — speculative costs, p-bar left-folds, window means,
+    multiplicative Θ steps — mirrors the scalar operations verbatim so
+    the adapted Θ trajectory matches bit-for-bit.
+    """
+    import numpy as np
+
+    from repro.sim.fleet.engine import (
+        _flat_packets,
+        _reject_extra,
+        _simulate_etrain,
+        fleet_slot_count,
+    )
+
+    target_delay = float(params.pop("target_delay", 30.0))
+    theta_init = float(params.pop("theta_init", 0.5))
+    window = int(params.pop("window", 40))
+    warm_gate = bool(params.pop("warm_gate", True))
+    _reject_extra(params)
+    if target_delay <= 0:
+        raise ValueError(f"target_delay must be > 0, got {target_delay}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if theta_init < 0:
+        raise ValueError(f"theta must be >= 0, got {theta_init}")
+    if np.any(workload.deadlines < 2.0):
+        raise ValueError("fleet adaptive requires all deadlines >= 2 s")
+
+    n_slots = fleet_slot_count(workload.horizon)
+    pk_app, pk_dev, pk_arr, pk_size, base = _flat_packets(workload)
+
+    A, D = workload.n_apps, workload.n_devices
+    garr = [workload.arrivals[a] for a in range(A)]
+    kinds = [int(k) for k in workload.cost_kinds]
+    dls = [float(d) for d in workload.deadlines]
+    eta_down = 1.0 - AdaptiveThetaETrainStrategy.ETA
+    eta_up = 1.0 + AdaptiveThetaETrainStrategy.ETA
+    th_min = AdaptiveThetaETrainStrategy.THETA_MIN
+    th_max = AdaptiveThetaETrainStrategy.THETA_MAX
+
+    theta = np.full(D, theta_init, dtype=np.float64)
+    delays: List[List[float]] = [[] for _ in range(D)]
+
+    def adapt(d: int, released: List[float]) -> None:
+        buf = delays[d]
+        buf.extend(released)
+        if len(buf) >= window:
+            recent = buf[-window:]
+            mean_delay = sum(recent) / len(recent)
+            scale = eta_down if mean_delay > target_delay else eta_up
+            theta[d] = min(max(theta[d] * scale, th_min), th_max)
+            delays[d] = buf[-window:]
+
+    def phi(kind: int, dl: float, d):
+        # The scalar cost functions' exact branch arithmetic.
+        if kind == 0:
+            return 0.0 if d <= dl else d / dl - 1.0
+        if kind == 1:
+            return d / dl if d <= dl else 2.0
+        return d / dl if d <= dl else 3.0 * d / dl - 2.0
+
+    def on_release(i, pick_dev, pick_delay, hbq, hb_lo, hb_hi):
+        t = float(i)
+        for j in range(len(pick_dev)):
+            adapt(int(pick_dev[j]), [float(pick_delay[j])])
+        if not len(hbq):
+            return
+        u = t + 1.0
+        for j in range(len(hbq)):
+            arrs = [garr[a][hb_lo[a][j] : hb_hi[a][j]] for a in range(A)]
+            specs = [
+                [phi(kinds[a], dls[a], u - ar) for ar in arrs[a]] for a in range(A)
+            ]
+            # P-bar per app: the scalar's left-fold over queue order.
+            pbar = [sum(s) for s in specs]
+            selc = [0.0] * A
+            ptr = [0] * A
+            out: List[float] = []
+            # Greedy picks: within an app the head always wins (specs are
+            # nonincreasing along the queue and the gain is increasing in
+            # spec over the feasible range), so each round compares the A
+            # heads; first-scanned wins ties, gains must be > 0.
+            while True:
+                best_gain = 0.0
+                best = -1
+                for a in range(A):
+                    if ptr[a] < len(specs[a]):
+                        sp = specs[a][ptr[a]]
+                        gain = (pbar[a] - selc[a]) * sp - sp**2 / 2.0
+                        if gain > best_gain:
+                            best_gain = gain
+                            best = a
+                if best < 0:
+                    break
+                selc[best] += specs[best][ptr[best]]
+                out.append(max(0.0, t - arrs[best][ptr[best]]))
+                ptr[best] += 1
+            # Free riders: remaining packets FIFO, apps in order.
+            for a in range(A):
+                while ptr[a] < len(specs[a]):
+                    out.append(max(0.0, t - arrs[a][ptr[a]]))
+                    ptr[a] += 1
+            adapt(int(hbq[j]), out)
+
+    return _simulate_etrain(
+        workload,
+        table,
+        pk_app,
+        pk_dev,
+        pk_arr,
+        pk_size,
+        base,
+        n_slots,
+        theta,
+        warm_gate,
+        power_model,
+        profiler=profiler,
+        on_release=on_release,
+    )

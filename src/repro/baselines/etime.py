@@ -24,12 +24,12 @@ the energy-delay knob (bigger V → longer waits → fewer, larger bursts).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.base import BandwidthEstimator, TransmissionStrategy
 from repro.core.packet import Packet
 
-__all__ = ["ETimeStrategy"]
+__all__ = ["ETimeStrategy", "etime_fleet_kernel"]
 
 
 class ETimeStrategy(TransmissionStrategy):
@@ -95,3 +95,86 @@ class ETimeStrategy(TransmissionStrategy):
     def flush(self, now: float) -> List[Packet]:
         released, self._queue = self._queue, []
         return released
+
+
+# ---------------------------------------------------------------------------
+# vectorized fleet kernel (registered in repro.sim.fleet.registry)
+# ---------------------------------------------------------------------------
+
+
+def etime_fleet_kernel(workload, table, params: Dict, power_model, *, profiler=None):
+    """Batched eTime over the device axis of one fleet chunk.
+
+    The decision rule factorizes cleanly across devices: the quality
+    ratio is a shared per-chunk series (see
+    :mod:`repro.sim.fleet.estimator`), each device's backlog is a
+    contiguous range of its delivery-ordered packets (whole-queue
+    releases keep it contiguous), and byte backlogs are exact int64
+    prefix-sum differences — the same integer sum the scalar
+    ``backlog_bytes`` computes.  Release slots then feed the shared
+    loop-free burst builder, valid because eTime never holds packets for
+    radio warmth (``requires_warm_radio=False``).
+    """
+    import numpy as np
+
+    from repro.sim.fleet.engine import (
+        _build_loopfree,
+        _csr_expand,
+        _delivery_slots,
+        _flat_packets,
+        _reject_extra,
+        fleet_slot_count,
+    )
+    from repro.sim.fleet.estimator import decision_slot_indices, quality_series
+
+    v = float(params.pop("v", 200_000.0))
+    lag = float(params.pop("lag", 2.0))
+    noise = float(params.pop("noise", 0.3))
+    est_seed = int(params.pop("est_seed", 0))
+    _reject_extra(params)
+    if v < 0:
+        raise ValueError(f"v must be >= 0, got {v}")
+
+    n_slots = fleet_slot_count(workload.horizon)
+    pk_app, pk_dev, pk_arr, pk_size, _ = _flat_packets(workload)
+
+    # eTime decides on its 60 s Lyapunov grid; the shared quality series
+    # is sampled exactly there (record happens every decide, queue or not).
+    dec = decision_slot_indices(n_slots, 60.0)
+    q = quality_series(
+        table, dec.astype(np.float64), lag=lag, noise=noise, seed=est_seed
+    )
+
+    # Delivery-ordered packet view with per-device queue pointers.
+    kd = _delivery_slots(pk_arr, n_slots)
+    perm = np.lexsort((np.arange(pk_arr.size, dtype=np.int64), kd, pk_dev))
+    dev_s = pk_dev[perm]
+    kd_s = kd[perm]
+    byte_prefix = np.concatenate(
+        ([0], np.cumsum(pk_size[perm].astype(np.int64)))
+    )
+    key_mod = np.int64(n_slots + 2)
+    key = dev_s * key_mod + kd_s
+
+    D = workload.n_devices
+    seg = np.searchsorted(dev_s, np.arange(D + 1, dtype=np.int64))
+    qhead = seg[:-1].copy()
+    probe = np.arange(D, dtype=np.int64) * key_mod
+    r_s = np.full(dev_s.size, n_slots, dtype=np.int64)
+
+    for j in range(dec.size):
+        i = int(dec[j])
+        qtail = np.searchsorted(key, probe + i, side="right")
+        backlog = byte_prefix[qtail] - byte_prefix[qhead]
+        score = backlog.astype(np.float64) * q[j]
+        fired = np.nonzero((qtail > qhead) & (score >= v))[0]
+        if fired.size:
+            idx, _ = _csr_expand(qhead[fired], qtail[fired])
+            r_s[idx] = i
+            qhead[fired] = qtail[fired]
+
+    release = np.empty(dev_s.size, dtype=np.int64)
+    release[perm] = r_s
+    return _build_loopfree(
+        workload, table, release, pk_app, pk_dev, pk_arr, pk_size, n_slots
+    )

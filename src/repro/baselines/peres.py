@@ -34,7 +34,7 @@ from repro.core.cost_functions import DelayCostFunction
 from repro.core.packet import Packet
 from repro.core.profiles import CargoAppProfile
 
-__all__ = ["PerESStrategy"]
+__all__ = ["PerESStrategy", "peres_fleet_kernel"]
 
 
 class PerESStrategy(TransmissionStrategy):
@@ -133,3 +133,221 @@ class PerESStrategy(TransmissionStrategy):
     def flush(self, now: float) -> List[Packet]:
         released, self._queue = self._queue, []
         return released
+
+
+# ---------------------------------------------------------------------------
+# vectorized fleet kernel (registered in repro.sim.fleet.registry)
+# ---------------------------------------------------------------------------
+
+#: Window of the dynamic-V adaptation (``_released_costs[-50:]``).
+_V_WINDOW = 50
+
+
+def peres_fleet_kernel(workload, table, params: Dict, power_model, *, profiler=None):
+    """Batched PerES over the device axis of one fleet chunk.
+
+    Per slot the kernel evaluates ``P(t) · quality >= V`` and the
+    deadline-pressure override for every device at once:
+
+    * ``P(t)`` comes from the same closed-form pre/post-deadline
+      aggregates the eTrain kernel maintains (sums round differently
+      from the scalar sequential additions by ~1e-13, reset to exact
+      zero at every whole-queue release);
+    * the quality ratio is the shared per-chunk estimator series;
+    * deadline pressure reduces to the per-app queue *heads* (the oldest
+      packet maximises delay, and the cost deadline is per-app), an
+      exact reduction of the scalar any-packet scan;
+    * the dynamic per-device ``V`` adapts on releases from a (D, 50)
+      left-aligned window of recent released costs, accumulated
+      column-sequentially so the mean matches Python's left-fold sum.
+
+    Releases are whole-queue, so each device's backlog stays a
+    contiguous range of its arrival-ordered packets and the release
+    slots feed the shared loop-free burst builder
+    (``requires_warm_radio=False``).
+    """
+    import numpy as np
+
+    from repro.sim.fleet.engine import (
+        _build_loopfree,
+        _cost_aggregate,
+        _csr_expand,
+        _delivery_slots,
+        _flat_packets,
+        _head_spec,
+        _reject_extra,
+        _transition_slots,
+        fleet_slot_count,
+    )
+    from repro.sim.fleet.estimator import quality_series
+
+    omega = float(params.pop("omega", 0.5))
+    v_init = float(params.pop("v_init", 1.0))
+    lag = float(params.pop("lag", 2.0))
+    noise = float(params.pop("noise", 0.3))
+    est_seed = int(params.pop("est_seed", 0))
+    _reject_extra(params)
+    if omega < 0:
+        raise ValueError(f"omega must be >= 0, got {omega}")
+    if v_init <= 0:
+        raise ValueError(f"v_init must be > 0, got {v_init}")
+    if np.any(workload.deadlines < 2.0):
+        raise ValueError("fleet peres requires all deadlines >= 2 s")
+
+    A, D = workload.n_apps, workload.n_devices
+    n_slots = fleet_slot_count(workload.horizon)
+    pk_app, pk_dev, pk_arr, pk_size, _ = _flat_packets(workload)
+    kinds = [int(k) for k in workload.cost_kinds]
+    dls = [float(d) for d in workload.deadlines]
+
+    # PerES decides every 1 s slot; one shared quality sample per slot.
+    q = quality_series(
+        table,
+        np.arange(n_slots, dtype=np.float64),
+        lag=lag,
+        noise=noise,
+        seed=est_seed,
+    )
+
+    garr = [workload.arrivals[a] for a in range(A)]
+    gdev = [
+        np.repeat(
+            np.arange(D, dtype=np.int64), np.diff(workload.offsets[a])
+        )
+        for a in range(A)
+    ]
+
+    # Per-slot buckets: deliveries by k_d, pre->post transitions by k_p.
+    dorder, dbnd, torder, tbnd = [], [], [], []
+    for a in range(A):
+        kd_a = _delivery_slots(garr[a], n_slots)
+        o = np.argsort(kd_a, kind="stable")
+        dorder.append(o)
+        dbnd.append(np.searchsorted(kd_a[o], np.arange(n_slots + 1)))
+        kc = np.minimum(_transition_slots(garr[a], dls[a]), n_slots + 2)
+        o2 = np.argsort(kc, kind="stable")
+        torder.append(o2)
+        tbnd.append(np.searchsorted(kc[o2], np.arange(n_slots + 3)))
+
+    # Queue-ordered flat packet view (delivery order: arrival, then the
+    # packet-id tie-break — alphabetical app, then app-major position).
+    alpha = np.argsort(np.argsort(np.asarray(workload.app_ids)))
+    perm = np.lexsort(
+        (np.arange(pk_arr.size, dtype=np.int64), alpha[pk_app], pk_arr, pk_dev)
+    )
+    app_s = pk_app[perm]
+    arr_s = pk_arr[perm]
+    dev_s = pk_dev[perm]
+    seg = np.searchsorted(dev_s, np.arange(D + 1, dtype=np.int64))
+    qhead = seg[:-1].copy()
+    qtail = seg[:-1].copy()
+    r_s = np.full(dev_s.size, n_slots, dtype=np.int64)
+
+    # State: in-set cost aggregates, per-app queue pointers, dynamic V.
+    pre_n = np.zeros((A, D))
+    pre_s = np.zeros((A, D))
+    post_n = np.zeros((A, D))
+    post_s = np.zeros((A, D))
+    head = [workload.offsets[a][:-1].copy() for a in range(A)]
+    tail = [workload.offsets[a][:-1].copy() for a in range(A)]
+    v = np.full(D, v_init)
+    win = np.zeros((D, _V_WINDOW))
+    wlen = np.zeros(D, dtype=np.int64)
+    # Same expressions the scalar _adapt_v computes from ETA.
+    v_down = 1.0 - PerESStrategy.ETA
+    v_up = 1.0 + PerESStrategy.ETA
+    v_min, v_max = PerESStrategy.V_MIN, PerESStrategy.V_MAX
+    cols = np.arange(_V_WINDOW)
+
+    for i in range(n_slots):
+        t = float(i)
+        u = t + 1.0
+        # 1. deliveries (arrival <= t): always pre-deadline on entry.
+        for a in range(A):
+            sl = dorder[a][dbnd[a][i] : dbnd[a][i + 1]]
+            if sl.size:
+                dv = gdev[a][sl]
+                np.add.at(pre_n[a], dv, 1.0)
+                np.add.at(pre_s[a], dv, garr[a][sl])
+                np.add.at(tail[a], dv, 1)
+                np.add.at(qtail, dv, 1)
+        # 2. pre->post transitions for still-queued packets.
+        for a in range(A):
+            sl = torder[a][tbnd[a][i] : tbnd[a][i + 1]]
+            if sl.size:
+                dv = gdev[a][sl]
+                act = sl >= head[a][dv]
+                if act.any():
+                    g = sl[act]
+                    dv = dv[act]
+                    ar = garr[a][g]
+                    np.add.at(pre_n[a], dv, -1.0)
+                    np.add.at(pre_s[a], dv, -ar)
+                    np.add.at(post_n[a], dv, 1.0)
+                    np.add.at(post_s[a], dv, ar)
+        # 3. decision: P(t)·quality >= V, or deadline pressure.
+        has_q = qtail > qhead
+        if not has_q.any():
+            continue
+        P = np.zeros(D)
+        pressure = np.zeros(D, dtype=bool)
+        for a in range(A):
+            P += _cost_aggregate(
+                kinds[a], dls[a], t, pre_n[a], pre_s[a], post_n[a], post_s[a]
+            )
+            h = head[a]
+            has = h < tail[a]
+            if has.any():  # guards the gather when app a has no packets
+                ar_h = garr[a][np.minimum(h, garr[a].size - 1)]
+                pressure |= has & ((u - ar_h) > dls[a])
+        fired = np.nonzero(has_q & ((P * q[i] >= v) | pressure))[0]
+        if not fired.size:
+            continue
+        # 4. whole-queue release at slot i; record costs at ``now``.
+        lo, hi = qhead[fired], qtail[fired]
+        idx, lens = _csr_expand(lo, hi)
+        r_s[idx] = i
+        costs = np.empty(idx.size)
+        rel_app = app_s[idx]
+        rel_d = t - arr_s[idx]
+        for a in range(A):
+            m = rel_app == a
+            if m.any():
+                costs[m] = _head_spec(kinds[a], dls[a], rel_d[m])
+        # 5. slide the (D, 50) released-cost windows and adapt V.
+        F = fired.size
+        k = lens
+        m_new = np.minimum(k, _V_WINDOW)
+        o_old = np.minimum(wlen[fired], _V_WINDOW - m_new)
+        newlen = o_old + m_new
+        off = np.concatenate(([0], np.cumsum(k)[:-1]))
+        take_old = cols[None, :] < o_old[:, None]
+        take_new = ~take_old & (cols[None, :] < newlen[:, None])
+        old_pos = (wlen[fired] - o_old)[:, None] + cols[None, :]
+        new_pos = (off + k - m_new - o_old)[:, None] + cols[None, :]
+        old_g = win[fired[:, None], np.clip(old_pos, 0, _V_WINDOW - 1)]
+        new_g = costs[np.clip(new_pos, 0, max(costs.size - 1, 0))]
+        fresh = np.where(take_old, old_g, np.where(take_new, new_g, 0.0))
+        win[fired] = fresh
+        wlen[fired] = newlen
+        # Column-sequential accumulation == Python's left-fold sum.
+        acc = np.zeros(F)
+        for c in range(_V_WINDOW):
+            acc = acc + np.where(c < newlen, fresh[:, c], 0.0)
+        mean = acc / newlen
+        vf = np.where(mean > omega, v[fired] * v_down, v[fired] * v_up)
+        v[fired] = np.minimum(np.maximum(vf, v_min), v_max)
+        # 6. exact queue reset (mirrors the scalar queue emptying).
+        qhead[fired] = qtail[fired]
+        for a in range(A):
+            head[a][fired] = tail[a][fired]
+            pre_n[a][fired] = 0.0
+            pre_s[a][fired] = 0.0
+            post_n[a][fired] = 0.0
+            post_s[a][fired] = 0.0
+
+    release = np.empty(dev_s.size, dtype=np.int64)
+    release[perm] = r_s
+    return _build_loopfree(
+        workload, table, release, pk_app, pk_dev, pk_arr, pk_size, n_slots
+    )

@@ -911,6 +911,19 @@ def build_loadgen_parser() -> argparse.ArgumentParser:
         "--window", type=int, default=64, help="max in-flight requests per connection"
     )
     parser.add_argument(
+        "--bulk",
+        action="store_true",
+        help="replay via the batched decision path ('batch' frames over "
+        "contiguous device ranges, fused server-side into vectorized "
+        "fleet-kernel calls) instead of per-device event streams",
+    )
+    parser.add_argument(
+        "--bulk-ranges",
+        type=int,
+        default=4,
+        help="contiguous device ranges in a --bulk replay (default 4)",
+    )
+    parser.add_argument(
         "--out", default=None, help="also write the report JSON here"
     )
     parser.add_argument(
@@ -945,6 +958,8 @@ def run_loadgen_command(argv: List[str]) -> int:
         params=params,
         connections=args.connections,
         window=args.window,
+        bulk=args.bulk,
+        bulk_ranges=args.bulk_ranges,
     )
 
     if args.smoke:
@@ -966,19 +981,31 @@ def run_loadgen_command(argv: List[str]) -> int:
     else:
         report = asyncio.run(run_loadgen(config))
 
-    print(
-        f"{report['requests']} requests over {report['connections']} conn in "
-        f"{report['wall_s']:.3f}s: {report['decisions_per_s']:.0f} decisions/s, "
-        f"latency p50 {report['latency_p50_ms']:.2f} ms / "
-        f"p95 {report['latency_p95_ms']:.2f} ms / "
-        f"p99 {report['latency_p99_ms']:.2f} ms"
-    )
+    if args.bulk:
+        print(
+            f"{report['requests']} batch requests "
+            f"(coalesced up to {report['coalesced']}) in "
+            f"{report['wall_s']:.3f}s: {report['devices_per_s']:.0f} devices/s, "
+            f"{report['packets_per_s']:.0f} packets/s, "
+            f"latency p99 {report['latency_p99_ms']:.2f} ms"
+        )
+    else:
+        print(
+            f"{report['requests']} requests over {report['connections']} conn in "
+            f"{report['wall_s']:.3f}s: {report['decisions_per_s']:.0f} decisions/s, "
+            f"latency p50 {report['latency_p50_ms']:.2f} ms / "
+            f"p95 {report['latency_p95_ms']:.2f} ms / "
+            f"p99 {report['latency_p99_ms']:.2f} ms"
+        )
     if args.out is not None:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
         print(f"wrote report to {args.out}")
-    if args.smoke and report["decisions"] <= 0:
+    if args.smoke and not args.bulk and report["decisions"] <= 0:
         print("loadgen: smoke run produced no decisions", file=sys.stderr)
+        return 1
+    if args.smoke and args.bulk and report["packets"] <= 0:
+        print("loadgen: bulk smoke run produced no packets", file=sys.stderr)
         return 1
     return 0
 
@@ -1118,6 +1145,13 @@ def run_fleet_command(argv: List[str]) -> int:
         if journal is not None:
             journal.close()
     print(result.describe())
+    if not result.vectorized:
+        print(
+            f"warning: strategy {spec.strategy!r} with this configuration has "
+            "no vectorized fleet kernel — ran the per-device scalar fallback "
+            "(identical results, scalar speed; see docs/observability.md)",
+            file=sys.stderr,
+        )
     stats = result.executor_stats
     if stats is not None and (
         stats.worker_failures or stats.timeouts or stats.retries

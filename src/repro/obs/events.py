@@ -80,6 +80,7 @@ class EventType:
     FLEET_CHUNK = "fleet_chunk"
     FLEET_BURST = "fleet_burst"
     FLEET_RUN = "fleet_run"
+    FLEET_FALLBACK = "fleet_fallback"
     # Execution-layer fault events (emitted by the fault-tolerant
     # executor, not by the simulation engines; see docs/robustness.md).
     JOB_RETRY = "job_retry"
@@ -101,6 +102,7 @@ CORE_FIELDS: Dict[str, Tuple[str, ...]] = {
     EventType.FLEET_CHUNK: ("ev", "devices", "packets", "bursts"),
     EventType.FLEET_BURST: ("ev", "dev", "t", "dur", "size", "kind"),
     EventType.FLEET_RUN: ("ev", "devices", "chunks"),
+    EventType.FLEET_FALLBACK: ("ev", "strategy", "chunks"),
     EventType.JOB_RETRY: ("ev", "job", "attempt"),
     EventType.WORKER_FAILURE: ("ev", "lost", "timed_out"),
     EventType.SERIAL_FALLBACK: ("ev", "jobs", "breaks"),

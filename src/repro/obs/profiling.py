@@ -44,6 +44,21 @@ class PhaseProfiler:
             slot["cpu_s"] += cpu
             slot["calls"] += 1
 
+    def add(
+        self, name: str, wall_s: float, cpu_s: float = 0.0, calls: int = 1
+    ) -> None:
+        """Accumulate an externally measured duration under ``name``.
+
+        For hot loops that cannot afford a context manager per pass: the
+        caller times with ``perf_counter`` itself and reports the total.
+        """
+        slot = self._phases.setdefault(
+            name, {"wall_s": 0.0, "cpu_s": 0.0, "calls": 0}
+        )
+        slot["wall_s"] += wall_s
+        slot["cpu_s"] += cpu_s
+        slot["calls"] += calls
+
     def wall(self, name: str) -> float:
         return self._phases.get(name, {}).get("wall_s", 0.0)
 

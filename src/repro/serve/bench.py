@@ -36,6 +36,7 @@ __all__ = [
     "ServeBenchCase",
     "SERVE_BENCH_CASES",
     "run_serve_case",
+    "run_bulk_case",
     "run_serve_benchmarks",
     "check_floor",
     "check_results",
@@ -63,32 +64,136 @@ class ServeBenchCase:
     smoke: bool = False
     #: Assert decisions_per_s >= SERVE_DECISIONS_FLOOR for this case.
     gate: bool = False
+    #: Replay through the bulk (``batch`` op) path and compare against
+    #: the per-event streaming replay of the same population.
+    bulk: bool = False
+    bulk_ranges: int = 4
 
 
 #: The gated etrain case rides the CI smoke subset; the scalar-fallback
-#: (peres) and larger full-mode cases document the envelope.
+#: (peres) and larger full-mode cases document the envelope.  Bulk cases
+#: replay the same population both ways — their ``speedup`` is the
+#: batched-decision path's gain over per-event streaming.
 SERVE_BENCH_CASES: List[ServeBenchCase] = [
     ServeBenchCase("etrain_serve_smoke", "etrain", 8, smoke=True, gate=True),
     ServeBenchCase("peres_serve_smoke", "peres", 4, smoke=True),
+    ServeBenchCase(
+        "etrain_bulk_smoke", "etrain", 32, smoke=True, gate=True, bulk=True
+    ),
     # Full-mode only: paper-scale horizon, more devices and connections.
     ServeBenchCase(
         "etrain_serve_2h", "etrain", 16, horizon=7200.0, connections=4, gate=True
     ),
     ServeBenchCase("immediate_serve_2h", "immediate", 16, horizon=7200.0, connections=4),
+    ServeBenchCase(
+        "etrain_bulk_2h", "etrain", 16, horizon=7200.0, gate=True, bulk=True
+    ),
 ]
+
+
+def _replay(case: ServeBenchCase, *, bulk: bool) -> Dict:
+    """One loadgen replay against a fresh in-process server."""
+    from repro.serve.loadgen import LoadgenConfig, run_loadgen
+    from repro.serve.server import EtrainServer, ServeConfig
+
+    async def _one() -> Dict:
+        server = EtrainServer(ServeConfig())
+        await server.start()
+        try:
+            return await run_loadgen(
+                LoadgenConfig(
+                    port=server.port,
+                    devices=case.devices,
+                    horizon=case.horizon,
+                    seed=case.seed,
+                    strategy=case.strategy,
+                    params=dict(case.params),
+                    connections=case.connections,
+                    window=case.window,
+                    bulk=bulk,
+                    bulk_ranges=case.bulk_ranges,
+                )
+            )
+        finally:
+            await server.stop()
+
+    return asyncio.run(_one())
+
+
+def run_bulk_case(case: ServeBenchCase, repeats: int = 2) -> Dict[str, object]:
+    """Bulk-vs-streaming: the same population, batched and per-event.
+
+    The decision count of a workload+strategy is deterministic (the
+    replays are equivalence-tested against the same engine), so the bulk
+    side's ``decisions_per_s`` is the streaming replay's decision count
+    over the bulk replay's wall time — the same scheduling decisions,
+    delivered faster.  ``speedup`` is bulk over streaming, which the
+    committed baseline pins against regression.
+    """
+    stream_best: Optional[Dict] = None
+    for _ in range(repeats):
+        report = _replay(case, bulk=False)
+        if (
+            stream_best is None
+            or report["decisions_per_s"] > stream_best["decisions_per_s"]
+        ):
+            stream_best = report
+    assert stream_best is not None
+    bulk_best: Optional[Dict] = None
+    for _ in range(repeats):
+        report = _replay(case, bulk=True)
+        if bulk_best is None or report["wall_s"] < bulk_best["wall_s"]:
+            bulk_best = report
+    assert bulk_best is not None
+
+    decisions = stream_best["decisions"]
+    bulk_rate = (
+        decisions / bulk_best["wall_s"] if bulk_best["wall_s"] > 0 else 0.0
+    )
+    stream_rate = stream_best["decisions_per_s"]
+    return {
+        "name": case.name,
+        "mode": "bulk",
+        "strategy": case.strategy,
+        "devices": case.devices,
+        "horizon": case.horizon,
+        "seed": case.seed,
+        "connections": stream_best["connections"],
+        "window": case.window,
+        "smoke": case.smoke,
+        "gate": case.gate,
+        "requests": bulk_best["requests"],
+        "coalesced": bulk_best["coalesced"],
+        "packets": bulk_best["packets"],
+        "bursts": bulk_best["bursts"],
+        "decisions": decisions,
+        "wall_s": bulk_best["wall_s"],
+        "decisions_per_s": bulk_rate,
+        "requests_per_s": bulk_best["requests_per_s"],
+        "latency_p50_ms": bulk_best["latency_p50_ms"],
+        "latency_p95_ms": bulk_best["latency_p95_ms"],
+        "latency_p99_ms": bulk_best["latency_p99_ms"],
+        "stream_wall_s": stream_best["wall_s"],
+        "stream_decisions_per_s": stream_rate,
+        "speedup": bulk_rate / stream_rate if stream_rate > 0 else 0.0,
+    }
 
 
 def run_serve_case(case: ServeBenchCase, repeats: int = 2) -> Dict[str, object]:
     """Benchmark one case; the loadgen replay is the timed region.
 
     Best-of-``repeats`` on both sides.  The server is restarted per
-    repeat so every run starts from an empty session store.
+    repeat so every run starts from an empty session store.  Bulk cases
+    route to :func:`run_bulk_case`.
     """
     from repro.bandwidth.synth import wuhan_bandwidth_model
     from repro.serve.loadgen import LoadgenConfig, run_loadgen
     from repro.serve.server import EtrainServer, ServeConfig
     from repro.sim.fleet.reference import simulate_reference_chunk
     from repro.sim.fleet.workload import synthesize_fleet
+
+    if case.bulk:
+        return run_bulk_case(case, repeats=repeats)
 
     params = dict(case.params)
 
@@ -171,7 +276,14 @@ def run_serve_benchmarks(
     for case in cases:
         row = run_serve_case(case, repeats=repeats)
         rows.append(row)
-        if progress is not None:
+        if progress is not None and row.get("mode") == "bulk":
+            progress(
+                f"{row['name']:20s} bulk  {row['decisions_per_s']:9.0f} dec/s  "
+                f"stream {row['stream_decisions_per_s']:8.0f} dec/s  "
+                f"ratio {row['speedup']:6.1f}x  "
+                f"coalesced {row['coalesced']}"
+            )
+        elif progress is not None:
             progress(
                 f"{row['name']:20s} serve {row['decisions_per_s']:9.0f} dec/s  "
                 f"batch {row['batch_decisions_per_s']:9.0f} dec/s  "

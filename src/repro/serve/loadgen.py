@@ -13,6 +13,13 @@ must stay below the server's inbox watermark: the loadgen replays each
 device's events in order, so a shed frame would corrupt the replay —
 loadgen therefore treats any non-ok response as fatal rather than
 retrying out of order.
+
+``bulk`` mode exercises the server's batched decision path instead:
+the same population goes down one connection as a handful of ``batch``
+frames covering contiguous device ranges, which the server fuses into
+single vectorized fleet-kernel calls (``coalesced`` in the responses
+reports the fusion width).  The report then carries devices/packets per
+second rather than per-event decision counts.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from repro.serve.protocol import ProtocolError, encode_frame
 __all__ = [
     "LoadgenConfig",
     "device_frames",
+    "bulk_frames",
     "run_loadgen",
     "run_loadgen_sync",
     "percentile",
@@ -48,6 +56,12 @@ class LoadgenConfig:
     connections: int = 2
     window: int = 64  # max in-flight requests per connection
     drain_every: int = 64  # writer.drain() cadence, frames
+    #: Replay via ``batch`` frames (bulk decision path) instead of
+    #: per-device event streams.
+    bulk: bool = False
+    #: Contiguous device ranges the bulk population is split into (the
+    #: server coalesces them back into one kernel call per micro-batch).
+    bulk_ranges: int = 4
 
 
 def workload_apps(workload) -> List[Dict]:
@@ -146,6 +160,36 @@ def device_frames(
     return frames
 
 
+def bulk_frames(config: LoadgenConfig) -> List[Dict]:
+    """The bulk replay: contiguous ``batch`` ranges covering the fleet.
+
+    Near-equal ranges in ascending device order — exactly the shape the
+    server's micro-batch coalescer fuses back into one kernel call, so
+    a bulk replay measures the batched decision path, not request
+    chopping overhead.
+    """
+    ranges = max(1, min(config.bulk_ranges, config.devices))
+    sizes = [config.devices // ranges] * ranges
+    for i in range(config.devices % ranges):
+        sizes[i] += 1
+    frames: List[Dict] = []
+    offset = 0
+    for n in sizes:
+        frames.append(
+            {
+                "op": "batch",
+                "strategy": config.strategy,
+                "params": dict(config.params),
+                "devices": n,
+                "device_offset": offset,
+                "horizon": config.horizon,
+                "seed": config.seed,
+            }
+        )
+        offset += n
+    return frames
+
+
 def percentile(sorted_values: Sequence[float], q: float) -> float:
     """Exact nearest-rank percentile of an ascending sequence."""
     if not sorted_values:
@@ -201,6 +245,12 @@ async def _drive_connection(
                     stats["decisions"] += response["decisions"]
                     stats["tx"] += len(response["tx"])
                     stats["closes"] += 1
+                elif response["op"] == "batch":
+                    stats["packets"] += response["packets"]
+                    stats["bursts"] += response["bursts"]
+                    stats["coalesced"] = max(
+                        stats["coalesced"], response["coalesced"]
+                    )
 
     try:
         await asyncio.gather(_send(), _receive())
@@ -224,6 +274,8 @@ async def run_loadgen(config: LoadgenConfig) -> Dict:
 
     if config.window < 1:
         raise ValueError(f"window must be >= 1, got {config.window}")
+    if config.bulk:
+        return await _run_bulk(config)
     workload = synthesize_fleet(config.devices, config.horizon, seed=config.seed)
     streams = [
         device_frames(
@@ -237,7 +289,7 @@ async def run_loadgen(config: LoadgenConfig) -> Dict:
     per_conn: List[List[Dict]] = [[] for _ in range(n_connections)]
     for device, frames in enumerate(streams):
         per_conn[device % n_connections].extend(frames)
-    stats = {"latencies": [], "decisions": 0, "tx": 0, "closes": 0}
+    stats = _new_stats()
     started = time.perf_counter()
     await asyncio.gather(
         *(_drive_connection(config, frames, stats) for frames in per_conn)
@@ -258,6 +310,50 @@ async def run_loadgen(config: LoadgenConfig) -> Dict:
         "wall_s": wall,
         "decisions_per_s": stats["decisions"] / wall if wall > 0 else 0.0,
         "requests_per_s": requests / wall if wall > 0 else 0.0,
+        "latency_p50_ms": percentile(latencies, 50) * 1e3,
+        "latency_p95_ms": percentile(latencies, 95) * 1e3,
+        "latency_p99_ms": percentile(latencies, 99) * 1e3,
+    }
+    _record_metrics(report)
+    return report
+
+
+def _new_stats() -> Dict:
+    return {
+        "latencies": [],
+        "decisions": 0,
+        "tx": 0,
+        "closes": 0,
+        "packets": 0,
+        "bursts": 0,
+        "coalesced": 0,
+    }
+
+
+async def _run_bulk(config: LoadgenConfig) -> Dict:
+    """Bulk replay: the fleet as contiguous ``batch`` ranges, one pipe."""
+    frames = bulk_frames(config)
+    stats = _new_stats()
+    started = time.perf_counter()
+    await _drive_connection(config, frames, stats)
+    wall = time.perf_counter() - started
+    latencies = sorted(stats["latencies"])
+    report = {
+        "mode": "bulk",
+        "devices": config.devices,
+        "horizon": config.horizon,
+        "strategy": config.strategy,
+        "connections": 1,
+        "window": config.window,
+        "requests": len(frames),
+        "coalesced": stats["coalesced"],
+        "packets": stats["packets"],
+        "bursts": stats["bursts"],
+        "decisions": 0,  # per-event decision counts exist only in streams
+        "wall_s": wall,
+        "devices_per_s": config.devices / wall if wall > 0 else 0.0,
+        "packets_per_s": stats["packets"] / wall if wall > 0 else 0.0,
+        "requests_per_s": len(frames) / wall if wall > 0 else 0.0,
         "latency_p50_ms": percentile(latencies, 50) * 1e3,
         "latency_p95_ms": percentile(latencies, 95) * 1e3,
         "latency_p99_ms": percentile(latencies, 99) * 1e3,

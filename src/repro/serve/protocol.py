@@ -33,6 +33,16 @@ Requests
 ``{"op": "close", "device": D}``
     Run out the horizon, force-flush leftovers, return the final
     summary and per-device fleet aggregate, then drop the session.
+``{"op": "batch", "strategy": S, "devices": N, ...}``
+    Bulk decision request: simulate ``N`` synthesized devices (optional
+    ``device_offset``, ``horizon``, ``seed``, ``params``, ``bandwidth``,
+    ``power_model``) through the *vectorized* fleet kernel in one call
+    and return the aggregated :class:`FleetChunkSummary` as ``fleet``.
+    Only registry-vectorized strategies are accepted (``scalar_only``
+    error otherwise).  Adjacent batch requests in one server micro-batch
+    that share a configuration and cover contiguous device ranges are
+    fused into a single kernel call; ``coalesced`` reports the fusion
+    width.
 
 Every request may carry an ``id``; the response echoes it.
 """
@@ -69,6 +79,17 @@ OP_RESPONSE_FIELDS: Dict[str, Tuple[str, ...]] = {
     "open": ("device", "strategy", "horizon", "slot", "n_slots"),
     "event": ("device", "t", "decisions", "tx", "held"),
     "close": ("device", "decisions", "tx", "flushed", "summary", "fleet"),
+    "batch": (
+        "strategy",
+        "devices",
+        "device_offset",
+        "horizon",
+        "seed",
+        "coalesced",
+        "packets",
+        "bursts",
+        "fleet",
+    ),
 }
 
 #: Fields guaranteed on every error response.

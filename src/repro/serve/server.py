@@ -3,9 +3,13 @@
 Three layers, separable for testing:
 
 * :class:`ServeApp` — transport-free request handling.  ``handle(dict)
-  -> dict`` owns the op dispatch (hello/open/event/close), the session
-  store, and the error mapping; the equivalence and golden tests drive
-  it directly, so protocol behaviour is pinned without sockets.
+  -> dict`` owns the op dispatch (hello/open/event/close/batch), the
+  session store, and the error mapping; the equivalence and golden
+  tests drive it directly, so protocol behaviour is pinned without
+  sockets.  ``handle_batch`` additionally *coalesces* adjacent ``batch``
+  requests with the same configuration and contiguous device ranges
+  into one vectorized fleet-kernel call (see docs/serving.md), then
+  answers each request with its own device slice.
 * :class:`EtrainServer` — the asyncio shell.  Each connection feeds an
   incremental NDJSON decoder (:class:`repro.workload.trace_io
   .NdjsonDecoder`, shared with the trace reader, so a frame split
@@ -57,6 +61,8 @@ class ServeConfig:
     batch_max: int = 256
     read_chunk: int = 65536
     default_bandwidth: str = "wuhan"
+    #: Per-``batch``-request device cap (bounds one kernel call's memory).
+    batch_devices_max: int = 16384
 
 
 class ServeApp:
@@ -66,6 +72,7 @@ class ServeApp:
         self.config = config or ServeConfig()
         self.store = SessionStore(self.config.max_sessions)
         self._bandwidth_cache: Dict[str, object] = {}
+        self._table_cache: Dict[Tuple[str, float], object] = {}
         self.requests = 0
         self.errors = 0
 
@@ -91,6 +98,8 @@ class ServeApp:
                 response = self._event(request)
             elif op == "close":
                 response = self._close(request)
+            elif op == "batch":
+                response = self._run_batch_group([self._parse_batch(request)])[0]
             else:
                 raise ProtocolError("unknown_op", f"unknown op {op!r}")
         except ProtocolError as exc:
@@ -101,13 +110,68 @@ class ServeApp:
         return response
 
     def handle_batch(self, requests: List[object]) -> List[Dict]:
-        """Handle one micro-batch, preserving request order."""
-        return [self.handle(request) for request in requests]
+        """Handle one micro-batch, preserving request order.
+
+        Adjacent ``batch`` requests that share a configuration (strategy,
+        params, horizon, seed, bandwidth, power model) and cover
+        *contiguous* device ranges are fused into one vectorized kernel
+        call; each request is then answered with its own device slice —
+        bit-identical to serving it alone, because the fleet engine's
+        devices never interact and the workload RNG is keyed by absolute
+        device index.  Everything else goes through :meth:`handle`
+        one frame at a time.
+        """
+        responses: List[Optional[Dict]] = [None] * len(requests)
+        i = 0
+        while i < len(requests):
+            request = requests[i]
+            if not (isinstance(request, dict) and request.get("op") == "batch"):
+                responses[i] = self.handle(request)
+                i += 1
+                continue
+            self.requests += 1
+            try:
+                parsed = [self._parse_batch(request)]
+            except ProtocolError as exc:
+                self.errors += 1
+                responses[i] = error_response("batch", exc, request)
+                i += 1
+                continue
+            j = i + 1
+            while j < len(requests):
+                nxt = requests[j]
+                if not (isinstance(nxt, dict) and nxt.get("op") == "batch"):
+                    break
+                try:
+                    candidate = self._parse_batch(nxt)
+                except ProtocolError:
+                    break  # let the per-frame path report it
+                prev = parsed[-1]
+                if candidate["key"] != prev["key"] or candidate[
+                    "offset"
+                ] != prev["offset"] + prev["devices"]:
+                    break
+                parsed.append(candidate)
+                self.requests += 1
+                j += 1
+            try:
+                group = self._run_batch_group(parsed)
+            except ProtocolError as exc:
+                self.errors += len(parsed)
+                group = [
+                    error_response("batch", exc, p["request"]) for p in parsed
+                ]
+            for k, response in zip(range(i, j), group):
+                if "id" in requests[k]:
+                    response["id"] = requests[k]["id"]
+                responses[k] = response
+            i = j
+        return responses
 
     # -- ops -----------------------------------------------------------
 
     def _hello(self) -> Dict:
-        from repro.sim.fleet.engine import VECTOR_STRATEGIES
+        from repro.sim.fleet.registry import vector_strategies
         from repro.sim.parallel.specs import STRATEGY_BUILDERS
 
         return {
@@ -117,7 +181,7 @@ class ServeApp:
             "server": SERVER_NAME,
             "strategies": sorted(STRATEGY_BUILDERS),
             "scalar_fallback": sorted(
-                set(STRATEGY_BUILDERS) - set(VECTOR_STRATEGIES)
+                set(STRATEGY_BUILDERS) - set(vector_strategies())
             ),
             "sessions": len(self.store),
         }
@@ -212,6 +276,160 @@ class ServeApp:
             "fleet": summarize_scalar_result(result, session.profiles).to_dict(),
         }
 
+    # -- the bulk op: whole device ranges through the fleet kernel ------
+
+    def _parse_batch(self, request: Dict) -> Dict:
+        """Validate one ``batch`` request into a normalized group entry.
+
+        ``key`` is the coalescing identity: two parsed requests with
+        equal keys and contiguous device ranges may be fused into one
+        kernel call.
+        """
+        from repro.sim.fleet.registry import has_kernel
+        from repro.sim.parallel.specs import STRATEGY_BUILDERS
+
+        strategy = request.get("strategy", "etrain")
+        if not isinstance(strategy, str) or strategy not in STRATEGY_BUILDERS:
+            raise ProtocolError(
+                "bad_request",
+                f"unknown strategy {strategy!r}; known: {sorted(STRATEGY_BUILDERS)}",
+            )
+        if not has_kernel(strategy):
+            raise ProtocolError(
+                "scalar_only",
+                f"strategy {strategy!r} has no vectorized fleet kernel; "
+                "open per-device sessions instead",
+            )
+        params = request.get("params") or {}
+        if not isinstance(params, dict):
+            raise ProtocolError(
+                "bad_request", f"params must be an object, got {params!r}"
+            )
+        try:
+            params_key = json.dumps(params, sort_keys=True, separators=(",", ":"))
+        except (TypeError, ValueError):
+            raise ProtocolError("bad_request", "params must be JSON-serializable")
+        devices = self._int(request, "devices", None, minimum=1)
+        if devices > self.config.batch_devices_max:
+            raise ProtocolError(
+                "bad_request",
+                f"devices {devices} above the per-request cap "
+                f"{self.config.batch_devices_max}; split into ranges "
+                "(contiguous ranges coalesce server-side)",
+            )
+        offset = self._int(request, "device_offset", 0, minimum=0)
+        horizon = self._number(request, "horizon", 7200.0)
+        if horizon <= 0:
+            raise ProtocolError("bad_request", f"horizon must be > 0, got {horizon}")
+        seed = self._int(request, "seed", 0, minimum=0)
+        power_name = request.get("power_model")
+        self._power_model(power_name)  # validates the name
+        bw_spec = request.get("bandwidth")
+        if bw_spec is None:
+            bw_spec = {"kind": self.config.default_bandwidth}
+        self._bandwidth(bw_spec)  # validates + warms the model cache
+        bw_key = json.dumps(bw_spec, sort_keys=True, separators=(",", ":"))
+        return {
+            "request": request,
+            "key": (strategy, params_key, horizon, seed, bw_key, power_name),
+            "strategy": strategy,
+            "params": params,
+            "devices": devices,
+            "offset": offset,
+            "horizon": horizon,
+            "seed": seed,
+            "bw_spec": bw_spec,
+            "power_model": power_name,
+        }
+
+    def _channel_table(self, bw_spec: Dict, horizon: float):
+        from repro.sim.fleet.channel import ChannelTable
+
+        key = (
+            json.dumps(bw_spec, sort_keys=True, separators=(",", ":")),
+            float(horizon),
+        )
+        table = self._table_cache.get(key)
+        if table is None:
+            if len(self._table_cache) >= 8:
+                self._table_cache.clear()
+            table = ChannelTable.from_model(self._bandwidth(bw_spec), horizon)
+            self._table_cache[key] = table
+        return table
+
+    def _run_batch_group(self, parsed: List[Dict]) -> List[Dict]:
+        """One fused kernel call over a coalesced run of batch requests.
+
+        ``parsed`` entries share a config key and cover contiguous device
+        ranges; responses come back in request order, each summarizing
+        its own range (ids are attached by the caller).
+        """
+        from repro.sim.fleet.accounting import summarize_chunk
+        from repro.sim.fleet.engine import simulate_fleet_chunk, slice_chunk_raw
+        from repro.sim.fleet.workload import synthesize_fleet
+
+        base = parsed[0]
+        total = sum(p["devices"] for p in parsed)
+        workload = synthesize_fleet(
+            total,
+            base["horizon"],
+            seed=base["seed"],
+            device_offset=base["offset"],
+        )
+        table = self._channel_table(base["bw_spec"], base["horizon"])
+        try:
+            raw = simulate_fleet_chunk(
+                workload,
+                table,
+                strategy=base["strategy"],
+                params=dict(base["params"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "bad_request",
+                f"fleet kernel rejected the configuration: {exc}",
+            )
+        pm = self._power_model(base["power_model"])
+        if pm is None:
+            from repro.radio.power_model import GALAXY_S4_3G
+
+            pm = GALAXY_S4_3G
+        responses: List[Dict] = []
+        lo = 0
+        for p in parsed:
+            hi = lo + p["devices"]
+            summary = summarize_chunk(slice_chunk_raw(raw, lo, hi), pm)
+            responses.append(
+                {
+                    "ok": True,
+                    "op": "batch",
+                    "strategy": p["strategy"],
+                    "devices": p["devices"],
+                    "device_offset": p["offset"],
+                    "horizon": p["horizon"],
+                    "seed": p["seed"],
+                    "coalesced": len(parsed),
+                    "packets": summary.packets,
+                    "bursts": summary.bursts,
+                    "fleet": summary.to_dict(),
+                }
+            )
+            lo = hi
+        self._count_batch(total, len(parsed))
+        return responses
+
+    @staticmethod
+    def _count_batch(devices: int, coalesced: int) -> None:
+        from repro.obs.metrics import current_registry
+
+        registry = current_registry()
+        if registry is None:
+            return
+        registry.counter("serve.batch_devices").inc(devices)
+        registry.counter("serve.batch_requests").inc(coalesced)
+        if coalesced > 1:
+            registry.counter("serve.batch_coalesced").inc(coalesced)
+
     # -- request parsing helpers ---------------------------------------
 
     @staticmethod
@@ -231,6 +449,23 @@ class ServeApp:
                 "bad_request", f"{field} must be a number, got {value!r}"
             )
         return float(value)
+
+    @staticmethod
+    def _int(
+        request: Dict, field: str, default: Optional[int], *, minimum: int
+    ) -> int:
+        value = request.get(field, default)
+        if value is None:
+            raise ProtocolError("bad_request", f"{field} is required")
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(
+                "bad_request", f"{field} must be an integer, got {value!r}"
+            )
+        if value < minimum:
+            raise ProtocolError(
+                "bad_request", f"{field} must be >= {minimum}, got {value}"
+            )
+        return value
 
     @staticmethod
     def _power_model(name: Optional[str]):
@@ -422,10 +657,13 @@ class EtrainServer:
                 batch: List[Tuple[_Connection, Dict]] = self.inbox.drain(
                     self.config.batch_max
                 )
+                # One app call for the whole micro-batch: adjacent
+                # same-config bulk requests fuse into single vectorized
+                # kernel calls; responses come back in request order.
                 # Coalesce each connection's responses into one write.
+                responses = self.app.handle_batch([req for _, req in batch])
                 per_conn: Dict[int, Tuple[_Connection, List[bytes]]] = {}
-                for conn, request in batch:
-                    response = self.app.handle(request)
+                for (conn, _), response in zip(batch, responses):
                     entry = per_conn.get(id(conn))
                     if entry is None:
                         entry = per_conn[id(conn)] = (conn, [])

@@ -42,8 +42,10 @@ Equivalence to a per-device scalar loop is covered by
 from __future__ import annotations
 
 import math
+import os
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,16 +57,29 @@ __all__ = [
     "VECTOR_STRATEGIES",
     "FleetChunkRaw",
     "simulate_fleet_chunk",
+    "slice_chunk_raw",
+    "fleet_slot_count",
 ]
 
-#: Strategies with a vectorized fleet path; everything else falls back
-#: to the per-device scalar engine (see repro.sim.fleet.reference).
-VECTOR_STRATEGIES = ("immediate", "periodic", "tailender", "etrain")
+def __getattr__(name: str):
+    # VECTOR_STRATEGIES is derived from the kernel registry so the
+    # historical ``from repro.sim.fleet.engine import VECTOR_STRATEGIES``
+    # keeps working after strategies register kernels elsewhere
+    # (see repro.sim.fleet.registry); everything unregistered falls back
+    # to the per-device scalar engine (see repro.sim.fleet.reference).
+    if name == "VECTOR_STRATEGIES":
+        from repro.sim.fleet.registry import vector_strategies
+
+        return vector_strategies()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Burst kinds, mirroring TransmissionRecord.kind.
 KIND_HEARTBEAT, KIND_DATA, KIND_PIGGYBACK = 0, 1, 2
 
 _SERIALIZE_MAX_ITER = 500
+#: Bursts per serialisation fixed-point segment (device-aligned); bounds
+#: the solver's per-iteration temporaries for bursty strategies.
+_SERIALIZE_SEGMENT = 1 << 19
 
 
 @dataclass
@@ -95,6 +110,44 @@ class FleetChunkRaw:
     # per-app metadata (copied from the workload)
     cost_kinds: np.ndarray
     deadlines: np.ndarray
+
+
+def slice_chunk_raw(raw: FleetChunkRaw, lo: int, hi: int) -> FleetChunkRaw:
+    """Restrict a chunk's raw output to devices ``[lo, hi)``, re-based to 0.
+
+    Devices are simulated independently, so the slice carries exactly the
+    floats a standalone ``[lo, hi)`` chunk would produce — the serve
+    layer's coalesced batch path leans on this to answer each request
+    with its own device range after one fused kernel call.  Row order is
+    preserved, so downstream reductions sum in the same order too.
+    """
+    if not 0 <= lo <= hi <= raw.n_devices:
+        raise ValueError(
+            f"device slice [{lo}, {hi}) outside chunk of {raw.n_devices}"
+        )
+    if lo == 0 and hi == raw.n_devices:
+        return raw
+    bm = (raw.burst_dev >= lo) & (raw.burst_dev < hi)
+    pm = (raw.pk_dev >= lo) & (raw.pk_dev < hi)
+    # New row index of each kept burst, for re-pointing pk_burst.
+    remap = np.cumsum(bm, dtype=np.int64) - 1
+    return FleetChunkRaw(
+        n_devices=hi - lo,
+        horizon=raw.horizon,
+        n_slots=raw.n_slots,
+        burst_dev=raw.burst_dev[bm] - lo,
+        burst_start=raw.burst_start[bm],
+        burst_dur=raw.burst_dur[bm],
+        burst_size=raw.burst_size[bm],
+        burst_kind=raw.burst_kind[bm],
+        pk_app=raw.pk_app[pm],
+        pk_dev=raw.pk_dev[pm] - lo,
+        pk_arr=raw.pk_arr[pm],
+        pk_size=raw.pk_size[pm],
+        pk_burst=remap[raw.pk_burst[pm]],
+        cost_kinds=raw.cost_kinds,
+        deadlines=raw.deadlines,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -191,17 +244,43 @@ def _csr_expand(lo: np.ndarray, hi: np.ndarray) -> Tuple[np.ndarray, np.ndarray]
     return idx, lens
 
 
-def _serialize(table, req, dev, size, tie):
-    """Radio serialisation: start_k = max(req_k, end_{k-1}) per device.
+class _GrowBuffer:
+    """Geometrically grown tx-record buffer (amortized O(1) extend).
 
-    Solved as a monotone fixed point so the whole fleet's bursts go
-    through batched channel solves; the least fixed point equals the
-    scalar radio's sequential recurrence.  Returns (perm, starts, durs)
-    with all inputs to be reindexed by ``perm`` (sorted by device, then
-    requested time, then ``tie``).
+    Replaces append-then-concatenate lists for per-chunk burst records:
+    peak memory stays bounded by ~2x the final record bytes (capacity
+    doubling) instead of the piece list *plus* a full concatenation at
+    finalize, and thousands of per-slot array objects collapse into one.
     """
-    perm = np.lexsort((tie, req, dev))
-    req_s, dev_s, size_s = req[perm], dev[perm], size[perm]
+
+    __slots__ = ("_data", "_n")
+
+    def __init__(self, dtype, capacity: int = 1024) -> None:
+        self._data = np.empty(capacity, dtype=dtype)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def extend(self, values: np.ndarray) -> None:
+        need = self._n + values.size
+        cap = self._data.size
+        if need > cap:
+            while cap < need:
+                cap *= 2
+            grown = np.empty(cap, dtype=self._data.dtype)
+            grown[: self._n] = self._data[: self._n]
+            self._data = grown
+        self._data[self._n : need] = values
+        self._n = need
+
+    def view(self) -> np.ndarray:
+        """The filled prefix (a view; copy if outliving the buffer)."""
+        return self._data[: self._n]
+
+
+def _serialize_segment(table, req_s, dev_s, size_s):
+    """The monotone fixed point over one device-aligned burst segment."""
     seg_start = np.ones(req_s.size, dtype=bool)
     seg_start[1:] = dev_s[1:] != dev_s[:-1]
     starts = req_s.copy()
@@ -214,9 +293,45 @@ def _serialize(table, req, dev, size, tie):
         prev_end[seg_start] = 0.0
         new = np.maximum(req_s, prev_end)
         if np.array_equal(new, starts):
-            return perm, starts, durs
+            return starts, durs
         starts = new
     raise RuntimeError("burst serialisation did not converge")
+
+
+def _serialize(table, req, dev, size, tie):
+    """Radio serialisation: start_k = max(req_k, end_{k-1}) per device.
+
+    Solved as a monotone fixed point so the whole fleet's bursts go
+    through batched channel solves; the least fixed point equals the
+    scalar radio's sequential recurrence.  Returns (perm, starts, durs)
+    with all inputs to be reindexed by ``perm`` (sorted by device, then
+    requested time, then ``tie``).
+
+    The fixed point runs over device-aligned segments of at most
+    ``_SERIALIZE_SEGMENT`` bursts: devices are independent, so segment
+    results are identical to one whole-array solve, while the solver's
+    per-iteration temporaries stay segment-sized instead of fleet-sized
+    (the peak-RSS spike for bursty strategies like ``immediate``).
+    """
+    perm = np.lexsort((tie, req, dev))
+    req_s, dev_s, size_s = req[perm], dev[perm], size[perm]
+    n = req_s.size
+    starts = np.empty(n, dtype=np.float64)
+    durs = np.empty(n, dtype=np.float64)
+    lo = 0
+    while lo < n:
+        hi = min(lo + _SERIALIZE_SEGMENT, n)
+        if hi < n:
+            # never cut inside a device run: the recurrence chains
+            # through a device's bursts
+            hi = int(np.searchsorted(dev_s, dev_s[hi - 1], side="right"))
+        s, d = _serialize_segment(
+            table, req_s[lo:hi], dev_s[lo:hi], size_s[lo:hi]
+        )
+        starts[lo:hi] = s
+        durs[lo:hi] = d
+        lo = hi
+    return perm, starts, durs
 
 
 # ---------------------------------------------------------------------------
@@ -334,6 +449,7 @@ def _build_loopfree(
         ci = pos[matched]
         np.add.at(payload, ci, pk_size[matched].astype(np.float64))
         np.add.at(pay_cnt, ci, 1)
+        ci = None
     hb_burst_size = hb_size.copy()
     hb_burst_size[c_index] += payload
     hb_kind = np.full(h_time.size, KIND_HEARTBEAT, dtype=np.int8)
@@ -371,6 +487,9 @@ def _build_loopfree(
         pk_burst[matched] = c_index[pos[matched]]
     pk_burst[um] = h_time.size + dinv
     pk_burst[fm] = h_time.size + dkeys.size + finv
+    # Packet-sized matching scratch is done; free it ahead of the
+    # serialisation solve so the two peaks don't stack.
+    del pkey, pos, pos_c, matched, um, fm, dinv, finv
 
     perm, starts, durs = _serialize(table, req, dev, size, tie)
     inv = np.empty(perm.size, dtype=np.int64)
@@ -413,14 +532,168 @@ def _cost_aggregate(kind: int, deadline: float, u: float, n_pre, s_pre, n_post, 
     )
 
 
+def _head_spec_raw(kind: int, deadline: float, d: np.ndarray) -> np.ndarray:
+    """φ(d) branch arithmetic without the errstate guard (hot loops
+    enter ``np.errstate`` once around the whole loop instead)."""
+    if kind == 0:
+        return np.where(d <= deadline, 0.0, d / deadline - 1.0)
+    if kind == 1:
+        return np.where(d <= deadline, d / deadline, 2.0)
+    return np.where(d <= deadline, d / deadline, 3.0 * d / deadline - 2.0)
+
+
 def _head_spec(kind: int, deadline: float, d: np.ndarray) -> np.ndarray:
     """φ(d) with the exact scalar branch arithmetic, vectorized."""
     with np.errstate(invalid="ignore"):
-        if kind == 0:
-            return np.where(d <= deadline, 0.0, d / deadline - 1.0)
-        if kind == 1:
-            return np.where(d <= deadline, d / deadline, 2.0)
-        return np.where(d <= deadline, d / deadline, 3.0 * d / deadline - 2.0)
+        return _head_spec_raw(kind, deadline, d)
+
+
+def _kind_groups(kinds: np.ndarray, dls: np.ndarray):
+    """Apps grouped by cost kind, with a column deadline per group.
+
+    The closed forms only branch on the kind, so one array expression per
+    *kind* covers all its apps at once; the per-app deadline rides along
+    as a broadcast column.  Op order per element is identical to the
+    per-app calls, so values stay bit-identical.
+    """
+    groups = []
+    for kind in (0, 1, 2):
+        apps = np.nonzero(kinds == kind)[0]
+        if apps.size:
+            groups.append((kind, apps, dls[apps][:, None]))
+    return groups
+
+
+def _theta_costs_numpy(u, kinds, dls, n_pre, s_pre, n_post, s_post, out) -> None:
+    """P(t) per device into ``out``: Σ_a closed-form Σφ, app order.
+
+    The per-app accumulation stays sequential (``out += C[a]`` in app
+    order) to match the scalar ``instantaneous_cost`` left-fold.
+    """
+    C = np.empty_like(n_pre)
+    for kind, apps, dl in _kind_groups(kinds, dls):
+        C[apps] = _cost_aggregate(
+            kind, dl, u, n_pre[apps], s_pre[apps], n_post[apps], s_post[apps]
+        )
+    out[:] = 0.0
+    for a in range(kinds.shape[0]):
+        out += C[a]
+
+
+def _theta_costs_loops(u, kinds, dls, n_pre, s_pre, n_post, s_post, out) -> None:
+    """Scalar-loop twin of :func:`_theta_costs_numpy` (the numba source).
+
+    Written so each element performs the *same IEEE operations in the
+    same order* as the NumPy expressions: numba compiles it without
+    fastmath or FMA contraction, so the results are bit-identical —
+    ``tests/test_etrain_jit.py`` checks exactly that.
+    """
+    A, D = n_pre.shape
+    for d in range(D):
+        acc = 0.0
+        for a in range(A):
+            dl = dls[a]
+            k = kinds[a]
+            if k == 0:
+                c = (n_post[a, d] * u - s_post[a, d]) / dl - n_post[a, d]
+            elif k == 1:
+                c = (n_pre[a, d] * u - s_pre[a, d]) / dl + 2.0 * n_post[a, d]
+            else:
+                c = (
+                    (n_pre[a, d] * u - s_pre[a, d]) / dl
+                    + 3.0 * (n_post[a, d] * u - s_post[a, d]) / dl
+                    - 2.0 * n_post[a, d]
+                )
+            acc += c
+        out[d] = acc
+
+
+_THETA_IMPL: Optional[Callable] = None
+
+
+def etrain_jit_requested() -> bool:
+    """Whether the ``ETRAIN_JIT`` env flag asks for the numba path."""
+    return os.environ.get("ETRAIN_JIT", "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "off",
+    )
+
+
+def etrain_jit_active() -> bool:
+    """True when the resolved Θ-cost step is the numba-compiled one."""
+    return _theta_costs_impl() is not _theta_costs_numpy
+
+
+def _reset_theta_impl() -> None:
+    """Drop the cached Θ-cost impl (tests flip ``ETRAIN_JIT`` at runtime)."""
+    global _THETA_IMPL
+    _THETA_IMPL = None
+
+
+def _theta_costs_impl() -> Callable:
+    """Resolve the Θ-cost step: NumPy, or numba behind ``ETRAIN_JIT``.
+
+    Import-guarded: a missing or broken numba silently falls back to the
+    NumPy path, so the flag is safe to set on machines without numba.
+    """
+    global _THETA_IMPL
+    if _THETA_IMPL is None:
+        impl = _theta_costs_numpy
+        if etrain_jit_requested():
+            try:
+                from numba import njit
+
+                jitted = njit(cache=False)(_theta_costs_loops)
+                # Warm the compile on token shapes so the first chunk
+                # doesn't pay it inside a timed phase.
+                jitted(
+                    0.0,
+                    np.zeros(1, np.int64),
+                    np.ones(1),
+                    np.zeros((1, 1)),
+                    np.zeros((1, 1)),
+                    np.zeros((1, 1)),
+                    np.zeros((1, 1)),
+                    np.zeros(1),
+                )
+                impl = jitted
+            except Exception:
+                impl = _theta_costs_numpy
+        _THETA_IMPL = impl
+    return _THETA_IMPL
+
+
+def _theta_step_for(kinds_arr: np.ndarray, dls_arr: np.ndarray) -> Callable:
+    """Bind the resolved Θ-cost impl to one chunk's app axis.
+
+    The NumPy path specializes to a per-app row fold with scalar
+    deadlines — elementwise the exact same IEEE ops as
+    :func:`_theta_costs_numpy` (which tests keep as the reference), minus
+    the per-slot group construction and scratch allocation.  The numba
+    path forwards the full signature.
+    """
+    impl = _theta_costs_impl()
+    if impl is _theta_costs_numpy:
+        per_app = [
+            (int(kinds_arr[a]), float(dls_arr[a]))
+            for a in range(kinds_arr.shape[0])
+        ]
+
+        def step(u, n_pre, s_pre, n_post, s_post, out):
+            out[:] = 0.0
+            for a, (kind, dl) in enumerate(per_app):
+                out += _cost_aggregate(
+                    kind, dl, u, n_pre[a], s_pre[a], n_post[a], s_post[a]
+                )
+
+        return step
+
+    def step(u, n_pre, s_pre, n_post, s_post, out):
+        impl(u, kinds_arr, dls_arr, n_pre, s_pre, n_post, s_post, out)
+
+    return step
 
 
 def _simulate_etrain(
@@ -432,10 +705,16 @@ def _simulate_etrain(
     pk_size,
     base,
     n_slots: int,
-    theta: float,
+    theta,
     warm_gate: bool,
     pm: PowerModel,
+    *,
+    profiler=None,
+    on_release=None,
 ) -> FleetChunkRaw:
+    clk = time.perf_counter if profiler is not None else None
+    t_setup = clk() if clk else 0.0
+
     A, D = w.n_apps, w.n_devices
     tail_time = pm.tail_time
     horizon = w.horizon
@@ -447,20 +726,59 @@ def _simulate_etrain(
     ]
     kinds = [int(k) for k in w.cost_kinds]
     dls = [float(d) for d in w.deadlines]
+    kinds_arr = np.asarray(kinds, dtype=np.int64)
+    dls_arr = np.asarray(dls, dtype=np.float64)
+    theta_costs = _theta_step_for(kinds_arr, dls_arr)
 
-    # per-slot buckets: deliveries by k_d, pre->post transitions by k_p
-    dorder, dbnd, kp, torder, tbnd = [], [], [], [], []
-    for a in range(A):
-        kd = _delivery_slots(garr[a], n_slots)
-        o = np.argsort(kd, kind="stable")
-        dorder.append(o)
-        dbnd.append(np.searchsorted(kd[o], np.arange(n_slots + 1)))
-        k = _transition_slots(garr[a], dls[a])
-        kp.append(k)
-        kc = np.minimum(k, n_slots + 2)
-        o2 = np.argsort(kc, kind="stable")
-        torder.append(o2)
-        tbnd.append(np.searchsorted(kc[o2], np.arange(n_slots + 3)))
+    # App-major flat packet streams: one scatter per slot step instead of
+    # one per (app, slot).  Concatenating app-major and sorting stably by
+    # slot keeps every (app, device) cell's accumulation order identical
+    # to the old per-app loops, so the running sums stay bit-for-bit.
+    kp = [_transition_slots(garr[a], dls[a]) for a in range(A)]
+    n_per_app = np.asarray([garr[a].size for a in range(A)], dtype=np.int64)
+    empty_i64 = np.empty(0, np.int64)
+    empty_f64 = np.empty(0, np.float64)
+    fl_app = np.repeat(np.arange(A, dtype=np.int64), n_per_app)
+    fl_idx = (
+        np.concatenate([np.arange(n, dtype=np.int64) for n in n_per_app])
+        if A
+        else empty_i64
+    )
+    fl_dev = np.concatenate(gdev) if A else empty_i64
+    fl_arr = np.concatenate(garr) if A else empty_f64
+    fl_size = np.concatenate(gsize) if A else empty_f64
+    fl_lin = fl_app * D + fl_dev
+
+    kd_all = (
+        np.concatenate([_delivery_slots(garr[a], n_slots) for a in range(A)])
+        if A
+        else empty_i64
+    )
+    do = np.argsort(kd_all, kind="stable")
+    dl_lin, dl_arr, dl_size = fl_lin[do], fl_arr[do], fl_size[do]
+    dbnd = np.searchsorted(kd_all[do], np.arange(n_slots + 1))
+    has_del = dbnd[1:] > dbnd[:-1]
+
+    kc_all = (
+        np.concatenate([np.minimum(kp[a], n_slots + 2) for a in range(A)])
+        if A
+        else empty_i64
+    )
+    to = np.argsort(kc_all, kind="stable")
+    tr_lin, tr_arr, tr_idx = fl_lin[to], fl_arr[to], fl_idx[to]
+    tbnd = np.searchsorted(kc_all[to], np.arange(n_slots + 3))
+    t_any = tbnd[1:] > tbnd[:-1]
+    has_tr = t_any[:n_slots] | t_any[1 : n_slots + 1]
+
+    # head-arrival gather tables for the vectorized greedy step
+    abase = np.concatenate(([0], np.cumsum(n_per_app)))[:-1]
+    aclip = np.maximum(n_per_app - 1, 0)
+    n_total = int(n_per_app.sum()) if A else 0
+    abase_col = abase[:, None]
+    aclip_col = aclip[:, None]
+    gi_max = max(n_total - 1, 0)
+    G_buf = np.empty((A, D), dtype=np.float64)
+    dev_ar = np.arange(D, dtype=np.int64)
 
     # heartbeat table bucketed by slot (within a slot: by device, rank)
     h_time, h_dev, h_train, h_slot, h_rank = _heartbeat_table(w, n_slots)
@@ -483,19 +801,30 @@ def _simulate_etrain(
     sp_pre_n, sp_pre_s = zeros(np.float64), zeros(np.float64)
     sp_post_n, sp_post_s = zeros(np.float64), zeros(np.float64)
     wait_bytes = zeros(np.float64)
-    head = [w.offsets[a][:-1].copy() for a in range(A)]
-    tail = [w.offsets[a][:-1].copy() for a in range(A)]
+    if A:
+        head = np.stack([w.offsets[a][:-1] for a in range(A)]).astype(np.int64)
+    else:
+        head = np.zeros((0, D), dtype=np.int64)
+    tail = head.copy()
+    # flat views shared with the app-major scatter streams
+    head_f, tail_f = head.reshape(-1), tail.reshape(-1)
+    in_pre_n_f, in_pre_s_f = in_pre_n.reshape(-1), in_pre_s.reshape(-1)
+    in_post_n_f, in_post_s_f = in_post_n.reshape(-1), in_post_s.reshape(-1)
+    sp_pre_n_f, sp_pre_s_f = sp_pre_n.reshape(-1), sp_pre_s.reshape(-1)
+    sp_post_n_f, sp_post_s_f = sp_post_n.reshape(-1), sp_post_s.reshape(-1)
+    wait_bytes_f = wait_bytes.reshape(-1)
     held_bytes = np.zeros(D, dtype=np.float64)
     held_cnt = np.zeros(D, dtype=np.int64)
     busy = np.zeros(D, dtype=np.float64)
     has_rec = np.zeros(D, dtype=bool)
+    P = np.zeros(D, dtype=np.float64)
 
-    # outputs accumulated per slot
-    b_dev: List[np.ndarray] = []
-    b_start: List[np.ndarray] = []
-    b_dur: List[np.ndarray] = []
-    b_size: List[np.ndarray] = []
-    b_kind: List[np.ndarray] = []
+    # outputs accumulated per slot (geometric buffers: see _GrowBuffer)
+    b_dev = _GrowBuffer(np.int64)
+    b_start = _GrowBuffer(np.float64)
+    b_dur = _GrowBuffer(np.float64)
+    b_size = _GrowBuffer(np.float64)
+    b_kind = _GrowBuffer(np.int8)
     b_count = 0
     dd_dev: List[np.ndarray] = []
     dd_slot: List[np.ndarray] = []
@@ -516,11 +845,11 @@ def _simulate_etrain(
         has_rec[devs] = True
         rows = b_count + np.arange(devs.size, dtype=np.int64)
         b_count += devs.size
-        b_dev.append(devs)
-        b_start.append(starts)
-        b_dur.append(durs)
-        b_size.append(sizes)
-        b_kind.append(np.full(devs.size, kind, dtype=np.int8))
+        b_dev.extend(devs)
+        b_start.extend(starts)
+        b_dur.extend(durs)
+        b_size.extend(sizes)
+        b_kind.extend(np.full(devs.size, kind, dtype=np.int8))
         return rows
 
     agg_sets = (
@@ -534,77 +863,87 @@ def _simulate_etrain(
         sp_post_s,
     )
 
+    if clk:
+        profiler.add("etrain.setup", clk() - t_setup)
+        acc_q = acc_d = acc_h = 0.0
+
     for i in range(n_slots):
         t = float(i)
+        if clk:
+            ts = clk()
+        rel_dev: List[np.ndarray] = []
+        rel_delay: List[np.ndarray] = []
+        hbq = hb_lo = hb_hi = None
         # 1. deliveries (arrival <= t): enter both aggregate sets as pre
-        for a in range(A):
-            sl = dorder[a][dbnd[a][i] : dbnd[a][i + 1]]
-            if sl.size:
-                dv = gdev[a][sl]
-                ar = garr[a][sl]
-                np.add.at(in_pre_n[a], dv, 1.0)
-                np.add.at(in_pre_s[a], dv, ar)
-                np.add.at(sp_pre_n[a], dv, 1.0)
-                np.add.at(sp_pre_s[a], dv, ar)
-                np.add.at(wait_bytes[a], dv, gsize[a][sl])
-                np.add.at(tail[a], dv, 1)
+        if has_del[i]:
+            sl = slice(dbnd[i], dbnd[i + 1])
+            lin = dl_lin[sl]
+            ar = dl_arr[sl]
+            np.add.at(in_pre_n_f, lin, 1.0)
+            np.add.at(in_pre_s_f, lin, ar)
+            np.add.at(sp_pre_n_f, lin, 1.0)
+            np.add.at(sp_pre_s_f, lin, ar)
+            np.add.at(wait_bytes_f, lin, dl_size[sl])
+            np.add.at(tail_f, lin, 1)
         # 2. pre->post transitions for still-queued packets
-        for a in range(A):
-            for bucket, (npre, spre, npost, spost) in (
-                (i, (in_pre_n[a], in_pre_s[a], in_post_n[a], in_post_s[a])),
-                (i + 1, (sp_pre_n[a], sp_pre_s[a], sp_post_n[a], sp_post_s[a])),
+        if has_tr[i]:
+            for bucket, (npre_f, spre_f, npost_f, spost_f) in (
+                (i, (in_pre_n_f, in_pre_s_f, in_post_n_f, in_post_s_f)),
+                (i + 1, (sp_pre_n_f, sp_pre_s_f, sp_post_n_f, sp_post_s_f)),
             ):
-                sl = torder[a][tbnd[a][bucket] : tbnd[a][bucket + 1]]
-                if sl.size:
-                    dv = gdev[a][sl]
-                    act = sl >= head[a][dv]
+                if tbnd[bucket + 1] > tbnd[bucket]:
+                    sl = slice(tbnd[bucket], tbnd[bucket + 1])
+                    lin = tr_lin[sl]
+                    act = tr_idx[sl] >= head_f[lin]
                     if act.any():
-                        g = sl[act]
-                        dv = dv[act]
-                        ar = garr[a][g]
-                        np.add.at(npre, dv, -1.0)
-                        np.add.at(spre, dv, -ar)
-                        np.add.at(npost, dv, 1.0)
-                        np.add.at(spost, dv, ar)
+                        lin = lin[act]
+                        ar = tr_arr[sl][act]
+                        np.add.at(npre_f, lin, -1.0)
+                        np.add.at(spre_f, lin, -ar)
+                        np.add.at(npost_f, lin, 1.0)
+                        np.add.at(spost_f, lin, ar)
         # 3. which devices see a heartbeat this slot
         hsl = slice(hbnd[i], hbnd[i + 1])
         hb_any = hbnd[i + 1] > hbnd[i]
         if hb_any:
             sl_rank = h_rank[hsl]
             hb_devs = h_dev[hsl][sl_rank == 0]  # unique, ascending
+        if clk:
+            acc_q += clk() - ts
+            ts = clk()
         # 4. theta check on non-heartbeat devices
-        P = np.zeros(D)
-        for a in range(A):
-            P += _cost_aggregate(
-                kinds[a], dls[a], t, in_pre_n[a], in_pre_s[a], in_post_n[a], in_post_s[a]
-            )
+        theta_costs(t, in_pre_n, in_pre_s, in_post_n, in_post_s, P)
         fire = P >= theta
         if hb_any:
             fire[hb_devs] = False
         fd = np.nonzero(fire)[0]
-        # 5. single greedy pick per fired device
+        # 5. single greedy pick per fired device: one masked reduction
+        # over an (apps x fired) gain matrix instead of per-device Python
         if fd.size:
             u = t + 1.0
-            G = np.full((A, fd.size), -np.inf)
-            for a in range(A):
-                h = head[a][fd]
-                has = h < tail[a][fd]
-                if not has.any():
-                    continue
-                pb = _cost_aggregate(
-                    kinds[a],
-                    dls[a],
-                    u,
-                    sp_pre_n[a][fd],
-                    sp_pre_s[a][fd],
-                    sp_post_n[a][fd],
-                    sp_post_s[a][fd],
-                )
-                ar_h = garr[a][np.minimum(h, garr[a].size - 1)]
-                s = _head_spec(kinds[a], dls[a], u - ar_h)
-                G[a] = np.where(has, pb * s - 0.5 * s * s, -np.inf)
+            h = head[:, fd]  # (A, F)
+            has = h < tail[:, fd]
+            G = G_buf[:, : fd.size]
+            G.fill(-np.inf)
+            if has.any():
+                gi = abase_col + np.minimum(h, aclip_col)
+                ar_h = fl_arr[np.minimum(gi, gi_max)]
+                with np.errstate(invalid="ignore"):
+                    for a in range(A):
+                        kind, dl = kinds[a], dls[a]
+                        pb = _cost_aggregate(
+                            kind,
+                            dl,
+                            u,
+                            sp_pre_n[a, fd],
+                            sp_pre_s[a, fd],
+                            sp_post_n[a, fd],
+                            sp_post_s[a, fd],
+                        )
+                        s = _head_spec_raw(kind, dl, u - ar_h[a])
+                        G[a] = np.where(has[a], pb * s - 0.5 * s * s, -np.inf)
             best = np.argmax(G, axis=0)  # first max wins, like the greedy scan
-            gmax = G[best, np.arange(fd.size)]
+            gmax = G[best, dev_ar[: fd.size]]
             picked = gmax > 0.0
             fd = fd[picked]
             best = best[picked]
@@ -618,6 +957,9 @@ def _simulate_etrain(
                 g = head[a][da]
                 ar = garr[a][g]
                 sz = gsize[a][g]
+                if on_release is not None:
+                    rel_dev.append(da)
+                    rel_delay.append(np.maximum(0.0, t - ar))
                 post_i = kp[a][g] <= i
                 post_s = kp[a][g] <= i + 1
                 for post, (npre, spre, npost, spost) in (
@@ -659,6 +1001,9 @@ def _simulate_etrain(
                 )
                 pw_flat.append(np.concatenate(warm_flats))
                 pw_row.append(rows)
+        if clk:
+            acc_d += clk() - ts
+            ts = clk()
         # 6. heartbeat slots: full drain rides the carrier, rest go bare
         if hb_any:
             sl_dev = h_dev[hsl]
@@ -666,22 +1011,26 @@ def _simulate_etrain(
             sl_train = h_train[hsl]
             car = sl_rank == 0
             q_bytes = wait_bytes[:, hb_devs].sum(axis=0)
-            q_cnt = np.zeros(hb_devs.size, dtype=np.int64)
-            for a in range(A):
-                q_cnt += tail[a][hb_devs] - head[a][hb_devs]
+            q_cnt = (tail[:, hb_devs] - head[:, hb_devs]).sum(axis=0)
             payload = held_bytes[hb_devs] + q_bytes
             pay_cnt = held_cnt[hb_devs] + q_cnt
+            if on_release is not None:
+                # Queue bounds frozen before the drain resets them; only
+                # devices whose scalar decide would release anything.
+                hbq = hb_devs[q_cnt > 0]
+                hb_lo = [head[a][hbq].copy() for a in range(A)]
+                hb_hi = [tail[a][hbq].copy() for a in range(A)]
             c_size = h_sizes[sl_train[car]] + payload
             rows = emit(hb_devs, sl_time[car], c_size, KIND_HEARTBEAT)
             # fix kinds for carriers that actually carried payload
-            b_kind[-1][pay_cnt > 0] = KIND_PIGGYBACK
+            b_kind.view()[rows[pay_cnt > 0]] = KIND_PIGGYBACK
             dd_dev.append(hb_devs)
             dd_slot.append(np.full(hb_devs.size, i, dtype=np.int64))
             dd_row.append(rows)
             for a in range(A):
                 dd_lo[a].append(head[a][hb_devs].copy())
                 dd_hi[a].append(tail[a][hb_devs].copy())
-                head[a][hb_devs] = tail[a][hb_devs]
+            head[:, hb_devs] = tail[:, hb_devs]
             for arrs in agg_sets:
                 arrs[:, hb_devs] = 0.0
             wait_bytes[:, hb_devs] = 0.0
@@ -692,6 +1041,28 @@ def _simulate_etrain(
                 if not m.any():
                     continue
                 emit(sl_dev[m], sl_time[m], h_sizes[sl_train[m]], KIND_HEARTBEAT)
+        # 7. controller hook: this slot's selection-time releases, in the
+        # scalar decide order (single theta picks; heartbeat drains with
+        # pre-reset queue bounds so the callback can replay pick order)
+        if on_release is not None and (
+            rel_dev or (hbq is not None and hbq.size)
+        ):
+            on_release(
+                i,
+                np.concatenate(rel_dev) if rel_dev else np.empty(0, np.int64),
+                np.concatenate(rel_delay) if rel_delay else np.empty(0, np.float64),
+                hbq if hbq is not None else np.empty(0, np.int64),
+                hb_lo,
+                hb_hi,
+            )
+        if clk:
+            acc_h += clk() - ts
+
+    if clk:
+        profiler.add("etrain.queue_updates", acc_q, calls=n_slots)
+        profiler.add("etrain.decision", acc_d, calls=n_slots)
+        profiler.add("etrain.heartbeats", acc_h, calls=n_slots)
+        t_fin = clk()
 
     # end-of-horizon flush: held + still-queued + never-delivered packets
     rem_cnt = held_cnt.astype(np.int64).copy()
@@ -750,17 +1121,18 @@ def _simulate_etrain(
     if n_pk and pk_burst.min() < 0:
         raise AssertionError("unresolved packet -> burst mapping")
 
-    empty_f = np.empty(0, np.float64)
-    empty_i = np.empty(0, np.int64)
+    if clk:
+        profiler.add("etrain.finalize", clk() - t_fin)
+
     return FleetChunkRaw(
         n_devices=D,
         horizon=horizon,
         n_slots=n_slots,
-        burst_dev=np.concatenate(b_dev) if b_dev else empty_i,
-        burst_start=np.concatenate(b_start) if b_start else empty_f,
-        burst_dur=np.concatenate(b_dur) if b_dur else empty_f,
-        burst_size=np.concatenate(b_size) if b_size else empty_f,
-        burst_kind=np.concatenate(b_kind) if b_kind else np.empty(0, np.int8),
+        burst_dev=b_dev.view(),
+        burst_start=b_start.view(),
+        burst_dur=b_dur.view(),
+        burst_size=b_size.view(),
+        burst_kind=b_kind.view(),
         pk_app=pk_app,
         pk_dev=pk_dev,
         pk_arr=pk_arr,
@@ -784,20 +1156,28 @@ def simulate_fleet_chunk(
     params: Optional[Dict] = None,
     power_model: PowerModel = GALAXY_S4_3G,
     recorder=None,
+    profiler=None,
 ) -> FleetChunkRaw:
     """Simulate one chunk of devices under a vectorized strategy.
 
-    ``params`` mirrors the scalar strategy builders' keyword arguments:
-    ``etrain`` takes ``theta`` (default 0.2) and ``warm_gate`` (default
-    True); ``periodic`` takes ``period`` (default 60.0); ``tailender``
-    takes ``slack`` (default 0.0); ``immediate`` takes none.
+    The strategy name is resolved through the kernel registry
+    (:mod:`repro.sim.fleet.registry`); ``params`` mirrors the scalar
+    strategy builders' keyword arguments: ``etrain`` takes ``theta``
+    (default 0.2) and ``warm_gate`` (default True); ``periodic`` and
+    ``fixed_batch`` take ``period`` (default 60.0); ``tailender`` takes
+    ``slack`` (default 0.0); ``peres`` takes ``omega``/``v_init`` plus
+    the estimator knobs; ``etime`` takes ``v`` plus the estimator
+    knobs; ``adaptive`` takes ``target_delay``/``theta_init``/
+    ``window``/``warm_gate``; ``immediate`` takes none.
 
     ``recorder`` optionally receives the chunk's event trace (one
     ``fleet_chunk`` summary plus a ``fleet_burst`` event per burst row)
-    after simulation — see :mod:`repro.obs.tracer`.  The simulation
-    itself is identical with or without it.
+    after simulation — see :mod:`repro.obs.tracer`.  ``profiler``
+    optionally accumulates kernel sub-phase timings
+    (:class:`repro.obs.profiling.PhaseProfiler`).  The simulation
+    itself is identical with or without either.
     """
-    raw = _dispatch_fleet_chunk(workload, table, strategy, params, power_model)
+    raw = _dispatch_fleet_chunk(workload, table, strategy, params, power_model, profiler)
     if recorder is not None:
         from repro.obs.tracer import emit_fleet_chunk_trace
 
@@ -819,63 +1199,110 @@ def _dispatch_fleet_chunk(
     strategy: str,
     params: Optional[Dict],
     power_model: PowerModel,
+    profiler=None,
 ) -> FleetChunkRaw:
-    if strategy not in VECTOR_STRATEGIES:
+    from repro.sim.fleet import registry
+
+    try:
+        kernel = registry.get_kernel(strategy)
+    except KeyError:
         raise ValueError(
             f"no vectorized path for strategy {strategy!r}; "
-            f"supported: {VECTOR_STRATEGIES} (use the scalar fallback)"
-        )
+            f"supported: {registry.vector_strategies()} (use the scalar fallback)"
+        ) from None
     if power_model.promotion_delay != 0.0 or power_model.promotion_energy != 0.0:
         raise ValueError(
             "fleet path models promotion-free radios only "
             "(promotion_delay == promotion_energy == 0)"
         )
-    params = dict(params or {})
-    n_slots = int(math.ceil(workload.horizon / 1.0))
+    return kernel(workload, table, dict(params or {}), power_model, profiler=profiler)
+
+
+# ---------------------------------------------------------------------------
+# the engine-owned kernels (see repro.sim.fleet.registry for the others)
+# ---------------------------------------------------------------------------
+
+
+def fleet_slot_count(horizon: float) -> int:
+    """Slot count of the fleet grid (1 s slots, the scalar default)."""
+    return int(math.ceil(horizon / 1.0))
+
+
+def _etrain_kernel(
+    workload: FleetWorkload, table, params: Dict, power_model, *, profiler=None
+) -> FleetChunkRaw:
+    theta = float(params.pop("theta", 0.2))
+    warm_gate = bool(params.pop("warm_gate", True))
+    if params.pop("k", None) is not None:
+        raise ValueError("fleet etrain supports only k=None (full drain)")
+    if float(params.pop("slot", 1.0)) != 1.0:
+        raise ValueError("fleet etrain supports only slot=1.0")
+    _reject_extra(params)
+    if np.any(workload.deadlines < 2.0):
+        raise ValueError("fleet etrain requires all deadlines >= 2 s")
+    n_slots = fleet_slot_count(workload.horizon)
     pk_app, pk_dev, pk_arr, pk_size, base = _flat_packets(workload)
+    return _simulate_etrain(
+        workload,
+        table,
+        pk_app,
+        pk_dev,
+        pk_arr,
+        pk_size,
+        base,
+        n_slots,
+        theta,
+        warm_gate,
+        power_model,
+        profiler=profiler,
+    )
 
-    if strategy == "etrain":
-        theta = float(params.pop("theta", 0.2))
-        warm_gate = bool(params.pop("warm_gate", True))
-        if params.pop("k", None) is not None:
-            raise ValueError("fleet etrain supports only k=None (full drain)")
-        if float(params.pop("slot", 1.0)) != 1.0:
-            raise ValueError("fleet etrain supports only slot=1.0")
-        _reject_extra(params)
-        if np.any(workload.deadlines < 2.0):
-            raise ValueError("fleet etrain requires all deadlines >= 2 s")
-        return _simulate_etrain(
-            workload,
-            table,
-            pk_app,
-            pk_dev,
-            pk_arr,
-            pk_size,
-            base,
-            n_slots,
-            theta,
-            warm_gate,
-            power_model,
-        )
 
-    if strategy == "immediate":
-        _reject_extra(params)
-        release = _delivery_slots(pk_arr, n_slots)
-    elif strategy == "periodic":
-        period = float(params.pop("period", 60.0))
-        _reject_extra(params)
-        fires = _periodic_fires(n_slots, period)
-        kd = _delivery_slots(pk_arr, n_slots)
-        pos = np.searchsorted(fires, kd)
-        release = np.where(
-            pos < fires.size, fires[np.minimum(pos, max(fires.size - 1, 0))], n_slots
-        )
-    else:  # tailender
-        slack = float(params.pop("slack", 0.0))
-        _reject_extra(params)
-        release = _release_slots_tailender(
-            workload, pk_app, pk_dev, pk_arr, n_slots, slack
-        )
+def _immediate_kernel(
+    workload: FleetWorkload, table, params: Dict, power_model, *, profiler=None
+) -> FleetChunkRaw:
+    _reject_extra(params)
+    n_slots = fleet_slot_count(workload.horizon)
+    pk_app, pk_dev, pk_arr, pk_size, _ = _flat_packets(workload)
+    release = _delivery_slots(pk_arr, n_slots)
+    return _build_loopfree(
+        workload, table, release, pk_app, pk_dev, pk_arr, pk_size, n_slots
+    )
+
+
+def _periodic_kernel(
+    workload: FleetWorkload, table, params: Dict, power_model, *, profiler=None
+) -> FleetChunkRaw:
+    period = float(params.pop("period", 60.0))
+    _reject_extra(params)
+    n_slots = fleet_slot_count(workload.horizon)
+    pk_app, pk_dev, pk_arr, pk_size, _ = _flat_packets(workload)
+    release = _periodic_release_slots(pk_arr, n_slots, period)
+    return _build_loopfree(
+        workload, table, release, pk_app, pk_dev, pk_arr, pk_size, n_slots
+    )
+
+
+def _periodic_release_slots(pk_arr, n_slots: int, period: float) -> np.ndarray:
+    """Release slot per packet under the shared periodic fire clock."""
+    fires = _periodic_fires(n_slots, period)
+    kd = _delivery_slots(pk_arr, n_slots)
+    pos = np.searchsorted(fires, kd)
+    return np.where(
+        pos < fires.size, fires[np.minimum(pos, max(fires.size - 1, 0))], n_slots
+    )
+
+
+def _tailender_kernel(
+    workload: FleetWorkload, table, params: Dict, power_model, *, profiler=None
+) -> FleetChunkRaw:
+    slack = float(params.pop("slack", 0.0))
+    _reject_extra(params)
+    n_slots = fleet_slot_count(workload.horizon)
+    pk_app, pk_dev, pk_arr, pk_size, _ = _flat_packets(workload)
+    release = _release_slots_tailender(
+        workload, pk_app, pk_dev, pk_arr, n_slots, slack
+    )
     return _build_loopfree(
         workload, table, release, pk_app, pk_dev, pk_arr, pk_size, n_slots
     )

@@ -1,0 +1,84 @@
+"""The strategy-kernel registry: name -> vectorized fleet step kernel.
+
+Historically the fleet engine hardcoded ``VECTOR_STRATEGIES`` and a
+``_dispatch_fleet_chunk`` if/elif ladder; every strategy outside the
+tuple fell back to the per-device scalar loop.  This module replaces
+the tuple with a registry so kernels can live next to the strategy
+they vectorize (``repro.baselines.peres`` owns the PerES kernel, the
+engine owns the slot-dynamics kernels) without import cycles: entries
+are ``(module, attribute)`` pairs resolved lazily on first use.
+
+A kernel is a callable::
+
+    kernel(workload, table, params, power_model) -> FleetChunkRaw
+
+where ``params`` is a private dict the kernel must fully consume
+(popping its keywords and rejecting leftovers, mirroring the scalar
+builders' signatures).  The per-device scalar loop
+(:mod:`repro.sim.fleet.reference`) stays the equivalence oracle for
+every registered kernel — ``tests/test_fleet_equivalence.py`` sweeps
+the registry.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, Tuple
+
+__all__ = [
+    "KernelFn",
+    "register_kernel",
+    "get_kernel",
+    "has_kernel",
+    "vector_strategies",
+]
+
+#: ``(workload, table, params, power_model) -> FleetChunkRaw``
+KernelFn = Callable[..., object]
+
+#: Lazily-resolved kernels, in registration (= documentation) order.
+#: Values are either a resolved callable or a ``(module, attr)`` pair.
+_KERNELS: "Dict[str, object]" = {
+    "immediate": ("repro.sim.fleet.engine", "_immediate_kernel"),
+    "periodic": ("repro.sim.fleet.engine", "_periodic_kernel"),
+    "tailender": ("repro.sim.fleet.engine", "_tailender_kernel"),
+    "etrain": ("repro.sim.fleet.engine", "_etrain_kernel"),
+    "peres": ("repro.baselines.peres", "peres_fleet_kernel"),
+    "etime": ("repro.baselines.etime", "etime_fleet_kernel"),
+    "adaptive": ("repro.baselines.adaptive", "adaptive_fleet_kernel"),
+    "fixed_batch": ("repro.baselines.fixed_batch", "fixed_batch_fleet_kernel"),
+}
+
+
+def register_kernel(name: str, kernel: KernelFn) -> None:
+    """Register (or override) the vectorized kernel for ``name``."""
+    if not callable(kernel):
+        raise TypeError(f"kernel for {name!r} must be callable, got {kernel!r}")
+    _KERNELS[name] = kernel
+
+
+def has_kernel(name: str) -> bool:
+    """Whether ``name`` has a vectorized fleet kernel."""
+    return name in _KERNELS
+
+
+def get_kernel(name: str) -> KernelFn:
+    """Resolve the kernel for ``name`` (importing its module if needed).
+
+    Raises ``KeyError`` for unregistered strategies — callers translate
+    that into their own "use the scalar fallback" behaviour.
+    """
+    entry = _KERNELS.get(name)
+    if entry is None:
+        raise KeyError(name)
+    if callable(entry):
+        return entry
+    module, attr = entry
+    kernel = getattr(importlib.import_module(module), attr)
+    _KERNELS[name] = kernel
+    return kernel
+
+
+def vector_strategies() -> Tuple[str, ...]:
+    """Registered strategy names, in registration order."""
+    return tuple(_KERNELS)

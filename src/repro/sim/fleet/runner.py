@@ -128,6 +128,19 @@ def run_fleet(
             journal=journal,
             recorder=recorder,
         )
+        if not vectorized:
+            # Fallback visibility: count it where dashboards look and
+            # stamp it into the trace so a slow run explains itself.
+            executor.metrics.counter("fleet.scalar_fallback").inc(len(chunks))
+            if recorder is not None:
+                recorder.emit(
+                    {
+                        "ev": EventType.FLEET_FALLBACK,
+                        "schema": TRACE_SCHEMA_VERSION,
+                        "strategy": spec.strategy,
+                        "chunks": len(chunks),
+                    }
+                )
         with profiler.phase("simulate"):
             results = executor.run(chunks)
     with profiler.phase("aggregate"):

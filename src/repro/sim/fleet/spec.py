@@ -22,12 +22,15 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.sim.fleet.engine import VECTOR_STRATEGIES
+from repro.sim.fleet.registry import has_kernel
 
 __all__ = ["FLEET_CACHE_VERSION", "FleetSpec", "FleetChunkSpec", "fleet_supports"]
 
 #: Bumped whenever fleet-path changes may shift summary numbers.
-FLEET_CACHE_VERSION = 1
+#: v2: peres/etime/adaptive/fixed_batch gained vectorized kernels, so
+#: configurations that previously cached scalar-fallback summaries now
+#: run the fleet engine (identical within tolerance, not bit-for-bit).
+FLEET_CACHE_VERSION = 2
 
 _BANDWIDTHS = ("wuhan", "constant")
 
@@ -46,7 +49,7 @@ def fleet_supports(
     """
     from repro.sim.parallel.specs import POWER_MODELS
 
-    if strategy not in VECTOR_STRATEGIES:
+    if not has_kernel(strategy):
         return False
     if bandwidth not in _BANDWIDTHS:
         return False

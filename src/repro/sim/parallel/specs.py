@@ -235,6 +235,30 @@ def _build_periodic(scenario, period: float = 60.0):
     return PeriodicBatchStrategy(period=period)
 
 
+#: ``fixed_batch`` is the fleet-facing alias of ``periodic``: same
+#: strategy object, registered under the name the fleet kernel registry
+#: (and the ROADMAP perf item) uses for the naive-aggregation ablation.
+_build_fixed_batch = _build_periodic
+
+
+def _build_adaptive(
+    scenario,
+    target_delay: float = 30.0,
+    theta_init: float = 0.5,
+    window: int = 40,
+    warm_gate: bool = True,
+):
+    from repro.baselines.adaptive import AdaptiveThetaETrainStrategy
+
+    return AdaptiveThetaETrainStrategy(
+        scenario.profiles,
+        target_delay,
+        theta_init=theta_init,
+        window=window,
+        warm_gate=warm_gate,
+    )
+
+
 def _build_tailender(scenario, default_deadline: float = 60.0, slack: float = 0.0):
     from repro.baselines.tailender import TailEnderStrategy
 
@@ -252,6 +276,8 @@ STRATEGY_BUILDERS = {
     "etime": _build_etime,
     "channel_aware": _build_channel_aware,
     "periodic": _build_periodic,
+    "fixed_batch": _build_fixed_batch,
+    "adaptive": _build_adaptive,
     "tailender": _build_tailender,
 }
 

@@ -160,12 +160,27 @@ class TestFleetCommand:
         assert "periodic" in capsys.readouterr().out
 
     def test_scalar_fallback_strategy(self, capsys):
+        # peres gained a vectorized kernel (ISSUE 7); channel_aware is
+        # the remaining scalar-only strategy.
+        code = main(
+            ["fleet", "--devices", "1", "--chunk-size", "1",
+             "--horizon", "300", "--quiet", "--strategy", "channel_aware"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "scalar fallback" in captured.out
+        # Fallback visibility satellite: a one-line warning on stderr.
+        assert "no vectorized fleet kernel" in captured.err
+
+    def test_vectorized_strategy_has_no_fallback_warning(self, capsys):
         code = main(
             ["fleet", "--devices", "1", "--chunk-size", "1",
              "--horizon", "300", "--quiet", "--strategy", "peres"]
         )
         assert code == 0
-        assert "scalar fallback" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "vectorized" in captured.out
+        assert "no vectorized fleet kernel" not in captured.err
 
     def test_bad_param_syntax(self, capsys):
         code = main(["fleet", "--devices", "1", "--param", "oops"])

@@ -26,14 +26,12 @@ from repro.sim.engine import DecisionWindow, Simulation
 from repro.sim.parallel import STRATEGY_BUILDERS
 from repro.sim.runner import Scenario, default_scenario, run_strategy
 
-#: All eight baselines.  Seven come from the parallel-executor registry;
-#: adaptive-Θ eTrain is constructed directly (it is not a sweepable spec).
-ALL_STRATEGIES = sorted(STRATEGY_BUILDERS) + ["adaptive"]
+#: All baselines, straight from the parallel-executor registry (which
+#: now includes adaptive-Θ eTrain and the fixed_batch alias).
+ALL_STRATEGIES = sorted(STRATEGY_BUILDERS)
 
 
 def build_strategy(name: str, scenario: Scenario) -> TransmissionStrategy:
-    if name == "adaptive":
-        return AdaptiveThetaETrainStrategy(scenario.profiles, target_delay=30.0)
     return STRATEGY_BUILDERS[name](scenario)
 
 

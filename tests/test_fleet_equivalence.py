@@ -79,7 +79,19 @@ CASES = [
     ("etrain", None),
     ("etrain", {"warm_gate": False}),
     ("etrain", {"theta": 0.5}),
+    # Registry-vectorized baseline kernels (ISSUE 7 tentpole).
+    ("peres", None),
+    ("peres", {"omega": 0.5}),
+    ("etime", None),
+    ("etime", {"v": 2.0}),
+    ("adaptive", None),
+    ("adaptive", {"target_delay": 20.0, "warm_gate": False}),
+    ("fixed_batch", None),
+    ("fixed_batch", {"period": 45.0}),
 ]
+
+#: The strategies this PR moved off the scalar fallback.
+NEW_VECTOR = ["peres", "etime", "adaptive", "fixed_batch"]
 
 
 @pytest.mark.parametrize("strategy,params", CASES)
@@ -164,10 +176,33 @@ def test_chunk_invariance(strategy):
     np.testing.assert_array_equal(merged.delay_hist, whole.delay_hist)
 
 
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    devices=st.integers(min_value=1, max_value=5),
+    horizon=st.sampled_from([300.0, 450.0, 600.0]),
+    seed=st.integers(min_value=0, max_value=200),
+    strategy=st.sampled_from(NEW_VECTOR),
+    phase_mode=st.sampled_from(["fixed", "random"]),
+)
+def test_property_new_kernels_match_scalar(
+    devices, horizon, seed, strategy, phase_mode
+):
+    """Satellite: every newly vectorized strategy matches the scalar
+    loop on the full aggregate key set, seed for seed."""
+    fleet = fleet_summary(devices, horizon, seed, strategy, phase_mode=phase_mode)
+    scalar = scalar_summary(devices, horizon, seed, strategy, phase_mode=phase_mode)
+    assert fleet["devices"] == scalar["devices"] == devices
+    assert_summaries_match(fleet, scalar)
+
+
 def test_rejects_non_vectorized_strategy():
     w = synthesize_fleet(1, 60.0, 0)
-    with pytest.raises(ValueError, match="peres"):
-        simulate_fleet_chunk(w, channel_table(60.0), strategy="peres")
+    with pytest.raises(ValueError, match="channel_aware"):
+        simulate_fleet_chunk(w, channel_table(60.0), strategy="channel_aware")
 
 
 def test_rejects_unknown_params():

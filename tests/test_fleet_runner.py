@@ -38,9 +38,12 @@ def test_fleet_supports_matrix():
     assert fleet_supports("immediate")
     assert fleet_supports("periodic", {"period": 30.0})
     assert fleet_supports("tailender")
+    # registry-vectorized baselines (ISSUE 7)
+    assert fleet_supports("peres")
+    assert fleet_supports("etime")
+    assert fleet_supports("adaptive", {"target_delay": 30.0})
+    assert fleet_supports("fixed_batch")
     # scalar-only strategies
-    assert not fleet_supports("peres")
-    assert not fleet_supports("etime")
     assert not fleet_supports("channel_aware")
     # engine assumptions
     assert not fleet_supports("etrain", {"k": 3})
@@ -158,11 +161,37 @@ def test_run_fleet_caches_chunks(tmp_path):
     )
 
 
-def test_run_fleet_peres_scalar_fallback():
+def test_run_fleet_peres_vectorized():
+    """peres moved off the scalar fallback when it gained a kernel."""
     result = run_fleet(small_spec(devices=2, chunk_size=2, strategy="peres"))
-    assert not result.vectorized
+    assert result.vectorized
     assert result.summary.devices == 2
     assert result.summary.energy_total_j > 0
+
+
+def test_run_fleet_scalar_fallback_visibility():
+    """The channel_aware fallback still runs — and announces itself via
+    the fleet.scalar_fallback counter and a fleet_fallback trace event."""
+
+    class Recorder:
+        def __init__(self):
+            self.events = []
+
+        def emit(self, event):
+            self.events.append(dict(event))
+
+    recorder = Recorder()
+    result = run_fleet(
+        small_spec(devices=2, chunk_size=2, strategy="channel_aware"),
+        recorder=recorder,
+    )
+    assert not result.vectorized
+    assert result.summary.devices == 2
+    assert result.metrics["fleet.scalar_fallback"]["value"] == result.chunks
+    fallback = [e for e in recorder.events if e["ev"] == "fleet_fallback"]
+    assert len(fallback) == 1
+    assert fallback[0]["strategy"] == "channel_aware"
+    assert fallback[0]["chunks"] == result.chunks
 
 
 def test_chunk_spec_through_generic_run_job():

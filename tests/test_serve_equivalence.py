@@ -47,9 +47,10 @@ from repro.sim.runner import run_strategy
 
 pytestmark = pytest.mark.serve
 
-#: Strategies certified bit-identical: every vectorized one plus a
-#: scalar-fallback (peres has no vector path — ISSUE acceptance).
-STRATEGIES = ["etrain", "immediate", "periodic", "tailender", "peres"]
+#: Strategies certified bit-identical through per-device sessions.
+#: (peres is registry-vectorized since ISSUE 7 but still exercises the
+#: scalar decision engine here — sessions always run the scalar path.)
+STRATEGIES = ["etrain", "immediate", "periodic", "tailender", "peres", "adaptive"]
 
 _BW = wuhan_bandwidth_model()
 _WORKLOAD = synthesize_fleet(3, 450.0, seed=7)
@@ -138,6 +139,156 @@ class TestServeMatchesBatchScalar:
         srv = merged.summary()
         for key in ("total_energy_j", "piggyback_ratio", "packets", "bursts"):
             np.testing.assert_allclose(srv[key], vec[key], rtol=1e-6)
+
+
+class TestBatchOp:
+    """The bulk decision path: ``batch`` frames vs the fleet engine.
+
+    ISSUE 7 satellite: serve-vs-batch parity for the batched path —
+    one ``batch`` request must return (modulo JSON round-trip) exactly
+    the vectorized engine's chunk summary, coalesced ranges must answer
+    bit-identically to serving each range alone, and the merged bulk
+    aggregates must meet the scalar-session replay at the fleet suite's
+    tolerance.
+    """
+
+    HORIZON = 450.0
+    SEED = 7
+
+    @staticmethod
+    def _engine_summary(devices, strategy, device_offset=0):
+        from repro.bandwidth.synth import wuhan_bandwidth_model as bw_model
+        from repro.sim.fleet.accounting import summarize_chunk
+        from repro.sim.fleet.channel import ChannelTable
+        from repro.sim.fleet.engine import simulate_fleet_chunk
+
+        w = synthesize_fleet(
+            devices, TestBatchOp.HORIZON, TestBatchOp.SEED,
+            device_offset=device_offset,
+        )
+        table = ChannelTable.from_model(bw_model(), TestBatchOp.HORIZON)
+        raw = simulate_fleet_chunk(w, table, strategy="etrain")
+        return summarize_chunk(raw, GALAXY_S4_3G)
+
+    def _batch_frame(self, devices, offset=0, strategy="etrain"):
+        return {
+            "op": "batch",
+            "strategy": strategy,
+            "devices": devices,
+            "device_offset": offset,
+            "horizon": self.HORIZON,
+            "seed": self.SEED,
+        }
+
+    def test_batch_matches_fleet_engine_exactly(self):
+        app = ServeApp(ServeConfig())
+        response = json.loads(
+            json.dumps(app.handle(self._batch_frame(5)))
+        )
+        assert response["ok"], response
+        assert response["coalesced"] == 1
+        engine = self._engine_summary(5, "etrain")
+        assert response["fleet"] == json.loads(json.dumps(engine.to_dict()))
+        assert response["packets"] == engine.packets
+        assert response["bursts"] == engine.bursts
+
+    def test_coalesced_ranges_bit_identical_to_lone_requests(self):
+        app = ServeApp(ServeConfig())
+        split = [self._batch_frame(3, 0), self._batch_frame(2, 3)]
+        fused = app.handle_batch([dict(f) for f in split])
+        assert [r["coalesced"] for r in fused] == [2, 2]
+        lone = [app.handle(dict(f)) for f in split]
+        for f, l in zip(fused, lone):
+            assert f["fleet"] == l["fleet"]
+        # And each lone range is itself the engine run of that range.
+        for f, (n, off) in zip(fused, ((3, 0), (2, 3))):
+            assert f["fleet"] == self._engine_summary(n, "etrain", off).to_dict()
+        # Merging the slices == merging standalone chunk runs (exact);
+        # vs the unsplit 5-device chunk only the merge's association
+        # order differs, so floats agree to round-off.
+        merged = FleetChunkSummary.from_dict(fused[0]["fleet"]).merge(
+            FleetChunkSummary.from_dict(fused[1]["fleet"])
+        )
+        standalone = self._engine_summary(3, "etrain", 0).merge(
+            self._engine_summary(2, "etrain", 3)
+        )
+        assert merged.to_dict() == standalone.to_dict()
+        whole = self._engine_summary(5, "etrain")
+        assert merged.packets == whole.packets
+        assert merged.bursts == whole.bursts
+        assert merged.delay_sum == pytest.approx(whole.delay_sum, rel=1e-9)
+        assert merged.energy_total_j == pytest.approx(
+            whole.energy_total_j, rel=1e-9
+        )
+
+    def test_batch_meets_scalar_sessions(self):
+        """Close the triangle: bulk == engine == per-device sessions."""
+        app = ServeApp(ServeConfig())
+        bulk = app.handle(
+            {
+                "op": "batch",
+                "strategy": "etrain",
+                "devices": _WORKLOAD.n_devices,
+                "horizon": _WORKLOAD.horizon,
+                "seed": 7,
+            }
+        )
+        merged = FleetChunkSummary()
+        for device in range(_WORKLOAD.n_devices):
+            _, close = replay_device(app, _WORKLOAD, device, "etrain")
+            merged = merged.merge(FleetChunkSummary.from_dict(close["fleet"]))
+        srv = merged.summary()
+        blk = FleetChunkSummary.from_dict(bulk["fleet"]).summary()
+        for key in ("total_energy_j", "piggyback_ratio", "packets", "bursts"):
+            np.testing.assert_allclose(blk[key], srv[key], rtol=1e-6)
+
+    def test_batch_rejects_scalar_only_strategy(self):
+        app = ServeApp(ServeConfig())
+        response = app.handle(self._batch_frame(2, strategy="channel_aware"))
+        assert not response["ok"]
+        assert response["error"]["code"] == "scalar_only"
+
+    def test_mixed_micro_batch_answers_everything_in_order(self):
+        app = ServeApp(ServeConfig())
+        frames = [
+            dict(self._batch_frame(2, 0), id=0),
+            {"op": "hello", "id": 1},
+            dict(self._batch_frame(2, 2), id=2),
+        ]
+        responses = app.handle_batch(frames)
+        assert [r["id"] for r in responses] == [0, 1, 2]
+        assert all(r["ok"] for r in responses)
+        # The hello broke contiguity: no fusion across it.
+        assert responses[0]["coalesced"] == 1
+        assert responses[2]["coalesced"] == 1
+
+    def test_bulk_loadgen_over_tcp(self):
+        """Bulk frames through the live stack coalesce and aggregate."""
+        from repro.serve.loadgen import LoadgenConfig, run_loadgen
+        from repro.serve.server import EtrainServer
+
+        async def _run():
+            server = EtrainServer(ServeConfig())
+            await server.start()
+            try:
+                return await run_loadgen(
+                    LoadgenConfig(
+                        port=server.port,
+                        devices=4,
+                        horizon=self.HORIZON,
+                        seed=self.SEED,
+                        bulk=True,
+                        bulk_ranges=2,
+                    )
+                )
+            finally:
+                await server.stop()
+
+        report = asyncio.run(_run())
+        engine = self._engine_summary(4, "etrain")
+        assert report["packets"] == engine.packets
+        assert report["bursts"] == engine.bursts
+        assert report["requests"] == 2
 
 
 class TestServeOverTcp:
