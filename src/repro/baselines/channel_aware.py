@@ -24,7 +24,7 @@ from repro.core.packet import Packet
 from repro.core.profiles import CargoAppProfile
 from repro.core.scheduler import SchedulerConfig
 
-__all__ = ["ChannelAwareETrainStrategy"]
+__all__ = ["ChannelAwareETrainStrategy", "channel_aware_fleet_kernel"]
 
 
 class ChannelAwareETrainStrategy(ETrainStrategy):
@@ -113,3 +113,82 @@ class ChannelAwareETrainStrategy(ETrainStrategy):
         average built from those samples gates future dribble releases.
         Skipping decision slots would change the sample stream."""
         return False
+
+
+# ---------------------------------------------------------------------------
+# vectorized fleet kernel (registered in repro.sim.fleet.registry)
+# ---------------------------------------------------------------------------
+
+
+def channel_aware_fleet_kernel(workload, table, params, power_model, *, profiler=None):
+    """Vectorized channel-aware eTrain over one fleet chunk.
+
+    The strategy is eTrain plus a release gate, and both halves reduce
+    to things the fleet engine already computes:
+
+    * the Θ trigger, greedy pick and heartbeat drain are byte-for-byte
+      the eTrain kernel (``_simulate_etrain``);
+    * the channel gate is **device-independent**: ``decide`` records an
+      estimator sample every 1 s slot regardless of queue content (the
+      strategy pins ``is_idle = False`` for exactly this reason), so the
+      ``quality >= threshold`` verdict is one shared boolean per slot,
+      precomputed bit-exactly by
+      :func:`repro.sim.fleet.estimator.quality_series`;
+    * what remains per device is the deferral buffer — bytes, count and
+      the ``_defer_started`` patience clock — which the engine carries
+      in its ``defer`` mode and drains onto heartbeat carriers exactly
+      like the scalar ``_deferred`` list.
+    """
+    import numpy as np
+
+    from repro.sim.fleet.engine import (
+        _flat_packets,
+        _reject_extra,
+        _simulate_etrain,
+        fleet_slot_count,
+    )
+    from repro.sim.fleet.estimator import quality_series
+
+    theta = float(params.pop("theta", 0.2))
+    quality_threshold = float(params.pop("quality_threshold", 1.0))
+    max_defer = float(params.pop("max_defer", 20.0))
+    lag = float(params.pop("lag", 2.0))
+    noise = float(params.pop("noise", 0.3))
+    est_seed = int(params.pop("est_seed", 0))
+    _reject_extra(params)
+    if quality_threshold <= 0:
+        raise ValueError("quality_threshold must be > 0")
+    if max_defer < 0:
+        raise ValueError("max_defer must be >= 0")
+    if np.any(workload.deadlines < 2.0):
+        raise ValueError("fleet channel_aware requires all deadlines >= 2 s")
+
+    n_slots = fleet_slot_count(workload.horizon)
+    pk_app, pk_dev, pk_arr, pk_size, base = _flat_packets(workload)
+
+    # One shared sample per 1 s slot (heartbeat slots included — the
+    # scalar decide records there too, feeding the running average).
+    q = quality_series(
+        table,
+        np.arange(n_slots, dtype=np.float64),
+        lag=lag,
+        noise=noise,
+        seed=est_seed,
+    )
+    release_ok = q >= quality_threshold
+
+    return _simulate_etrain(
+        workload,
+        table,
+        pk_app,
+        pk_dev,
+        pk_arr,
+        pk_size,
+        base,
+        n_slots,
+        theta,
+        True,  # the scalar builder always leaves warm_gate on
+        power_model,
+        profiler=profiler,
+        defer=(release_ok, max_defer),
+    )

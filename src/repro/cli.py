@@ -23,6 +23,11 @@ Examples::
     etrain loadgen --smoke                  # boot + replay in one process (CI)
     etrain fleet --devices 100000 --workers 4
     etrain fleet --devices 8192 --strategy immediate --out fleet.json
+    etrain sweep --seeds 5 --workers-remote 2  # 2 spawned TCP lease workers
+    etrain coordinate fleet --devices 8192 --bind 0.0.0.0:8076
+    etrain worker --connect host:8076       # attach from any machine
+    etrain bench --suite dist               # 2-vs-1 worker scaling gate
+    etrain serve --port 8075 --metrics-port 8080  # + HTTP metrics snapshot
     etrain record --strategy etrain --trace-out run.jsonl
     etrain trace-replay run.jsonl           # recompute metrics from events
     etrain sweep --seeds 3 --metrics-out metrics.json
@@ -48,6 +53,8 @@ __all__ = [
     "run_loadgen_command",
     "run_record_command",
     "run_trace_replay_command",
+    "run_coordinate_command",
+    "run_worker_command",
 ]
 
 
@@ -258,7 +265,92 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help="write the merged per-worker metrics registry JSON here",
     )
     _add_fault_tolerance_args(parser)
+    _add_dist_args(parser)
     return parser
+
+
+def _add_dist_args(parser: argparse.ArgumentParser) -> None:
+    """Distributed-placement flags shared by ``sweep`` and ``fleet``.
+
+    Either flag routes the grid through the TCP chunk coordinator
+    (:class:`repro.sim.dist.DistExecutor`); results are byte-identical
+    to local execution (see docs/parallelism.md).
+    """
+    parser.add_argument(
+        "--workers-remote",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run the grid through the TCP chunk coordinator with N "
+            "spawned localhost lease workers (byte-identical to "
+            "--workers N; composes with --bind for extra external workers)"
+        ),
+    )
+    parser.add_argument(
+        "--bind",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "coordinator listen address for external `etrain worker "
+            "--connect` processes (port 0 = ephemeral, printed); implies "
+            "distributed mode"
+        ),
+    )
+    parser.add_argument(
+        "--min-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "hold all leases until N workers have connected "
+            "(default: the --workers-remote count)"
+        ),
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "revoke and requeue a leased job after this long without a "
+            "worker heartbeat (default 30)"
+        ),
+    )
+
+
+def _dist_requested(args) -> bool:
+    return (
+        getattr(args, "workers_remote", None) is not None
+        or getattr(args, "bind", None) is not None
+    )
+
+
+def _make_dist_executor(args, **common):
+    """Build the DistExecutor the dist flags describe (SystemExit 2 on bad)."""
+    from repro.sim.dist import DistConfig, DistExecutor
+
+    host, port, announce = "127.0.0.1", 0, None
+    if args.bind is not None:
+        host, sep, port_text = args.bind.rpartition(":")
+        if not sep or not host or not port_text.isdigit():
+            print(f"--bind wants HOST:PORT, got {args.bind!r}", file=sys.stderr)
+            raise SystemExit(2)
+        port = int(port_text)
+        announce = print
+    spawn = args.workers_remote or 0
+    if spawn < 0:
+        print(f"--workers-remote must be >= 0, got {spawn}", file=sys.stderr)
+        raise SystemExit(2)
+    config = DistConfig(
+        host=host,
+        port=port,
+        min_workers=args.min_workers if args.min_workers is not None else spawn,
+        lease_timeout=args.lease_timeout,
+    )
+    return DistExecutor(
+        spawn_workers=spawn, config=config, announce=announce, **common
+    )
 
 
 def _add_fault_tolerance_args(parser: argparse.ArgumentParser) -> None:
@@ -466,14 +558,17 @@ def run_sweep_command(argv: List[str]) -> int:
     journal, code = _attach_journal(args, run_key, len(jobs))
     if code is not None:
         return code
-    executor = ExperimentExecutor(
-        workers=args.workers,
+    common = dict(
         cache_dir=args.cache_dir,
         progress=None if args.quiet else print,
         retry=_build_retry_policy(args),
         faults=_build_fault_plan(args),
         journal=journal,
     )
+    if _dist_requested(args):
+        executor = _make_dist_executor(args, **common)
+    else:
+        executor = ExperimentExecutor(workers=args.workers, **common)
     try:
         results = executor.run(jobs)
     finally:
@@ -712,12 +807,13 @@ def build_bench_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--suite",
-        choices=("engine", "fleet", "serve"),
+        choices=("engine", "fleet", "serve", "dist"),
         default="engine",
         help="'engine' times dense vs event loops; 'fleet' times the "
         "vectorized fleet path against the per-device scalar loop; "
         "'serve' times loadgen replay through a live server against "
-        "the batch scalar reference",
+        "the batch scalar reference; 'dist' times a 2-worker "
+        "coordinator run against 1 worker (linear-scaling gate)",
     )
     parser.add_argument(
         "--out",
@@ -780,6 +876,12 @@ def run_bench_command(argv: List[str]) -> int:
         results = run_serve_benchmarks(
             mode=args.mode, repeats=args.repeats, progress=print
         )
+    elif args.suite == "dist":
+        from repro.sim.dist.bench import check_floor, run_dist_benchmarks
+
+        results = run_dist_benchmarks(
+            mode=args.mode, repeats=args.repeats, progress=print
+        )
     else:
         results = run_benchmarks(
             mode=args.mode, repeats=args.repeats, progress=print
@@ -797,7 +899,7 @@ def run_bench_command(argv: List[str]) -> int:
             print(PhaseProfiler.from_dict(row["phases"]).format_lines("  "))
 
     failures: List[str] = []
-    if args.suite in ("fleet", "serve"):
+    if args.suite in ("fleet", "serve", "dist"):
         failures.extend(check_floor(results))
     if args.check is not None:
         failures.extend(
@@ -853,6 +955,17 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=256,
         help="max frames per processor micro-batch (default 256)",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "also serve a one-endpoint HTTP introspection listener: any "
+            "GET returns a JSON snapshot of the metrics registry plus "
+            "session-store and inbox gauges (0 = ephemeral, printed)"
+        ),
+    )
     return parser
 
 
@@ -869,6 +982,7 @@ def run_serve_command(argv: List[str]) -> int:
             inbox_capacity=args.inbox_capacity,
             inbox_watermark=args.inbox_watermark,
             batch_max=args.batch_max,
+            metrics_port=args.metrics_port,
         )
     )
 
@@ -1088,6 +1202,7 @@ def build_fleet_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_fault_tolerance_args(parser)
+    _add_dist_args(parser)
     return parser
 
 
@@ -1131,6 +1246,12 @@ def run_fleet_command(argv: List[str]) -> int:
     journal, code = _attach_journal(args, spec.content_hash(), spec.n_chunks)
     if code is not None:
         return code
+    make_executor = None
+    if _dist_requested(args):
+
+        def make_executor(**common):
+            return _make_dist_executor(args, **common)
+
     try:
         result = run_fleet(
             spec,
@@ -1140,6 +1261,7 @@ def run_fleet_command(argv: List[str]) -> int:
             retry=_build_retry_policy(args),
             faults=_build_fault_plan(args),
             journal=journal,
+            make_executor=make_executor,
         )
     finally:
         if journal is not None:
@@ -1202,6 +1324,45 @@ def run_fleet_command(argv: List[str]) -> int:
     return 0
 
 
+def run_coordinate_command(argv: List[str]) -> int:
+    """Execute ``etrain coordinate (sweep|fleet) ...``; returns an exit code.
+
+    A thin front on the sweep/fleet commands that forces distributed
+    mode with an announced listen address: the coordinator owns the
+    journal and cache, external ``etrain worker --connect`` processes do
+    the simulating.  All sweep/fleet flags (``--cache-dir``,
+    ``--resume``, ``--faults``, ...) apply unchanged.
+    """
+    usage = (
+        "usage: etrain coordinate (sweep|fleet) [options]\n"
+        "Run a sweep/fleet grid as a TCP chunk coordinator for external\n"
+        "`etrain worker --connect HOST:PORT` processes.  Adds --bind\n"
+        "127.0.0.1:0 (ephemeral, printed) unless --bind is given; combine\n"
+        "with --workers-remote N for N spawned local workers and\n"
+        "--min-workers N to hold leases until N workers attach.\n"
+        "See docs/parallelism.md."
+    )
+    if argv and argv[0] in ("-h", "--help"):
+        print(usage)
+        return 0
+    if not argv or argv[0] not in ("sweep", "fleet"):
+        print(usage, file=sys.stderr)
+        return 2
+    sub, rest = argv[0], argv[1:]
+    if not any(a == "--bind" or a.startswith("--bind=") for a in rest):
+        rest = ["--bind", "127.0.0.1:0"] + rest
+    if sub == "sweep":
+        return run_sweep_command(rest)
+    return run_fleet_command(rest)
+
+
+def run_worker_command(argv: List[str]) -> int:
+    """Execute ``etrain worker --connect HOST:PORT``; returns an exit code."""
+    from repro.sim.dist.worker import main as worker_main
+
+    return worker_main(argv)
+
+
 def _run_one(name: str, quick: bool, executor=None) -> None:
     module = ALL_EXPERIMENTS[name]
     main_fn = module.main
@@ -1242,6 +1403,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if argv and argv[0] == "loadgen":
         return run_loadgen_command(argv[1:])
+
+    if argv and argv[0] == "coordinate":
+        return run_coordinate_command(argv[1:])
+
+    if argv and argv[0] == "worker":
+        return run_worker_command(argv[1:])
 
     if argv and argv[0] == "report":
         report_parser = argparse.ArgumentParser(prog="etrain report")

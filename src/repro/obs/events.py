@@ -86,6 +86,10 @@ class EventType:
     JOB_RETRY = "job_retry"
     WORKER_FAILURE = "worker_failure"
     SERIAL_FALLBACK = "serial_fallback"
+    # Distributed-coordinator event: a leased job's deadline passed
+    # without a heartbeat (silent host death) or past its hard budget
+    # (hung worker); the job is requeued or rescued like a pool loss.
+    LEASE_EXPIRED = "lease_expired"
 
 
 #: The schema-stable fields per event type.  The golden-trace comparator
@@ -106,6 +110,7 @@ CORE_FIELDS: Dict[str, Tuple[str, ...]] = {
     EventType.JOB_RETRY: ("ev", "job", "attempt"),
     EventType.WORKER_FAILURE: ("ev", "lost", "timed_out"),
     EventType.SERIAL_FALLBACK: ("ev", "jobs", "breaks"),
+    EventType.LEASE_EXPIRED: ("ev", "job", "worker", "timed_out"),
 }
 
 

@@ -130,6 +130,9 @@ def run_bulk_case(case: ServeBenchCase, repeats: int = 2) -> Dict[str, object]:
     delivered faster.  ``speedup`` is bulk over streaming, which the
     committed baseline pins against regression.
     """
+    from repro.sim.fleet.runner import peak_rss_bytes
+
+    rss_before = peak_rss_bytes(include_children=False)
     stream_best: Optional[Dict] = None
     for _ in range(repeats):
         report = _replay(case, bulk=False)
@@ -176,6 +179,9 @@ def run_bulk_case(case: ServeBenchCase, repeats: int = 2) -> Dict[str, object]:
         "stream_wall_s": stream_best["wall_s"],
         "stream_decisions_per_s": stream_rate,
         "speedup": bulk_rate / stream_rate if stream_rate > 0 else 0.0,
+        "peak_rss_delta_bytes": max(
+            0, peak_rss_bytes(include_children=False) - rss_before
+        ),
     }
 
 
@@ -190,11 +196,13 @@ def run_serve_case(case: ServeBenchCase, repeats: int = 2) -> Dict[str, object]:
     from repro.serve.loadgen import LoadgenConfig, run_loadgen
     from repro.serve.server import EtrainServer, ServeConfig
     from repro.sim.fleet.reference import simulate_reference_chunk
+    from repro.sim.fleet.runner import peak_rss_bytes
     from repro.sim.fleet.workload import synthesize_fleet
 
     if case.bulk:
         return run_bulk_case(case, repeats=repeats)
 
+    rss_before = peak_rss_bytes(include_children=False)
     params = dict(case.params)
 
     async def _one_replay() -> Dict:
@@ -258,6 +266,9 @@ def run_serve_case(case: ServeBenchCase, repeats: int = 2) -> Dict[str, object]:
         "batch_s": batch_s,
         "batch_decisions_per_s": batch_rate,
         "speedup": best["decisions_per_s"] / batch_rate if batch_rate > 0 else 0.0,
+        "peak_rss_delta_bytes": max(
+            0, peak_rss_bytes(include_children=False) - rss_before
+        ),
     }
 
 

@@ -63,6 +63,9 @@ class ServeConfig:
     default_bandwidth: str = "wuhan"
     #: Per-``batch``-request device cap (bounds one kernel call's memory).
     batch_devices_max: int = 16384
+    #: When set, a second listener serves ``GET /`` with a JSON metrics
+    #: snapshot (0 = ephemeral).  ``None`` disables introspection.
+    metrics_port: Optional[int] = None
 
 
 class ServeApp:
@@ -544,7 +547,9 @@ class EtrainServer:
         )
         self.host = self.config.host
         self.port = self.config.port
+        self.metrics_port: Optional[int] = None  # resolved after start()
         self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
         self._processor: Optional[asyncio.Task] = None
         self._wake: Optional[asyncio.Event] = None
 
@@ -555,6 +560,13 @@ class EtrainServer:
             self._on_connection, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._on_metrics_connection,
+                self.config.host,
+                self.config.metrics_port,
+            )
+            self.metrics_port = self._metrics_server.sockets[0].getsockname()[1]
         self._processor = asyncio.create_task(self._process_loop())
 
     async def stop(self) -> None:
@@ -565,6 +577,10 @@ class EtrainServer:
             except asyncio.CancelledError:
                 pass
             self._processor = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -645,6 +661,74 @@ class EtrainServer:
             conn.outstanding += 1
             self._wake.set()
 
+    # -- introspection: one-shot HTTP metrics snapshots -----------------
+
+    def metrics_snapshot(self) -> Dict:
+        """Point-in-time counters for the metrics endpoint (and tests)."""
+        from repro.obs.metrics import current_registry
+
+        registry = current_registry()
+        return {
+            "server": SERVER_NAME,
+            "proto": PROTOCOL_VERSION,
+            "sessions": len(self.app.store),
+            "inbox": {
+                "backlog": self.inbox.backlog,
+                "capacity": self.inbox.capacity,
+                "watermark": self.inbox.watermark,
+                "accepted": self.inbox.accepted,
+                "shed": self.inbox.shed,
+            },
+            "requests": self.app.requests,
+            "errors": self.app.errors,
+            "metrics": registry.to_dict() if registry is not None else {},
+        }
+
+    async def _on_metrics_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Minimal HTTP/1.1: any ``GET`` gets the JSON snapshot.
+
+        Hand-rolled on purpose — the endpoint answers ``curl`` and
+        dashboards without pulling an HTTP framework into the tree.  The
+        request head is read to its blank line and discarded (no routing:
+        every path returns the same document), the response closes the
+        connection.
+        """
+        try:
+            head = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=5.0
+            )
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                asyncio.TimeoutError, ConnectionError):
+            writer.close()
+            return
+        method = head.split(b" ", 1)[0].upper()
+        if method == b"GET":
+            body = json.dumps(
+                self.metrics_snapshot(), sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+            status = b"200 OK"
+        else:
+            body = b'{"error":"method not allowed; GET only"}'
+            status = b"405 Method Not Allowed"
+        try:
+            writer.write(
+                b"HTTP/1.1 " + status + b"\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(body)).encode("ascii") + b"\r\n"
+                b"Connection: close\r\n\r\n" + body
+            )
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
     # -- the processor: micro-batched drain ----------------------------
 
     async def _process_loop(self) -> None:
@@ -693,6 +777,8 @@ class EtrainServer:
 
 def run_serve(config: Optional[ServeConfig] = None) -> int:
     """Blocking entry point for ``etrain serve`` (Ctrl-C to stop)."""
+    from repro.obs.metrics import metrics_scope
+
     config = config or ServeConfig()
 
     async def _main() -> None:
@@ -703,13 +789,22 @@ def run_serve(config: Optional[ServeConfig] = None) -> int:
             f"listening on {server.host}:{server.port}",
             flush=True,
         )
+        if server.metrics_port is not None:
+            print(
+                f"{SERVER_NAME} metrics on "
+                f"http://{server.host}:{server.metrics_port}/",
+                flush=True,
+            )
         try:
             await server.serve_forever()
         finally:
             await server.stop()
 
     try:
-        asyncio.run(_main())
+        # A live registry makes serve.frames / serve.batches exist for
+        # the metrics endpoint even before the first snapshot request.
+        with metrics_scope():
+            asyncio.run(_main())
     except KeyboardInterrupt:
         print(f"{SERVER_NAME}: shutting down", flush=True)
     return 0

@@ -1,0 +1,229 @@
+"""Distributed-executor benchmarks: chunk scaling across worker hosts.
+
+Mirrors :mod:`repro.sim.fleet.perf` for the multi-node path: each case
+fans one fleet's chunks through a :class:`~repro.sim.dist.DistExecutor`
+twice — once with a single spawned worker, once with ``workers_scaled``
+— and records the *dispatch speedup*
+
+    speedup = base dispatch_wall / scaled dispatch_wall
+
+``dispatch_wall`` runs from the first lease grant to the last accepted
+result, so the ~1s Python/NumPy startup of each worker process (a
+fixed, machine-dependent cost that real deployments pay once per host,
+not per run) stays outside the timed region; the ratio measures how the
+coordinator's lease loop actually scales the simulation work.
+``BENCH_dist.json`` commits the ratios; CI re-runs the smoke subset and
+fails on >25% regression plus a hard :data:`DIST_SPEEDUP_FLOOR` for
+gated cases (the acceptance criterion: >=1.7x at two localhost
+workers).  Every case also asserts the two arms' merged fleet summaries
+are identical — a scaling number from diverging results would be
+meaningless — and ``check_floor`` fails rows where they are not.
+
+Each row records the CPUs the run could actually use
+(``len(os.sched_getaffinity(0))``); the scaling floor is only asserted
+when that count reaches ``workers_scaled``, because two CPU-bound
+worker processes timesharing one core measure ~1.0x by physics, not by
+regression.  The identity gate applies on any host.
+
+Runs are uncached on purpose (no ``cache_dir``): both arms recompute
+every chunk, so the ratio compares placement against placement.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.perf import BENCH_VERSION, check_results, load_baseline, write_results
+
+__all__ = [
+    "DIST_SPEEDUP_FLOOR",
+    "DistBenchCase",
+    "DIST_BENCH_CASES",
+    "run_dist_case",
+    "run_dist_benchmarks",
+    "check_floor",
+    "check_results",
+    "load_baseline",
+    "write_results",
+]
+
+#: Hard acceptance floor for gated cases: two localhost workers must
+#: beat one by at least this factor on dispatch wall time.
+DIST_SPEEDUP_FLOOR = 1.7
+
+
+@dataclass(frozen=True)
+class DistBenchCase:
+    """One single-vs-multi-worker dispatch-scaling cell."""
+
+    name: str
+    devices: int
+    chunk_size: int
+    horizon: float = 1800.0
+    seed: int = 0
+    strategy: str = "etrain"
+    workers_scaled: int = 2
+    smoke: bool = False
+    #: Assert speedup >= floor (and arm identity) for this case.
+    gate: bool = False
+    floor: float = DIST_SPEEDUP_FLOOR
+
+
+#: Eight equal chunks divide evenly across both one and two workers, so
+#: the scaled arm never idles on a ragged tail; 256 devices x 1800 s
+#: makes each chunk heavy enough (~0.5 s) that lease round-trips are
+#: noise.  The full-mode case doubles everything to document scaling at
+#: a population where per-chunk channel-table rebuilds amortize better.
+DIST_BENCH_CASES: List[DistBenchCase] = [
+    DistBenchCase(
+        "etrain_dist_2x256x8", 2048, 256, smoke=True, gate=True
+    ),
+    DistBenchCase("etrain_dist_2x512x8", 4096, 512, gate=True),
+]
+
+
+def _dispatch_once(case: DistBenchCase, workers: int) -> Dict:
+    """One uncached dist run; returns dispatch wall + merged summary."""
+    from repro.sim.dist.coordinator import DistConfig, DistExecutor
+    from repro.sim.fleet.aggregate import FleetChunkSummary
+    from repro.sim.fleet.spec import FleetSpec
+
+    spec = FleetSpec.make(
+        case.devices,
+        case.strategy,
+        chunk_size=case.chunk_size,
+        horizon=case.horizon,
+        seed=case.seed,
+    )
+    executor = DistExecutor(
+        spawn_workers=workers,
+        config=DistConfig(min_workers=workers),
+    )
+    t0 = time.perf_counter()
+    results = executor.run(spec.chunk_specs())
+    wall = time.perf_counter() - t0
+    merged = FleetChunkSummary.merge_all(
+        [FleetChunkSummary.from_dict(r.summary) for r in results]
+    )
+    return {
+        "dispatch_wall_s": executor.dispatch_wall,
+        "total_wall_s": wall,
+        "summary": merged.to_dict(),
+    }
+
+
+def run_dist_case(case: DistBenchCase, repeats: int = 2) -> Dict[str, object]:
+    """Benchmark one case: best-of-``repeats`` per arm, identity-checked."""
+    from repro.sim.fleet.runner import peak_rss_bytes
+
+    rss_before = peak_rss_bytes(include_children=True)
+    base: Optional[Dict] = None
+    for _ in range(repeats):
+        run = _dispatch_once(case, 1)
+        if base is None or run["dispatch_wall_s"] < base["dispatch_wall_s"]:
+            base = run
+    scaled: Optional[Dict] = None
+    for _ in range(repeats):
+        run = _dispatch_once(case, case.workers_scaled)
+        if scaled is None or run["dispatch_wall_s"] < scaled["dispatch_wall_s"]:
+            scaled = run
+    assert base is not None and scaled is not None
+    speedup = (
+        base["dispatch_wall_s"] / scaled["dispatch_wall_s"]
+        if scaled["dispatch_wall_s"] > 0
+        else 0.0
+    )
+    return {
+        "name": case.name,
+        "strategy": case.strategy,
+        "devices": case.devices,
+        "chunks": (case.devices + case.chunk_size - 1) // case.chunk_size,
+        "chunk_size": case.chunk_size,
+        "horizon": case.horizon,
+        "seed": case.seed,
+        "workers_base": 1,
+        "workers_scaled": case.workers_scaled,
+        "cpus": len(os.sched_getaffinity(0)),
+        "smoke": case.smoke,
+        "gate": case.gate,
+        "floor": case.floor,
+        "base_dispatch_s": base["dispatch_wall_s"],
+        "scaled_dispatch_s": scaled["dispatch_wall_s"],
+        "base_total_s": base["total_wall_s"],
+        "scaled_total_s": scaled["total_wall_s"],
+        "speedup": speedup,
+        "identical": base["summary"] == scaled["summary"],
+        # Workers are child processes, so include reaped children.
+        "peak_rss_delta_bytes": max(
+            0, peak_rss_bytes(include_children=True) - rss_before
+        ),
+    }
+
+
+def run_dist_benchmarks(
+    mode: str = "full",
+    repeats: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the dist suite and return the benchmark document."""
+    if mode not in ("full", "smoke"):
+        raise ValueError(f"mode must be 'full' or 'smoke', got {mode!r}")
+    if repeats is None:
+        repeats = 3 if mode == "full" else 2
+    cases = [c for c in DIST_BENCH_CASES if mode == "full" or c.smoke]
+    rows: List[Dict[str, object]] = []
+    for case in cases:
+        row = run_dist_case(case, repeats=repeats)
+        rows.append(row)
+        if progress is not None:
+            progress(
+                f"{row['name']:22s} 1w {row['base_dispatch_s']:6.2f}s  "
+                f"{row['workers_scaled']}w {row['scaled_dispatch_s']:6.2f}s  "
+                f"speedup {row['speedup']:5.2f}x  "
+                f"identical {row['identical']}"
+            )
+    return {
+        "version": BENCH_VERSION,
+        "suite": "dist",
+        "mode": mode,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "cases": rows,
+    }
+
+
+def check_floor(results: Dict[str, object]) -> List[str]:
+    """Gated cases must scale past their floor *and* agree bit-for-bit.
+
+    The floor applies only to rows measured with at least
+    ``workers_scaled`` usable CPUs — a single-core host cannot scale
+    CPU-bound work no matter how good the coordinator is.  Identity is
+    gated unconditionally.
+    """
+    failures = []
+    for row in results["cases"]:
+        if not row.get("gate"):
+            continue
+        scalable = row.get("cpus", 0) >= row.get("workers_scaled", 2)
+        if scalable and row["speedup"] < row.get("floor", DIST_SPEEDUP_FLOOR):
+            failures.append(
+                f"{row['name']}: {row['speedup']:.2f}x below the "
+                f"{row.get('floor', DIST_SPEEDUP_FLOOR):.1f}x scaling floor "
+                f"at {row['workers_scaled']} workers"
+            )
+        if not row.get("identical"):
+            failures.append(
+                f"{row['name']}: merged summaries diverge between "
+                f"1 and {row['workers_scaled']} workers"
+            )
+    return failures
+
+
+if __name__ == "__main__":
+    from repro.cli import main
+
+    sys.exit(main(["bench", "--suite", "dist"] + sys.argv[1:]))

@@ -711,6 +711,7 @@ def _simulate_etrain(
     *,
     profiler=None,
     on_release=None,
+    defer=None,
 ) -> FleetChunkRaw:
     clk = time.perf_counter if profiler is not None else None
     t_setup = clk() if clk else 0.0
@@ -815,6 +816,18 @@ def _simulate_etrain(
     wait_bytes_f = wait_bytes.reshape(-1)
     held_bytes = np.zeros(D, dtype=np.float64)
     held_cnt = np.zeros(D, dtype=np.int64)
+    # channel-aware deferral buffers (``defer=(release_ok, max_defer)``):
+    # theta releases park here until the slot's shared channel quality
+    # clears the gate or patience runs out; heartbeat slots always drain
+    # them onto the carrier, exactly like the scalar strategy's
+    # ``_deferred`` list.  ``def_start`` is the slot time the buffer last
+    # turned non-empty (the scalar ``_defer_started``).
+    if defer is not None:
+        release_ok, max_defer = defer
+        def_bytes = np.zeros(D, dtype=np.float64)
+        def_cnt = np.zeros(D, dtype=np.int64)
+        def_start = np.zeros(D, dtype=np.float64)
+        def_flats: List[List[int]] = [[] for _ in range(D)]
     busy = np.zeros(D, dtype=np.float64)
     has_rec = np.zeros(D, dtype=bool)
     P = np.zeros(D, dtype=np.float64)
@@ -974,6 +987,17 @@ def _simulate_etrain(
                     spost[dq] -= aq
                 wait_bytes[a][da] -= sz
                 head[a][da] += 1
+                if defer is not None:
+                    # New releases join the buffer before this slot's
+                    # quality check (step 5b), like the scalar decide.
+                    fresh = def_cnt[da] == 0
+                    def_start[da[fresh]] = t
+                    def_bytes[da] += sz
+                    def_cnt[da] += 1
+                    flat = base[a] + g
+                    for j, d in enumerate(da):
+                        def_flats[d].append(int(flat[j]))
+                    continue
                 warm = (
                     has_rec[da] & (t < busy[da] + tail_time)
                     if warm_gate
@@ -1001,6 +1025,50 @@ def _simulate_etrain(
                 )
                 pw_flat.append(np.concatenate(warm_flats))
                 pw_row.append(rows)
+        # 5b. channel-aware release: drain a device's deferred buffer when
+        # the slot's quality clears the gate or patience has run out.
+        # Heartbeat devices skip this — their buffer rides the carrier in
+        # step 6, matching the scalar heartbeat branch.
+        if defer is not None:
+            rel = def_cnt > 0
+            if hb_any:
+                rel[hb_devs] = False
+            if not release_ok[i]:
+                rel &= (t - def_start) >= max_defer
+            rd = np.nonzero(rel)[0]
+            if rd.size:
+                warm = (
+                    has_rec[rd] & (t < busy[rd] + tail_time)
+                    if warm_gate
+                    else np.ones(rd.size, dtype=bool)
+                )
+                wd, cd = rd[warm], rd[~warm]
+                if wd.size:
+                    rows = emit(wd, np.full(wd.size, t), def_bytes[wd], KIND_DATA)
+                    pw_flat.append(
+                        np.asarray(
+                            [f for d in wd for f in def_flats[d]], dtype=np.int64
+                        )
+                    )
+                    pw_row.append(np.repeat(rows, def_cnt[wd]))
+                if cd.size:
+                    # Cold release: park with the held bytes; the packets
+                    # ride the device's next heartbeat (or final flush).
+                    held_bytes[cd] += def_bytes[cd]
+                    held_cnt[cd] += def_cnt[cd]
+                    pc_flat.append(
+                        np.asarray(
+                            [f for d in cd for f in def_flats[d]], dtype=np.int64
+                        )
+                    )
+                    pc_dev.append(np.repeat(cd, def_cnt[cd]))
+                    pc_slot.append(
+                        np.full(int(def_cnt[cd].sum()), i, dtype=np.int64)
+                    )
+                def_bytes[rd] = 0.0
+                def_cnt[rd] = 0
+                for d in rd:
+                    def_flats[d] = []
         if clk:
             acc_d += clk() - ts
             ts = clk()
@@ -1014,6 +1082,9 @@ def _simulate_etrain(
             q_cnt = (tail[:, hb_devs] - head[:, hb_devs]).sum(axis=0)
             payload = held_bytes[hb_devs] + q_bytes
             pay_cnt = held_cnt[hb_devs] + q_cnt
+            if defer is not None:
+                payload = payload + def_bytes[hb_devs]
+                pay_cnt = pay_cnt + def_cnt[hb_devs]
             if on_release is not None:
                 # Queue bounds frozen before the drain resets them; only
                 # devices whose scalar decide would release anything.
@@ -1036,6 +1107,21 @@ def _simulate_etrain(
             wait_bytes[:, hb_devs] = 0.0
             held_bytes[hb_devs] = 0.0
             held_cnt[hb_devs] = 0
+            if defer is not None:
+                hd = def_cnt[hb_devs] > 0
+                if hd.any():
+                    hdev = hb_devs[hd]
+                    pw_flat.append(
+                        np.asarray(
+                            [f for d in hdev for f in def_flats[d]],
+                            dtype=np.int64,
+                        )
+                    )
+                    pw_row.append(np.repeat(rows[hd], def_cnt[hdev]))
+                    def_bytes[hdev] = 0.0
+                    def_cnt[hdev] = 0
+                    for d in hdev:
+                        def_flats[d] = []
             for r in range(1, max_rank + 1):
                 m = sl_rank == r
                 if not m.any():
@@ -1065,8 +1151,13 @@ def _simulate_etrain(
         t_fin = clk()
 
     # end-of-horizon flush: held + still-queued + never-delivered packets
+    # (+ still-deferred ones; their pk_burst stays -1 and resolves via
+    # the flush_row fallback below, like any other leftover packet)
     rem_cnt = held_cnt.astype(np.int64).copy()
     rem_bytes = held_bytes.copy()
+    if defer is not None:
+        rem_cnt += def_cnt
+        rem_bytes += def_bytes
     byte_prefix = []
     for a in range(A):
         bp = np.concatenate(([0.0], np.cumsum(gsize[a])))

@@ -112,6 +112,17 @@ FLEET_BENCH_CASES: List[FleetBenchCase] = [
         params=(("target_delay", 30.0),),
     ),
     FleetBenchCase("fixed_batch_fleet_2h", "fixed_batch", 8192, 4),
+    # channel_aware (ISSUE 8): the last strategy off the scalar fallback.
+    # Same slot-loop engine as etrain plus the deferral buffers; gated
+    # at the baseline-kernel floor (its scalar side is estimator-heavy).
+    FleetBenchCase(
+        "channel_aware_fleet_2h",
+        "channel_aware",
+        2048,
+        2,
+        gate=True,
+        floor=BASELINE_SPEEDUP_FLOOR,
+    ),
 ]
 
 

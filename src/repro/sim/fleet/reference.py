@@ -2,8 +2,8 @@
 
 Two jobs:
 
-* **fallback** — strategies without a vectorized path (PerES, eTime,
-  channel-aware) still run at fleet scale, one scalar
+* **fallback** — configurations without a vectorized path (e.g. an
+  eTrain k-limited drain) still run at fleet scale, one scalar
   :class:`repro.sim.engine.Simulation` per device, producing the same
   :class:`~repro.sim.fleet.aggregate.FleetChunkSummary` shape;
 * **ground truth** — the equivalence harness replays the *same*

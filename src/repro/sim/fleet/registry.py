@@ -47,6 +47,7 @@ _KERNELS: "Dict[str, object]" = {
     "etime": ("repro.baselines.etime", "etime_fleet_kernel"),
     "adaptive": ("repro.baselines.adaptive", "adaptive_fleet_kernel"),
     "fixed_batch": ("repro.baselines.fixed_batch", "fixed_batch_fleet_kernel"),
+    "channel_aware": ("repro.baselines.channel_aware", "channel_aware_fleet_kernel"),
 }
 
 

@@ -83,6 +83,7 @@ def run_fleet(
     retry=None,
     faults=None,
     journal=None,
+    make_executor: Optional[Callable] = None,
 ) -> FleetRunResult:
     """Run a fleet spec end to end and merge its chunk summaries.
 
@@ -103,6 +104,14 @@ def run_fleet(
     :class:`~repro.faults.FaultPlan` to inject failures, and a
     :class:`~repro.sim.parallel.journal.RunJournal` for
     ``fleet --resume`` bookkeeping.
+
+    ``make_executor`` swaps the placement layer: a factory called with
+    the executor keyword arguments above (minus ``workers``) that
+    returns an :class:`ExperimentExecutor`-compatible instance — the
+    hook ``--workers-remote`` uses to route chunks through the
+    distributed :class:`~repro.sim.dist.DistExecutor`.  Chunk content
+    hashes exclude the shared-channel handle, so cache, journal and
+    results are identical whichever placement runs them.
     """
     from repro.sim.parallel.executor import ExperimentExecutor
 
@@ -119,8 +128,7 @@ def run_fleet(
                 chunks = spec.chunk_specs(channel=shared.handle)
             else:
                 chunks = spec.chunk_specs()
-        executor = ExperimentExecutor(
-            workers=workers,
+        common = dict(
             cache_dir=cache_dir,
             progress=progress,
             retry=retry,
@@ -128,6 +136,10 @@ def run_fleet(
             journal=journal,
             recorder=recorder,
         )
+        if make_executor is not None:
+            executor = make_executor(**common)
+        else:
+            executor = ExperimentExecutor(workers=workers, **common)
         if not vectorized:
             # Fallback visibility: count it where dashboards look and
             # stamp it into the trace so a slow run explains itself.
@@ -175,7 +187,10 @@ def run_fleet(
         chunks=len(results),
         cached_chunks=sum(1 for r in results if r.cached),
         vectorized=vectorized,
-        peak_rss=peak_rss_bytes(include_children=workers is not None and workers > 1),
+        peak_rss=peak_rss_bytes(
+            include_children=(workers is not None and workers > 1)
+            or make_executor is not None
+        ),
         metrics=executor.metrics.to_dict(),
         phases=profiler.as_dict(),
         executor_stats=executor.stats,

@@ -30,7 +30,9 @@ __all__ = ["FLEET_CACHE_VERSION", "FleetSpec", "FleetChunkSpec", "fleet_supports
 #: v2: peres/etime/adaptive/fixed_batch gained vectorized kernels, so
 #: configurations that previously cached scalar-fallback summaries now
 #: run the fleet engine (identical within tolerance, not bit-for-bit).
-FLEET_CACHE_VERSION = 2
+#: v3: channel_aware gained a vectorized kernel (the last scalar-only
+#: strategy), moving its cached summaries off the fallback path too.
+FLEET_CACHE_VERSION = 3
 
 _BANDWIDTHS = ("wuhan", "constant")
 

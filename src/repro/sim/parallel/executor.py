@@ -491,6 +491,22 @@ class ExperimentExecutor:
         for i in misses:
             done = self._run_one_serial(i, jobs, results, done, len(jobs))
 
+    def _dispatch(
+        self, misses: List[int], jobs: Sequence[JobSpec], results: List[Optional[JobResult]]
+    ) -> None:
+        """Execute the cache misses; the extension point subclasses override.
+
+        Everything around this call — cache prefill, journaling of hits,
+        the hole check, and stats accounting — is placement-independent
+        and shared; only *where* the misses run differs (in-process,
+        process pool here; TCP workers in
+        :class:`repro.sim.dist.DistExecutor`).
+        """
+        if self.workers is not None and self.workers > 1 and len(misses) > 1:
+            self._run_pool(misses, jobs, results)
+        else:
+            self._run_serial(misses, jobs, results)
+
     # -- public API --------------------------------------------------------
 
     def describe_cache(self) -> Optional[str]:
@@ -528,10 +544,7 @@ class ExperimentExecutor:
                 self._report(reported, len(jobs), r)
 
         if misses:
-            if self.workers is not None and self.workers > 1 and len(misses) > 1:
-                self._run_pool(misses, jobs, results)
-            else:
-                self._run_serial(misses, jobs, results)
+            self._dispatch(misses, jobs, results)
 
         elapsed = time.perf_counter() - started
         holes = [i for i, r in enumerate(results) if r is None]

@@ -160,11 +160,13 @@ class TestFleetCommand:
         assert "periodic" in capsys.readouterr().out
 
     def test_scalar_fallback_strategy(self, capsys):
-        # peres gained a vectorized kernel (ISSUE 7); channel_aware is
-        # the remaining scalar-only strategy.
+        # Every strategy now has a vectorized kernel (channel_aware was
+        # the last, ISSUE 8); configurations outside the engine's
+        # assumptions (etrain with a k-limited drain) still fall back.
         code = main(
             ["fleet", "--devices", "1", "--chunk-size", "1",
-             "--horizon", "300", "--quiet", "--strategy", "channel_aware"]
+             "--horizon", "300", "--quiet",
+             "--strategy", "etrain", "--param", "k=2"]
         )
         assert code == 0
         captured = capsys.readouterr()
@@ -231,6 +233,37 @@ class TestFaultToleranceFlags:
     def test_fleet_cleanup_shm_runs_standalone(self, capsys):
         assert main(["fleet", "--cleanup-shm"]) == 0
         assert "stale etrain-* segment(s)" in capsys.readouterr().out
+
+    def test_dist_flags_parse_on_sweep_and_fleet(self):
+        from repro.cli import build_fleet_parser, build_sweep_parser
+
+        args = build_sweep_parser().parse_args(
+            ["--workers-remote", "2", "--bind", "0.0.0.0:7777",
+             "--min-workers", "3", "--lease-timeout", "12.5"]
+        )
+        assert args.workers_remote == 2 and args.bind == "0.0.0.0:7777"
+        assert args.min_workers == 3 and args.lease_timeout == 12.5
+        fleet = build_fleet_parser().parse_args(["--workers-remote", "1"])
+        assert fleet.workers_remote == 1 and fleet.bind is None
+
+    def test_bad_bind_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["sweep", "--seeds", "1", "--horizon", "240", "--quiet",
+                  "--bind", "nonsense", "--workers-remote", "1"])
+        assert exc_info.value.code == 2
+        assert "--bind wants HOST:PORT" in capsys.readouterr().err
+
+    def test_coordinate_usage_and_delegation(self, capsys):
+        assert main(["coordinate"]) == 2
+        assert "usage: etrain coordinate" in capsys.readouterr().err
+        assert main(["coordinate", "--help"]) == 0
+        assert "usage: etrain coordinate" in capsys.readouterr().out
+        assert main(["coordinate", "loadgen"]) == 2
+
+    def test_worker_rejects_bad_connect(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["worker", "--connect", "no-port-here"])
+        assert exc_info.value.code == 2
 
     def test_sweep_resume_round_trip(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")

@@ -508,3 +508,133 @@ class TestTornFiles:
         truncate_tail(cache._path(key), 8)
         assert cache.get(key) is None  # torn entry reads as a miss
 
+
+# ---------------------------------------------------------------------------
+# Host-level failures (repro.sim.dist): worker *processes* die mid-chunk
+# and the coordinator itself is SIGKILLed mid-journal-append.  Same
+# recovery contract as pool workers: requeue, retry accounting, resume
+# byte-identity.
+# ---------------------------------------------------------------------------
+
+DIST_SWEEP_ARGS = [
+    "sweep", "--strategies", "immediate,etrain", "--seeds", "3",
+    "--horizon", "1200", "--workers-remote", "2", "--quiet",
+]
+
+
+@pytest.mark.faults
+@pytest.mark.dist
+class TestDistWorkerDeathMidChunk:
+    def test_injected_crash_kills_worker_host_then_respawn_is_bit_identical(
+        self, tmp_path
+    ):
+        """An injected crash takes a whole worker *process* (host-death
+        analogue: the TCP connection drops mid-lease).  The coordinator
+        must revoke, respawn, retry — and the table must match a serial
+        run byte for byte."""
+        from repro.faults import FaultPlan
+
+        jobs = _sweep_grid(horizon=240.0)
+        keys = [j.content_hash() for j in jobs]
+        for seed in range(2000):
+            plan = FaultPlan(seed=seed, crash_prob=0.2)
+            if len(plan.crashes_for(keys)) == 1:
+                break
+        else:  # pragma: no cover
+            pytest.fail("no single-crash plan found")
+
+        args = ["sweep", "--strategies", "immediate,etrain", "--seeds", "3",
+                "--horizon", "240", "--quiet"]
+        metrics_path = tmp_path / "metrics.json"
+        crashed = _run_cli(
+            args + ["--workers-remote", "2",
+                    "--faults", f"crash=0.2,seed={seed}",
+                    "--metrics-out", str(metrics_path)],
+            tmp_path,
+        )
+        assert crashed.returncode == 0, crashed.stderr
+        reference = _run_cli(args, tmp_path)
+        assert reference.returncode == 0, reference.stderr
+        assert _sweep_table(crashed.stdout) == _sweep_table(reference.stdout)
+
+        metrics = json.loads(metrics_path.read_text())
+        # One crashed worker == one lost connection == one host failure,
+        # one respawn, and at least the crashed job retried.
+        assert metrics["executor.worker_failures"]["value"] >= 1
+        assert metrics["executor.pool_rebuilds"]["value"] >= 1
+        assert metrics["executor.retries"]["value"] >= 1
+        assert metrics["executor.jobs"]["value"] == len(jobs)
+
+
+@pytest.mark.faults
+@pytest.mark.dist
+class TestDistCoordinatorKillThenResume:
+    def test_sigkill_coordinator_mid_run_then_resume_is_bit_identical(
+        self, tmp_path
+    ):
+        """Kill -9 the *coordinator* (journal owner) mid-run, tear the
+        journal's tail mid-append, then ``--resume --workers-remote``:
+        the table must be byte-identical to a never-killed serial run."""
+        from repro.faults import FaultPlan, truncate_tail
+        from repro.sim.parallel import run_key_of
+
+        jobs = _sweep_grid()
+        keys = [j.content_hash() for j in jobs]
+        # Hangs wedge remote workers (they heartbeat through the hang,
+        # so nothing times out) while the non-hung jobs complete and
+        # journal — the run is then genuinely mid-flight forever.
+        for seed in range(2000):
+            plan = FaultPlan(seed=seed, hang_prob=0.5, hang_seconds=300.0)
+            hangs = set(plan.hangs_for(keys))
+            if 2 <= len(hangs) <= 4 and keys[0] not in hangs and keys[1] not in hangs:
+                break
+        else:  # pragma: no cover - seed search failed
+            pytest.fail("no suitable hang plan found")
+
+        cache = tmp_path / "cache"
+        journal = cache / "journal" / f"{run_key_of(keys)[:16]}.jsonl"
+        victim = _spawn_cli(
+            DIST_SWEEP_ARGS
+            + ["--cache-dir", str(cache), "--faults",
+               f"hang=0.5,seed={seed},hang_seconds=300"],
+            tmp_path,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if journal.exists():
+                    done = len(journal.read_text().splitlines()) - 1  # - header
+                    if done >= 2:
+                        break
+                if victim.poll() is not None:  # pragma: no cover
+                    pytest.fail(f"sweep exited early: {victim.communicate()}")
+                time.sleep(0.05)
+            else:  # pragma: no cover - machine pathologically slow
+                pytest.fail("sweep never reached mid-run state")
+            # The whole process group: coordinator AND its spawned
+            # workers (they inherit the session), like a host reboot.
+            os.killpg(victim.pid, signal.SIGKILL)
+        finally:
+            victim.wait(timeout=60)
+            victim.stdout.close()
+            victim.stderr.close()
+        assert victim.returncode == -signal.SIGKILL
+
+        partial = len(journal.read_text().splitlines()) - 1
+        assert 0 < partial < len(jobs)
+        # Tear the last journal append in half — the kill landing
+        # mid-write.  attach() must truncate the torn tail and resume.
+        truncate_tail(journal, 5)
+
+        resumed = _run_cli(
+            DIST_SWEEP_ARGS + ["--cache-dir", str(cache), "--resume"], tmp_path
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resuming:" in resumed.stdout
+
+        reference = _run_cli(
+            SWEEP_ARGS + ["--cache-dir", str(tmp_path / "fresh-cache")], tmp_path
+        )
+        assert reference.returncode == 0, reference.stderr
+        assert _sweep_table(resumed.stdout) == _sweep_table(reference.stdout)
+

@@ -88,10 +88,15 @@ CASES = [
     ("adaptive", {"target_delay": 20.0, "warm_gate": False}),
     ("fixed_batch", None),
     ("fixed_batch", {"period": 45.0}),
+    # channel_aware (ISSUE 8): the last strategy off the scalar fallback.
+    ("channel_aware", None),
+    ("channel_aware", {"quality_threshold": 1.2, "max_defer": 10.0}),
+    ("channel_aware", {"theta": 0.5, "noise": 0.0}),
+    ("channel_aware", {"quality_threshold": 5.0}),
 ]
 
-#: The strategies this PR moved off the scalar fallback.
-NEW_VECTOR = ["peres", "etime", "adaptive", "fixed_batch"]
+#: The strategies recent PRs moved off the scalar fallback.
+NEW_VECTOR = ["peres", "etime", "adaptive", "fixed_batch", "channel_aware"]
 
 
 @pytest.mark.parametrize("strategy,params", CASES)
@@ -201,8 +206,8 @@ def test_property_new_kernels_match_scalar(
 
 def test_rejects_non_vectorized_strategy():
     w = synthesize_fleet(1, 60.0, 0)
-    with pytest.raises(ValueError, match="channel_aware"):
-        simulate_fleet_chunk(w, channel_table(60.0), strategy="channel_aware")
+    with pytest.raises(ValueError, match="no_such_strategy"):
+        simulate_fleet_chunk(w, channel_table(60.0), strategy="no_such_strategy")
 
 
 def test_rejects_unknown_params():

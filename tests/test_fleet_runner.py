@@ -43,8 +43,9 @@ def test_fleet_supports_matrix():
     assert fleet_supports("etime")
     assert fleet_supports("adaptive", {"target_delay": 30.0})
     assert fleet_supports("fixed_batch")
-    # scalar-only strategies
-    assert not fleet_supports("channel_aware")
+    # the last scalar-only strategy gained a kernel (ISSUE 8)
+    assert fleet_supports("channel_aware")
+    assert fleet_supports("channel_aware", {"quality_threshold": 1.5})
     # engine assumptions
     assert not fleet_supports("etrain", {"k": 3})
     assert not fleet_supports("etrain", {"slot": 0.5})
@@ -169,9 +170,19 @@ def test_run_fleet_peres_vectorized():
     assert result.summary.energy_total_j > 0
 
 
+def test_run_fleet_channel_aware_vectorized():
+    """channel_aware moved off the scalar fallback when it gained a
+    kernel (ISSUE 8) — the last scalar-only strategy."""
+    result = run_fleet(small_spec(devices=2, chunk_size=2, strategy="channel_aware"))
+    assert result.vectorized
+    assert result.summary.devices == 2
+    assert result.summary.energy_total_j > 0
+
+
 def test_run_fleet_scalar_fallback_visibility():
-    """The channel_aware fallback still runs — and announces itself via
-    the fleet.scalar_fallback counter and a fleet_fallback trace event."""
+    """Configurations the engine can't cover (etrain with a k-limited
+    drain) still run — and announce themselves via the
+    fleet.scalar_fallback counter and a fleet_fallback trace event."""
 
     class Recorder:
         def __init__(self):
@@ -182,7 +193,7 @@ def test_run_fleet_scalar_fallback_visibility():
 
     recorder = Recorder()
     result = run_fleet(
-        small_spec(devices=2, chunk_size=2, strategy="channel_aware"),
+        small_spec(devices=2, chunk_size=2, strategy="etrain", params={"k": 2}),
         recorder=recorder,
     )
     assert not result.vectorized
@@ -190,7 +201,7 @@ def test_run_fleet_scalar_fallback_visibility():
     assert result.metrics["fleet.scalar_fallback"]["value"] == result.chunks
     fallback = [e for e in recorder.events if e["ev"] == "fleet_fallback"]
     assert len(fallback) == 1
-    assert fallback[0]["strategy"] == "channel_aware"
+    assert fallback[0]["strategy"] == "etrain"
     assert fallback[0]["chunks"] == result.chunks
 
 

@@ -167,7 +167,7 @@ class TestBatchOp:
             device_offset=device_offset,
         )
         table = ChannelTable.from_model(bw_model(), TestBatchOp.HORIZON)
-        raw = simulate_fleet_chunk(w, table, strategy="etrain")
+        raw = simulate_fleet_chunk(w, table, strategy=strategy)
         return summarize_chunk(raw, GALAXY_S4_3G)
 
     def _batch_frame(self, devices, offset=0, strategy="etrain"):
@@ -242,7 +242,21 @@ class TestBatchOp:
         for key in ("total_energy_j", "piggyback_ratio", "packets", "bursts"):
             np.testing.assert_allclose(blk[key], srv[key], rtol=1e-6)
 
-    def test_batch_rejects_scalar_only_strategy(self):
+    def test_batch_runs_channel_aware(self):
+        """channel_aware gained a fleet kernel (ISSUE 8), so the bulk
+        path now serves it like any other vectorized strategy."""
+        app = ServeApp(ServeConfig())
+        response = app.handle(self._batch_frame(2, strategy="channel_aware"))
+        assert response["ok"], response
+        engine = self._engine_summary(2, "channel_aware")
+        assert response["fleet"] == json.loads(json.dumps(engine.to_dict()))
+
+    def test_batch_rejects_scalar_only_strategy(self, monkeypatch):
+        """No built-in strategy is scalar-only anymore; the guard stays
+        for future strategies, exercised with a kernel deregistered."""
+        from repro.sim.fleet import registry
+
+        monkeypatch.delitem(registry._KERNELS, "channel_aware")
         app = ServeApp(ServeConfig())
         response = app.handle(self._batch_frame(2, strategy="channel_aware"))
         assert not response["ok"]
@@ -345,6 +359,84 @@ class TestServeOverTcp:
             assert close["summary"] == json.loads(
                 json.dumps(batch.summary())
             )
+
+
+class TestMetricsEndpoint:
+    """The ``--metrics-port`` introspection listener (plain HTTP GET)."""
+
+    def test_snapshot_reflects_served_traffic(self):
+        from repro.obs.metrics import MetricsRegistry, metrics_scope
+
+        async def _run():
+            server = EtrainServer(ServeConfig(metrics_port=0))
+            await server.start()
+            try:
+                assert server.metrics_port not in (None, 0)
+                # Serve one frame so the counters have something to say.
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b'{"op": "hello"}\n')
+                await writer.drain()
+                assert json.loads(await reader.readline())["ok"]
+                writer.close()
+                await writer.wait_closed()
+
+                # A GET from a plain socket speaking minimal HTTP/1.1.
+                mr, mw = await asyncio.open_connection(
+                    "127.0.0.1", server.metrics_port
+                )
+                mw.write(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+                await mw.drain()
+                raw = await mr.read()
+                mw.close()
+                await mw.wait_closed()
+
+                # And a non-GET is refused without a snapshot.
+                pr, pw = await asyncio.open_connection(
+                    "127.0.0.1", server.metrics_port
+                )
+                pw.write(b"POST / HTTP/1.1\r\nHost: x\r\n\r\n")
+                await pw.drain()
+                refused = await pr.read()
+                pw.close()
+                await pw.wait_closed()
+                return raw, refused
+            finally:
+                await server.stop()
+
+        with metrics_scope(MetricsRegistry()):
+            raw, refused = asyncio.run(_run())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert b"Content-Type: application/json" in head
+        snapshot = json.loads(body)
+        assert snapshot["requests"] == 1
+        assert snapshot["errors"] == 0
+        assert snapshot["sessions"] == 0
+        assert snapshot["inbox"]["accepted"] == 1
+        assert snapshot["inbox"]["shed"] == 0
+        assert snapshot["inbox"]["backlog"] == 0
+        assert snapshot["metrics"]["serve.frames"]["value"] == 1.0
+        assert refused.startswith(b"HTTP/1.1 405")
+
+    def test_disabled_by_default(self):
+        async def _run():
+            server = EtrainServer(ServeConfig())
+            await server.start()
+            try:
+                return server.metrics_port
+            finally:
+                await server.stop()
+
+        assert asyncio.run(_run()) is None
+
+    def test_cli_flag_reaches_the_config(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args(["--metrics-port", "9100"])
+        assert args.metrics_port == 9100
+        assert build_serve_parser().parse_args([]).metrics_port is None
 
 
 class TestDecidePurity:
