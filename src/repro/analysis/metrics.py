@@ -3,11 +3,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.sim.results import SimulationResult
 
-__all__ = ["energy_saving", "relative_saving", "ComparisonRow", "compare_results"]
+__all__ = [
+    "energy_saving",
+    "relative_saving",
+    "delay_cost",
+    "ComparisonRow",
+    "compare_results",
+]
 
 
 def energy_saving(baseline: SimulationResult, candidate: SimulationResult) -> float:
@@ -24,7 +30,13 @@ def relative_saving(baseline: SimulationResult, candidate: SimulationResult) -> 
 
 @dataclass(frozen=True)
 class ComparisonRow:
-    """One strategy's headline numbers in a comparison table."""
+    """One strategy's headline numbers in a comparison table.
+
+    ``aoi_s`` is the run's time-averaged Age of Information (freshness;
+    see :func:`repro.sim.results.compute_aoi`); ``delay_cost_j`` is the
+    summed per-app delay cost when :func:`compare_results` was given a
+    cost table, else 0.
+    """
 
     strategy: str
     total_energy_j: float
@@ -33,12 +45,31 @@ class ComparisonRow:
     bursts: int
     saving_vs_baseline_j: float
     saving_vs_baseline_pct: float
+    aoi_s: float = 0.0
+    delay_cost_j: float = 0.0
+
+
+def delay_cost(
+    result: SimulationResult, costs: Mapping[str, Callable[[float], float]]
+) -> float:
+    """Summed per-packet delay cost under the apps' cost functions."""
+    total = 0.0
+    for p in result.packets:
+        if p.is_scheduled:
+            total += costs[p.app_id](p.delay)
+    return total
 
 
 def compare_results(
-    results: Sequence[SimulationResult], baseline_name: str = "baseline"
+    results: Sequence[SimulationResult],
+    baseline_name: str = "baseline",
+    costs: Optional[Mapping[str, Callable[[float], float]]] = None,
 ) -> List[ComparisonRow]:
     """Tabulate runs against the named baseline run.
+
+    ``costs`` optionally maps app ids to delay cost functions (e.g.
+    ``{p.app_id: p.cost_function for p in scenario.profiles}``); when
+    given, each row carries the run's total delay cost.
 
     Raises :class:`ValueError` when no run matches ``baseline_name``.
     """
@@ -62,6 +93,8 @@ def compare_results(
                 bursts=r.burst_count,
                 saving_vs_baseline_j=saving,
                 saving_vs_baseline_pct=100.0 * relative_saving(baseline, r),
+                aoi_s=r.aoi,
+                delay_cost_j=delay_cost(r, costs) if costs else 0.0,
             )
         )
     return rows

@@ -1,22 +1,30 @@
 """Transmission strategies: eTrain and every comparator."""
 
 from repro.baselines.adaptive import AdaptiveThetaETrainStrategy
+from repro.baselines.aoi_download import AoiDownloadStrategy
 from repro.baselines.base import BandwidthEstimator, TransmissionStrategy
 from repro.baselines.channel_aware import ChannelAwareETrainStrategy
+from repro.baselines.common_deadline import CommonDeadlineStrategy
 from repro.baselines.etime import ETimeStrategy
 from repro.baselines.etrain import ETrainStrategy
 from repro.baselines.fixed_batch import PeriodicBatchStrategy
+from repro.baselines.harvest_lazy import HarvestLazyStrategy
 from repro.baselines.immediate import ImmediateStrategy
+from repro.baselines.lazy_circuit import LazyCircuitStrategy
 from repro.baselines.peres import PerESStrategy
 from repro.baselines.tailender import TailEnderStrategy
 
 __all__ = [
     "AdaptiveThetaETrainStrategy",
+    "AoiDownloadStrategy",
     "BandwidthEstimator",
     "TransmissionStrategy",
     "ChannelAwareETrainStrategy",
+    "CommonDeadlineStrategy",
     "ETimeStrategy",
     "ETrainStrategy",
+    "HarvestLazyStrategy",
+    "LazyCircuitStrategy",
     "PeriodicBatchStrategy",
     "ImmediateStrategy",
     "PerESStrategy",

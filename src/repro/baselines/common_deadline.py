@@ -1,0 +1,118 @@
+"""Online common-deadline packet scheduling (Deshmukh & Vaze, arXiv:1602.01560).
+
+The common-due-date model: packets arrive online, and all packets of a
+scheduling round share one *common* deadline — the round boundary.  The
+scheduler's freedom is purely *when within the round* to transmit, and
+the competitive-ratio analysis rewards waiting (batching arrivals into
+one burst) right up to the common due date.
+
+Slotted reduction: time is cut into rounds of ``round_s`` seconds; a
+packet arriving in round ``k`` is assigned the common deadline
+``(k+1) * round_s`` (arrivals too close to their boundary to make it in
+slotted time roll into the next round), and the whole queue is released
+at the last decision slot that still lands every delivery at or before
+the earliest assigned deadline.  Like TailEnder, the policy is heartbeat-
+and channel-oblivious — it isolates the value of round-aligned batching.
+
+The assigned-deadline bookkeeping is exposed (:attr:`assigned`) so the
+property suite can check the policy's defining invariant: no packet is
+ever transmitted after its common deadline (``tests/test_new_strategies.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.base import TransmissionStrategy
+from repro.core.packet import Packet
+
+__all__ = ["CommonDeadlineStrategy"]
+
+
+class CommonDeadlineStrategy(TransmissionStrategy):
+    """Release-everything-before-the-round-boundary batching."""
+
+    slot = 1.0
+
+    #: Fire margin in decision-granularity multiples.  Firing starts at
+    #: the first decision slot ``t`` with ``deadline <= t + 3 * slot``;
+    #: with an engine slot no coarser than ``slot`` that guarantees a
+    #: release (even a piggybacked one) completes by the deadline.
+    FIRE_MARGIN_SLOTS = 3.0
+    #: Assignment lead: a packet must get at least this many granularity
+    #: multiples between arrival and its common deadline, else it rolls
+    #: into the next round.
+    LEAD_SLOTS = 4.0
+
+    def __init__(self, round_s: float = 300.0) -> None:
+        """
+        Parameters
+        ----------
+        round_s:
+            Round length; every round boundary ``(k+1) * round_s`` is a
+            common deadline for the packets assigned to round ``k``.
+        """
+        if round_s <= 0:
+            raise ValueError("round_s must be > 0")
+        self.round_s = float(round_s)
+        self.name = "CommonDeadline"
+        self._queue: List[Packet] = []
+        #: packet_id -> assigned common deadline (kept for the whole run
+        #: so tests can audit every delivery against it).
+        self.assigned: Dict[int, float] = {}
+
+    def _assign(self, packet: Packet) -> None:
+        lead = self.LEAD_SLOTS * self.slot
+        k = int(math.ceil((packet.arrival_time + lead) / self.round_s))
+        self.assigned[packet.packet_id] = max(1, k) * self.round_s
+
+    def on_arrival(self, packet: Packet, now: float) -> None:
+        self._queue.append(packet)
+        self._assign(packet)
+
+    def on_arrivals(self, packets: Sequence[Packet], now: float) -> None:
+        self._queue.extend(packets)
+        for p in packets:
+            self._assign(p)
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._queue)
+
+    def earliest_deadline(self) -> Optional[float]:
+        if not self._queue:
+            return None
+        return min(self.assigned[p.packet_id] for p in self._queue)
+
+    def decide(self, now: float, heartbeat_present: bool) -> List[Packet]:
+        due = self.earliest_deadline()
+        if due is None or due > now + self.FIRE_MARGIN_SLOTS * self.slot:
+            return []
+        released, self._queue = self._queue, []
+        return released
+
+    @property
+    def is_idle(self) -> bool:
+        """Idle when nothing is queued — :meth:`decide` is then pure."""
+        return not self._queue
+
+    def decision_horizon(self, now: float) -> float:
+        """Quiet until the firing window before the earliest deadline.
+
+        :meth:`decide` fires at ``t`` iff the earliest assigned deadline
+        is ``<= t + FIRE_MARGIN_SLOTS * slot``; arrivals (engine wakes)
+        are the only events that can move that deadline.
+        """
+        due = self.earliest_deadline()
+        if due is None:
+            return now
+        return (
+            due
+            - self.FIRE_MARGIN_SLOTS * self.slot
+            - 1e-6 * max(1.0, self.slot)
+        )
+
+    def flush(self, now: float) -> List[Packet]:
+        released, self._queue = self._queue, []
+        return released

@@ -38,6 +38,7 @@ REPLAYED_KEYS = (
     "normalized_delay_s",
     "deadline_violation_ratio",
     "piggyback_ratio",
+    "aoi_s",
     "delay_cost_total",
     "bursts",
     "packets",
@@ -61,6 +62,7 @@ def replay_events(events: Sequence[Mapping]) -> Dict[str, float]:
     from repro.core.packet import TransmissionRecord
     from repro.obs.tracer import cold_flags, eval_delay_cost
     from repro.radio.energy import EnergyAccountant
+    from repro.sim.results import compute_aoi
 
     run_start = None
     arrivals: List[Mapping] = []
@@ -124,6 +126,7 @@ def replay_events(events: Sequence[Mapping]) -> Dict[str, float]:
     violations = 0
     piggyback_hits = 0
     delay_cost_total = 0.0
+    deliveries: List[Tuple[float, float]] = []
     for a in arrivals:
         start = scheduled_at.get(a["id"])
         if start is None:
@@ -136,6 +139,7 @@ def replay_events(events: Sequence[Mapping]) -> Dict[str, float]:
             violations += 1
         if a["id"] in piggybacked:
             piggyback_hits += 1
+        deliveries.append((start, a["t"]))
         delay_cost_total += eval_delay_cost(
             a.get("cost_kind"), a.get("cost_deadline"), delay
         )
@@ -147,6 +151,7 @@ def replay_events(events: Sequence[Mapping]) -> Dict[str, float]:
         "normalized_delay_s": delay_sum / scheduled if scheduled else 0.0,
         "deadline_violation_ratio": violations / scheduled if scheduled else 0.0,
         "piggyback_ratio": piggyback_hits / scheduled if scheduled else 0.0,
+        "aoi_s": compute_aoi(deliveries, float(run_start["horizon"])),
         "delay_cost_total": delay_cost_total,
         "bursts": float(len(records)),
         "packets": float(len(arrivals)),

@@ -142,6 +142,9 @@ class DeviceSession:
             slot=self.slot,
             granularity=max(strategy_obj.slot, self.slot),
             warm_window=radio.power_model.tail_time,
+            # Strategies owning a harvesting battery (harvest_lazy) gate
+            # standalone bursts on it — same pickup as the batch engine.
+            battery=getattr(strategy_obj, "battery", None),
         )
         self.n_slots = int(math.ceil(self.horizon / self.slot))
         self.cursor = 0  # next slot index awaiting finalization

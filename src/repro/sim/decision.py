@@ -73,6 +73,7 @@ def slot_step(
     slot_hbs: Sequence[Heartbeat],
     decide_now: bool,
     warm_window: float,
+    battery=None,
 ) -> List[Packet]:
     """Decide and transmit for the slot starting at ``t``; returns held'.
 
@@ -80,6 +81,12 @@ def slot_step(
     exists.  Otherwise a warm-radio-gated strategy (eTrain's Q_TX) only
     transmits while the radio is still in its tail; a cold release waits
     for the next promotion.  Other strategies transmit on demand.
+
+    When a :class:`~repro.sim.battery.HarvestingBattery` is present,
+    standalone data bursts are additionally gated on stored energy: an
+    unaffordable burst stays held until charge accrues.  Heartbeats and
+    piggybacks are never gated — the heartbeat departs regardless and
+    cargo riding it is (per the paper) nearly free.
     """
     released: List[Packet] = []
     if decide_now:
@@ -102,7 +109,12 @@ def slot_step(
             payload = held + released
             held = []
             if payload:
-                radio.transmit_packets(t, payload)
+                if battery is not None and not battery.try_spend(
+                    t, sum(p.size_bytes for p in payload)
+                ):
+                    held = payload
+                else:
+                    radio.transmit_packets(t, payload)
     return held
 
 
@@ -129,6 +141,9 @@ class DecisionState:
     warm_window: float
     held: List[Packet] = field(default_factory=list)
     decisions: int = 0
+    #: Optional :class:`~repro.sim.battery.HarvestingBattery` gating
+    #: standalone bursts (shared with the strategy when it owns one).
+    battery: Optional[object] = None
 
     @property
     def pending_cargo(self) -> int:
@@ -182,6 +197,7 @@ def advance(state: DecisionState, event: SlotEvent) -> DecisionOutcome:
         event.heartbeats,
         decide_now,
         state.warm_window,
+        battery=state.battery,
     )
     return DecisionOutcome(
         transmissions=tuple(state.radio.records[n_before:]),

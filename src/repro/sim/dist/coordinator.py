@@ -454,6 +454,12 @@ class DistExecutor(ExperimentExecutor):
         )
         for i in lost:
             self._lost(i)
+        # A dropped connection with live leases usually means the process
+        # behind it died; respawn now rather than on the next watchdog
+        # tick so the fleet is back to strength before the requeued
+        # leases are handed out (a fast surviving worker can otherwise
+        # drain the queue first and the dead slot is never refilled).
+        self._tend_spawned()
 
     def _kick_rescues(self) -> None:
         if self._rescue_task is None or self._rescue_task.done():

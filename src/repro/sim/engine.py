@@ -162,6 +162,7 @@ class Simulation:
         dense: bool = False,
         recorder=None,
         trace_app_costs=None,
+        battery=None,
     ) -> None:
         if horizon <= 0:
             raise ValueError(f"horizon must be > 0, got {horizon}")
@@ -188,6 +189,12 @@ class Simulation:
         #: Optional ``{app_id: {"cost_kind", "deadline"}}`` table for the
         #: trace's delay-cost accounting (``repro.obs.events.app_cost_table``).
         self.trace_app_costs = trace_app_costs
+        #: Optional :class:`~repro.sim.battery.HarvestingBattery` gating
+        #: standalone bursts.  When None, a battery the strategy *owns*
+        #: (``strategy.battery``, e.g. harvest_lazy) is picked up
+        #: automatically so every caller — engine, serve, fleet scalar
+        #: fallback — applies the same energy constraint.
+        self.battery = battery
         self.radio: Optional[RadioInterface] = None
         #: Slots actually visited by the last run (dense: every slot).
         self.loop_iterations: int = 0
@@ -252,11 +259,20 @@ class Simulation:
         radio = RadioInterface(self.power_model, self.bandwidth)
         self.radio = radio
         heartbeats = merge_heartbeats(self.train_generators, self.horizon)
+        battery = (
+            self.battery
+            if self.battery is not None
+            else getattr(self.strategy, "battery", None)
+        )
 
         if self.dense or not self._can_skip():
-            arrival_idx, decisions, held = self._run_dense(radio, heartbeats)
+            arrival_idx, decisions, held = self._run_dense(
+                radio, heartbeats, battery
+            )
         else:
-            arrival_idx, decisions, held = self._run_event(radio, heartbeats)
+            arrival_idx, decisions, held = self._run_event(
+                radio, heartbeats, battery
+            )
 
         # Deliver any arrivals past the last slot boundary, then flush.
         if self.flush_at_end:
@@ -308,7 +324,7 @@ class Simulation:
     # ------------------------------------------------------------------
 
     def _run_dense(
-        self, radio: RadioInterface, heartbeats: List[Heartbeat]
+        self, radio: RadioInterface, heartbeats: List[Heartbeat], battery=None
     ) -> Tuple[int, int, List[Packet]]:
         """Visit every slot in order (the original engine loop)."""
         strategy = self.strategy
@@ -352,7 +368,8 @@ class Simulation:
             if decide_now:
                 decisions += 1
             held = slot_step(
-                strategy, radio, held, t, slot_hbs, decide_now, warm_window
+                strategy, radio, held, t, slot_hbs, decide_now, warm_window,
+                battery=battery,
             )
 
         self.loop_iterations = n_slots
@@ -363,7 +380,7 @@ class Simulation:
     # ------------------------------------------------------------------
 
     def _run_event(
-        self, radio: RadioInterface, heartbeats: List[Heartbeat]
+        self, radio: RadioInterface, heartbeats: List[Heartbeat], battery=None
     ) -> Tuple[int, int, List[Packet]]:
         """Fast-forward between interesting slots; bit-identical to dense.
 
@@ -454,7 +471,8 @@ class Simulation:
             if decide_now:
                 decisions += 1
             held = slot_step(
-                strategy, radio, held, t, slot_hbs, decide_now, warm_window
+                strategy, radio, held, t, slot_hbs, decide_now, warm_window,
+                battery=battery,
             )
 
             # ---- fast-forward to the next interesting slot ----
@@ -504,12 +522,17 @@ class Simulation:
                 if d < nxt:
                     nxt = d
             if held and nxt > i1:
-                # Held Q_TX packets transmit as soon as the radio is
-                # warm.  By construction held implies a cold radio
-                # (warmth only increases at transmissions, which are
-                # wakes), so this never fires — it guards the loop
-                # should that invariant ever change.
-                if radio.records and i1 * s < radio.busy_until + warm_window:
+                if battery is not None:
+                    # Battery-gated cargo transmits at the first slot
+                    # whose accrued charge affords it; affordability can
+                    # flip at any slot, so step densely while holding.
+                    nxt = i1
+                elif radio.records and i1 * s < radio.busy_until + warm_window:
+                    # Held Q_TX packets transmit as soon as the radio is
+                    # warm.  By construction held implies a cold radio
+                    # (warmth only increases at transmissions, which are
+                    # wakes), so this never fires — it guards the loop
+                    # should that invariant ever change.
                     nxt = i1
 
             if nxt > i1:

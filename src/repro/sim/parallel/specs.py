@@ -48,7 +48,8 @@ __all__ = [
 
 #: Bumped whenever a change anywhere in the simulator may shift summary
 #: numbers; stale cache entries then miss instead of lying.
-CACHE_VERSION = 1
+#: v2: summary() gained the ``aoi_s`` freshness column.
+CACHE_VERSION = 2
 
 #: Named power models a :class:`ScenarioSpec` can reference.
 POWER_MODELS: Dict[str, PowerModel] = {
@@ -267,6 +268,64 @@ def _build_tailender(scenario, default_deadline: float = 60.0, slack: float = 0.
     )
 
 
+def _build_lazy_circuit(
+    scenario,
+    target_batch_bytes: int = 60_000,
+    default_deadline: float = 60.0,
+):
+    from repro.baselines.lazy_circuit import LazyCircuitStrategy
+
+    return LazyCircuitStrategy(
+        scenario.profiles,
+        target_batch_bytes=target_batch_bytes,
+        default_deadline=default_deadline,
+    )
+
+
+def _build_harvest_lazy(
+    scenario,
+    default_deadline: float = 60.0,
+    watermark: float = 0.85,
+    capacity_j: float = 40.0,
+    initial_j: float = 20.0,
+    harvest_window_s: float = 60.0,
+    harvest_rate_max: float = 0.05,
+    burst_cost_j: float = 1.0,
+    per_byte_j: float = 2e-6,
+    battery_seed: int = 0,
+):
+    from repro.baselines.harvest_lazy import HarvestLazyStrategy
+    from repro.sim.battery import HarvestingBattery
+
+    battery = HarvestingBattery(
+        capacity_j=capacity_j,
+        initial_j=initial_j,
+        harvest_window_s=harvest_window_s,
+        harvest_rate_max=harvest_rate_max,
+        burst_cost_j=burst_cost_j,
+        per_byte_j=per_byte_j,
+        seed=battery_seed,
+    )
+    return HarvestLazyStrategy(
+        scenario.profiles,
+        default_deadline=default_deadline,
+        watermark=watermark,
+        battery=battery,
+    )
+
+
+def _build_common_deadline(scenario, round_s: float = 300.0):
+    from repro.baselines.common_deadline import CommonDeadlineStrategy
+
+    return CommonDeadlineStrategy(round_s=round_s)
+
+
+def _build_aoi_download(scenario, threshold_s: float = 120.0):
+    from repro.baselines.aoi_download import AoiDownloadStrategy
+
+    return AoiDownloadStrategy(threshold_s=threshold_s)
+
+
 #: name → builder(scenario, **params).  Builders receive the materialised
 #: scenario because several strategies need its profiles/estimator.
 STRATEGY_BUILDERS = {
@@ -279,6 +338,10 @@ STRATEGY_BUILDERS = {
     "fixed_batch": _build_fixed_batch,
     "adaptive": _build_adaptive,
     "tailender": _build_tailender,
+    "lazy_circuit": _build_lazy_circuit,
+    "harvest_lazy": _build_harvest_lazy,
+    "common_deadline": _build_common_deadline,
+    "aoi_download": _build_aoi_download,
 }
 
 

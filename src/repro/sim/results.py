@@ -17,7 +17,38 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.packet import Heartbeat, Packet, TransmissionRecord
 from repro.radio.energy import EnergyBreakdown
 
-__all__ = ["AppStats", "SimulationResult"]
+__all__ = ["AppStats", "SimulationResult", "compute_aoi"]
+
+
+def compute_aoi(deliveries: Sequence[tuple], horizon: float) -> float:
+    """Time-averaged Age of Information over ``[0, horizon]``.
+
+    ``deliveries`` is ``(delivery_time, generation_time)`` per delivered
+    packet, in any order.  The age at time ``t`` is ``t - u(t)`` where
+    ``u(t)`` is the generation (arrival) time of the freshest packet
+    delivered by ``t`` (0 before any delivery); the metric integrates
+    that sawtooth and divides by the horizon (Tseng & Hsu,
+    arXiv:1901.03137).
+
+    Shared by :class:`SimulationResult` and the trace replay so both
+    fold the exact same floats in the exact same order — the pairs are
+    fully sorted first, making the result independent of input order.
+    """
+    if horizon <= 0:
+        return 0.0
+    integral = 0.0
+    u = 0.0
+    t_prev = 0.0
+    for d, g in sorted(deliveries):
+        if d > horizon:
+            d = horizon
+        if d > t_prev:
+            integral += ((d - u) ** 2 - (t_prev - u) ** 2) / 2.0
+            t_prev = d
+        if g > u:
+            u = g
+    integral += ((horizon - u) ** 2 - (t_prev - u) ** 2) / 2.0
+    return integral / horizon
 
 
 @dataclass(frozen=True)
@@ -88,6 +119,7 @@ class SimulationResult:
             delay_sum = 0.0
             violations = 0
             piggyback_hits = 0
+            deliveries: List[tuple] = []
             by_app: Dict[str, List[Packet]] = {}
             for p in self.packets:
                 if not p.is_scheduled:
@@ -98,6 +130,7 @@ class SimulationResult:
                     violations += 1
                 if p.packet_id in piggybacked:
                     piggyback_hits += 1
+                deliveries.append((p.scheduled_time, p.arrival_time))
                 by_app.setdefault(p.app_id, []).append(p)
             stats: Dict[str, AppStats] = {}
             for app_id, pkts in sorted(by_app.items()):
@@ -119,6 +152,7 @@ class SimulationResult:
                 "piggyback_ratio": (
                     piggyback_hits / scheduled if scheduled else 0.0
                 ),
+                "aoi_s": compute_aoi(deliveries, self.horizon),
                 "bursts": float(len(self.records)),
                 "packets": float(len(self.packets)),
             }
@@ -150,6 +184,11 @@ class SimulationResult:
         return self._computed()["piggyback_ratio"]
 
     @property
+    def aoi(self) -> float:
+        """Time-averaged Age of Information (seconds) — data freshness."""
+        return self._computed()["aoi_s"]
+
+    @property
     def burst_count(self) -> int:
         """Number of radio bursts (fewer = better aggregation)."""
         return int(self._computed()["bursts"])
@@ -170,6 +209,7 @@ class SimulationResult:
             "normalized_delay_s": m["normalized_delay_s"],
             "deadline_violation_ratio": m["deadline_violation_ratio"],
             "piggyback_ratio": m["piggyback_ratio"],
+            "aoi_s": m["aoi_s"],
             "bursts": m["bursts"],
             "packets": m["packets"],
         }

@@ -5,56 +5,36 @@ its speedup purely by *not visiting* slots where provably nothing can
 happen; every slot it does visit runs the same expressions in the same
 order as the dense reference loop.  These tests enforce the contract at
 full strength — exact float equality of every record, energy total,
-per-packet timestamp and summary metric — across all eight baselines on
-the golden scenario plus a battery of randomized scenarios, including
-non-dyadic slot grids where the engine's exact-arithmetic shortcuts must
-stand down.
+per-packet timestamp and summary metric — across every registered
+baseline on the golden scenario plus a battery of randomized scenarios,
+including non-dyadic slot grids where the engine's exact-arithmetic
+shortcuts must stand down.  The strategy list and the run/compare
+helpers come from the shared conformance table
+(``tests/strategy_conformance.py``), so new baselines enroll here
+automatically.
 """
 
 from __future__ import annotations
 
 import math
-import random
 from typing import List
 
 import pytest
 
-from repro.baselines.adaptive import AdaptiveThetaETrainStrategy
 from repro.baselines.base import TransmissionStrategy
 from repro.core.packet import Packet
 from repro.sim.engine import DecisionWindow, Simulation
 from repro.sim.parallel import STRATEGY_BUILDERS
-from repro.sim.runner import Scenario, default_scenario, run_strategy
+from repro.sim.runner import Scenario, default_scenario
 
-#: All baselines, straight from the parallel-executor registry (which
-#: now includes adaptive-Θ eTrain and the fixed_batch alias).
-ALL_STRATEGIES = sorted(STRATEGY_BUILDERS)
+from tests.strategy_conformance import (
+    ALL_STRATEGIES,
+    assert_bit_identical,
+    conformance_scenarios,
+    run_both,
+)
 
-
-def build_strategy(name: str, scenario: Scenario) -> TransmissionStrategy:
-    return STRATEGY_BUILDERS[name](scenario)
-
-
-def run_both(name: str, scenario: Scenario):
-    dense = run_strategy(build_strategy(name, scenario), scenario, dense=True)
-    event = run_strategy(build_strategy(name, scenario), scenario, dense=False)
-    return dense, event
-
-
-def assert_bit_identical(dense, event) -> None:
-    """Every observable output must match exactly — no tolerances."""
-    assert event.summary() == dense.summary()
-    assert event.decisions == dense.decisions
-    assert event.flushed_packets == dense.flushed_packets
-    assert event.energy == dense.energy
-    assert len(event.records) == len(dense.records)
-    for rd, re_ in zip(dense.records, event.records):
-        assert re_ == rd
-    assert len(event.packets) == len(dense.packets)
-    for pd, pe in zip(dense.packets, event.packets):
-        assert pe.packet_id == pd.packet_id
-        assert pe.scheduled_time == pd.scheduled_time
-        assert pe.completion_time == pd.completion_time
+_SCENARIOS = conformance_scenarios(21)
 
 
 @pytest.mark.parametrize("name", ALL_STRATEGIES)
@@ -62,29 +42,6 @@ def test_golden_scenario_equivalence(name):
     scenario = default_scenario(seed=0)
     dense, event = run_both(name, scenario)
     assert_bit_identical(dense, event)
-
-
-def _random_scenarios(count: int) -> List[Scenario]:
-    """Deterministic battery of varied scenarios (incl. odd slot grids)."""
-    rng = random.Random(20150629)
-    scenarios = []
-    for i in range(count):
-        scenario = default_scenario(
-            seed=rng.randrange(10_000),
-            horizon=float(rng.randrange(400, 2400)),
-            train_count=rng.choice([1, 2, 3]),
-        )
-        if i % 5 == 4:
-            # Non-dyadic slots: ceil-division grids and inexact float
-            # multiples, forcing the non-exact-grid engine paths.
-            scenario.slot = rng.choice([0.3, 0.7, 2.5])
-        elif i % 5 == 2:
-            scenario.slot = 0.5
-        scenarios.append(scenario)
-    return scenarios
-
-
-_SCENARIOS = _random_scenarios(21)
 
 
 @pytest.mark.parametrize("name", ALL_STRATEGIES)

@@ -2,8 +2,9 @@
 
 ``tests/data/golden_metrics.json`` pins the full ``summary()`` dict of
 ``default_scenario(seed=0)`` (7200 s, Wuhan trace, Galaxy S4 power)
-under the baseline and all three scheduling algorithms, along with each
-job's content hash.  Any engine, workload, radio or seeding change that
+under the baseline, the paper's scheduling algorithms, and the
+literature-derived families (lazy-circuit, harvesting-lazy,
+common-deadline, AoI-download), along with each job's content hash.  Any engine, workload, radio or seeding change that
 shifts these numbers — however slightly — fails here and must either be
 a deliberate, reviewed re-baselining of the snapshot or a bug.
 
@@ -36,6 +37,12 @@ GOLDEN_STRATEGIES = {
     "etrain_theta0.2": StrategySpec.make("etrain", theta=0.2),
     "peres_omega0.5": StrategySpec.make("peres", omega=0.5),
     "etime_v200000": StrategySpec.make("etime", v=200_000.0),
+    "lazy_circuit_b60000": StrategySpec.make(
+        "lazy_circuit", target_batch_bytes=60_000
+    ),
+    "harvest_lazy_w0.85": StrategySpec.make("harvest_lazy", watermark=0.85),
+    "common_deadline_r300": StrategySpec.make("common_deadline", round_s=300.0),
+    "aoi_download_t120": StrategySpec.make("aoi_download", threshold_s=120.0),
 }
 
 GOLDEN_SCENARIO = ScenarioSpec(seed=0, horizon=7200.0)

@@ -1,19 +1,24 @@
 """Golden trace snapshots: the event stream itself is pinned.
 
-``tests/data/golden_trace_{etrain,immediate}_2h.jsonl`` hold the full
-event traces of the paper-default 2-hour scenario (seed 0) as written by
-``etrain record``.  The comparator is *schema-versioned*: it projects
-each event onto its type's ``CORE_FIELDS`` before comparing, so adding
-new fields to events later (an additive schema change) never breaks the
-pins — only changing the simulation, removing a core field, or bumping
+``tests/data/golden_trace_<strategy>_2h.jsonl`` hold the full event
+traces of the paper-default 2-hour scenario (seed 0) as written by
+``etrain record`` — for the paper's own schedulers (etrain, immediate)
+and the literature-derived families (lazy_circuit, harvest_lazy,
+common_deadline, aoi_download), all at builder-default parameters.  The
+comparator is *schema-versioned*: it projects each event onto its
+type's ``CORE_FIELDS`` before comparing, so adding new fields to events
+later (an additive schema change) never breaks the pins — only changing
+the simulation, removing a core field, or bumping
 ``TRACE_SCHEMA_VERSION`` past the comparator does.
 
-Regenerate after an intentional semantic change with::
+Regenerate after an intentional semantic change with (once per pinned
+strategy)::
 
-    PYTHONPATH=src python -m repro.cli record --strategy etrain \
-        --trace-out tests/data/golden_trace_etrain_2h.jsonl --horizon 7200
-    PYTHONPATH=src python -m repro.cli record --strategy immediate \
-        --trace-out tests/data/golden_trace_immediate_2h.jsonl --horizon 7200
+    for s in etrain immediate lazy_circuit harvest_lazy \
+             common_deadline aoi_download; do
+        PYTHONPATH=src python -m repro.cli record --strategy $s \
+            --trace-out tests/data/golden_trace_${s}_2h.jsonl --horizon 7200
+    done
 """
 
 import pathlib
@@ -29,8 +34,15 @@ pytestmark = pytest.mark.obs
 DATA = pathlib.Path(__file__).parent / "data"
 
 GOLDEN = {
-    "etrain": DATA / "golden_trace_etrain_2h.jsonl",
-    "immediate": DATA / "golden_trace_immediate_2h.jsonl",
+    name: DATA / f"golden_trace_{name}_2h.jsonl"
+    for name in (
+        "etrain",
+        "immediate",
+        "lazy_circuit",
+        "harvest_lazy",
+        "common_deadline",
+        "aoi_download",
+    )
 }
 
 

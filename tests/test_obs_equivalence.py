@@ -8,6 +8,11 @@ records, same packet schedule.  These tests pin that for every
 registered strategy, and pin the companion claim: replaying the trace
 alone (:func:`repro.obs.replay.replay_events`) reproduces the run's
 summary metrics exactly, including after a JSONL round-trip.
+
+The strategy list and the run/fingerprint helpers come from the shared
+conformance table (``tests/strategy_conformance.py``); this file keeps
+the full-length (2h-horizon, default-parameter) sweep while the
+conformance suite covers each row's declared parameter sets.
 """
 
 import pytest
@@ -26,57 +31,23 @@ from repro.obs import (
 from repro.obs.events import app_cost_table
 from repro.obs.tracer import emit_simulation_trace
 from repro.sim.engine import Simulation
-from repro.sim.parallel.specs import STRATEGY_BUILDERS, StrategySpec
+from repro.sim.parallel.specs import StrategySpec
 from repro.sim.runner import default_scenario
 
-pytestmark = pytest.mark.obs
+from tests.strategy_conformance import (
+    ALL_STRATEGIES,
+    record_fingerprint,
+    run_scenario,
+    schedule_fingerprint,
+)
 
-ALL_STRATEGIES = sorted(STRATEGY_BUILDERS)
+pytestmark = pytest.mark.obs
 
 SETTINGS = settings(
     max_examples=25,
     deadline=None,
     suppress_health_check=[HealthCheck.function_scoped_fixture],
 )
-
-
-def run_scenario(name, *, instrument, horizon=7200.0, seed=0):
-    """One full default-scenario run; returns (result, events or None)."""
-    scenario = default_scenario(seed=seed, horizon=horizon)
-    strategy = StrategySpec.make(name).build(scenario)
-    recorder = ListRecorder() if instrument else None
-    sim = Simulation(
-        strategy,
-        scenario.train_generators,
-        scenario.fresh_packets(),
-        power_model=scenario.power_model,
-        bandwidth=scenario.bandwidth,
-        horizon=scenario.horizon,
-        slot=scenario.slot,
-        recorder=recorder,
-        trace_app_costs=app_cost_table(scenario.profiles) if instrument else None,
-    )
-    if instrument:
-        with metrics_scope() as registry:
-            result = sim.run()
-        assert registry.counter("engine.runs").value == 1
-        return result, list(recorder.events)
-    return sim.run(), None
-
-
-def record_fingerprint(result):
-    """Everything a burst record carries, as comparable plain data."""
-    return [
-        (r.start, r.duration, r.size_bytes, r.kind, tuple(r.packet_ids))
-        for r in result.records
-    ]
-
-
-def schedule_fingerprint(result):
-    return sorted(
-        (p.packet_id, p.arrival_time, p.size_bytes, p.scheduled_time)
-        for p in result.packets
-    )
 
 
 class TestInstrumentedRunsAreBitIdentical:

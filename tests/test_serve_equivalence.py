@@ -49,8 +49,22 @@ pytestmark = pytest.mark.serve
 
 #: Strategies certified bit-identical through per-device sessions.
 #: (peres is registry-vectorized since ISSUE 7 but still exercises the
-#: scalar decision engine here — sessions always run the scalar path.)
-STRATEGIES = ["etrain", "immediate", "periodic", "tailender", "peres", "adaptive"]
+#: scalar decision engine here — sessions always run the scalar path.
+#: harvest_lazy additionally threads a HarvestingBattery through the
+#: session's DecisionState: the scalar-fallback battery gating must be
+#: identical between a served device and the batch engine, drain for
+#: drain.)
+STRATEGIES = [
+    "etrain",
+    "immediate",
+    "periodic",
+    "tailender",
+    "peres",
+    "adaptive",
+    "harvest_lazy",
+    "common_deadline",
+    "aoi_download",
+]
 
 _BW = wuhan_bandwidth_model()
 _WORKLOAD = synthesize_fleet(3, 450.0, seed=7)
